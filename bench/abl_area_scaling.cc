@@ -1,0 +1,79 @@
+// ABL-AREA — ablation of the Section 2 area coupling: "the impact of Tox
+// scaling on the cell area must be taken into account, as the cell will
+// grow in both horizontal and vertical dimensions."  Compares the 16 KB
+// Figure 1 window and the scheme-II optima with the coupling enabled
+// (default) vs frozen geometry, and quantifies the bus-length
+// linearization error of the independent-component view.
+#include <iostream>
+
+#include "core/explorer.h"
+#include "util/table.h"
+#include "util/units.h"
+
+using namespace nanocache;
+
+int main() {
+  TextTable t("area-scaling ablation, 16KB cache");
+  t.set_header({"area scaling", "fast corner [pS]", "slow corner [pS]",
+                "slow/fast", "area @14A vs @10A", "schemeII leak @1.4ns [mW]"});
+  for (bool enabled : {true, false}) {
+    core::ExperimentConfig cfg;
+    cfg.technology.area_scaling_enabled = enabled;
+    core::Explorer explorer(cfg);
+    const auto& m = explorer.l1_model(16 * 1024);
+    const auto fast = m.evaluate_uniform({0.2, 10.0});
+    const auto slow = m.evaluate_uniform({0.5, 14.0});
+    const double area_ratio = m.evaluate_uniform({0.35, 14.0}).area_um2 /
+                              m.evaluate_uniform({0.35, 10.0}).area_um2;
+    const auto best = opt::optimize_single_cache(
+        opt::structural_evaluator(m), cfg.grid, opt::Scheme::kArrayPeriphery,
+        1.4e-9);
+    t.add_row({enabled ? "ON (paper)" : "OFF",
+               fmt_fixed(units::seconds_to_ps(fast.access_time_s), 1),
+               fmt_fixed(units::seconds_to_ps(slow.access_time_s), 1),
+               fmt_fixed(slow.access_time_s / fast.access_time_s, 2),
+               fmt_fixed(area_ratio, 2) + "x",
+               best ? fmt_fixed(units::watts_to_mw(best->leakage_w), 3)
+                    : "infeasible"});
+  }
+  std::cout << t << "\n"
+            << "with the coupling OFF, thick Tox no longer costs area or\n"
+            << "wire length, so the delay penalty of conservative Tox\n"
+            << "shrinks — the paper's insistence on modelling cell growth\n"
+            << "is what keeps Tox from being a free lunch.\n\n";
+
+  // Linearization error: the optimizers use nominal-Tox bus geometry
+  // (independent components); final numbers can be recomputed with the
+  // exact array-Tox coupling.  Quantify the gap on optimized designs.
+  core::Explorer explorer;
+  TextTable e("independent-component vs exact coupling on scheme-II optima");
+  e.set_header({"cache", "delay err", "leakage err"});
+  for (std::uint64_t size : {16ull * 1024, 64ull * 1024, 1024ull * 1024}) {
+    const bool is_l2 = size >= 256 * 1024;
+    const auto& m =
+        is_l2 ? explorer.l2_model(size) : explorer.l1_model(size);
+    const auto eval = opt::structural_evaluator(m);
+    const double lo =
+        opt::min_access_time(eval, explorer.config().grid,
+                             opt::Scheme::kArrayPeriphery);
+    const auto best = opt::optimize_single_cache(
+        eval, explorer.config().grid, opt::Scheme::kArrayPeriphery, lo * 1.3);
+    if (!best) continue;
+    const auto nominal =
+        m.evaluate(best->assignment, cachemodel::AreaCoupling::kNominal);
+    const auto exact =
+        m.evaluate(best->assignment, cachemodel::AreaCoupling::kArrayTox);
+    e.add_row({fmt_bytes(size),
+               fmt_fixed((exact.access_time_s / nominal.access_time_s - 1.0) *
+                             100.0,
+                         2) +
+                   "%",
+               fmt_fixed((exact.leakage_w / nominal.leakage_w - 1.0) * 100.0,
+                         2) +
+                   "%"});
+  }
+  std::cout << e
+            << "the small gap justifies the paper's additive Section 3\n"
+            << "model (and our Pareto-DP optimizers built on it).\n";
+  return 0;
+}

@@ -1,0 +1,97 @@
+// ABL-CORNER — process-corner ablation.  The paper characterizes at one
+// corner; this bench asks what its scheme-II optimum is worth on off-
+// nominal silicon: optimize the 16 KB cache at TT, then re-evaluate the
+// same assignment at FF and SS, and compare against assignments optimized
+// natively at each corner.
+#include <iostream>
+
+#include "core/explorer.h"
+#include "tech/corners.h"
+#include "util/table.h"
+#include "util/units.h"
+
+using namespace nanocache;
+
+namespace {
+
+struct CornerModel {
+  explicit CornerModel(tech::Corner corner)
+      : dev(tech::apply_corner(tech::bptm65(), corner)),
+        model(cachemodel::l1_organization(16 * 1024, dev),
+              tech::DeviceModel(dev.params())) {}
+  tech::DeviceModel dev;
+  cachemodel::CacheModel model;
+};
+
+}  // namespace
+
+int main() {
+  const auto grid = opt::KnobGrid::paper_default();
+  CornerModel tt(tech::Corner::kTypical);
+  CornerModel ff(tech::Corner::kFast);
+  CornerModel ss(tech::Corner::kSlow);
+
+  // Timing target from the TT design window.
+  const double target =
+      opt::min_access_time(opt::structural_evaluator(tt.model), grid,
+                           opt::Scheme::kArrayPeriphery) *
+      1.35;
+
+  const auto tt_opt = opt::optimize_single_cache(
+      opt::structural_evaluator(tt.model), grid,
+      opt::Scheme::kArrayPeriphery, target);
+  if (!tt_opt) {
+    std::cout << "TT target infeasible\n";
+    return 1;
+  }
+
+  TextTable t("16KB scheme-II assignment across corners (TT target " +
+              fmt_fixed(units::seconds_to_ps(target), 0) + " pS)");
+  t.set_header({"corner", "TT-opt delay [pS]", "TT-opt leak [mW]",
+                "meets TT timing?", "native-opt leak [mW]",
+                "guard-band cost"});
+  bool ss_violates = false;
+  bool ff_leaks_more = false;
+  for (auto* cm : {&tt, &ff, &ss}) {
+    const auto eval = opt::structural_evaluator(cm->model);
+    const auto cross = cm->model.evaluate(tt_opt->assignment);
+    const auto native =
+        opt::optimize_single_cache(eval, grid, opt::Scheme::kArrayPeriphery,
+                                   target);
+    const bool meets = cross.access_time_s <= target * (1 + 1e-9);
+    const tech::Corner corner =
+        cm == &tt ? tech::Corner::kTypical
+                  : (cm == &ff ? tech::Corner::kFast : tech::Corner::kSlow);
+    if (corner == tech::Corner::kSlow && !meets) ss_violates = true;
+    if (corner == tech::Corner::kFast &&
+        cross.leakage_w > tt.model.evaluate(tt_opt->assignment).leakage_w *
+                              1.5) {
+      ff_leaks_more = true;
+    }
+    std::string cost = "-";
+    if (native && meets) {
+      cost = fmt_fixed((cross.leakage_w / native->leakage_w - 1.0) * 100.0,
+                       1) +
+             "%";
+    }
+    t.add_row({std::string(tech::corner_name(corner)),
+               fmt_fixed(units::seconds_to_ps(cross.access_time_s), 1),
+               fmt_fixed(units::watts_to_mw(cross.leakage_w), 3),
+               meets ? "yes" : "NO",
+               native ? fmt_fixed(units::watts_to_mw(native->leakage_w), 3)
+                      : "infeasible",
+               cost});
+  }
+  std::cout << t << "\n"
+            << "slow silicon breaks the TT-optimized timing: "
+            << (ss_violates ? "yes - corner-aware sign-off needed" : "no")
+            << "\n"
+            << "fast silicon inflates the TT-optimized leakage >1.5x: "
+            << (ff_leaks_more ? "yes" : "no") << "\n"
+            << "reading: the paper's single-corner optimization is the\n"
+            << "right *exploration* methodology, but shipping its knob\n"
+            << "assignment requires re-validating at the corners — the\n"
+            << "conservative-array structure survives; the absolute Vth\n"
+            << "choice is what shifts.\n";
+  return 0;
+}

@@ -1,0 +1,46 @@
+// ABL-TEMP — temperature ablation.  Subthreshold leakage grows
+// exponentially with temperature (the swing is proportional to kT/q) while
+// gate tunnelling is nearly athermal, so the balance between the Vth and
+// Tox knobs — the paper's central comparison — shifts with the assumed
+// junction temperature.  The paper characterizes at a fixed corner; this
+// bench shows how its conclusions move across 300-400 K.
+#include <iostream>
+
+#include "core/explorer.h"
+#include "util/table.h"
+#include "util/units.h"
+
+using namespace nanocache;
+
+int main() {
+  TextTable t("temperature ablation, 16KB cache");
+  t.set_header({"T [K]", "swing [mV/dec]", "leak @(0.2,10) [mW]",
+                "leak @(0.5,10) [mW]", "leak @(0.5,14) [mW]",
+                "Vth leak gap", "Tox leak gap", "bigger lever"});
+  for (double temp : {300.0, 330.0, 358.0, 400.0}) {
+    core::ExperimentConfig cfg;
+    cfg.technology.temperature_k = temp;
+    core::Explorer explorer(cfg);
+    const auto& m = explorer.l1_model(16 * 1024);
+    const double fast = m.evaluate_uniform({0.2, 10.0}).leakage_w;
+    const double mid = m.evaluate_uniform({0.5, 10.0}).leakage_w;
+    const double slow = m.evaluate_uniform({0.5, 14.0}).leakage_w;
+    const double vth_gap = fast / mid;   // what Vth buys at thin Tox
+    const double tox_gap = mid / slow;   // what Tox buys at high Vth
+    t.add_row({fmt_fixed(temp, 0),
+               fmt_fixed(cfg.technology.subthreshold_swing_mv_per_dec(), 1),
+               fmt_fixed(units::watts_to_mw(fast), 2),
+               fmt_fixed(units::watts_to_mw(mid), 2),
+               fmt_fixed(units::watts_to_mw(slow), 3),
+               fmt_fixed(vth_gap, 2) + "x", fmt_fixed(tox_gap, 1) + "x",
+               tox_gap > vth_gap ? "Tox" : "Vth"});
+  }
+  std::cout
+      << t << "\n"
+      << "hotter silicon leaks more through the channel, so the Vth knob\n"
+      << "gains leverage with temperature while the (athermal) gate-\n"
+      << "tunnelling floor fixes the Tox leverage; at the paper's 85C\n"
+      << "corner Tox remains the bigger total-leakage lever across the\n"
+      << "studied window.\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// ABL-VAR — process-variation ablation.  The paper's numbers (and our
+// optimizers) are nominal; leakage is exponential in both knobs, so global
+// variation skews the shipped distribution upward and eats into timing.
+// This bench Monte-Carlos the 16 KB scheme-II optimum and shows (a) the
+// nominal-vs-mean-vs-p95 leakage gap and (b) how much delay margin must be
+// reserved at optimization time to reach a target timing yield.
+#include <iostream>
+
+#include "cachemodel/variation.h"
+#include "core/explorer.h"
+#include "util/table.h"
+#include "util/units.h"
+
+using namespace nanocache;
+
+int main() {
+  core::Explorer explorer;
+  const auto& m = explorer.l1_model(16 * 1024);
+  const auto eval = opt::structural_evaluator(m);
+  const auto& grid = explorer.config().grid;
+  const double target =
+      opt::min_access_time(eval, grid, opt::Scheme::kArrayPeriphery) * 1.35;
+
+  cachemodel::VariationParams var;
+  var.samples = 800;
+
+  TextTable t("timing-margin study at sigma(Vth)=20mV, sigma(Tox)=0.15A "
+              "(800 samples)");
+  t.set_header({"optimized for", "nominal leak [mW]", "mean leak [mW]",
+                "p95 leak [mW]", "timing yield @" +
+                    fmt_fixed(units::seconds_to_ps(target), 0) + "pS"});
+  double unmargined_yield = 0.0;
+  double margined_yield = 0.0;
+  for (double margin : {1.00, 0.95, 0.90}) {
+    const auto opt = opt::optimize_single_cache(
+        eval, grid, opt::Scheme::kArrayPeriphery, target * margin);
+    if (!opt) continue;
+    const auto mc =
+        cachemodel::monte_carlo(m, opt->assignment, var, target);
+    if (margin == 1.00) unmargined_yield = mc.timing_yield;
+    if (margin == 0.90) margined_yield = mc.timing_yield;
+    t.add_row({fmt_fixed(margin * 100.0, 0) + "% of target",
+               fmt_fixed(units::watts_to_mw(opt->leakage_w), 3),
+               fmt_fixed(units::watts_to_mw(mc.leakage_w.mean), 3),
+               fmt_fixed(units::watts_to_mw(mc.leakage_w.p95), 3),
+               fmt_fixed(mc.timing_yield * 100.0, 1) + "%"});
+  }
+  std::cout << t << "\n"
+            << "margin buys yield: "
+            << ((margined_yield > unmargined_yield) ? "CONFIRMED"
+                                                    : "NOT CONFIRMED")
+            << " (" << fmt_fixed(unmargined_yield * 100.0, 1) << "% -> "
+            << fmt_fixed(margined_yield * 100.0, 1) << "%)\n"
+            << "reading: an optimizer that stops at the constraint ships\n"
+            << "well below full timing yield (every die on the slow side of\n"
+            << "its residual slack fails); the leakage skew (mean and p95\n"
+            << "above nominal) is the\n"
+            << "price of exponential sensitivity.  Both effects sit on top\n"
+            << "of everything the paper reports and motivate the margined\n"
+            << "targets used in the table benches.\n";
+  return 0;
+}

@@ -1,0 +1,97 @@
+// EXT-DECAY — extension beyond the paper: the paper's refs [2]/[5] reduce
+// leakage *dynamically* by gating unused lines (cache decay / gated-Vdd);
+// the paper itself reduces it *statically* via (Vth, Tox) assignment.  This
+// bench composes both on the 16 KB L1: simulate decay to get the live-line
+// fraction and the decay-induced extra misses, then combine with the knob
+// assignment's leakage under the system AMAT constraint.
+//
+//   effective leakage = P(knobs) * (live + sleep_ratio * (1 - live))
+//   AMAT penalty      = extra L1 misses * L2 path
+//
+// Expected: the techniques are complementary — decay scales the array's
+// residual leakage; knob assignment sets the floor the gating multiplies.
+#include <iostream>
+
+#include "core/explorer.h"
+#include "sim/suite.h"
+#include "util/table.h"
+#include "util/units.h"
+
+using namespace nanocache;
+
+namespace {
+
+/// Leakage surviving in a gated line (virtual-ground transistor off).
+constexpr double kSleepRatio = 0.05;
+
+struct DecayPoint {
+  std::uint64_t interval = 0;  ///< accesses; 0 = decay off
+  double live_fraction = 1.0;
+  double l1_miss_rate = 0.0;
+};
+
+DecayPoint simulate(std::uint64_t interval) {
+  auto trace = sim::make_workload("intcode");
+  sim::SetAssociativeCache l1(16 * 1024, 32, 2);
+  if (interval > 0) l1.enable_decay(interval);
+  sim::TwoLevelHierarchy hier(std::move(l1),
+                              sim::SetAssociativeCache(1024 * 1024, 64, 8));
+  hier.warmup(*trace, 100'000);
+  hier.run(*trace, 400'000);
+  DecayPoint p;
+  p.interval = interval;
+  p.live_fraction = hier.l1().average_live_fraction();
+  p.l1_miss_rate = hier.stats().l1_miss_rate();
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  core::Explorer explorer;
+  const auto& l1 = explorer.l1_model(16 * 1024);
+  const auto eval = opt::structural_evaluator(l1);
+  const auto& cfg = explorer.config();
+
+  // Knob-optimized and default-knob L1 leakage at a fixed L1 delay budget.
+  const double budget =
+      opt::min_access_time(eval, cfg.grid, opt::Scheme::kArrayPeriphery) *
+      1.35;
+  const auto knobs_opt = opt::optimize_single_cache(
+      eval, cfg.grid, opt::Scheme::kArrayPeriphery, budget);
+  const double p_default =
+      l1.evaluate_uniform(cfg.default_knobs).leakage_w;
+  const double p_opt = knobs_opt ? knobs_opt->leakage_w : p_default;
+
+  TextTable t("16KB L1: static knob assignment x dynamic decay (workload: "
+              "intcode)");
+  t.set_header({"decay interval", "live lines", "L1 miss rate",
+                "default knobs [mW]", "paper knobs [mW]", "combined gain"});
+  double base_default = 0.0;
+  double best_combined = 1e9;
+  for (std::uint64_t interval : {0ull, 16384ull, 4096ull, 1024ull, 256ull}) {
+    const auto d = simulate(interval);
+    const double gated =
+        d.live_fraction + kSleepRatio * (1.0 - d.live_fraction);
+    const double eff_default = p_default * gated;
+    const double eff_opt = p_opt * gated;
+    if (interval == 0) base_default = eff_default;
+    best_combined = std::min(best_combined, eff_opt);
+    t.add_row({interval == 0 ? "off" : std::to_string(interval),
+               fmt_fixed(d.live_fraction * 100.0, 1) + "%",
+               fmt_fixed(d.l1_miss_rate * 100.0, 2) + "%",
+               fmt_fixed(units::watts_to_mw(eff_default), 3),
+               fmt_fixed(units::watts_to_mw(eff_opt), 3),
+               fmt_fixed(base_default / eff_opt, 1) + "x"});
+  }
+  std::cout << t << "\n"
+            << "reading: decay multiplies whatever leakage the process\n"
+            << "knobs leave behind — the two techniques compose almost\n"
+            << "multiplicatively (total gain "
+            << fmt_fixed(base_default / best_combined, 1)
+            << "x here), but only the knob assignment also cuts the\n"
+            << "*awake* lines' power, and only decay adapts to workload\n"
+            << "idleness.  The cost of decay is the extra misses visible\n"
+            << "in the L1 miss-rate column at short intervals.\n";
+  return 0;
+}

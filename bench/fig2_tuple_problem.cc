@@ -1,0 +1,140 @@
+// FIG2 — reproduces Figure 2 of the paper: total energy (pJ) vs AMAT (pS)
+// for the entire L1 + L2 + main-memory system, with process menus limited
+// to {2Tox+2Vth, 2Tox+3Vth, 3Tox+2Vth, 2Tox+1Vth, 1Tox+2Vth}.  Expected
+// shape (paper): 2Tox+3Vth best but nearly tied with 2Tox+2Vth (so dual/dual
+// suffices), and a single-Tox/dual-Vth process beats dual-Tox/single-Vth
+// (Vth is the more effective knob) over the main AMAT range.
+#include <iostream>
+
+#include "core/explorer.h"
+#include "util/ascii_chart.h"
+#include "util/table.h"
+#include "util/units.h"
+
+using namespace nanocache;
+
+int main() {
+  core::Explorer explorer;
+  const auto specs = core::Explorer::default_fig2_specs();
+
+  // Frontier series (the figure's five curves).
+  const auto series = explorer.fig2_tuple_frontiers(specs);
+  for (const auto& s : series) {
+    TextTable t("Figure 2 frontier: " + s.label);
+    t.set_header({"AMAT [pS]", "total energy [pJ]", "leakage [mW]"});
+    // Thin the print to ~12 rows; the full frontier backs the table below.
+    const std::size_t stride = std::max<std::size_t>(1, s.points.size() / 12);
+    for (std::size_t i = 0; i < s.points.size(); i += stride) {
+      const auto& p = s.points[i];
+      t.add_row({fmt_fixed(units::seconds_to_ps(p.amat_s), 1),
+                 fmt_fixed(units::joules_to_pj(p.energy_j), 2),
+                 fmt_fixed(units::watts_to_mw(p.leakage_w), 1)});
+    }
+    std::cout << t << "\n";
+  }
+
+  // The figure itself, rendered to the terminal.
+  AsciiChart chart(72, 22);
+  chart.set_title("Figure 2: total energy vs AMAT by process menu");
+  chart.set_x_label("AMAT [pS]");
+  chart.set_y_label("total energy [pJ]");
+  chart.set_log_y(true);
+  for (const auto& s : series) {
+    std::vector<double> xs;
+    std::vector<double> ys;
+    for (const auto& p : s.points) {
+      xs.push_back(units::seconds_to_ps(p.amat_s));
+      ys.push_back(units::joules_to_pj(p.energy_j));
+    }
+    chart.add_series(s.label, std::move(xs), std::move(ys));
+  }
+  std::cout << chart.render() << "\n";
+
+  // Tabular view: best energy per menu at the paper's AMAT targets.
+  const auto targets = explorer.config().amat_targets_s();
+  const auto table = explorer.fig2_tuple_table(specs, targets);
+  TextTable t("Figure 2 table: best total energy [pJ] per menu at each AMAT "
+              "target [pS]");
+  std::vector<std::string> header{"AMAT target"};
+  for (const auto& spec : specs) {
+    header.push_back(core::Explorer::menu_label(spec));
+  }
+  t.set_header(header);
+  for (std::size_t ti = 0; ti < targets.size(); ++ti) {
+    std::vector<std::string> row{
+        fmt_fixed(units::seconds_to_ps(targets[ti]), 0)};
+    for (std::size_t si = 0; si < specs.size(); ++si) {
+      const auto& cell = table[si][ti];
+      row.push_back(cell ? fmt_fixed(units::joules_to_pj(cell->energy_j), 1)
+                         : "infeasible");
+    }
+    t.add_row(std::move(row));
+  }
+  std::cout << t << "\n";
+
+  // Which process menus actually win, and how the components use them.
+  {
+    const double mid_target = 1.7e-9;
+    TextTable w("winning menus and assignments at 1700 pS");
+    w.set_header({"menu", "Tox values [A]", "Vth values [V]",
+                  "L1 array", "L2 array", "L2 periph"});
+    auto pair_str = [](const tech::DeviceKnobs& k) {
+      return fmt_fixed(k.vth_v, 2) + "V/" + fmt_fixed(k.tox_a, 0) + "A";
+    };
+    for (std::size_t si = 0; si < specs.size(); ++si) {
+      // Reuse the table computed above (index 4 == 1700 pS).
+      const auto& cell = table[si][4];
+      if (!cell) {
+        w.add_row({core::Explorer::menu_label(specs[si]), "-", "-", "-",
+                   "-", "-"});
+        continue;
+      }
+      std::string toxes;
+      for (double v : cell->tox_menu) {
+        toxes += (toxes.empty() ? "" : ", ") + fmt_fixed(v, 0);
+      }
+      std::string vths;
+      for (double v : cell->vth_menu) {
+        vths += (vths.empty() ? "" : ", ") + fmt_fixed(v, 2);
+      }
+      w.add_row({core::Explorer::menu_label(specs[si]), toxes, vths,
+                 pair_str(cell->l1.get(cachemodel::ComponentKind::kCellArray)),
+                 pair_str(cell->l2.get(cachemodel::ComponentKind::kCellArray)),
+                 pair_str(cell->l2.get(cachemodel::ComponentKind::kDecoder))});
+    }
+    std::cout << w << "\n";
+  }
+
+  // Headline checks, evaluated at the loosest common target.
+  const std::size_t last = targets.size() - 1;
+  auto energy_of = [&](std::size_t spec_idx) {
+    return table[spec_idx][last] ? table[spec_idx][last]->energy_j : 1e9;
+  };
+  const double e22 = energy_of(0);
+  const double e23 = energy_of(1);
+  const double e32 = energy_of(2);
+  const double e21 = energy_of(3);  // 2 Tox + 1 Vth
+  const double e12 = energy_of(4);  // 1 Tox + 2 Vth
+  std::cout << "2Tox+3Vth within the best of all menus (<=1% gap): "
+            << ((e23 <= std::min({e22, e32, e21, e12}) * 1.01) ? "REPRODUCED"
+                                                               : "NOT REPRODUCED")
+            << "\n"
+            << "dual/dual within 5% of 2Tox+3Vth (dual/dual suffices): "
+            << ((e22 <= e23 * 1.05) ? "REPRODUCED" : "NOT REPRODUCED") << "\n"
+            << "1Tox+2Vth beats 2Tox+1Vth at the loose end (Vth the better "
+               "knob): "
+            << ((e12 < e21) ? "REPRODUCED" : "NOT REPRODUCED") << "\n";
+
+  // Deviation note kept honest in the output: at the tightest targets a
+  // single (necessarily thin) Tox pays the full gate-leakage floor, so
+  // 2Tox+1Vth can win there; the paper's plotted range sits above that
+  // regime.  See EXPERIMENTS.md.
+  const double tight12 = table[4][0] ? table[4][0]->energy_j : 1e9;
+  const double tight21 = table[3][0] ? table[3][0]->energy_j : 1e9;
+  if (tight12 > tight21) {
+    std::cout << "note: at the tightest target the order inverts "
+                 "(gate-leakage floor of a single thin Tox) - documented "
+                 "deviation\n";
+  }
+  return 0;
+}

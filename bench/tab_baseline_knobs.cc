@@ -1,0 +1,61 @@
+// TAB-BASE — baseline comparison the paper positions itself against: its
+// refs [1-7] "all focused on subthreshold leakage", i.e. they optimize Vth
+// with the oxide fixed.  This bench quantifies what joint (Vth, Tox)
+// total-leakage optimization buys over (a) Vth-only and (b) Tox-only
+// assignment on the 16 KB cache, per delay target and scheme I.
+#include <iostream>
+
+#include "core/explorer.h"
+#include "util/table.h"
+#include "util/units.h"
+
+using namespace nanocache;
+
+namespace {
+std::string cell(const std::optional<opt::SchemeResult>& r) {
+  return r ? fmt_fixed(units::watts_to_mw(r->leakage_w), 3) : "infeasible";
+}
+}  // namespace
+
+int main() {
+  core::Explorer explorer;
+  const auto& m = explorer.l1_model(16 * 1024);
+  const auto eval = opt::structural_evaluator(m);
+
+  const auto joint = opt::KnobGrid::paper_default();
+  const auto vth_only = opt::KnobGrid::vth_only(12.0);
+  const auto tox_only = opt::KnobGrid::tox_only(0.35);
+
+  TextTable t("total-leakage (Vth+Tox) vs single-knob baselines, 16KB, "
+              "scheme I");
+  t.set_header({"target [pS]", "Vth+Tox [mW]", "Vth-only [mW] (refs 1-7)",
+                "Tox-only [mW]", "Vth-only / joint"});
+  bool joint_never_worse = true;
+  double worst_ratio = 0.0;
+  for (double target : explorer.delay_ladder(16 * 1024, 8)) {
+    const auto rj = opt::optimize_single_cache(
+        eval, joint, opt::Scheme::kPerComponent, target);
+    const auto rv = opt::optimize_single_cache(
+        eval, vth_only, opt::Scheme::kPerComponent, target);
+    const auto rt = opt::optimize_single_cache(
+        eval, tox_only, opt::Scheme::kPerComponent, target);
+    std::string ratio = "-";
+    if (rj && rv) {
+      if (rv->leakage_w < rj->leakage_w * 0.999) joint_never_worse = false;
+      const double r = rv->leakage_w / rj->leakage_w;
+      worst_ratio = std::max(worst_ratio, r);
+      ratio = fmt_fixed(r, 2) + "x";
+    }
+    t.add_row({fmt_fixed(units::seconds_to_ps(target), 0), cell(rj),
+               cell(rv), cell(rt), ratio});
+  }
+  std::cout << t << "\n"
+            << "joint optimization never loses to a single-knob baseline: "
+            << (joint_never_worse ? "REPRODUCED" : "NOT REPRODUCED") << "\n"
+            << "Vth-only leaves up to " << fmt_fixed(worst_ratio, 1)
+            << "x leakage on the table - the gate-tunnelling floor at the\n"
+            << "pinned Tox is untouchable without the second knob, which is\n"
+            << "precisely the paper's case for *total*-leakage "
+               "optimization.\n";
+  return 0;
+}

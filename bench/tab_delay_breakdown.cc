@@ -1,0 +1,84 @@
+// TAB-DELAY — access-time decomposition: where the critical path goes,
+// per component and per array stage, across the cache sizes the paper
+// sweeps.  Supports the Section 3 four-component model: the cell array
+// dominates, and its share grows with capacity (longer bitlines), which is
+// why the array knob carries delay weight and not just leakage weight.
+#include <iostream>
+#include <memory>
+
+#include "core/explorer.h"
+#include "util/table.h"
+#include "util/units.h"
+
+using namespace nanocache;
+
+int main() {
+  core::Explorer explorer;
+  const tech::DeviceKnobs knobs = explorer.config().default_knobs;
+
+  TextTable t("access-time breakdown at default knobs (0.35V / 12A) [pS]");
+  t.set_header({"cache", "addr drv", "decoder", "array (wl+bl+sa)",
+                "data drv", "total", "array share"});
+  bool array_leads_l1 = true;
+  bool wires_lead_big_l2 = true;
+  struct Case {
+    std::uint64_t size;
+    bool is_l2;
+  };
+  for (const auto& c :
+       {Case{4 * 1024, false}, Case{16 * 1024, false}, Case{64 * 1024, false},
+        Case{256 * 1024, true}, Case{1024 * 1024, true},
+        Case{4096 * 1024, true}}) {
+    const auto& m =
+        c.is_l2 ? explorer.l2_model(c.size) : explorer.l1_model(c.size);
+    const auto r = m.evaluate_uniform(knobs);
+    auto d = [&](cachemodel::ComponentKind k) {
+      return units::seconds_to_ps(
+          r.per_component[static_cast<std::size_t>(k)].delay_s);
+    };
+    const double array = d(cachemodel::ComponentKind::kCellArray);
+    const double wires = d(cachemodel::ComponentKind::kAddressDrivers) +
+                         d(cachemodel::ComponentKind::kDataDrivers);
+    const double total = units::seconds_to_ps(r.access_time_s);
+    const double share = array / total;
+    t.add_row({fmt_bytes(c.size),
+               fmt_fixed(d(cachemodel::ComponentKind::kAddressDrivers), 1),
+               fmt_fixed(d(cachemodel::ComponentKind::kDecoder), 1),
+               fmt_fixed(array, 1),
+               fmt_fixed(d(cachemodel::ComponentKind::kDataDrivers), 1),
+               fmt_fixed(total, 1), fmt_fixed(share * 100.0, 1) + "%"});
+    if (!c.is_l2 && share < 0.35) array_leads_l1 = false;
+    if (c.is_l2 && c.size >= 1024 * 1024 && wires < array) {
+      wires_lead_big_l2 = false;
+    }
+  }
+  std::cout << t << "\n";
+
+  // The array's internal stages for the paper's 16 KB design.
+  tech::DeviceModel dev(explorer.config().technology);
+  const auto org = cachemodel::l1_organization(16 * 1024, dev);
+  const cachemodel::ArrayModel array(org, dev);
+  const double cal = dev.params().delay_calibration;
+  TextTable s("16KB array stage breakdown [pS]");
+  s.set_header({"stage", "delay"});
+  s.add_row({"wordline",
+             fmt_fixed(units::seconds_to_ps(array.wordline_delay_s(knobs) *
+                                            cal), 1)});
+  s.add_row({"bitline discharge",
+             fmt_fixed(units::seconds_to_ps(array.bitline_delay_s(knobs) *
+                                            cal), 1)});
+  s.add_row({"sense amplifier",
+             fmt_fixed(units::seconds_to_ps(array.senseamp_delay_s(knobs) *
+                                            cal), 1)});
+  std::cout << s << "\n"
+            << "cell array is the largest delay component in the L1 sizes: "
+            << (array_leads_l1 ? "CONFIRMED" : "NOT CONFIRMED") << "\n"
+            << "bus drivers overtake the array in megabyte L2s (wire-\n"
+            << "dominated access): "
+            << (wires_lead_big_l2 ? "CONFIRMED" : "NOT CONFIRMED") << "\n"
+            << "reading: this is why the paper's two-pair Scheme II is so\n"
+            << "effective for L2s — the delay lives in the periphery, where\n"
+            << "aggressive knobs are cheap, while the leakage lives in the\n"
+            << "array, where conservative knobs are free.\n";
+  return 0;
+}

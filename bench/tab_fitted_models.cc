@@ -1,0 +1,74 @@
+// TAB-S3 — the Section 3 deliverable itself: per-component fitted
+// coefficients of the paper's closed forms for the 16 KB cache,
+//
+//   P(Vth,Tox)  = A0 + A1*e^(a1*Vth) + A2*e^(a2*Tox)
+//   Td(Vth,Tox) = k0 + k1*e^(k3*Vth) + k2*Tox
+//
+// with goodness-of-fit, plus the sign/shape checks that make the forms
+// valid ("a1, a2 < 0", "delay linear in Tox, weakly exponential in Vth").
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "cachemodel/fitted_cache.h"
+#include "core/explorer.h"
+#include "util/table.h"
+#include "util/units.h"
+
+using namespace nanocache;
+
+namespace {
+std::string sci(double v) {
+  std::ostringstream os;
+  os << std::scientific << std::setprecision(2) << v;
+  return os.str();
+}
+}  // namespace
+
+int main() {
+  core::Explorer explorer;
+  const auto& m = explorer.l1_model(16 * 1024);
+  std::cout << "characterizing " << m.organization().describe()
+            << " on a 13x9 (Vth, Tox) grid and fitting Eq. (1)/(2) per "
+               "component...\n\n";
+  const auto fits = cachemodel::FittedCacheModel::fit(m);
+
+  TextTable leak("Eq. (1) leakage fits: P = A0 + A1*e^(a1*Vth) + "
+                 "A2*e^(a2*Tox)  [W, V, A]");
+  leak.set_header({"component", "A0", "A1", "a1 [1/V]", "A2", "a2 [1/A]",
+                   "R^2"});
+  bool signs_ok = true;
+  for (auto kind : cachemodel::kAllComponents) {
+    const auto& f = fits.leakage_fit(kind);
+    leak.add_row({std::string(cachemodel::component_name(kind)), sci(f.a0()),
+                  sci(f.a1()), fmt_fixed(f.rate_vth(), 1), sci(f.a2()),
+                  fmt_fixed(f.rate_tox(), 2), fmt_fixed(f.r2(), 4)});
+    if (f.rate_vth() >= 0.0 || f.rate_tox() >= 0.0) signs_ok = false;
+  }
+  std::cout << leak << "\n";
+
+  TextTable delay("Eq. (2) delay fits: Td = k0 + k1*e^(k3*Vth) + k2*Tox  "
+                  "[s, V, A]");
+  delay.set_header({"component", "k0", "k1", "k3 [1/V]", "k2 [s/A]", "R^2"});
+  bool delay_shape_ok = true;
+  for (auto kind : cachemodel::kAllComponents) {
+    const auto& f = fits.delay_fit(kind);
+    delay.add_row({std::string(cachemodel::component_name(kind)), sci(f.k0()),
+                   sci(f.k1()), fmt_fixed(f.k3(), 2), sci(f.k2()),
+                   fmt_fixed(f.r2(), 4)});
+    if (f.k3() <= 0.0 || f.k2() <= 0.0) delay_shape_ok = false;
+  }
+  std::cout << delay << "\n";
+
+  std::cout << "worst R^2 across all eight fits: "
+            << fmt_fixed(fits.worst_r2(), 4) << "\n"
+            << "leakage exponents negative in both knobs (paper Eq. 1): "
+            << (signs_ok ? "REPRODUCED" : "NOT REPRODUCED") << "\n"
+            << "delay exponential in Vth (k3 > 0) and linear in Tox "
+               "(k2 > 0) (paper Eq. 2): "
+            << (delay_shape_ok ? "REPRODUCED" : "NOT REPRODUCED") << "\n"
+            << "closed forms track the structural model (R^2 > 0.95): "
+            << (fits.worst_r2() > 0.95 ? "REPRODUCED" : "NOT REPRODUCED")
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,80 @@
+// TAB-L2A — reproduces the first Section 5 L2 experiment: L1 fixed at
+// 16 KB with default knobs; sweep the L2 size and optimize a single
+// (Vth, Tox) pair for the whole L2 under the system AMAT constraint.
+// Expected shape (paper): "generally the bigger L2 consumes less leakage
+// power than smaller ones under the same delay constraint ... nevertheless,
+// having the largest available L2 does not always yield the best leakage."
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "core/explorer.h"
+#include "util/table.h"
+#include "util/units.h"
+
+using namespace nanocache;
+
+int main() {
+  core::Explorer explorer;
+  const auto& cfg = explorer.config();
+
+  bool any_bigger_wins = false;
+  bool largest_not_best = false;
+
+  for (double headroom : {1.05, 1.15, 1.30}) {
+    const double target = explorer.l2_squeeze_target_s(headroom);
+    const double target_ps = units::seconds_to_ps(target);
+    const auto rows = explorer.l2_size_sweep(opt::Scheme::kUniform, target);
+
+    std::ostringstream title;
+    title << "Section 5 / L2 (one pair per L2): AMAT target "
+          << fmt_fixed(target_ps, 0) << " pS, L1 = "
+          << fmt_bytes(cfg.l1_size_bytes) << " @ "
+          << std::fixed << std::setprecision(2) << cfg.default_knobs.vth_v
+          << "V/" << std::setprecision(0) << cfg.default_knobs.tox_a << "A";
+    TextTable t(title.str());
+    t.set_header({"L2 size", "local mL2", "L2 Vth/Tox", "L2 leakage [mW]",
+                  "total leakage [mW]", "achieved AMAT [pS]"});
+    const core::SizeSweepRow* best = nullptr;
+    for (const auto& r : rows) {
+      if (!r.feasible) {
+        t.add_row({fmt_bytes(r.size_bytes), fmt_fixed(r.miss_rate, 3),
+                   "infeasible", "-", "-", "-"});
+        continue;
+      }
+      const auto& k = r.result.assignment.array();
+      std::ostringstream knobs;
+      knobs << std::fixed << std::setprecision(2) << k.vth_v << "V/"
+            << std::setprecision(0) << k.tox_a << "A";
+      t.add_row({fmt_bytes(r.size_bytes), fmt_fixed(r.miss_rate, 3),
+                 knobs.str(),
+                 fmt_fixed(units::watts_to_mw(r.level_leakage_w), 2),
+                 fmt_fixed(units::watts_to_mw(r.total_leakage_w), 2),
+                 fmt_fixed(units::seconds_to_ps(r.amat_s), 1)});
+      if (best == nullptr || r.level_leakage_w < best->level_leakage_w) {
+        best = &r;
+      }
+    }
+    std::cout << t;
+    if (best != nullptr) {
+      std::cout << "optimum at this target: " << fmt_bytes(best->size_bytes)
+                << "\n\n";
+      // "Bigger L2 leaks less": some feasible size is beaten by a larger one.
+      for (std::size_t i = 0; i + 1 < rows.size(); ++i) {
+        if (rows[i].feasible && rows[i + 1].feasible &&
+            rows[i + 1].level_leakage_w < rows[i].level_leakage_w) {
+          any_bigger_wins = true;
+        }
+      }
+      if (best->size_bytes != rows.back().size_bytes) {
+        largest_not_best = true;
+      }
+    }
+  }
+
+  std::cout << "bigger L2 reduces leakage somewhere in the sweep: "
+            << (any_bigger_wins ? "REPRODUCED" : "NOT REPRODUCED") << "\n"
+            << "largest L2 is not always the best: "
+            << (largest_not_best ? "REPRODUCED" : "NOT REPRODUCED") << "\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Scenario: an embedded SoC team must pick an L2 size and process knobs
+// under a firm average-memory-access-time budget, minimizing standby
+// (leakage) power — the Section 5 study as a design-flow walkthrough.
+#include <iostream>
+
+#include "core/explorer.h"
+#include "util/table.h"
+#include "util/units.h"
+
+using namespace nanocache;
+
+int main() {
+  core::ExperimentConfig cfg;
+  cfg.l1_size_bytes = 16 * 1024;
+  cfg.l2_size_sweep = {256 * 1024, 512 * 1024, 1024 * 1024, 2048 * 1024};
+  core::Explorer explorer(cfg);
+
+  // A budget that genuinely squeezes the smaller candidates.
+  const double amat_budget = explorer.l2_squeeze_target_s(1.12);
+  std::cout << "AMAT budget: "
+            << fmt_fixed(units::seconds_to_ps(amat_budget), 0) << " pS\n\n";
+
+  TextTable t("L2 candidates under the AMAT budget");
+  t.set_header({"L2 size", "one-pair leakage [mW]",
+                "split (array/periph) leakage [mW]", "verdict"});
+  const auto one = explorer.l2_size_sweep(opt::Scheme::kUniform, amat_budget);
+  const auto split =
+      explorer.l2_size_sweep(opt::Scheme::kArrayPeriphery, amat_budget);
+  const core::SizeSweepRow* winner = nullptr;
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    std::string verdict = "infeasible";
+    if (split[i].feasible) {
+      if (!winner || split[i].level_leakage_w < winner->level_leakage_w) {
+        winner = &split[i];
+        verdict = "candidate";
+      } else {
+        verdict = "dominated";
+      }
+    }
+    t.add_row({fmt_bytes(one[i].size_bytes),
+               one[i].feasible
+                   ? fmt_fixed(units::watts_to_mw(one[i].level_leakage_w), 2)
+                   : "infeasible",
+               split[i].feasible
+                   ? fmt_fixed(units::watts_to_mw(split[i].level_leakage_w), 2)
+                   : "infeasible",
+               verdict});
+  }
+  std::cout << t << "\n";
+
+  if (winner) {
+    const auto& arr =
+        winner->result.assignment.get(cachemodel::ComponentKind::kCellArray);
+    const auto& per =
+        winner->result.assignment.get(cachemodel::ComponentKind::kDecoder);
+    std::cout << "recommended design: " << fmt_bytes(winner->size_bytes)
+              << " L2, array at " << fmt_fixed(arr.vth_v, 2) << "V/"
+              << fmt_fixed(arr.tox_a, 0) << "A, periphery at "
+              << fmt_fixed(per.vth_v, 2) << "V/" << fmt_fixed(per.tox_a, 0)
+              << "A\n"
+              << "standby leakage: "
+              << fmt_fixed(units::watts_to_mw(winner->level_leakage_w), 2)
+              << " mW, achieved AMAT "
+              << fmt_fixed(units::seconds_to_ps(winner->amat_s), 0)
+              << " pS\n"
+              << "\nlesson (paper Section 5): giving the cell array its own\n"
+              << "conservative (Vth, Tox) pair lets a smaller L2 beat a\n"
+              << "bigger one that must share a single pair.\n";
+  }
+  return 0;
+}

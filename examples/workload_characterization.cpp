@@ -1,0 +1,88 @@
+// Scenario: characterize a new workload against the built-in suite —
+// run it through the trace-driven two-level simulator, extract its
+// miss-rate-vs-size curves, and fit the power-law model the exploration
+// API consumes.
+#include <iostream>
+
+#include "sim/generators.h"
+#include "sim/hierarchy.h"
+#include "sim/missmodel.h"
+#include "sim/suite.h"
+#include "util/table.h"
+
+using namespace nanocache;
+
+namespace {
+
+/// The "new" workload: a blocked matrix kernel — strided panel sweeps over
+/// a working set that fits mid-size caches.
+std::unique_ptr<sim::TraceSource> make_matrix_kernel(std::uint64_t seed) {
+  std::vector<std::unique_ptr<sim::TraceSource>> parts;
+  parts.push_back(
+      std::make_unique<sim::StrideGenerator>(0x0, 8, 768 * 1024, 0.3, seed));
+  parts.push_back(std::make_unique<sim::StrideGenerator>(
+      0x4000'0000ull, 512, 768 * 1024, 0.0, seed ^ 1));
+  sim::WorkingSetGenerator::Config hot;
+  hot.base = 0x8000'0000ull;
+  hot.footprint_bytes = 32 * 1024;
+  hot.zipf_s = 1.1;
+  hot.run_length = 16;
+  parts.push_back(std::make_unique<sim::WorkingSetGenerator>(hot, seed ^ 2));
+  return std::make_unique<sim::MixGenerator>(
+      std::move(parts), std::vector<double>{0.4, 0.2, 0.4}, seed ^ 3);
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<std::uint64_t> l2_sizes = {256 * 1024, 512 * 1024,
+                                               1024 * 1024, 2048 * 1024};
+  std::vector<double> rates;
+
+  TextTable t("matrix-kernel workload: simulated two-level miss statistics");
+  t.set_header({"L1", "L2", "L1 miss", "local L2 miss", "L2 writebacks"});
+  for (auto l2_size : l2_sizes) {
+    auto trace = make_matrix_kernel(42);
+    sim::TwoLevelHierarchy hier(sim::SetAssociativeCache(16 * 1024, 32, 2),
+                                sim::SetAssociativeCache(l2_size, 64, 8));
+    hier.warmup(*trace, 100'000);
+    hier.run(*trace, 400'000);
+    const auto& s = hier.stats();
+    rates.push_back(s.l2_local_miss_rate());
+    t.add_row({fmt_bytes(16 * 1024), fmt_bytes(l2_size),
+               fmt_fixed(s.l1_miss_rate() * 100.0, 2) + "%",
+               fmt_fixed(s.l2_local_miss_rate() * 100.0, 1) + "%",
+               std::to_string(s.l2_writebacks)});
+  }
+  std::cout << t << "\n";
+
+  // Fit the analytic curve the exploration API consumes.
+  try {
+    const auto fit = sim::PowerLawMissModel::fit(l2_sizes, rates);
+    std::cout << "fitted power law: miss(C) ~ C^-"
+              << fmt_fixed(fit.exponent(), 2) << " (floor "
+              << fmt_fixed(fit.floor() * 100.0, 1) << "%)\n"
+              << "predicted local miss at 4MB: "
+              << fmt_fixed(fit(4 * 1024 * 1024) * 100.0, 1) << "%\n";
+  } catch (const std::exception& e) {
+    std::cout << "power-law fit unavailable for this workload: " << e.what()
+              << "\n";
+  }
+
+  // Compare against the built-in suite averages for context.
+  std::cout << "\nbuilt-in suite, same configurations (for context):\n";
+  sim::SuiteRunConfig cfg;
+  cfg.l1_sizes = {16 * 1024};
+  cfg.l2_sizes = l2_sizes;
+  cfg.warmup_refs = 60'000;
+  cfg.measured_refs = 200'000;
+  const auto points = sim::measure_suite(cfg);
+  const auto avg = sim::average_l2_curve(points, l2_sizes);
+  TextTable t2("suite average local L2 miss rate");
+  t2.set_header({"L2", "suite avg"});
+  for (std::size_t i = 0; i < l2_sizes.size(); ++i) {
+    t2.add_row({fmt_bytes(l2_sizes[i]), fmt_fixed(avg[i] * 100.0, 1) + "%"});
+  }
+  std::cout << t2;
+  return 0;
+}

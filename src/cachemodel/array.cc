@@ -1,0 +1,131 @@
+#include "cachemodel/array.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tech/delay.h"
+#include "util/error.h"
+
+namespace nanocache::cachemodel {
+
+ArrayModel::ArrayModel(const CacheOrganization& org,
+                       const tech::DeviceModel& dev)
+    : org_(org), dev_(dev) {
+  org_.validate();
+  cell_count_ = org_.total_bits();
+  // One sense amp per kColumnMuxDegree columns in every subarray.
+  senseamp_count_ =
+      org_.cols_per_subarray() / kColumnMuxDegree * org_.num_subarrays();
+  if (senseamp_count_ == 0) senseamp_count_ = org_.num_subarrays();
+  // Wordline driver sized proportionally to the columns it drives.
+  wl_driver_width_um_ =
+      2.0 + 0.05 * static_cast<double>(org_.cols_per_subarray());
+}
+
+double ArrayModel::wordline_delay_s(const tech::DeviceKnobs& knobs) const {
+  const auto& p = dev_.params();
+  const double s = dev_.geometry_scale(knobs.tox_a);
+  const double cols = static_cast<double>(org_.cols_per_subarray());
+  const double wl_length = cols * dev_.cell_width_um(knobs.tox_a);
+  const double c_wire = wl_length * p.cwire_f_per_um;
+  const double r_wire = wl_length * p.rwire_ohm_per_um;
+  // Two pass-gate gates hang off the wordline per cell (per column).
+  const double c_cells =
+      cols * 2.0 * dev_.gate_cap_f(p.wcell_pass_um * s, knobs.tox_a);
+  const double r_drv =
+      dev_.effective_resistance_ohm(wl_driver_width_um_, knobs);
+  return tech::distributed_rc_delay(r_drv, r_wire, c_wire, c_cells);
+}
+
+double ArrayModel::bitline_delay_s(const tech::DeviceKnobs& knobs) const {
+  const auto& p = dev_.params();
+  const double s = dev_.geometry_scale(knobs.tox_a);
+  const double rows = static_cast<double>(org_.rows_per_subarray());
+  const double bl_length = rows * dev_.cell_height_um(knobs.tox_a);
+  const double c_bitline = rows * dev_.drain_cap_f(p.wcell_pass_um * s) +
+                           bl_length * p.cwire_f_per_um;
+  const double i_cell = dev_.cell_read_current_a(knobs);
+  NC_REQUIRE(i_cell > 0.0, "cell read current must be positive");
+  return c_bitline * p.bitline_swing_v / i_cell;
+}
+
+double ArrayModel::senseamp_delay_s(const tech::DeviceKnobs& knobs) const {
+  // Regenerative latch resolving a bitline_swing input to full rail;
+  // modelled as a margin-multiplied RC of the amp's internal node.
+  const double r_amp = dev_.effective_resistance_ohm(2.0, knobs);
+  return kSenseMargin * 0.69 * r_amp * kSenseAmpCapF;
+}
+
+double ArrayModel::area_um2(double tox_a) const {
+  const double cell_area = dev_.cell_area_um2(tox_a);
+  const double cells =
+      static_cast<double>(cell_count_) * cell_area * kArrayAreaOverhead;
+  // Per-subarray periphery strips (sense amps/precharge along the width,
+  // local decode along the height): this is what makes over-partitioning
+  // expensive and drives the Ndwl/Ndbl search to realistic tiles.
+  const double sub_w = static_cast<double>(org_.cols_per_subarray()) *
+                       dev_.cell_width_um(tox_a);
+  const double sub_h = static_cast<double>(org_.rows_per_subarray()) *
+                       dev_.cell_height_um(tox_a);
+  const double strips =
+      org_.num_subarrays() * (sub_w * kSenseStripHeightUm +
+                              sub_h * kDecodeStripWidthUm);
+  return cells + strips;
+}
+
+ComponentMetrics ArrayModel::evaluate(const tech::DeviceKnobs& knobs) const {
+  const auto& p = dev_.params();
+  ComponentMetrics m;
+  m.delay_s = (wordline_delay_s(knobs) + bitline_delay_s(knobs) +
+               senseamp_delay_s(knobs)) *
+              p.delay_calibration;
+
+  // --- leakage (kept split by mechanism for the breakdown analyses) ---
+  const auto cell = dev_.cell_leakage_split_w(knobs);
+  const auto sa = dev_.off_power_split_w(kSenseAmpLeakWidthUm, knobs);
+  // One wordline driver per row per subarray; all but the selected one idle.
+  const double n_wl_drivers = static_cast<double>(org_.rows_per_subarray()) *
+                              org_.num_subarrays();
+  const auto wl = dev_.off_power_split_w(wl_driver_width_um_ * 0.5, knobs);
+  const double cells = static_cast<double>(cell_count_);
+  const double sas = static_cast<double>(senseamp_count_);
+  m.leakage_sub_w = cells * cell.subthreshold_w + sas * sa.subthreshold_w +
+                    n_wl_drivers * wl.subthreshold_w;
+  m.leakage_gate_w =
+      cells * cell.gate_w + sas * sa.gate_w + n_wl_drivers * wl.gate_w;
+  m.leakage_w = m.leakage_sub_w + m.leakage_gate_w;
+
+  // --- dynamic energy per read ---
+  const double s = dev_.geometry_scale(knobs.tox_a);
+  const double cols = static_cast<double>(org_.cols_per_subarray());
+  const double rows = static_cast<double>(org_.rows_per_subarray());
+  const double wl_length = cols * dev_.cell_width_um(knobs.tox_a);
+  const double c_wl = wl_length * p.cwire_f_per_um +
+                      cols * 2.0 * dev_.gate_cap_f(p.wcell_pass_um * s,
+                                                   knobs.tox_a);
+  const double e_wordline = c_wl * p.vdd_v * p.vdd_v;
+  const double c_bl = rows * dev_.drain_cap_f(p.wcell_pass_um * s) +
+                      rows * dev_.cell_height_um(knobs.tox_a) *
+                          p.cwire_f_per_um;
+  // Every column of the selected subarray swings by the sense margin.
+  const double e_bitlines = cols * c_bl * p.vdd_v * p.bitline_swing_v;
+  const double sa_per_subarray = cols / kColumnMuxDegree;
+  const double e_sense =
+      sa_per_subarray * kSenseAmpCapF * p.vdd_v * p.vdd_v;
+  m.dynamic_energy_j = e_wordline + e_bitlines + e_sense;
+  // Writes drive the written word's bitline pairs across the full rail
+  // (write drivers overpower the cells); the unwritten columns of the row
+  // still precharge/sense as in a read, the written ones skip the sense
+  // amps.
+  const double written_cols =
+      std::min(cols, static_cast<double>(org_.data_bus_bits));
+  const double e_write_cols = written_cols * c_bl * p.vdd_v * p.vdd_v;
+  const double e_sense_unwritten = e_sense * (1.0 - written_cols / cols);
+  m.dynamic_write_energy_j =
+      e_wordline + e_bitlines + e_sense_unwritten + e_write_cols;
+
+  m.area_um2 = area_um2(knobs.tox_a);
+  return m;
+}
+
+}  // namespace nanocache::cachemodel

@@ -1,0 +1,56 @@
+// Memory-cell array + sense-amplifier component model.
+//
+// Critical path through this component: wordline driver -> wordline RC
+// (loaded by the pass gates of every cell in the selected subarray row) ->
+// bitline discharge by the selected cell to the sense swing -> sense
+// amplifier resolution.  Leakage: every cell in the cache (data + tags),
+// the wordline drivers, and the sense amplifiers.
+#pragma once
+
+#include "cachemodel/component.h"
+#include "cachemodel/organization.h"
+
+namespace nanocache::cachemodel {
+
+class ArrayModel {
+ public:
+  ArrayModel(const CacheOrganization& org, const tech::DeviceModel& dev);
+
+  ComponentMetrics evaluate(const tech::DeviceKnobs& knobs) const;
+
+  // Exposed stages for tests and diagnostics.
+  double wordline_delay_s(const tech::DeviceKnobs& knobs) const;
+  double bitline_delay_s(const tech::DeviceKnobs& knobs) const;
+  double senseamp_delay_s(const tech::DeviceKnobs& knobs) const;
+
+  std::uint64_t cell_count() const { return cell_count_; }
+  std::uint64_t senseamp_count() const { return senseamp_count_; }
+
+  /// Data-array footprint at the given Tox, um^2 (tags included, plus a
+  /// fixed periphery overhead factor).  Used for bus-length coupling.
+  double area_um2(double tox_a) const;
+
+ private:
+  CacheOrganization org_;
+  const tech::DeviceModel& dev_;
+  std::uint64_t cell_count_ = 0;
+  std::uint64_t senseamp_count_ = 0;
+  double wl_driver_width_um_ = 0.0;
+};
+
+/// Degree of column multiplexing in front of each sense amp.
+inline constexpr std::uint32_t kColumnMuxDegree = 4;
+/// Equivalent leaking width of one sense amplifier, um (nominal geometry).
+inline constexpr double kSenseAmpLeakWidthUm = 6.0;
+/// Sense-amp input capacitance, F.
+inline constexpr double kSenseAmpCapF = 25e-15;
+/// Sense resolution margin multiplier (timing guard band).
+inline constexpr double kSenseMargin = 4.0;
+/// Area overhead multiplier for intra-array periphery (precharge, mux).
+inline constexpr double kArrayAreaOverhead = 1.15;
+/// Height of the sense-amp/precharge strip under each subarray, um.
+inline constexpr double kSenseStripHeightUm = 30.0;
+/// Width of the local wordline-drive/decode strip beside each subarray, um.
+inline constexpr double kDecodeStripWidthUm = 20.0;
+
+}  // namespace nanocache::cachemodel

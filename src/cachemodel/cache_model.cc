@@ -1,0 +1,98 @@
+#include "cachemodel/cache_model.h"
+
+#include "util/error.h"
+
+namespace nanocache::cachemodel {
+
+namespace {
+/// Receiver load per bus wire: a handful of gate inputs at the far end.
+/// Gate channel cap is nearly Tox-independent (L grows as Cox shrinks), so
+/// evaluating at nominal Tox keeps components decoupled without real error.
+double receiver_cap_f(const tech::DeviceModel& dev, double width_um) {
+  return dev.gate_cap_f(width_um, dev.params().tox_nominal_a);
+}
+}  // namespace
+
+CacheModel::CacheModel(CacheOrganization org, tech::DeviceModel dev)
+    : org_(org), dev_(std::move(dev)), array_(org_, dev_), decoder_(org_, dev_) {
+  org_.validate();
+}
+
+double CacheModel::nominal_bus_length_um() const {
+  return bus_length_from_area_um(array_.area_um2(dev_.params().tox_nominal_a));
+}
+
+BusDriverModel CacheModel::make_address_drivers(double bus_length_um) const {
+  // Each address bit fans out to one predecoder input per wordline segment.
+  const double rx =
+      receiver_cap_f(dev_, kPredecodeNandWidthUm) * org_.ndwl;
+  return BusDriverModel(dev_, org_.address_bits, bus_length_um, rx,
+                        /*activity=*/0.5);
+}
+
+BusDriverModel CacheModel::make_data_drivers(double bus_length_um) const {
+  // Each data bit drives the output mux/latch input.
+  const double rx = receiver_cap_f(dev_, 4.0) * 2.0;
+  return BusDriverModel(dev_, org_.data_bus_bits, bus_length_um, rx,
+                        /*activity=*/0.5);
+}
+
+ComponentMetrics CacheModel::component(ComponentKind kind,
+                                       const tech::DeviceKnobs& knobs) const {
+  switch (kind) {
+    case ComponentKind::kCellArray:
+      return array_.evaluate(knobs);
+    case ComponentKind::kDecoder:
+      return decoder_.evaluate(knobs);
+    case ComponentKind::kAddressDrivers:
+      return make_address_drivers(nominal_bus_length_um()).evaluate(knobs);
+    case ComponentKind::kDataDrivers:
+      return make_data_drivers(nominal_bus_length_um()).evaluate(knobs);
+  }
+  throw Error("unknown component kind");
+}
+
+CacheMetrics CacheModel::evaluate(const ComponentAssignment& assignment,
+                                  AreaCoupling coupling) const {
+  double bus_length = nominal_bus_length_um();
+  if (coupling == AreaCoupling::kArrayTox) {
+    bus_length =
+        bus_length_from_area_um(array_.area_um2(assignment.array().tox_a));
+  }
+
+  CacheMetrics total;
+  for (ComponentKind kind : kAllComponents) {
+    const auto& knobs = assignment.get(kind);
+    ComponentMetrics m;
+    switch (kind) {
+      case ComponentKind::kCellArray:
+        m = array_.evaluate(knobs);
+        break;
+      case ComponentKind::kDecoder:
+        m = decoder_.evaluate(knobs);
+        break;
+      case ComponentKind::kAddressDrivers:
+        m = make_address_drivers(bus_length).evaluate(knobs);
+        break;
+      case ComponentKind::kDataDrivers:
+        m = make_data_drivers(bus_length).evaluate(knobs);
+        break;
+    }
+    total.per_component[static_cast<std::size_t>(kind)] = m;
+    total.access_time_s += m.delay_s;
+    total.leakage_w += m.leakage_w;
+    total.leakage_sub_w += m.leakage_sub_w;
+    total.leakage_gate_w += m.leakage_gate_w;
+    total.dynamic_energy_j += m.dynamic_energy_j;
+    total.dynamic_write_energy_j += m.dynamic_write_energy_j;
+    total.area_um2 += m.area_um2;
+  }
+  return total;
+}
+
+CacheMetrics CacheModel::evaluate_uniform(const tech::DeviceKnobs& knobs,
+                                          AreaCoupling coupling) const {
+  return evaluate(ComponentAssignment(knobs), coupling);
+}
+
+}  // namespace nanocache::cachemodel

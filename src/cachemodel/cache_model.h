@@ -1,0 +1,63 @@
+// Whole-cache model: assembles the paper's four components and sums their
+// delay/leakage/energy (Section 3's independence assumption), with an
+// optional exact mode that couples bus lengths to the cell array's
+// Tox-dependent area (Section 2).
+#pragma once
+
+#include "cachemodel/array.h"
+#include "cachemodel/component.h"
+#include "cachemodel/decoder.h"
+#include "cachemodel/drivers.h"
+#include "cachemodel/organization.h"
+
+namespace nanocache::cachemodel {
+
+/// How bus lengths react to the array's Tox.
+enum class AreaCoupling {
+  /// Bus geometry frozen at nominal Tox.  Keeps components independent,
+  /// which is what the paper's additive model (and our per-component
+  /// optimizers) assume.
+  kNominal,
+  /// Bus lengths recomputed from the array area at the assigned array Tox.
+  /// Used for final reporting; quantifies the linearization error.
+  kArrayTox,
+};
+
+class CacheModel {
+ public:
+  CacheModel(CacheOrganization org, tech::DeviceModel dev);
+
+  CacheModel(const CacheModel&) = delete;
+  CacheModel& operator=(const CacheModel&) = delete;
+
+  const CacheOrganization& organization() const { return org_; }
+  const tech::DeviceModel& device() const { return dev_; }
+
+  /// Metrics of one component at the given knobs, with nominal-Tox bus
+  /// geometry (independent-component view used by the optimizers).
+  ComponentMetrics component(ComponentKind kind,
+                             const tech::DeviceKnobs& knobs) const;
+
+  /// Full-cache metrics for a per-component assignment.
+  CacheMetrics evaluate(const ComponentAssignment& assignment,
+                        AreaCoupling coupling = AreaCoupling::kNominal) const;
+
+  /// Scheme-III convenience: one pair everywhere.
+  CacheMetrics evaluate_uniform(
+      const tech::DeviceKnobs& knobs,
+      AreaCoupling coupling = AreaCoupling::kNominal) const;
+
+  const ArrayModel& array_model() const { return array_; }
+
+ private:
+  BusDriverModel make_address_drivers(double bus_length_um) const;
+  BusDriverModel make_data_drivers(double bus_length_um) const;
+  double nominal_bus_length_um() const;
+
+  CacheOrganization org_;
+  tech::DeviceModel dev_;
+  ArrayModel array_;
+  DecoderModel decoder_;
+};
+
+}  // namespace nanocache::cachemodel

@@ -1,0 +1,19 @@
+#include "cachemodel/component.h"
+
+namespace nanocache::cachemodel {
+
+std::string_view component_name(ComponentKind kind) {
+  switch (kind) {
+    case ComponentKind::kCellArray:
+      return "cell-array+senseamp";
+    case ComponentKind::kDecoder:
+      return "decoder";
+    case ComponentKind::kAddressDrivers:
+      return "address-bus-drivers";
+    case ComponentKind::kDataDrivers:
+      return "data-bus-drivers";
+  }
+  return "unknown";
+}
+
+}  // namespace nanocache::cachemodel

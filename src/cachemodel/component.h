@@ -1,0 +1,97 @@
+// The paper's four-way component decomposition of a cache (Section 3) and
+// the per-component metric/knob containers shared by all structural models.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+
+#include "tech/device.h"
+
+namespace nanocache::cachemodel {
+
+/// "Internally, the cache consists of four components: memory cell array and
+/// sense amplifier, decoder, address bus drivers, and data bus drivers."
+enum class ComponentKind : std::size_t {
+  kCellArray = 0,       ///< cells + wordline drive + bitlines + sense amps
+  kDecoder = 1,         ///< predecoders and row-select gates
+  kAddressDrivers = 2,  ///< chains driving the address distribution bus
+  kDataDrivers = 3,     ///< chains driving the data read-out bus
+};
+
+inline constexpr std::size_t kNumComponents = 4;
+
+inline constexpr std::array<ComponentKind, kNumComponents> kAllComponents = {
+    ComponentKind::kCellArray, ComponentKind::kDecoder,
+    ComponentKind::kAddressDrivers, ComponentKind::kDataDrivers};
+
+std::string_view component_name(ComponentKind kind);
+
+/// Figures of merit of one component at one knob setting.
+struct ComponentMetrics {
+  double delay_s = 0.0;           ///< contribution to the access critical path
+  double leakage_w = 0.0;         ///< total static power (sub + gate)
+  double leakage_sub_w = 0.0;     ///< subthreshold share of leakage_w
+  double leakage_gate_w = 0.0;    ///< gate-tunnelling share of leakage_w
+  double dynamic_energy_j = 0.0;  ///< switching energy per read access
+  /// Switching energy per write access.  Differs from reads only in the
+  /// cell array (written columns swing full rail instead of the sense
+  /// margin); equal to dynamic_energy_j for the other components.
+  double dynamic_write_energy_j = 0.0;
+  double area_um2 = 0.0;
+};
+
+/// A (Vth, Tox) pair per component — the decision vector of the paper's
+/// optimization problem.
+class ComponentAssignment {
+ public:
+  ComponentAssignment() = default;
+
+  /// Uniform assignment (the paper's Scheme III).
+  explicit ComponentAssignment(const tech::DeviceKnobs& all) {
+    knobs_.fill(all);
+  }
+
+  /// Array/periphery split (the paper's Scheme II): one pair for the cell
+  /// array, one shared by decoder and both driver groups.
+  static ComponentAssignment split(const tech::DeviceKnobs& array,
+                                   const tech::DeviceKnobs& periphery) {
+    ComponentAssignment a;
+    a.set(ComponentKind::kCellArray, array);
+    a.set(ComponentKind::kDecoder, periphery);
+    a.set(ComponentKind::kAddressDrivers, periphery);
+    a.set(ComponentKind::kDataDrivers, periphery);
+    return a;
+  }
+
+  const tech::DeviceKnobs& get(ComponentKind kind) const {
+    return knobs_[static_cast<std::size_t>(kind)];
+  }
+  void set(ComponentKind kind, const tech::DeviceKnobs& knobs) {
+    knobs_[static_cast<std::size_t>(kind)] = knobs;
+  }
+
+  const tech::DeviceKnobs& array() const {
+    return get(ComponentKind::kCellArray);
+  }
+
+  friend bool operator==(const ComponentAssignment&,
+                         const ComponentAssignment&) = default;
+
+ private:
+  std::array<tech::DeviceKnobs, kNumComponents> knobs_{};
+};
+
+/// Whole-cache metrics for a full assignment.
+struct CacheMetrics {
+  double access_time_s = 0.0;     ///< sum of component delays (paper Sec. 3)
+  double leakage_w = 0.0;         ///< sum of component leakage
+  double leakage_sub_w = 0.0;     ///< subthreshold share
+  double leakage_gate_w = 0.0;    ///< gate-tunnelling share
+  double dynamic_energy_j = 0.0;        ///< per-read switching energy
+  double dynamic_write_energy_j = 0.0;  ///< per-write switching energy
+  double area_um2 = 0.0;
+  std::array<ComponentMetrics, kNumComponents> per_component{};
+};
+
+}  // namespace nanocache::cachemodel

@@ -1,0 +1,33 @@
+// Row-decoder component model: 3-bit predecoders (NAND3 + buffer) followed
+// by per-row combine gates (NOR of predecode lines) that drive the wordline
+// drivers' inputs.  Structure and sizing follow CACTI's decoder.
+#pragma once
+
+#include "cachemodel/component.h"
+#include "cachemodel/organization.h"
+
+namespace nanocache::cachemodel {
+
+class DecoderModel {
+ public:
+  DecoderModel(const CacheOrganization& org, const tech::DeviceModel& dev);
+
+  ComponentMetrics evaluate(const tech::DeviceKnobs& knobs) const;
+
+  std::uint32_t predecode_groups() const { return groups_; }
+  std::uint64_t row_gate_count() const { return row_gates_; }
+
+ private:
+  CacheOrganization org_;
+  const tech::DeviceModel& dev_;
+  std::uint32_t decode_bits_ = 0;
+  std::uint32_t groups_ = 0;       ///< number of 3-bit predecode groups
+  std::uint64_t row_gates_ = 0;    ///< per-row combine gates, all subarrays
+};
+
+/// Gate widths (nominal geometry, um).
+inline constexpr double kPredecodeNandWidthUm = 2.0;
+inline constexpr double kPredecodeBufferWidthUm = 6.0;
+inline constexpr double kRowGateWidthUm = 1.2;
+
+}  // namespace nanocache::cachemodel

@@ -1,0 +1,42 @@
+// Address- and data-bus driver component models: per-bit inverter chains
+// driving distribution wires whose length tracks the physical span of the
+// data array.  The paper's Section 2 area coupling (thicker Tox -> larger
+// cells -> longer buses) enters through the bus length.
+#pragma once
+
+#include "cachemodel/component.h"
+#include "cachemodel/organization.h"
+
+namespace nanocache::cachemodel {
+
+/// Common model for both bus-driver components; they differ in bit count,
+/// per-bit receiver load and switching activity.
+class BusDriverModel {
+ public:
+  /// `bits` wires of length `bus_length_um`, each terminated by
+  /// `receiver_cap_f`, toggling with `activity` probability per access.
+  BusDriverModel(const tech::DeviceModel& dev, std::uint32_t bits,
+                 double bus_length_um, double receiver_cap_f,
+                 double activity);
+
+  ComponentMetrics evaluate(const tech::DeviceKnobs& knobs) const;
+
+  double bus_length_um() const { return bus_length_um_; }
+  std::uint32_t bits() const { return bits_; }
+
+ private:
+  const tech::DeviceModel& dev_;
+  std::uint32_t bits_;
+  double bus_length_um_;
+  double receiver_cap_f_;
+  double activity_;
+};
+
+/// First-stage width of each per-bit chain, um.
+inline constexpr double kDriverFirstStageUm = 1.0;
+
+/// Physical span of the cache seen by its buses: half the perimeter walk of
+/// a square of the given area.
+double bus_length_from_area_um(double area_um2);
+
+}  // namespace nanocache::cachemodel

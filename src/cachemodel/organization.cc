@@ -1,0 +1,146 @@
+#include "cachemodel/organization.h"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "cachemodel/cache_model.h"
+#include "util/error.h"
+#include "util/table.h"
+
+namespace nanocache::cachemodel {
+
+namespace {
+bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+std::uint32_t log2u(std::uint64_t v) {
+  return static_cast<std::uint32_t>(std::bit_width(v) - 1);
+}
+}  // namespace
+
+std::uint64_t CacheOrganization::num_sets() const {
+  return size_bytes / (static_cast<std::uint64_t>(block_bytes) * associativity);
+}
+
+std::uint64_t CacheOrganization::data_bits() const { return size_bytes * 8; }
+
+std::uint32_t CacheOrganization::tag_bits_per_block() const {
+  const std::uint32_t offset = log2u(block_bytes);
+  const std::uint32_t index = log2u(num_sets());
+  NC_REQUIRE(address_bits > offset + index, "address too narrow for cache");
+  return address_bits - offset - index + 2;  // +valid +dirty
+}
+
+std::uint64_t CacheOrganization::total_bits() const {
+  return data_bits() +
+         num_sets() * associativity * tag_bits_per_block();
+}
+
+std::uint64_t CacheOrganization::rows_per_subarray() const {
+  return num_sets() / (static_cast<std::uint64_t>(ndbl) * nspd);
+}
+
+std::uint64_t CacheOrganization::cols_per_subarray() const {
+  return static_cast<std::uint64_t>(block_bytes) * 8 * associativity * nspd /
+         ndwl;
+}
+
+std::uint32_t CacheOrganization::row_decode_bits() const {
+  return log2u(rows_per_subarray());
+}
+
+void CacheOrganization::validate() const {
+  NC_REQUIRE(is_pow2(size_bytes), "cache size must be a power of two");
+  NC_REQUIRE(is_pow2(block_bytes) && block_bytes >= 8,
+             "block size must be a power of two >= 8");
+  NC_REQUIRE(is_pow2(associativity), "associativity must be a power of two");
+  NC_REQUIRE(size_bytes >=
+                 static_cast<std::uint64_t>(block_bytes) * associativity,
+             "cache must hold at least one set");
+  NC_REQUIRE(is_pow2(ndwl) && is_pow2(ndbl) && is_pow2(nspd),
+             "partition factors must be powers of two");
+  NC_REQUIRE(num_sets() % (static_cast<std::uint64_t>(ndbl) * nspd) == 0,
+             "Ndbl*Nspd must divide the set count");
+  NC_REQUIRE(static_cast<std::uint64_t>(block_bytes) * 8 * associativity *
+                     nspd % ndwl == 0,
+             "Ndwl must divide the row width");
+  NC_REQUIRE(rows_per_subarray() >= 8, "subarray needs >= 8 rows");
+  NC_REQUIRE(cols_per_subarray() >= 16, "subarray needs >= 16 columns");
+  NC_REQUIRE(address_bits >= 16 && address_bits <= 64,
+             "address width out of range");
+  NC_REQUIRE(data_bus_bits >= 8 && is_pow2(data_bus_bits),
+             "data bus width must be a power of two >= 8");
+}
+
+std::string CacheOrganization::describe() const {
+  std::ostringstream os;
+  os << fmt_bytes(size_bytes) << " " << associativity << "-way "
+     << block_bytes << "B-block (Ndwl=" << ndwl << " Ndbl=" << ndbl
+     << " Nspd=" << nspd << ", " << num_subarrays() << "x"
+     << rows_per_subarray() << "r*" << cols_per_subarray() << "c)";
+  return os.str();
+}
+
+CacheOrganization optimal_partition(CacheOrganization base,
+                                    const tech::DeviceModel& dev) {
+  const tech::DeviceKnobs nominal{0.30, dev.params().tox_nominal_a};
+  CacheOrganization best = base;
+  double best_cost = std::numeric_limits<double>::infinity();
+  bool found = false;
+
+  for (std::uint32_t ndwl = 1; ndwl <= 32; ndwl *= 2) {
+    for (std::uint32_t ndbl = 1; ndbl <= 32; ndbl *= 2) {
+      for (std::uint32_t nspd = 1; nspd <= 8; nspd *= 2) {
+        CacheOrganization cand = base;
+        cand.ndwl = ndwl;
+        cand.ndbl = ndbl;
+        cand.nspd = nspd;
+        try {
+          cand.validate();
+        } catch (const Error&) {
+          continue;
+        }
+        // Favour compact subarrays: CACTI-like bound on physical tile size.
+        if (cand.rows_per_subarray() > 1024 ||
+            cand.cols_per_subarray() > 1024) {
+          continue;
+        }
+        CacheModel model(cand, tech::DeviceModel(dev.params()));
+        const auto metrics = model.evaluate_uniform(nominal);
+        // CACTI-style composite objective: delay-squared weighted by area,
+        // so partitioning stops when extra subarrays buy little speed.
+        const double cost = metrics.access_time_s * metrics.access_time_s *
+                            metrics.area_um2;
+        if (!found || cost < best_cost) {
+          best = cand;
+          best_cost = cost;
+          found = true;
+        }
+      }
+    }
+  }
+  NC_REQUIRE(found, "no valid physical partition for this organization");
+  return best;
+}
+
+CacheOrganization l1_organization(std::uint64_t size_bytes,
+                                  const tech::DeviceModel& dev) {
+  CacheOrganization org;
+  org.size_bytes = size_bytes;
+  org.block_bytes = 32;
+  org.associativity = 2;
+  org.data_bus_bits = 64;
+  return optimal_partition(org, dev);
+}
+
+CacheOrganization l2_organization(std::uint64_t size_bytes,
+                                  const tech::DeviceModel& dev) {
+  CacheOrganization org;
+  org.size_bytes = size_bytes;
+  org.block_bytes = 64;
+  org.associativity = 8;
+  org.data_bus_bits = 128;
+  return optimal_partition(org, dev);
+}
+
+}  // namespace nanocache::cachemodel

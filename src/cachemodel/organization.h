@@ -1,0 +1,64 @@
+// Cache organization: logical parameters (capacity, block, associativity)
+// plus the CACTI-style physical partition of the data array into subarrays
+// (Ndwl wordline segments x Ndbl bitline segments, Nspd sets per row).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "tech/device.h"
+
+namespace nanocache::cachemodel {
+
+struct CacheOrganization {
+  std::uint64_t size_bytes = 16 * 1024;
+  std::uint32_t block_bytes = 32;
+  std::uint32_t associativity = 2;
+
+  // Physical partition (powers of two).
+  std::uint32_t ndwl = 1;  ///< wordline segments: splits columns
+  std::uint32_t ndbl = 1;  ///< bitline segments: splits rows
+  std::uint32_t nspd = 1;  ///< sets mapped into one physical row
+
+  std::uint32_t address_bits = 32;
+  std::uint32_t data_bus_bits = 64;  ///< width of the read-out bus
+
+  // --- derived quantities -------------------------------------------------
+
+  std::uint64_t num_sets() const;
+  /// Data bits stored (capacity * 8).
+  std::uint64_t data_bits() const;
+  /// Tag bits per block (address - offset - index + valid/dirty status).
+  std::uint32_t tag_bits_per_block() const;
+  /// Total bits including tags; this is what leaks.
+  std::uint64_t total_bits() const;
+
+  std::uint64_t rows_per_subarray() const;
+  std::uint64_t cols_per_subarray() const;
+  std::uint32_t num_subarrays() const { return ndwl * ndbl; }
+  /// Row-decode input width, bits.
+  std::uint32_t row_decode_bits() const;
+
+  /// Throws nanocache::Error when the partition does not divide evenly or
+  /// any parameter is out of range.
+  void validate() const;
+
+  std::string describe() const;
+
+  friend bool operator==(const CacheOrganization&,
+                         const CacheOrganization&) = default;
+};
+
+/// Search Ndwl/Ndbl/Nspd (powers of two) minimizing nominal-knob access time
+/// (area is the tie-break).  This mirrors CACTI's internal organization
+/// search and is how all benches construct their caches.
+CacheOrganization optimal_partition(CacheOrganization base,
+                                    const tech::DeviceModel& dev);
+
+/// Convenience factories with the defaults used across the experiments.
+CacheOrganization l1_organization(std::uint64_t size_bytes,
+                                  const tech::DeviceModel& dev);
+CacheOrganization l2_organization(std::uint64_t size_bytes,
+                                  const tech::DeviceModel& dev);
+
+}  // namespace nanocache::cachemodel

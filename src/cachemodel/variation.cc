@@ -1,0 +1,81 @@
+#include "cachemodel/variation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace nanocache::cachemodel {
+
+namespace {
+
+/// Box-Muller standard normal from the deterministic Rng.
+double standard_normal(Rng& rng) {
+  double u1 = rng.uniform();
+  if (u1 <= 1e-300) u1 = 1e-300;
+  const double u2 = rng.uniform();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+}
+
+Distribution summarize(std::vector<double> values) {
+  Distribution d;
+  d.mean = math::mean(values);
+  d.stddev = math::sample_stddev(values);
+  d.p95 = math::percentile(values, 0.95);
+  std::sort(values.begin(), values.end());
+  d.min = values.front();
+  d.max = values.back();
+  return d;
+}
+
+}  // namespace
+
+VariationResult monte_carlo(const CacheModel& model,
+                            const ComponentAssignment& assignment,
+                            const VariationParams& params,
+                            double delay_constraint_s, std::uint64_t seed) {
+  NC_REQUIRE(params.samples >= 2, "variation needs >= 2 samples");
+  NC_REQUIRE(params.vth_sigma_v >= 0.0 && params.tox_sigma_a >= 0.0,
+             "variation sigmas must be non-negative");
+
+  const auto& tech_params = model.device().params();
+  Rng rng(seed);
+  std::vector<double> leak;
+  std::vector<double> delay;
+  leak.reserve(static_cast<std::size_t>(params.samples));
+  delay.reserve(static_cast<std::size_t>(params.samples));
+  int meets = 0;
+
+  for (int s = 0; s < params.samples; ++s) {
+    ComponentAssignment shifted = assignment;
+    for (ComponentKind kind : kAllComponents) {
+      tech::DeviceKnobs k = assignment.get(kind);
+      k.vth_v += params.vth_sigma_v * standard_normal(rng);
+      k.tox_a += params.tox_sigma_a * standard_normal(rng);
+      // Physical floors/ceilings (NOT the menu window — silicon does not
+      // respect the designer's grid).
+      k.vth_v = std::clamp(k.vth_v, 0.05, tech_params.vdd_v - 0.05);
+      k.tox_a = std::max(k.tox_a, 5.0);
+      shifted.set(kind, k);
+    }
+    const auto m = model.evaluate(shifted);
+    leak.push_back(m.leakage_w);
+    delay.push_back(m.access_time_s);
+    if (delay_constraint_s <= 0.0 ||
+        m.access_time_s <= delay_constraint_s) {
+      ++meets;
+    }
+  }
+
+  VariationResult r;
+  r.leakage_w = summarize(std::move(leak));
+  r.access_time_s = summarize(std::move(delay));
+  r.timing_yield = static_cast<double>(meets) / params.samples;
+  r.samples = params.samples;
+  return r;
+}
+
+}  // namespace nanocache::cachemodel

@@ -1,0 +1,49 @@
+// Process-variation analysis: Monte-Carlo evaluation of a knob assignment
+// under Gaussian Vth/Tox perturbations.  Leakage is exponential in both
+// knobs, so variation skews it upward — the nominal numbers the paper (and
+// our optimizers) report are optimistic by a quantifiable margin, and
+// timing yield is what a shipped assignment must additionally satisfy.
+#pragma once
+
+#include <cstdint>
+
+#include "cachemodel/cache_model.h"
+
+namespace nanocache::cachemodel {
+
+struct VariationParams {
+  /// Per-component global-variation sigmas (all devices of a component
+  /// shift together; within-component mismatch averages out across the
+  /// millions of cells).
+  double vth_sigma_v = 0.020;
+  double tox_sigma_a = 0.15;
+  int samples = 500;
+};
+
+/// Summary statistics of a Monte-Carlo metric sample.
+struct Distribution {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double p95 = 0.0;  ///< 95th percentile
+  double min = 0.0;
+  double max = 0.0;
+};
+
+struct VariationResult {
+  Distribution leakage_w;
+  Distribution access_time_s;
+  /// Fraction of samples meeting the delay constraint (1.0 when no
+  /// constraint was given).
+  double timing_yield = 1.0;
+  int samples = 0;
+};
+
+/// Monte-Carlo the assignment under variation.  `delay_constraint_s` <= 0
+/// disables the yield check.  Deterministic for a given seed.
+VariationResult monte_carlo(const CacheModel& model,
+                            const ComponentAssignment& assignment,
+                            const VariationParams& params,
+                            double delay_constraint_s = 0.0,
+                            std::uint64_t seed = 12345);
+
+}  // namespace nanocache::cachemodel

@@ -1,0 +1,25 @@
+#include "core/config.h"
+
+#include "util/error.h"
+
+namespace nanocache::core {
+
+std::vector<double> ExperimentConfig::amat_targets_s() const {
+  std::vector<double> targets;
+  for (double ps = 1300.0; ps <= 2100.0 + 1e-9; ps += 100.0) {
+    targets.push_back(ps * 1e-12);
+  }
+  return targets;
+}
+
+void ExperimentConfig::validate() const {
+  NC_REQUIRE(l1_size_bytes >= 1024, "L1 too small");
+  NC_REQUIRE(l2_size_bytes > l1_size_bytes, "L2 must exceed L1");
+  NC_REQUIRE(!l1_size_sweep.empty() && !l2_size_sweep.empty(),
+             "size sweeps must be non-empty");
+  NC_REQUIRE(amat_target_s > 0.0, "AMAT target must be positive");
+  grid.validate();
+  technology.validate();
+}
+
+}  // namespace nanocache::core

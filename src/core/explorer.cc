@@ -1,0 +1,355 @@
+#include "core/explorer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace nanocache::core {
+
+using cachemodel::CacheModel;
+using cachemodel::l1_organization;
+using cachemodel::l2_organization;
+using opt::Scheme;
+
+Explorer::Explorer(ExperimentConfig config) : config_(std::move(config)) {
+  config_.validate();
+}
+
+const CacheModel& Explorer::model(std::uint64_t size_bytes, bool is_l2) const {
+  const auto key = std::make_pair(is_l2, size_bytes);
+  auto it = models_.find(key);
+  if (it == models_.end()) {
+    tech::DeviceModel dev(config_.technology);
+    auto org = is_l2 ? l2_organization(size_bytes, dev)
+                     : l1_organization(size_bytes, dev);
+    it = models_
+             .emplace(key, std::make_unique<CacheModel>(
+                               org, tech::DeviceModel(dev.params())))
+             .first;
+  }
+  return *it->second;
+}
+
+opt::ComponentEvaluator Explorer::evaluator(
+    const cachemodel::CacheModel& model) const {
+  if (!config_.use_fitted_models) {
+    return opt::structural_evaluator(model);
+  }
+  auto it = fits_.find(&model);
+  if (it == fits_.end()) {
+    it = fits_
+             .emplace(&model,
+                      std::make_unique<cachemodel::FittedCacheModel>(
+                          cachemodel::FittedCacheModel::fit(model)))
+             .first;
+  }
+  return opt::fitted_evaluator(*it->second, model);
+}
+
+const CacheModel& Explorer::l1_model(std::uint64_t size_bytes) const {
+  return model(size_bytes, /*is_l2=*/false);
+}
+
+const CacheModel& Explorer::l2_model(std::uint64_t size_bytes) const {
+  return model(size_bytes, /*is_l2=*/true);
+}
+
+energy::MemorySystemModel Explorer::default_system() const {
+  energy::MissRates miss;
+  miss.l1 = config_.miss_curves.l1(config_.l1_size_bytes);
+  miss.l2_local = config_.miss_curves.l2(config_.l2_size_bytes);
+  return energy::MemorySystemModel(l1_model(config_.l1_size_bytes),
+                                   l2_model(config_.l2_size_bytes), miss,
+                                   config_.memory);
+}
+
+// --- FIG1 -------------------------------------------------------------------
+
+std::vector<Fig1Series> Explorer::fig1_fixed_knob(
+    std::uint64_t cache_size_bytes, int sweep_steps) const {
+  NC_REQUIRE(sweep_steps >= 2, "sweep needs >= 2 steps");
+  const auto& m = l1_model(cache_size_bytes);
+  const auto& knobs = m.device().params().knobs;
+
+  std::vector<Fig1Series> series;
+  auto sweep = [&](bool vth_fixed, double fixed_value) {
+    Fig1Series s;
+    s.vth_fixed = vth_fixed;
+    s.fixed_value = fixed_value;
+    std::ostringstream label;
+    if (vth_fixed) {
+      label << "Vth=" << static_cast<int>(fixed_value * 1000 + 0.5) << "mV";
+    } else {
+      label << "Tox=" << static_cast<int>(fixed_value + 0.5) << "A";
+    }
+    s.label = label.str();
+    for (int i = 0; i < sweep_steps; ++i) {
+      const double t = static_cast<double>(i) / (sweep_steps - 1);
+      tech::DeviceKnobs k;
+      if (vth_fixed) {
+        k.vth_v = fixed_value;
+        k.tox_a = knobs.tox_min_a + t * (knobs.tox_max_a - knobs.tox_min_a);
+      } else {
+        k.tox_a = fixed_value;
+        k.vth_v = knobs.vth_min_v + t * (knobs.vth_max_v - knobs.vth_min_v);
+      }
+      const auto r = m.evaluate_uniform(k);
+      s.points.push_back(Fig1Point{vth_fixed ? k.tox_a : k.vth_v,
+                                   r.access_time_s, r.leakage_w});
+    }
+    return s;
+  };
+
+  // The paper's four curves: Tox fixed at the range ends (Vth swept), and
+  // Vth fixed at 0.2 / 0.4 V (Tox swept).
+  series.push_back(sweep(/*vth_fixed=*/false, knobs.tox_min_a));
+  series.push_back(sweep(/*vth_fixed=*/false, knobs.tox_max_a));
+  series.push_back(sweep(/*vth_fixed=*/true, 0.2));
+  series.push_back(sweep(/*vth_fixed=*/true, 0.4));
+  return series;
+}
+
+// --- TAB-S4 -----------------------------------------------------------------
+
+std::vector<SchemeComparisonRow> Explorer::scheme_comparison(
+    std::uint64_t cache_size_bytes,
+    const std::vector<double>& delay_targets_s) const {
+  const auto& m = l1_model(cache_size_bytes);
+  const auto eval = evaluator(m);
+  std::vector<SchemeComparisonRow> rows;
+  for (double target : delay_targets_s) {
+    SchemeComparisonRow row;
+    row.delay_target_s = target;
+    row.scheme1 = opt::optimize_single_cache(eval, config_.grid,
+                                             Scheme::kPerComponent, target);
+    row.scheme2 = opt::optimize_single_cache(eval, config_.grid,
+                                             Scheme::kArrayPeriphery, target);
+    row.scheme3 = opt::optimize_single_cache(eval, config_.grid,
+                                             Scheme::kUniform, target);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::vector<double> Explorer::delay_ladder(std::uint64_t cache_size_bytes,
+                                           int steps) const {
+  NC_REQUIRE(steps >= 2, "ladder needs >= 2 steps");
+  const auto& m = l1_model(cache_size_bytes);
+  const auto eval = evaluator(m);
+  const double lo =
+      opt::min_access_time(eval, config_.grid, Scheme::kUniform) * 1.001;
+  const auto& knobs = m.device().params().knobs;
+  const double hi =
+      m.evaluate_uniform(tech::DeviceKnobs{knobs.vth_max_v, knobs.tox_max_a})
+          .access_time_s;
+  std::vector<double> ladder(static_cast<std::size_t>(steps));
+  for (int i = 0; i < steps; ++i) {
+    ladder[static_cast<std::size_t>(i)] =
+        lo + (hi - lo) * static_cast<double>(i) / (steps - 1);
+  }
+  return ladder;
+}
+
+// --- Section 5 size sweeps ----------------------------------------------------
+
+double Explorer::l2_squeeze_target_s(double headroom_factor,
+                                     std::uint64_t reference_l2_bytes) const {
+  NC_REQUIRE(headroom_factor >= 1.0, "headroom factor must be >= 1");
+  if (reference_l2_bytes == 0) {
+    reference_l2_bytes = *std::min_element(config_.l2_size_sweep.begin(),
+                                           config_.l2_size_sweep.end());
+  }
+  const auto& l1 = l1_model(config_.l1_size_bytes);
+  const double t_l1 =
+      l1.evaluate_uniform(config_.default_knobs).access_time_s;
+  const double ml1 = config_.miss_curves.l1(config_.l1_size_bytes);
+  const double ml2 = config_.miss_curves.l2(reference_l2_bytes);
+  const auto& l2 = l2_model(reference_l2_bytes);
+  const double t_l2_fast = opt::min_access_time(evaluator(l2), config_.grid,
+                                                opt::Scheme::kUniform);
+  return t_l1 + ml1 * (headroom_factor * t_l2_fast +
+                       ml2 * config_.memory.access_latency_s);
+}
+
+std::vector<SizeSweepRow> Explorer::l2_size_sweep(Scheme scheme,
+                                                  double amat_target_s) const {
+  const auto& l1 = l1_model(config_.l1_size_bytes);
+  const auto l1_metrics = l1.evaluate_uniform(config_.default_knobs);
+  const double ml1 = config_.miss_curves.l1(config_.l1_size_bytes);
+  const double tmem = config_.memory.access_latency_s;
+
+  std::vector<SizeSweepRow> rows;
+  for (std::uint64_t size : config_.l2_size_sweep) {
+    SizeSweepRow row;
+    row.size_bytes = size;
+    const double ml2 = config_.miss_curves.l2(size);
+    row.miss_rate = ml2;
+    // AMAT = tL1 + mL1*(tL2 + mL2*tmem)  =>  tL2 budget.
+    const double budget =
+        (amat_target_s - l1_metrics.access_time_s) / ml1 - ml2 * tmem;
+    if (budget <= 0.0) {
+      rows.push_back(row);
+      continue;
+    }
+    const auto& l2 = l2_model(size);
+    const auto eval = evaluator(l2);
+    auto best = opt::optimize_single_cache(eval, config_.grid, scheme, budget);
+    if (!best) {
+      rows.push_back(row);
+      continue;
+    }
+    row.feasible = true;
+    row.result = *best;
+    row.level_leakage_w = best->leakage_w;
+    row.total_leakage_w = best->leakage_w + l1_metrics.leakage_w;
+    row.amat_s = l1_metrics.access_time_s +
+                 ml1 * (best->access_time_s + ml2 * tmem);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::vector<SizeSweepRow> Explorer::l1_size_sweep(double amat_target_s) const {
+  // Fix the L2: scheme-II optimum for the default configuration.
+  const double tmem = config_.memory.access_latency_s;
+  const double ml2 = config_.miss_curves.l2(config_.l2_size_bytes);
+  const auto& l2 = l2_model(config_.l2_size_bytes);
+  const auto l2_eval = evaluator(l2);
+  const double ml1_default = config_.miss_curves.l1(config_.l1_size_bytes);
+  const auto& l1_default = l1_model(config_.l1_size_bytes);
+  const double l1_time_default =
+      l1_default.evaluate_uniform(config_.default_knobs).access_time_s;
+  const double l2_budget =
+      (amat_target_s - l1_time_default) / ml1_default - ml2 * tmem;
+  auto l2_fixed = opt::optimize_single_cache(
+      l2_eval, config_.grid, Scheme::kArrayPeriphery, l2_budget);
+  NC_REQUIRE(l2_fixed.has_value(),
+             "AMAT target infeasible for the fixed L2 configuration");
+
+  std::vector<SizeSweepRow> rows;
+  for (std::uint64_t size : config_.l1_size_sweep) {
+    SizeSweepRow row;
+    row.size_bytes = size;
+    const double ml1 = config_.miss_curves.l1(size);
+    row.miss_rate = ml1;
+    const double budget =
+        amat_target_s - ml1 * (l2_fixed->access_time_s + ml2 * tmem);
+    if (budget <= 0.0) {
+      rows.push_back(row);
+      continue;
+    }
+    const auto& l1 = l1_model(size);
+    const auto eval = evaluator(l1);
+    auto best = opt::optimize_single_cache(eval, config_.grid,
+                                           Scheme::kArrayPeriphery, budget);
+    if (!best) {
+      rows.push_back(row);
+      continue;
+    }
+    row.feasible = true;
+    row.result = *best;
+    row.level_leakage_w = best->leakage_w;
+    row.total_leakage_w = best->leakage_w + l2_fixed->leakage_w;
+    row.amat_s = best->access_time_s +
+                 ml1 * (l2_fixed->access_time_s + ml2 * tmem);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::vector<Explorer::JointSizingRow> Explorer::joint_size_study(
+    double amat_target_s) const {
+  NC_REQUIRE(amat_target_s > 0.0, "AMAT target must be positive");
+  const double tmem = config_.memory.access_latency_s;
+
+  std::vector<JointSizingRow> rows;
+  for (std::uint64_t l1_size : config_.l1_size_sweep) {
+    const double ml1 = config_.miss_curves.l1(l1_size);
+    const auto l1_front = opt::scheme_frontier(
+        evaluator(l1_model(l1_size)), config_.grid,
+        opt::Scheme::kArrayPeriphery);
+    for (std::uint64_t l2_size : config_.l2_size_sweep) {
+      JointSizingRow row;
+      row.l1_size_bytes = l1_size;
+      row.l2_size_bytes = l2_size;
+      const double ml2 = config_.miss_curves.l2(l2_size);
+      const auto l2_front = opt::scheme_frontier(
+          evaluator(l2_model(l2_size)), config_.grid,
+          opt::Scheme::kArrayPeriphery);
+
+      // Both fronts are sorted by delay ascending / leakage descending.
+      // Sweep L1 points; for each, the L2 budget follows from the AMAT
+      // identity, and the best L2 choice is the slowest front point that
+      // still fits (leakage falls with delay along the front).
+      for (const auto& p1 : l1_front) {
+        const double l2_budget =
+            (amat_target_s - p1.access_time_s) / ml1 - ml2 * tmem;
+        if (l2_budget <= 0.0) continue;
+        const opt::SchemeResult* best_l2 = nullptr;
+        for (const auto& p2 : l2_front) {
+          if (p2.access_time_s > l2_budget) break;
+          best_l2 = &p2;  // later points are slower and less leaky
+        }
+        if (best_l2 == nullptr) continue;
+        const double total = p1.leakage_w + best_l2->leakage_w;
+        if (!row.feasible || total < row.total_leakage_w) {
+          row.feasible = true;
+          row.total_leakage_w = total;
+          row.l1 = p1;
+          row.l2 = *best_l2;
+          row.amat_s = p1.access_time_s +
+                       ml1 * (best_l2->access_time_s + ml2 * tmem);
+        }
+      }
+      rows.push_back(std::move(row));
+    }
+  }
+  return rows;
+}
+
+// --- FIG2 -------------------------------------------------------------------
+
+std::vector<opt::MenuSpec> Explorer::default_fig2_specs() {
+  return {{2, 2}, {2, 3}, {3, 2}, {2, 1}, {1, 2}};
+}
+
+std::string Explorer::menu_label(const opt::MenuSpec& spec) {
+  std::ostringstream os;
+  os << spec.num_tox << " Tox + " << spec.num_vth << " Vth";
+  return os.str();
+}
+
+std::vector<Fig2Series> Explorer::fig2_tuple_frontiers(
+    const std::vector<opt::MenuSpec>& specs) const {
+  const auto system = default_system();
+  const opt::TupleMenuSolver solver(system, config_.grid);
+  std::vector<Fig2Series> out;
+  for (const auto& spec : specs) {
+    Fig2Series s;
+    s.spec = spec;
+    s.label = menu_label(spec);
+    s.points = solver.frontier(spec);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<std::vector<std::optional<opt::SystemDesignPoint>>>
+Explorer::fig2_tuple_table(const std::vector<opt::MenuSpec>& specs,
+                           const std::vector<double>& amat_targets_s) const {
+  const auto system = default_system();
+  const opt::TupleMenuSolver solver(system, config_.grid);
+  std::vector<std::vector<std::optional<opt::SystemDesignPoint>>> table;
+  for (const auto& spec : specs) {
+    std::vector<std::optional<opt::SystemDesignPoint>> row;
+    for (double target : amat_targets_s) {
+      row.push_back(solver.best_at(spec, target));
+    }
+    table.push_back(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace nanocache::core

@@ -1,0 +1,155 @@
+// High-level exploration API: one entry point per paper experiment.
+// Benches and examples call these and print; tests assert on the returned
+// structures.  The Explorer caches constructed cache models (they are
+// immutable once built).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "opt/schemes.h"
+#include "opt/tuple_menu.h"
+
+namespace nanocache::core {
+
+/// One point of a Figure-1 style curve.
+struct Fig1Point {
+  double swept_value = 0.0;  ///< the free knob's value at this point
+  double access_time_s = 0.0;
+  double leakage_w = 0.0;
+};
+
+struct Fig1Series {
+  std::string label;        ///< e.g. "Tox=10A" (Vth swept)
+  bool vth_fixed = false;   ///< true when Vth is held and Tox swept
+  double fixed_value = 0.0;
+  std::vector<Fig1Point> points;
+};
+
+/// One row of the Section 4 scheme comparison.
+struct SchemeComparisonRow {
+  double delay_target_s = 0.0;
+  std::optional<opt::SchemeResult> scheme1;
+  std::optional<opt::SchemeResult> scheme2;
+  std::optional<opt::SchemeResult> scheme3;
+};
+
+/// One row of the Section 5 L2 (or L1) size sweeps.
+struct SizeSweepRow {
+  std::uint64_t size_bytes = 0;
+  bool feasible = false;
+  double miss_rate = 0.0;      ///< local miss rate of the swept level
+  double amat_s = 0.0;         ///< achieved AMAT
+  double level_leakage_w = 0.0;   ///< leakage of the swept level
+  double total_leakage_w = 0.0;   ///< both cache levels
+  opt::SchemeResult result;    ///< swept level's optimized assignment
+};
+
+/// One Figure-2 series: energy/AMAT frontier for a menu cardinality.
+struct Fig2Series {
+  opt::MenuSpec spec;
+  std::string label;  ///< e.g. "2 Tox + 3 Vth"
+  std::vector<opt::SystemDesignPoint> points;
+};
+
+class Explorer {
+ public:
+  explicit Explorer(ExperimentConfig config = {});
+
+  const ExperimentConfig& config() const { return config_; }
+
+  /// FIG1: leakage vs access time for a single cache, holding one knob and
+  /// sweeping the other (uniform assignment, as in the paper's Figure 1).
+  /// Default curves: Tox fixed at 10/14 A, Vth fixed at 0.2/0.4 V.
+  std::vector<Fig1Series> fig1_fixed_knob(std::uint64_t cache_size_bytes,
+                                          int sweep_steps = 13) const;
+
+  /// TAB-S4: scheme I/II/III optimal leakage across delay targets.
+  std::vector<SchemeComparisonRow> scheme_comparison(
+      std::uint64_t cache_size_bytes,
+      const std::vector<double>& delay_targets_s) const;
+
+  /// Convenience delay-target ladder spanning the feasible range of the
+  /// given cache (from fastest scheme-I point to slowest useful target).
+  std::vector<double> delay_ladder(std::uint64_t cache_size_bytes,
+                                   int steps = 7) const;
+
+  /// TAB-L2A/L2B: sweep L2 size at fixed default-knob L1; optimize the L2
+  /// assignment under `scheme` to meet the AMAT target.
+  std::vector<SizeSweepRow> l2_size_sweep(opt::Scheme scheme,
+                                          double amat_target_s) const;
+
+  /// The "squeeze" AMAT: a target that forces the reference L2 size
+  /// (default: the smallest in the sweep) to run within `headroom_factor`
+  /// of its fastest achievable access time, with L1 at default knobs.
+  /// Targets near this value put the size sweep in the regime Section 5
+  /// studies: small L2s must burn leakage on fast knobs while mid sizes
+  /// coast on conservative ones and the largest run out of slack again.
+  double l2_squeeze_target_s(double headroom_factor = 1.15,
+                             std::uint64_t reference_l2_bytes = 0) const;
+
+  /// TAB-L1: sweep L1 size at fixed L2 (scheme II optimized once); optimize
+  /// each L1 under scheme II to meet the AMAT target.
+  std::vector<SizeSweepRow> l1_size_sweep(double amat_target_s) const;
+
+  /// EXT-JOINT: joint L1 x L2 sizing — for every (L1 size, L2 size) pair in
+  /// the configured sweeps, co-optimize both levels' scheme-II assignments
+  /// under the AMAT target and report the minimum total leakage.  The
+  /// paper optimizes the levels one at a time (Section 5); this extension
+  /// closes the loop and shows where the joint optimum sits.
+  struct JointSizingRow {
+    std::uint64_t l1_size_bytes = 0;
+    std::uint64_t l2_size_bytes = 0;
+    bool feasible = false;
+    double total_leakage_w = 0.0;
+    double amat_s = 0.0;
+    opt::SchemeResult l1;
+    opt::SchemeResult l2;
+  };
+  std::vector<JointSizingRow> joint_size_study(double amat_target_s) const;
+
+  /// FIG2: energy/AMAT frontiers for the paper's five menu cardinalities.
+  std::vector<Fig2Series> fig2_tuple_frontiers(
+      const std::vector<opt::MenuSpec>& specs = default_fig2_specs()) const;
+
+  /// Best energy per menu spec at each AMAT target (the tabular view of
+  /// Figure 2).
+  std::vector<std::vector<std::optional<opt::SystemDesignPoint>>>
+  fig2_tuple_table(const std::vector<opt::MenuSpec>& specs,
+                   const std::vector<double>& amat_targets_s) const;
+
+  static std::vector<opt::MenuSpec> default_fig2_specs();
+  static std::string menu_label(const opt::MenuSpec& spec);
+
+  /// Model access (lazily constructed, cached).
+  const cachemodel::CacheModel& l1_model(std::uint64_t size_bytes) const;
+  const cachemodel::CacheModel& l2_model(std::uint64_t size_bytes) const;
+
+  /// The component evaluator the experiments optimize over: structural by
+  /// default, or the cached per-cache fitted closed forms when
+  /// `config().use_fitted_models` is set.
+  opt::ComponentEvaluator evaluator(const cachemodel::CacheModel& model) const;
+
+  /// Memory-system model for the configured default sizes.
+  energy::MemorySystemModel default_system() const;
+
+ private:
+  const cachemodel::CacheModel& model(std::uint64_t size_bytes,
+                                      bool is_l2) const;
+
+  ExperimentConfig config_;
+  mutable std::map<std::pair<bool, std::uint64_t>,
+                   std::unique_ptr<cachemodel::CacheModel>>
+      models_;
+  /// Fitted closed forms per cache model (only populated when
+  /// use_fitted_models is set).
+  mutable std::map<const cachemodel::CacheModel*,
+                   std::unique_ptr<cachemodel::FittedCacheModel>>
+      fits_;
+};
+
+}  // namespace nanocache::core

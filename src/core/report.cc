@@ -1,0 +1,127 @@
+#include "core/report.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "util/error.h"
+#include "util/units.h"
+
+namespace nanocache::core {
+
+TextTable fig1_long_table(const std::vector<Fig1Series>& series) {
+  TextTable t("fig1");
+  t.set_header({"series", "swept_knob", "knob_value", "access_time_ps",
+                "leakage_mw"});
+  for (const auto& s : series) {
+    for (const auto& p : s.points) {
+      t.add_row({s.label, s.vth_fixed ? "tox_a" : "vth_v",
+                 fmt_fixed(p.swept_value, 3),
+                 fmt_fixed(units::seconds_to_ps(p.access_time_s), 2),
+                 fmt_fixed(units::watts_to_mw(p.leakage_w), 4)});
+    }
+  }
+  return t;
+}
+
+TextTable scheme_long_table(const std::vector<SchemeComparisonRow>& rows) {
+  TextTable t("scheme_comparison");
+  t.set_header({"target_ps", "scheme", "leakage_mw", "achieved_ps"});
+  auto emit = [&t](double target, const char* name,
+                   const std::optional<opt::SchemeResult>& r) {
+    t.add_row({fmt_fixed(units::seconds_to_ps(target), 1), name,
+               r ? fmt_fixed(units::watts_to_mw(r->leakage_w), 4)
+                 : "infeasible",
+               r ? fmt_fixed(units::seconds_to_ps(r->access_time_s), 1)
+                 : "-"});
+  };
+  for (const auto& row : rows) {
+    emit(row.delay_target_s, "I", row.scheme1);
+    emit(row.delay_target_s, "II", row.scheme2);
+    emit(row.delay_target_s, "III", row.scheme3);
+  }
+  return t;
+}
+
+TextTable size_sweep_table(const std::vector<SizeSweepRow>& rows,
+                           const std::string& level_name) {
+  TextTable t(level_name + "_size_sweep");
+  t.set_header({"size_bytes", "miss_rate", "feasible", "level_leakage_mw",
+                "total_leakage_mw", "amat_ps"});
+  for (const auto& r : rows) {
+    t.add_row({std::to_string(r.size_bytes), fmt_fixed(r.miss_rate, 5),
+               r.feasible ? "1" : "0",
+               r.feasible ? fmt_fixed(units::watts_to_mw(r.level_leakage_w), 4)
+                          : "-",
+               r.feasible ? fmt_fixed(units::watts_to_mw(r.total_leakage_w), 4)
+                          : "-",
+               r.feasible ? fmt_fixed(units::seconds_to_ps(r.amat_s), 1)
+                          : "-"});
+  }
+  return t;
+}
+
+TextTable fig2_long_table(const std::vector<Fig2Series>& series) {
+  TextTable t("fig2");
+  t.set_header({"menu", "amat_ps", "energy_pj", "leakage_mw"});
+  for (const auto& s : series) {
+    for (const auto& p : s.points) {
+      t.add_row({s.label, fmt_fixed(units::seconds_to_ps(p.amat_s), 1),
+                 fmt_fixed(units::joules_to_pj(p.energy_j), 2),
+                 fmt_fixed(units::watts_to_mw(p.leakage_w), 2)});
+    }
+  }
+  return t;
+}
+
+namespace {
+
+void write_csv(const std::filesystem::path& path, const TextTable& table) {
+  std::ofstream out(path);
+  NC_REQUIRE(out.good(), "cannot open CSV for writing: " + path.string());
+  out << table.to_csv();
+  NC_REQUIRE(out.good(), "failed writing CSV: " + path.string());
+}
+
+}  // namespace
+
+int export_all_csv(const Explorer& explorer, const std::string& directory) {
+  const std::filesystem::path dir(directory);
+  std::filesystem::create_directories(dir);
+
+  int written = 0;
+  write_csv(dir / "fig1.csv",
+            fig1_long_table(explorer.fig1_fixed_knob(
+                explorer.config().l1_size_bytes)));
+  ++written;
+
+  const auto ladder =
+      explorer.delay_ladder(explorer.config().l1_size_bytes, 9);
+  write_csv(dir / "scheme_comparison.csv",
+            scheme_long_table(explorer.scheme_comparison(
+                explorer.config().l1_size_bytes, ladder)));
+  ++written;
+
+  const double squeeze = explorer.l2_squeeze_target_s();
+  write_csv(dir / "l2_sweep_uniform.csv",
+            size_sweep_table(
+                explorer.l2_size_sweep(opt::Scheme::kUniform, squeeze),
+                "l2_uniform"));
+  ++written;
+  write_csv(dir / "l2_sweep_split.csv",
+            size_sweep_table(explorer.l2_size_sweep(
+                                 opt::Scheme::kArrayPeriphery, squeeze),
+                             "l2_split"));
+  ++written;
+  write_csv(dir / "l1_sweep.csv",
+            size_sweep_table(explorer.l1_size_sweep(
+                                 explorer.l2_squeeze_target_s(1.25)),
+                             "l1"));
+  ++written;
+
+  write_csv(dir / "fig2.csv",
+            fig2_long_table(explorer.fig2_tuple_frontiers()));
+  ++written;
+  return written;
+}
+
+}  // namespace nanocache::core

@@ -1,0 +1,34 @@
+// Reporting: long-format tables for every experiment's output and CSV
+// artifact export.  The bench binaries print richer per-claim views; these
+// functions provide the machine-readable versions (one row per data point)
+// that downstream plotting consumes.
+#pragma once
+
+#include <string>
+
+#include "core/explorer.h"
+#include "util/table.h"
+
+namespace nanocache::core {
+
+/// FIG1 long format: series, swept knob, value, access time [pS],
+/// leakage [mW].
+TextTable fig1_long_table(const std::vector<Fig1Series>& series);
+
+/// TAB-S4 long format: target [pS], scheme, leakage [mW], achieved [pS].
+TextTable scheme_long_table(const std::vector<SchemeComparisonRow>& rows);
+
+/// Size-sweep long format (works for both the L2 and L1 sweeps).
+TextTable size_sweep_table(const std::vector<SizeSweepRow>& rows,
+                           const std::string& level_name);
+
+/// FIG2 long format: menu, AMAT [pS], energy [pJ], leakage [mW].
+TextTable fig2_long_table(const std::vector<Fig2Series>& series);
+
+/// Run every experiment at default settings and write one CSV per
+/// experiment into `directory` (created if absent).  Returns the number of
+/// files written.  File names: fig1.csv, scheme_comparison.csv,
+/// l2_sweep_uniform.csv, l2_sweep_split.csv, l1_sweep.csv, fig2.csv.
+int export_all_csv(const Explorer& explorer, const std::string& directory);
+
+}  // namespace nanocache::core

@@ -1,0 +1,60 @@
+#include "energy/memory_system.h"
+
+#include "util/error.h"
+
+namespace nanocache::energy {
+
+MemorySystemModel::MemorySystemModel(const cachemodel::CacheModel& l1,
+                                     const cachemodel::CacheModel& l2,
+                                     MissRates miss, MainMemoryParams memory)
+    : l1_(l1), l2_(l2), miss_(miss), memory_(memory) {
+  NC_REQUIRE(miss_.l1 >= 0.0 && miss_.l1 <= 1.0, "L1 miss rate out of range");
+  NC_REQUIRE(miss_.l2_local >= 0.0 && miss_.l2_local <= 1.0,
+             "L2 miss rate out of range");
+  NC_REQUIRE(miss_.write_fraction >= 0.0 && miss_.write_fraction <= 1.0,
+             "write fraction out of range");
+  NC_REQUIRE(memory_.access_latency_s > 0.0, "memory latency must be positive");
+  NC_REQUIRE(memory_.access_energy_j >= 0.0,
+             "memory energy must be non-negative");
+  NC_REQUIRE(memory_.background_power_w >= 0.0,
+             "memory background power must be non-negative");
+}
+
+double MemorySystemModel::amat_s(double l1_time_s, double l2_time_s) const {
+  return l1_time_s +
+         miss_.l1 * (l2_time_s + miss_.l2_local * memory_.access_latency_s);
+}
+
+double MemorySystemModel::memory_dynamic_energy_j() const {
+  return miss_.l1 * miss_.l2_local * memory_.access_energy_j;
+}
+
+double MemorySystemModel::memory_amat_term_s() const {
+  return miss_.l1 * miss_.l2_local * memory_.access_latency_s;
+}
+
+SystemMetrics MemorySystemModel::evaluate(
+    const cachemodel::ComponentAssignment& l1_knobs,
+    const cachemodel::ComponentAssignment& l2_knobs,
+    cachemodel::AreaCoupling coupling) const {
+  const auto m1 = l1_.evaluate(l1_knobs, coupling);
+  const auto m2 = l2_.evaluate(l2_knobs, coupling);
+
+  SystemMetrics out;
+  out.l1_access_time_s = m1.access_time_s;
+  out.l2_access_time_s = m2.access_time_s;
+  out.amat_s = amat_s(m1.access_time_s, m2.access_time_s);
+  out.leakage_w =
+      m1.leakage_w + m2.leakage_w + memory_.background_power_w;
+  const double wf = miss_.write_fraction;
+  const double e1 = (1.0 - wf) * m1.dynamic_energy_j +
+                    wf * m1.dynamic_write_energy_j;
+  const double e2 = (1.0 - wf) * m2.dynamic_energy_j +
+                    wf * m2.dynamic_write_energy_j;
+  out.dynamic_energy_j = e1 + miss_.l1 * e2 + memory_dynamic_energy_j();
+  out.leakage_energy_j = out.leakage_w * out.amat_s;
+  out.total_energy_j = out.dynamic_energy_j + out.leakage_energy_j;
+  return out;
+}
+
+}  // namespace nanocache::energy

@@ -1,0 +1,83 @@
+// Whole memory-system model (Section 5 / Figure 2 substrate): L1 + L2 +
+// main memory.  Combines structural cache metrics with architectural miss
+// statistics into AMAT and total energy per access.
+//
+//   AMAT = tL1 + mL1 * (tL2 + mL2 * tMEM)
+//   E/access = EdynL1 + mL1 * (EdynL2 + mL2 * Emem)
+//              + (PleakL1 + PleakL2) * AMAT
+//
+// Leakage is charged over one average access interval (AMAT), which is what
+// couples the leakage and delay knobs into a single energy trade-off.
+#pragma once
+
+#include "cachemodel/cache_model.h"
+
+namespace nanocache::energy {
+
+/// Main-memory (DRAM) parameters.  The paper's "entire processor memory
+/// system" includes main memory; we model it as a fixed-latency,
+/// fixed-energy-per-access device.
+struct MainMemoryParams {
+  double access_latency_s = 50e-9;  ///< row activate + transfer
+  double access_energy_j = 10e-9;   ///< per L2-miss line fetch
+  /// DRAM background (standby + refresh) power.  Default 0 keeps the
+  /// calibrated Figure 2 window; set >0 to charge it over AMAT like the
+  /// caches' leakage ("entire processor memory system" accounting).
+  double background_power_w = 0.0;
+};
+
+/// Per-level miss statistics feeding the model (from sim:: or analytic).
+struct MissRates {
+  double l1 = 0.03;        ///< misses per reference (local L1)
+  double l2_local = 0.15;  ///< misses per L2 access (local L2)
+  /// Fraction of references that are writes.  With the default 0 the model
+  /// charges read energy for every access (the paper does not separate the
+  /// two); set >0 to use the per-component write energies.
+  double write_fraction = 0.0;
+};
+
+struct SystemMetrics {
+  double amat_s = 0.0;
+  double leakage_w = 0.0;            ///< total static power, caches + DRAM background
+  double dynamic_energy_j = 0.0;     ///< switching energy per reference
+  double leakage_energy_j = 0.0;     ///< leakage * AMAT per reference
+  double total_energy_j = 0.0;       ///< dynamic + leakage energy
+  double l1_access_time_s = 0.0;
+  double l2_access_time_s = 0.0;
+};
+
+class MemorySystemModel {
+ public:
+  MemorySystemModel(const cachemodel::CacheModel& l1,
+                    const cachemodel::CacheModel& l2, MissRates miss,
+                    MainMemoryParams memory = {});
+
+  /// Evaluate a full two-level knob assignment.
+  SystemMetrics evaluate(
+      const cachemodel::ComponentAssignment& l1_knobs,
+      const cachemodel::ComponentAssignment& l2_knobs,
+      cachemodel::AreaCoupling coupling =
+          cachemodel::AreaCoupling::kNominal) const;
+
+  /// AMAT from already-known level access times (same formula the
+  /// optimizers use on weighted component sums).
+  double amat_s(double l1_time_s, double l2_time_s) const;
+
+  const cachemodel::CacheModel& l1() const { return l1_; }
+  const cachemodel::CacheModel& l2() const { return l2_; }
+  const MissRates& miss() const { return miss_; }
+  const MainMemoryParams& memory() const { return memory_; }
+
+  /// Dynamic energy charged to main memory per reference (constant).
+  double memory_dynamic_energy_j() const;
+  /// AMAT contribution of main memory per reference (constant).
+  double memory_amat_term_s() const;
+
+ private:
+  const cachemodel::CacheModel& l1_;
+  const cachemodel::CacheModel& l2_;
+  MissRates miss_;
+  MainMemoryParams memory_;
+};
+
+}  // namespace nanocache::energy

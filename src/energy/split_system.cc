@@ -1,0 +1,56 @@
+#include "energy/split_system.h"
+
+#include "util/error.h"
+
+namespace nanocache::energy {
+
+SplitMemorySystemModel::SplitMemorySystemModel(
+    const cachemodel::CacheModel& l1i, const cachemodel::CacheModel& l1d,
+    const cachemodel::CacheModel& l2, SplitMissRates miss,
+    MainMemoryParams memory)
+    : l1i_(l1i), l1d_(l1d), l2_(l2), miss_(miss), memory_(memory) {
+  NC_REQUIRE(miss_.instruction_fraction >= 0.0 &&
+                 miss_.instruction_fraction <= 1.0,
+             "instruction fraction out of range");
+  for (double m : {miss_.l1i, miss_.l1d, miss_.l2_local}) {
+    NC_REQUIRE(m >= 0.0 && m <= 1.0, "miss rate out of range");
+  }
+  NC_REQUIRE(memory_.access_latency_s > 0.0,
+             "memory latency must be positive");
+}
+
+double SplitMemorySystemModel::l2_weight() const {
+  return miss_.instruction_fraction * miss_.l1i +
+         (1.0 - miss_.instruction_fraction) * miss_.l1d;
+}
+
+SystemMetrics SplitMemorySystemModel::evaluate(
+    const cachemodel::ComponentAssignment& l1i_knobs,
+    const cachemodel::ComponentAssignment& l1d_knobs,
+    const cachemodel::ComponentAssignment& l2_knobs) const {
+  const auto mi = l1i_.evaluate(l1i_knobs);
+  const auto md = l1d_.evaluate(l1d_knobs);
+  const auto m2 = l2_.evaluate(l2_knobs);
+
+  const double fi = miss_.instruction_fraction;
+  const double l2_path =
+      m2.access_time_s + miss_.l2_local * memory_.access_latency_s;
+
+  SystemMetrics out;
+  out.l1_access_time_s =
+      fi * mi.access_time_s + (1.0 - fi) * md.access_time_s;
+  out.l2_access_time_s = m2.access_time_s;
+  out.amat_s = fi * (mi.access_time_s + miss_.l1i * l2_path) +
+               (1.0 - fi) * (md.access_time_s + miss_.l1d * l2_path);
+  out.leakage_w = mi.leakage_w + md.leakage_w + m2.leakage_w +
+                  memory_.background_power_w;
+  out.dynamic_energy_j =
+      fi * mi.dynamic_energy_j + (1.0 - fi) * md.dynamic_energy_j +
+      l2_weight() * (m2.dynamic_energy_j +
+                     miss_.l2_local * memory_.access_energy_j);
+  out.leakage_energy_j = out.leakage_w * out.amat_s;
+  out.total_energy_j = out.dynamic_energy_j + out.leakage_energy_j;
+  return out;
+}
+
+}  // namespace nanocache::energy

@@ -1,0 +1,49 @@
+// Split-L1 memory-system model (extension beyond the paper): separate
+// instruction and data L1 caches in front of a shared L2.  The reference
+// stream blends instruction fetches (fraction `instruction_fraction`) and
+// data accesses:
+//
+//   AMAT = fi * [tI + mI*(tL2 + mL2*tmem)] +
+//          (1-fi) * [tD + mD*(tL2 + mL2*tmem)]
+//
+// Leakage sums all three caches; dynamic energy weights each cache by its
+// access frequency.
+#pragma once
+
+#include "energy/memory_system.h"
+
+namespace nanocache::energy {
+
+struct SplitMissRates {
+  double instruction_fraction = 0.3;  ///< fetches per reference
+  double l1i = 0.01;                  ///< local I-cache miss rate
+  double l1d = 0.04;                  ///< local D-cache miss rate
+  double l2_local = 0.15;
+};
+
+class SplitMemorySystemModel {
+ public:
+  SplitMemorySystemModel(const cachemodel::CacheModel& l1i,
+                         const cachemodel::CacheModel& l1d,
+                         const cachemodel::CacheModel& l2,
+                         SplitMissRates miss, MainMemoryParams memory = {});
+
+  SystemMetrics evaluate(
+      const cachemodel::ComponentAssignment& l1i_knobs,
+      const cachemodel::ComponentAssignment& l1d_knobs,
+      const cachemodel::ComponentAssignment& l2_knobs) const;
+
+  /// Misses per reference reaching the L2 (the weight on tL2 in AMAT).
+  double l2_weight() const;
+
+  const SplitMissRates& miss() const { return miss_; }
+
+ private:
+  const cachemodel::CacheModel& l1i_;
+  const cachemodel::CacheModel& l1d_;
+  const cachemodel::CacheModel& l2_;
+  SplitMissRates miss_;
+  MainMemoryParams memory_;
+};
+
+}  // namespace nanocache::energy

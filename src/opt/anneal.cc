@@ -1,0 +1,155 @@
+#include "opt/anneal.h"
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace nanocache::opt {
+
+using cachemodel::ComponentAssignment;
+using cachemodel::ComponentKind;
+using cachemodel::kAllComponents;
+using cachemodel::kNumComponents;
+
+namespace {
+
+/// The annealing state: per-block indices into the pair list.  Blocks
+/// follow the scheme's sharing structure.
+struct State {
+  std::vector<std::size_t> choice;  // one index per block
+};
+
+std::vector<std::vector<ComponentKind>> blocks_for(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kPerComponent:
+      return {{ComponentKind::kCellArray},
+              {ComponentKind::kDecoder},
+              {ComponentKind::kAddressDrivers},
+              {ComponentKind::kDataDrivers}};
+    case Scheme::kArrayPeriphery:
+      return {{ComponentKind::kCellArray},
+              {ComponentKind::kDecoder, ComponentKind::kAddressDrivers,
+               ComponentKind::kDataDrivers}};
+    case Scheme::kUniform:
+      return {{ComponentKind::kCellArray, ComponentKind::kDecoder,
+               ComponentKind::kAddressDrivers, ComponentKind::kDataDrivers}};
+  }
+  throw Error("unknown scheme");
+}
+
+}  // namespace
+
+std::optional<SchemeResult> anneal_single_cache(
+    const ComponentEvaluator& eval, const KnobGrid& grid, Scheme scheme,
+    double delay_constraint_s, const AnnealConfig& config) {
+  NC_REQUIRE(delay_constraint_s > 0.0, "delay constraint must be positive");
+  NC_REQUIRE(config.iterations >= 100, "annealing needs >= 100 iterations");
+  NC_REQUIRE(config.cooling > 0.0 && config.cooling < 1.0,
+             "cooling must be in (0,1)");
+
+  const auto pairs = grid.pairs();
+  const auto blocks = blocks_for(scheme);
+
+  // Precompute per-block (delay, leakage) for every pair.
+  struct BlockOption {
+    double delay_s;
+    double leakage_w;
+  };
+  std::vector<std::vector<BlockOption>> options(blocks.size());
+  double leak_scale = 0.0;
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    options[b].reserve(pairs.size());
+    for (const auto& pair : pairs) {
+      BlockOption o{0.0, 0.0};
+      for (ComponentKind kind : blocks[b]) {
+        const auto m = eval(kind, pair);
+        o.delay_s += m.delay_s;
+        o.leakage_w += m.leakage_w;
+      }
+      options[b].push_back(o);
+      leak_scale = std::max(leak_scale, o.leakage_w);
+    }
+  }
+  NC_REQUIRE(leak_scale > 0.0, "degenerate leakage scale");
+
+  auto cost_of = [&](const State& s, double* delay_out,
+                     double* leak_out) {
+    double delay = 0.0;
+    double leakage = 0.0;
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+      delay += options[b][s.choice[b]].delay_s;
+      leakage += options[b][s.choice[b]].leakage_w;
+    }
+    *delay_out = delay;
+    *leak_out = leakage;
+    const double violation =
+        std::max(0.0, delay / delay_constraint_s - 1.0);
+    return leakage / leak_scale + config.penalty_weight * violation;
+  };
+
+  Rng rng(config.seed);
+  State current;
+  current.choice.assign(blocks.size(), 0);  // fastest-ish corner start
+  double cur_delay = 0.0;
+  double cur_leak = 0.0;
+  double cur_cost = cost_of(current, &cur_delay, &cur_leak);
+
+  std::optional<SchemeResult> best;
+  auto consider = [&](const State& s, double delay, double leakage) {
+    if (delay > delay_constraint_s) return;
+    if (best && leakage >= best->leakage_w) return;
+    SchemeResult r;
+    r.leakage_w = leakage;
+    r.access_time_s = delay;
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+      for (ComponentKind kind : blocks[b]) {
+        r.assignment.set(kind, pairs[s.choice[b]]);
+      }
+    }
+    best = r;
+  };
+  consider(current, cur_delay, cur_leak);
+
+  double temperature = config.initial_temperature;
+  for (int it = 0; it < config.iterations; ++it) {
+    State next = current;
+    const std::size_t block = rng.below(blocks.size());
+    // Neighbourhood: mostly local grid moves, occasional random jump.
+    if (rng.uniform() < 0.85) {
+      const auto cur_idx = static_cast<std::int64_t>(next.choice[block]);
+      const std::int64_t step = rng.uniform() < 0.5 ? -1 : 1;
+      // Pair index layout is vth-major; +-1 moves Tox, +-|tox| moves Vth.
+      const std::int64_t stride =
+          rng.uniform() < 0.5
+              ? 1
+              : static_cast<std::int64_t>(grid.tox_values.size());
+      std::int64_t idx = cur_idx + step * stride;
+      if (idx < 0 || idx >= static_cast<std::int64_t>(pairs.size())) {
+        continue;
+      }
+      next.choice[block] = static_cast<std::size_t>(idx);
+    } else {
+      next.choice[block] = rng.below(pairs.size());
+    }
+
+    double nd = 0.0;
+    double nl = 0.0;
+    const double nc = cost_of(next, &nd, &nl);
+    const double delta = nc - cur_cost;
+    if (delta <= 0.0 ||
+        rng.uniform() < std::exp(-delta / std::max(temperature, 1e-9))) {
+      current = next;
+      cur_cost = nc;
+      cur_delay = nd;
+      cur_leak = nl;
+      consider(current, cur_delay, cur_leak);
+    }
+    temperature *= config.cooling;
+  }
+  return best;
+}
+
+}  // namespace nanocache::opt

@@ -1,0 +1,33 @@
+// Simulated-annealing optimizer for knob assignment.  The exact Pareto-DP
+// optimizers cover the paper's problem sizes; annealing is the scalable
+// fallback for assignment spaces the DP cannot enumerate (many more
+// components, finer grids, or objectives that break the additive structure)
+// — and an independent cross-check of the exact results.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "opt/schemes.h"
+
+namespace nanocache::opt {
+
+struct AnnealConfig {
+  int iterations = 20'000;
+  double initial_temperature = 1.0;  ///< in units of the leakage scale
+  double cooling = 0.9995;           ///< geometric cooling per step
+  /// Penalty weight on delay-constraint violation, in leakage units per
+  /// unit of relative violation.
+  double penalty_weight = 50.0;
+  std::uint64_t seed = 2005;
+};
+
+/// Minimize leakage subject to the access-time constraint under the given
+/// scheme by annealing over the discrete grid.  Returns nullopt when no
+/// feasible assignment was found (the run never left the infeasible
+/// region).  Deterministic for a given config.
+std::optional<SchemeResult> anneal_single_cache(
+    const ComponentEvaluator& eval, const KnobGrid& grid, Scheme scheme,
+    double delay_constraint_s, const AnnealConfig& config = {});
+
+}  // namespace nanocache::opt

@@ -1,0 +1,187 @@
+#include "opt/continuous.h"
+
+#include <array>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/error.h"
+
+namespace nanocache::opt {
+
+using cachemodel::ComponentAssignment;
+using cachemodel::ComponentKind;
+using cachemodel::FittedCacheModel;
+using cachemodel::kAllComponents;
+
+namespace {
+
+/// One knob-sharing block: a set of components forced to the same pair.
+using Block = std::vector<ComponentKind>;
+
+std::vector<Block> blocks_for(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kPerComponent:
+      return {{ComponentKind::kCellArray},
+              {ComponentKind::kDecoder},
+              {ComponentKind::kAddressDrivers},
+              {ComponentKind::kDataDrivers}};
+    case Scheme::kArrayPeriphery:
+      return {{ComponentKind::kCellArray},
+              {ComponentKind::kDecoder, ComponentKind::kAddressDrivers,
+               ComponentKind::kDataDrivers}};
+    case Scheme::kUniform:
+      return {{ComponentKind::kCellArray, ComponentKind::kDecoder,
+               ComponentKind::kAddressDrivers, ComponentKind::kDataDrivers}};
+  }
+  throw Error("unknown scheme");
+}
+
+double block_leakage(const FittedCacheModel& fits, const Block& block,
+                     const tech::DeviceKnobs& k) {
+  double sum = 0.0;
+  for (ComponentKind kind : block) sum += fits.component_leakage_w(kind, k);
+  return sum;
+}
+
+double block_delay(const FittedCacheModel& fits, const Block& block,
+                   const tech::DeviceKnobs& k) {
+  double sum = 0.0;
+  for (ComponentKind kind : block) sum += fits.component_delay_s(kind, k);
+  return sum;
+}
+
+/// Golden-section minimization of a unimodal 1-D function on [lo, hi].
+template <typename F>
+double golden_min(F f, double lo, double hi) {
+  constexpr double kInvPhi = 0.6180339887498949;
+  for (int it = 0; it < 80; ++it) {
+    const double m1 = hi - kInvPhi * (hi - lo);
+    const double m2 = lo + kInvPhi * (hi - lo);
+    if (f(m1) < f(m2)) {
+      hi = m2;
+    } else {
+      lo = m1;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+/// Minimize leak + lambda * delay for one block over the knob box by
+/// cyclic coordinate descent with golden-section line searches.
+tech::DeviceKnobs minimize_block(const FittedCacheModel& fits,
+                                 const Block& block, double lambda,
+                                 const tech::KnobRange& range) {
+  tech::DeviceKnobs k{0.5 * (range.vth_min_v + range.vth_max_v),
+                      0.5 * (range.tox_min_a + range.tox_max_a)};
+  auto objective = [&](const tech::DeviceKnobs& at) {
+    return block_leakage(fits, block, at) +
+           lambda * block_delay(fits, block, at);
+  };
+  for (int sweep = 0; sweep < 40; ++sweep) {
+    const tech::DeviceKnobs before = k;
+    k.vth_v = golden_min(
+        [&](double v) {
+          return objective(tech::DeviceKnobs{v, k.tox_a});
+        },
+        range.vth_min_v, range.vth_max_v);
+    k.tox_a = golden_min(
+        [&](double t) {
+          return objective(tech::DeviceKnobs{k.vth_v, t});
+        },
+        range.tox_min_a, range.tox_max_a);
+    if (std::abs(k.vth_v - before.vth_v) < 1e-9 &&
+        std::abs(k.tox_a - before.tox_a) < 1e-7) {
+      break;
+    }
+  }
+  return k;
+}
+
+struct InnerSolution {
+  ComponentAssignment assignment;
+  double leakage_w = 0.0;
+  double delay_s = 0.0;
+};
+
+InnerSolution solve_inner(const FittedCacheModel& fits,
+                          const std::vector<Block>& blocks, double lambda,
+                          const tech::KnobRange& range) {
+  InnerSolution s;
+  for (const auto& block : blocks) {
+    const auto k = minimize_block(fits, block, lambda, range);
+    for (ComponentKind kind : block) s.assignment.set(kind, k);
+    s.leakage_w += block_leakage(fits, block, k);
+    s.delay_s += block_delay(fits, block, k);
+  }
+  return s;
+}
+
+}  // namespace
+
+std::optional<ContinuousResult> optimize_continuous(
+    const FittedCacheModel& fits, const tech::KnobRange& range, Scheme scheme,
+    double delay_constraint_s) {
+  NC_REQUIRE(delay_constraint_s > 0.0, "delay constraint must be positive");
+  const auto blocks = blocks_for(scheme);
+
+  // Feasibility: the fastest corner of the box.
+  double fastest = 0.0;
+  for (const auto& block : blocks) {
+    fastest += block_delay(fits, block,
+                           tech::DeviceKnobs{range.vth_min_v,
+                                             range.tox_min_a});
+  }
+  if (fastest > delay_constraint_s) return std::nullopt;
+
+  ContinuousResult best;
+  best.leakage_w = std::numeric_limits<double>::infinity();
+  auto consider = [&](const InnerSolution& s, double lambda, int iters) {
+    if (s.delay_s <= delay_constraint_s && s.leakage_w < best.leakage_w) {
+      best.assignment = s.assignment;
+      best.leakage_w = s.leakage_w;
+      best.access_time_s = s.delay_s;
+      best.lambda = lambda;
+      best.outer_iterations = iters;
+    }
+  };
+
+  // lambda = 0: pure leakage minimization (slowest useful point).
+  int iters = 0;
+  auto relaxed = solve_inner(fits, blocks, 0.0, range);
+  ++iters;
+  consider(relaxed, 0.0, iters);
+  if (relaxed.delay_s <= delay_constraint_s) {
+    return best;  // constraint inactive
+  }
+
+  // Find a multiplier that over-satisfies the constraint.
+  double lambda_lo = 0.0;
+  double lambda_hi = relaxed.leakage_w / relaxed.delay_s;  // natural scale
+  for (int grow = 0; grow < 80; ++grow) {
+    const auto s = solve_inner(fits, blocks, lambda_hi, range);
+    ++iters;
+    consider(s, lambda_hi, iters);
+    if (s.delay_s <= delay_constraint_s) break;
+    lambda_lo = lambda_hi;
+    lambda_hi *= 4.0;
+  }
+
+  // Bisection: delay(lambda) is monotone non-increasing.
+  for (int it = 0; it < 60; ++it) {
+    const double lambda = 0.5 * (lambda_lo + lambda_hi);
+    const auto s = solve_inner(fits, blocks, lambda, range);
+    ++iters;
+    consider(s, lambda, iters);
+    if (s.delay_s <= delay_constraint_s) {
+      lambda_hi = lambda;
+    } else {
+      lambda_lo = lambda;
+    }
+  }
+
+  if (!std::isfinite(best.leakage_w)) return std::nullopt;
+  return best;
+}
+
+}  // namespace nanocache::opt

@@ -1,0 +1,40 @@
+// Continuous optimizer over the paper's fitted closed forms — the
+// nonlinear-programming path the paper itself took (its ref [10],
+// Bertsekas), as opposed to the discrete grid search.
+//
+// The delay constraint is the only coupling between components, so the
+// problem decomposes by Lagrangian relaxation:
+//
+//   min  sum_i P_i(v_i, t_i)   s.t.  sum_i Td_i(v_i, t_i) <= T,  knobs in box
+//
+// For a multiplier lambda >= 0 the inner problem separates into per-block
+// box-constrained 2-D minimizations of P_i + lambda * Td_i (solved by
+// cyclic coordinate descent with golden-section line searches — the fitted
+// forms are smooth and axis-unimodal); bisection on lambda then drives the
+// total delay to the constraint.
+#pragma once
+
+#include <optional>
+
+#include "cachemodel/fitted_cache.h"
+#include "opt/schemes.h"
+
+namespace nanocache::opt {
+
+struct ContinuousResult {
+  cachemodel::ComponentAssignment assignment;
+  double leakage_w = 0.0;
+  double access_time_s = 0.0;
+  double lambda = 0.0;    ///< final delay-constraint multiplier
+  int outer_iterations = 0;
+};
+
+/// Minimize fitted leakage subject to fitted access time <= the constraint,
+/// under the given scheme's sharing structure, with knobs continuous in the
+/// box `range`.  Returns nullopt when even the fastest corner misses the
+/// constraint.
+std::optional<ContinuousResult> optimize_continuous(
+    const cachemodel::FittedCacheModel& fits, const tech::KnobRange& range,
+    Scheme scheme, double delay_constraint_s);
+
+}  // namespace nanocache::opt

@@ -1,0 +1,101 @@
+#include "opt/grid.h"
+
+#include "util/error.h"
+
+namespace nanocache::opt {
+
+namespace {
+std::vector<double> linspace(double lo, double hi, int n) {
+  std::vector<double> v(n);
+  for (int i = 0; i < n; ++i) {
+    v[i] = lo + (hi - lo) * static_cast<double>(i) / (n - 1);
+  }
+  return v;
+}
+}  // namespace
+
+KnobGrid KnobGrid::paper_default() {
+  return KnobGrid{linspace(0.20, 0.50, 7), linspace(10.0, 14.0, 5)};
+}
+
+KnobGrid KnobGrid::fine() {
+  return KnobGrid{linspace(0.20, 0.50, 13), linspace(10.0, 14.0, 9)};
+}
+
+KnobGrid KnobGrid::vth_only(double tox_a) {
+  return KnobGrid{linspace(0.20, 0.50, 7), {tox_a}};
+}
+
+KnobGrid KnobGrid::tox_only(double vth_v) {
+  return KnobGrid{{vth_v}, linspace(10.0, 14.0, 5)};
+}
+
+std::vector<tech::DeviceKnobs> KnobGrid::pairs() const {
+  validate();
+  std::vector<tech::DeviceKnobs> out;
+  out.reserve(vth_values.size() * tox_values.size());
+  for (double vth : vth_values) {
+    for (double tox : tox_values) {
+      out.push_back(tech::DeviceKnobs{vth, tox});
+    }
+  }
+  return out;
+}
+
+void KnobGrid::validate() const {
+  NC_REQUIRE(!vth_values.empty() && !tox_values.empty(),
+             "knob grid axes must be non-empty");
+  for (std::size_t i = 1; i < vth_values.size(); ++i) {
+    NC_REQUIRE(vth_values[i] > vth_values[i - 1],
+               "vth grid must strictly increase");
+  }
+  for (std::size_t i = 1; i < tox_values.size(); ++i) {
+    NC_REQUIRE(tox_values[i] > tox_values[i - 1],
+               "tox grid must strictly increase");
+  }
+}
+
+std::vector<std::vector<double>> choose_subsets(
+    const std::vector<double>& values, int k) {
+  NC_REQUIRE(k >= 1, "subset size must be >= 1");
+  NC_REQUIRE(static_cast<std::size_t>(k) <= values.size(),
+             "subset size exceeds grid size");
+  std::vector<std::vector<double>> out;
+  std::vector<std::size_t> idx(static_cast<std::size_t>(k));
+  // Standard lexicographic combination enumeration.
+  for (int i = 0; i < k; ++i) idx[static_cast<std::size_t>(i)] = i;
+  while (true) {
+    std::vector<double> subset;
+    subset.reserve(idx.size());
+    for (std::size_t i : idx) subset.push_back(values[i]);
+    out.push_back(std::move(subset));
+    // Advance.
+    int pos = k - 1;
+    while (pos >= 0 &&
+           idx[static_cast<std::size_t>(pos)] ==
+               values.size() - static_cast<std::size_t>(k - pos)) {
+      --pos;
+    }
+    if (pos < 0) break;
+    ++idx[static_cast<std::size_t>(pos)];
+    for (int j = pos + 1; j < k; ++j) {
+      idx[static_cast<std::size_t>(j)] = idx[static_cast<std::size_t>(j - 1)] + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<tech::DeviceKnobs> menu_pairs(const std::vector<double>& vth_menu,
+                                          const std::vector<double>& tox_menu) {
+  NC_REQUIRE(!vth_menu.empty() && !tox_menu.empty(), "menus must be non-empty");
+  std::vector<tech::DeviceKnobs> out;
+  out.reserve(vth_menu.size() * tox_menu.size());
+  for (double vth : vth_menu) {
+    for (double tox : tox_menu) {
+      out.push_back(tech::DeviceKnobs{vth, tox});
+    }
+  }
+  return out;
+}
+
+}  // namespace nanocache::opt

@@ -1,0 +1,46 @@
+// Discrete knob grids.  The paper's optimizer works on "discrete values
+// with small step size" (Section 4); this module defines those grids and
+// the subset enumeration the Section 5 tuple problem needs.
+#pragma once
+
+#include <vector>
+
+#include "tech/device.h"
+
+namespace nanocache::opt {
+
+struct KnobGrid {
+  std::vector<double> vth_values;
+  std::vector<double> tox_values;
+
+  /// The paper's grid: Vth 0.20..0.50 V step 0.05 (7 values),
+  /// Tox 10..14 A step 1 (5 values).
+  static KnobGrid paper_default();
+
+  /// Finer grid for smooth figure sweeps (step 0.025 V / 0.5 A).
+  static KnobGrid fine();
+
+  /// Baseline of the paper's refs [1-7]: Vth is the only free knob, Tox
+  /// pinned (subthreshold-era optimization).
+  static KnobGrid vth_only(double tox_a = 12.0);
+
+  /// Dual baseline: Tox free, Vth pinned.
+  static KnobGrid tox_only(double vth_v = 0.35);
+
+  /// Cartesian product as knob pairs (vth-major order).
+  std::vector<tech::DeviceKnobs> pairs() const;
+
+  /// Throws unless both axes are non-empty, sorted and strictly increasing.
+  void validate() const;
+};
+
+/// All k-element subsets of `values` (preserving order).  Used to enumerate
+/// the process menus of the (Tox, Vth) tuple problem.
+std::vector<std::vector<double>> choose_subsets(
+    const std::vector<double>& values, int k);
+
+/// Cartesian pairs from explicit per-axis menus.
+std::vector<tech::DeviceKnobs> menu_pairs(const std::vector<double>& vth_menu,
+                                          const std::vector<double>& tox_menu);
+
+}  // namespace nanocache::opt

@@ -1,0 +1,86 @@
+#include "opt/options.h"
+
+#include "util/error.h"
+
+namespace nanocache::opt {
+
+using cachemodel::ComponentKind;
+using cachemodel::ComponentMetrics;
+using cachemodel::kAllComponents;
+
+ComponentEvaluator structural_evaluator(const cachemodel::CacheModel& model) {
+  return [&model](ComponentKind kind, const tech::DeviceKnobs& knobs) {
+    return model.component(kind, knobs);
+  };
+}
+
+ComponentEvaluator fitted_evaluator(
+    const cachemodel::FittedCacheModel& fits,
+    const cachemodel::CacheModel& dynamic_source) {
+  return [&fits, &dynamic_source](ComponentKind kind,
+                                  const tech::DeviceKnobs& knobs) {
+    ComponentMetrics m = dynamic_source.component(kind, knobs);
+    // Closed forms replace the structural leakage and delay.
+    m.leakage_w = fits.component_leakage_w(kind, knobs);
+    m.delay_s = fits.component_delay_s(kind, knobs);
+    return m;
+  };
+}
+
+std::vector<ComponentOption> component_options(
+    const ComponentEvaluator& eval, ComponentKind kind,
+    const std::vector<tech::DeviceKnobs>& pairs) {
+  NC_REQUIRE(!pairs.empty(), "option table needs at least one pair");
+  std::vector<ComponentOption> out;
+  out.reserve(pairs.size());
+  for (const auto& k : pairs) {
+    const auto m = eval(kind, k);
+    out.push_back(ComponentOption{k, m.delay_s, m.leakage_w,
+                                  m.dynamic_energy_j});
+  }
+  return out;
+}
+
+std::vector<ComponentOption> periphery_options(
+    const ComponentEvaluator& eval,
+    const std::vector<tech::DeviceKnobs>& pairs) {
+  NC_REQUIRE(!pairs.empty(), "option table needs at least one pair");
+  std::vector<ComponentOption> out;
+  out.reserve(pairs.size());
+  for (const auto& k : pairs) {
+    ComponentOption opt;
+    opt.knobs = k;
+    for (ComponentKind kind :
+         {ComponentKind::kDecoder, ComponentKind::kAddressDrivers,
+          ComponentKind::kDataDrivers}) {
+      const auto m = eval(kind, k);
+      opt.delay_s += m.delay_s;
+      opt.leakage_w += m.leakage_w;
+      opt.dynamic_j += m.dynamic_energy_j;
+    }
+    out.push_back(opt);
+  }
+  return out;
+}
+
+std::vector<ComponentOption> uniform_options(
+    const ComponentEvaluator& eval,
+    const std::vector<tech::DeviceKnobs>& pairs) {
+  NC_REQUIRE(!pairs.empty(), "option table needs at least one pair");
+  std::vector<ComponentOption> out;
+  out.reserve(pairs.size());
+  for (const auto& k : pairs) {
+    ComponentOption opt;
+    opt.knobs = k;
+    for (ComponentKind kind : kAllComponents) {
+      const auto m = eval(kind, k);
+      opt.delay_s += m.delay_s;
+      opt.leakage_w += m.leakage_w;
+      opt.dynamic_j += m.dynamic_energy_j;
+    }
+    out.push_back(opt);
+  }
+  return out;
+}
+
+}  // namespace nanocache::opt

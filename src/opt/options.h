@@ -1,0 +1,53 @@
+// Per-component option tables: each (Vth, Tox) grid pair evaluated to the
+// component's delay/leakage/dynamic-energy.  Both the structural model and
+// the paper's fitted closed forms plug in through the same evaluator
+// signature, so every optimizer runs on either.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "cachemodel/cache_model.h"
+#include "cachemodel/fitted_cache.h"
+#include "opt/grid.h"
+
+namespace nanocache::opt {
+
+/// Evaluator signature shared by all optimizers.
+using ComponentEvaluator = std::function<cachemodel::ComponentMetrics(
+    cachemodel::ComponentKind, const tech::DeviceKnobs&)>;
+
+/// Evaluator backed by the structural (CACTI-style) model.
+ComponentEvaluator structural_evaluator(const cachemodel::CacheModel& model);
+
+/// Evaluator backed by the paper's fitted Eq. (1)/(2) closed forms.
+/// Dynamic energy and area come from `dynamic_source` (the structural
+/// model) since the paper's forms cover only leakage and delay.
+ComponentEvaluator fitted_evaluator(const cachemodel::FittedCacheModel& fits,
+                                    const cachemodel::CacheModel& dynamic_source);
+
+/// One knob choice for one component.
+struct ComponentOption {
+  tech::DeviceKnobs knobs;
+  double delay_s = 0.0;
+  double leakage_w = 0.0;
+  double dynamic_j = 0.0;
+};
+
+/// Evaluate every pair for one component.
+std::vector<ComponentOption> component_options(
+    const ComponentEvaluator& eval, cachemodel::ComponentKind kind,
+    const std::vector<tech::DeviceKnobs>& pairs);
+
+/// Options for a "merged periphery" pseudo-component: decoder + address
+/// drivers + data drivers all at the same pair (Scheme II's second knob).
+std::vector<ComponentOption> periphery_options(
+    const ComponentEvaluator& eval,
+    const std::vector<tech::DeviceKnobs>& pairs);
+
+/// Options for the whole cache at a uniform pair (Scheme III).
+std::vector<ComponentOption> uniform_options(
+    const ComponentEvaluator& eval,
+    const std::vector<tech::DeviceKnobs>& pairs);
+
+}  // namespace nanocache::opt

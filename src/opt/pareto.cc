@@ -1,0 +1,7 @@
+#include "opt/pareto.h"
+
+// Header-only templates; this translation unit exists so the library has a
+// stable archive member for the module and a home for future non-template
+// helpers.
+
+namespace nanocache::opt {}

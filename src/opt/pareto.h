@@ -1,0 +1,96 @@
+// Pareto-dominance utilities (minimization on every axis).  The scheme
+// optimizers and the tuple solver run Pareto-filtered dynamic programming
+// over per-component option sets; these are the shared primitives.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+#include <utility>
+#include <vector>
+
+namespace nanocache::opt {
+
+/// Filter `items` to the 2-objective Pareto front under (fx, fy)
+/// minimization.  Stable-ish: sorted by fx ascending on return.
+template <typename T, typename FX, typename FY>
+std::vector<T> pareto_min2(std::vector<T> items, FX fx, FY fy) {
+  std::sort(items.begin(), items.end(), [&](const T& a, const T& b) {
+    if (fx(a) != fx(b)) return fx(a) < fx(b);
+    return fy(a) < fy(b);
+  });
+  std::vector<T> front;
+  double best_y = std::numeric_limits<double>::infinity();
+  for (auto& item : items) {
+    if (fy(item) < best_y) {
+      best_y = fy(item);
+      front.push_back(std::move(item));
+    }
+  }
+  return front;
+}
+
+/// Filter to the 3-objective Pareto front under (fx, fy, fz) minimization,
+/// via the sorted-sweep + 2D staircase query (O(n log n)).
+template <typename T, typename FX, typename FY, typename FZ>
+std::vector<T> pareto_min3(std::vector<T> items, FX fx, FY fy, FZ fz) {
+  std::sort(items.begin(), items.end(), [&](const T& a, const T& b) {
+    if (fx(a) != fx(b)) return fx(a) < fx(b);
+    if (fy(a) != fy(b)) return fy(a) < fy(b);
+    return fz(a) < fz(b);
+  });
+  // Staircase of mutually non-dominated (y, z) minima over all accepted
+  // points: y strictly increasing, z strictly decreasing.
+  std::vector<std::pair<double, double>> stair;
+  std::vector<T> front;
+  for (auto& item : items) {
+    const double y = fy(item);
+    const double z = fz(item);
+    // Dominated iff some accepted point (all of which have fx <= item's fx)
+    // has y' <= y and z' <= z: find the last stair entry with y' <= y.
+    auto it = std::upper_bound(
+        stair.begin(), stair.end(), y,
+        [](double value, const std::pair<double, double>& s) {
+          return value < s.first;
+        });
+    if (it != stair.begin() && std::prev(it)->second <= z) {
+      continue;  // dominated
+    }
+    front.push_back(item);
+    // Insert (y, z) into the staircase, removing entries it dominates.
+    auto ins = std::lower_bound(
+        stair.begin(), stair.end(), y,
+        [](const std::pair<double, double>& s, double value) {
+          return s.first < value;
+        });
+    ins = stair.insert(ins, {y, z});
+    auto next = std::next(ins);
+    while (next != stair.end() && next->second >= z) {
+      next = stair.erase(next);
+    }
+  }
+  return front;
+}
+
+/// Evenly thin `items` (assumed sorted along the sweep axis) down to at
+/// most `cap` entries, always keeping the first and last.  Used to bound DP
+/// state growth; a documented approximation.
+template <typename T>
+void thin_to(std::vector<T>& items, std::size_t cap) {
+  if (cap < 2 || items.size() <= cap) return;
+  std::vector<T> kept;
+  kept.reserve(cap);
+  const double step =
+      static_cast<double>(items.size() - 1) / static_cast<double>(cap - 1);
+  std::size_t last = static_cast<std::size_t>(-1);
+  for (std::size_t i = 0; i < cap; ++i) {
+    const auto idx = static_cast<std::size_t>(i * step + 0.5);
+    if (idx != last) {
+      kept.push_back(std::move(items[idx]));
+      last = idx;
+    }
+  }
+  items = std::move(kept);
+}
+
+}  // namespace nanocache::opt

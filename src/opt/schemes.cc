@@ -1,0 +1,266 @@
+#include "opt/schemes.h"
+
+#include <array>
+#include <limits>
+
+#include "opt/pareto.h"
+#include "util/error.h"
+
+namespace nanocache::opt {
+
+using cachemodel::ComponentAssignment;
+using cachemodel::ComponentKind;
+using cachemodel::kAllComponents;
+using cachemodel::kNumComponents;
+
+std::string scheme_name(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kPerComponent:
+      return "I (per-component)";
+    case Scheme::kArrayPeriphery:
+      return "II (array/periphery)";
+    case Scheme::kUniform:
+      return "III (uniform)";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Partial DP state for Scheme I: accumulated delay/leak/dynamic plus the
+/// option index chosen for each component combined so far.
+struct Combo {
+  double delay_s = 0.0;
+  double leakage_w = 0.0;
+  double dynamic_j = 0.0;
+  std::array<std::uint16_t, kNumComponents> choice{};
+};
+
+std::vector<Combo> combine(const std::vector<Combo>& partial,
+                           const std::vector<ComponentOption>& options,
+                           std::size_t component_index) {
+  std::vector<Combo> next;
+  next.reserve(partial.size() * options.size());
+  for (const auto& p : partial) {
+    for (std::size_t oi = 0; oi < options.size(); ++oi) {
+      Combo c = p;
+      c.delay_s += options[oi].delay_s;
+      c.leakage_w += options[oi].leakage_w;
+      c.dynamic_j += options[oi].dynamic_j;
+      c.choice[component_index] = static_cast<std::uint16_t>(oi);
+      next.push_back(c);
+    }
+  }
+  // Pareto filter on (delay, leakage): any dominated partial state can
+  // never become optimal because both objectives add monotonically.
+  return pareto_min2(
+      std::move(next), [](const Combo& c) { return c.delay_s; },
+      [](const Combo& c) { return c.leakage_w; });
+}
+
+std::optional<SchemeResult> pick_best(
+    const std::vector<Combo>& combos,
+    const std::array<std::vector<ComponentOption>, kNumComponents>& options,
+    double delay_constraint_s) {
+  const Combo* best = nullptr;
+  for (const auto& c : combos) {
+    if (c.delay_s > delay_constraint_s) continue;
+    if (best == nullptr || c.leakage_w < best->leakage_w) best = &c;
+  }
+  if (best == nullptr) return std::nullopt;
+  SchemeResult r;
+  r.leakage_w = best->leakage_w;
+  r.access_time_s = best->delay_s;
+  r.dynamic_energy_j = best->dynamic_j;
+  for (std::size_t i = 0; i < kNumComponents; ++i) {
+    r.assignment.set(static_cast<ComponentKind>(i),
+                     options[i][best->choice[i]].knobs);
+  }
+  return r;
+}
+
+std::vector<Combo> scheme1_combos(
+    const std::array<std::vector<ComponentOption>, kNumComponents>& options) {
+  std::vector<Combo> combos{Combo{}};
+  for (std::size_t i = 0; i < kNumComponents; ++i) {
+    combos = combine(combos, options[i], i);
+  }
+  return combos;
+}
+
+std::array<std::vector<ComponentOption>, kNumComponents> all_options(
+    const ComponentEvaluator& eval,
+    const std::vector<tech::DeviceKnobs>& pairs) {
+  std::array<std::vector<ComponentOption>, kNumComponents> out;
+  for (ComponentKind kind : kAllComponents) {
+    out[static_cast<std::size_t>(kind)] =
+        component_options(eval, kind, pairs);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<SchemeResult> optimize_single_cache(
+    const ComponentEvaluator& eval, const KnobGrid& grid, Scheme scheme,
+    double delay_constraint_s) {
+  NC_REQUIRE(delay_constraint_s > 0.0, "delay constraint must be positive");
+  const auto pairs = grid.pairs();
+
+  switch (scheme) {
+    case Scheme::kPerComponent: {
+      const auto options = all_options(eval, pairs);
+      return pick_best(scheme1_combos(options), options, delay_constraint_s);
+    }
+
+    case Scheme::kArrayPeriphery: {
+      const auto array_opts = component_options(
+          eval, ComponentKind::kCellArray, pairs);
+      const auto periph_opts = periphery_options(eval, pairs);
+      std::optional<SchemeResult> best;
+      for (const auto& a : array_opts) {
+        for (const auto& p : periph_opts) {
+          const double delay = a.delay_s + p.delay_s;
+          if (delay > delay_constraint_s) continue;
+          const double leak = a.leakage_w + p.leakage_w;
+          if (!best || leak < best->leakage_w) {
+            SchemeResult r;
+            r.assignment = ComponentAssignment::split(a.knobs, p.knobs);
+            r.leakage_w = leak;
+            r.access_time_s = delay;
+            r.dynamic_energy_j = a.dynamic_j + p.dynamic_j;
+            best = r;
+          }
+        }
+      }
+      return best;
+    }
+
+    case Scheme::kUniform: {
+      const auto opts = uniform_options(eval, pairs);
+      std::optional<SchemeResult> best;
+      for (const auto& o : opts) {
+        if (o.delay_s > delay_constraint_s) continue;
+        if (!best || o.leakage_w < best->leakage_w) {
+          SchemeResult r;
+          r.assignment = ComponentAssignment(o.knobs);
+          r.leakage_w = o.leakage_w;
+          r.access_time_s = o.delay_s;
+          r.dynamic_energy_j = o.dynamic_j;
+          best = r;
+        }
+      }
+      return best;
+    }
+  }
+  throw Error("unknown scheme");
+}
+
+double min_access_time(const ComponentEvaluator& eval, const KnobGrid& grid,
+                       Scheme scheme) {
+  const auto pairs = grid.pairs();
+  double best = std::numeric_limits<double>::infinity();
+  switch (scheme) {
+    case Scheme::kPerComponent: {
+      // Independent per-component minima sum to the overall minimum.
+      double total = 0.0;
+      for (ComponentKind kind : kAllComponents) {
+        double comp_best = std::numeric_limits<double>::infinity();
+        for (const auto& o : component_options(eval, kind, pairs)) {
+          comp_best = std::min(comp_best, o.delay_s);
+        }
+        total += comp_best;
+      }
+      return total;
+    }
+    case Scheme::kArrayPeriphery: {
+      double a_best = std::numeric_limits<double>::infinity();
+      for (const auto& o :
+           component_options(eval, ComponentKind::kCellArray, pairs)) {
+        a_best = std::min(a_best, o.delay_s);
+      }
+      double p_best = std::numeric_limits<double>::infinity();
+      for (const auto& o : periphery_options(eval, pairs)) {
+        p_best = std::min(p_best, o.delay_s);
+      }
+      return a_best + p_best;
+    }
+    case Scheme::kUniform: {
+      for (const auto& o : uniform_options(eval, pairs)) {
+        best = std::min(best, o.delay_s);
+      }
+      return best;
+    }
+  }
+  throw Error("unknown scheme");
+}
+
+std::vector<SchemeResult> scheme_frontier(const ComponentEvaluator& eval,
+                                          const KnobGrid& grid,
+                                          Scheme scheme) {
+  const auto pairs = grid.pairs();
+  std::vector<SchemeResult> all;
+
+  switch (scheme) {
+    case Scheme::kPerComponent: {
+      const auto options = all_options(eval, pairs);
+      for (const auto& c : scheme1_combos(options)) {
+        SchemeResult r;
+        r.leakage_w = c.leakage_w;
+        r.access_time_s = c.delay_s;
+        r.dynamic_energy_j = c.dynamic_j;
+        for (std::size_t i = 0; i < kNumComponents; ++i) {
+          r.assignment.set(static_cast<ComponentKind>(i),
+                           options[i][c.choice[i]].knobs);
+        }
+        all.push_back(std::move(r));
+      }
+      break;
+    }
+    case Scheme::kArrayPeriphery: {
+      const auto array_opts =
+          component_options(eval, ComponentKind::kCellArray, pairs);
+      const auto periph_opts = periphery_options(eval, pairs);
+      for (const auto& a : array_opts) {
+        for (const auto& p : periph_opts) {
+          SchemeResult r;
+          r.assignment = ComponentAssignment::split(a.knobs, p.knobs);
+          r.leakage_w = a.leakage_w + p.leakage_w;
+          r.access_time_s = a.delay_s + p.delay_s;
+          r.dynamic_energy_j = a.dynamic_j + p.dynamic_j;
+          all.push_back(std::move(r));
+        }
+      }
+      break;
+    }
+    case Scheme::kUniform: {
+      for (const auto& o : uniform_options(eval, pairs)) {
+        SchemeResult r;
+        r.assignment = ComponentAssignment(o.knobs);
+        r.leakage_w = o.leakage_w;
+        r.access_time_s = o.delay_s;
+        r.dynamic_energy_j = o.dynamic_j;
+        all.push_back(std::move(r));
+      }
+      break;
+    }
+  }
+
+  return pareto_min2(
+      std::move(all), [](const SchemeResult& r) { return r.access_time_s; },
+      [](const SchemeResult& r) { return r.leakage_w; });
+}
+
+std::vector<TradeoffPoint> leakage_delay_curve(
+    const ComponentEvaluator& eval, const KnobGrid& grid, Scheme scheme,
+    const std::vector<double>& delay_targets_s) {
+  std::vector<TradeoffPoint> out;
+  for (double target : delay_targets_s) {
+    auto r = optimize_single_cache(eval, grid, scheme, target);
+    if (!r) continue;
+    out.push_back(TradeoffPoint{target, *r});
+  }
+  return out;
+}
+
+}  // namespace nanocache::opt

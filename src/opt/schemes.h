@@ -1,0 +1,59 @@
+// Single-cache leakage optimization (paper Section 4): minimize total
+// leakage subject to an access-time constraint, under the three Vth/Tox
+// assignment schemes.  All three are solved exactly over the discrete grid
+// (Scheme I via Pareto-filtered dynamic programming, which is exhaustive-
+// equivalent for monotone objectives).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "opt/options.h"
+
+namespace nanocache::opt {
+
+/// The paper's three assignment schemes.
+enum class Scheme {
+  kPerComponent,    ///< Scheme I: independent pair per component
+  kArrayPeriphery,  ///< Scheme II: array pair + shared periphery pair
+  kUniform,         ///< Scheme III: one pair for the whole cache
+};
+
+std::string scheme_name(Scheme scheme);
+
+struct SchemeResult {
+  cachemodel::ComponentAssignment assignment;
+  double leakage_w = 0.0;
+  double access_time_s = 0.0;
+  double dynamic_energy_j = 0.0;
+};
+
+/// Minimize leakage subject to access_time <= delay_constraint_s.
+/// Returns nullopt when no grid assignment meets the constraint.
+std::optional<SchemeResult> optimize_single_cache(
+    const ComponentEvaluator& eval, const KnobGrid& grid, Scheme scheme,
+    double delay_constraint_s);
+
+/// Fastest achievable access time under a scheme (the feasibility bound).
+double min_access_time(const ComponentEvaluator& eval, const KnobGrid& grid,
+                       Scheme scheme);
+
+/// Leakage-vs-delay trade-off curve: optimal leakage at each constraint in
+/// `delay_targets_s` (infeasible targets are skipped).
+struct TradeoffPoint {
+  double delay_constraint_s = 0.0;
+  SchemeResult result;
+};
+std::vector<TradeoffPoint> leakage_delay_curve(
+    const ComponentEvaluator& eval, const KnobGrid& grid, Scheme scheme,
+    const std::vector<double>& delay_targets_s);
+
+/// The full (access time, leakage) Pareto front of a cache under a scheme:
+/// every non-dominated assignment on the grid, sorted by access time
+/// ascending / leakage descending.  This is the per-level primitive joint
+/// multi-level studies combine.
+std::vector<SchemeResult> scheme_frontier(const ComponentEvaluator& eval,
+                                          const KnobGrid& grid,
+                                          Scheme scheme);
+
+}  // namespace nanocache::opt

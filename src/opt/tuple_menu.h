@@ -1,0 +1,67 @@
+// The (Tox, Vth) tuple problem (paper Section 5, Figure 2): given a process
+// menu with at most `num_tox` distinct oxide thicknesses and `num_vth`
+// distinct threshold voltages, assign a menu pair to each of the eight
+// cache components (4 per level) of an L1+L2+memory system so total energy
+// per access is minimized subject to an AMAT constraint.
+//
+// Solved exactly per menu by Pareto-filtered DP over
+// (AMAT-weighted delay, leakage, weighted dynamic energy); menus are
+// enumerated exhaustively over grid subsets.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "energy/memory_system.h"
+#include "opt/options.h"
+
+namespace nanocache::opt {
+
+/// Menu cardinality: the paper sweeps {1,2,3} x {1,2,3}.
+struct MenuSpec {
+  int num_tox = 2;
+  int num_vth = 2;
+};
+
+/// One optimized system design.
+struct SystemDesignPoint {
+  double amat_s = 0.0;
+  double energy_j = 0.0;        ///< total energy per access
+  double leakage_w = 0.0;
+  cachemodel::ComponentAssignment l1;
+  cachemodel::ComponentAssignment l2;
+  std::vector<double> tox_menu;
+  std::vector<double> vth_menu;
+};
+
+class TupleMenuSolver {
+ public:
+  /// `system` supplies the two cache models and the miss statistics;
+  /// evaluators default to the structural models of each level.
+  TupleMenuSolver(const energy::MemorySystemModel& system, KnobGrid grid);
+
+  /// Energy/AMAT Pareto frontier achievable with menus of the given
+  /// cardinality (best menu chosen per point).
+  std::vector<SystemDesignPoint> frontier(const MenuSpec& spec,
+                                          std::size_t max_points = 96) const;
+
+  /// Minimum-energy design meeting `amat_target_s`; nullopt if infeasible.
+  std::optional<SystemDesignPoint> best_at(const MenuSpec& spec,
+                                           double amat_target_s) const;
+
+  /// Fastest achievable AMAT for the spec (feasibility bound).
+  double min_amat_s(const MenuSpec& spec) const;
+
+ private:
+  std::vector<SystemDesignPoint> designs_for_menu(
+      const std::vector<double>& vth_menu,
+      const std::vector<double>& tox_menu) const;
+  std::vector<SystemDesignPoint> all_designs(const MenuSpec& spec) const;
+
+  const energy::MemorySystemModel& system_;
+  KnobGrid grid_;
+  /// DP state cap per combine step (documented approximation knob).
+  std::size_t state_cap_ = 4096;
+};
+
+}  // namespace nanocache::opt

@@ -1,0 +1,221 @@
+#include "sim/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace nanocache::sim {
+
+// --- StrideGenerator --------------------------------------------------------
+
+StrideGenerator::StrideGenerator(std::uint64_t base, std::uint64_t stride_bytes,
+                                 std::uint64_t footprint_bytes,
+                                 double write_fraction, std::uint64_t seed)
+    : base_(base),
+      stride_(stride_bytes),
+      footprint_(footprint_bytes),
+      write_fraction_(write_fraction),
+      rng_(seed) {
+  NC_REQUIRE(stride_ > 0, "stride must be positive");
+  NC_REQUIRE(footprint_ >= stride_, "footprint must cover one stride");
+  NC_REQUIRE(write_fraction_ >= 0.0 && write_fraction_ <= 1.0,
+             "write fraction must be in [0,1]");
+}
+
+Access StrideGenerator::next() {
+  Access a;
+  a.address = base_ + offset_;
+  a.is_write = rng_.uniform() < write_fraction_;
+  offset_ += stride_;
+  if (offset_ >= footprint_) offset_ = 0;
+  return a;
+}
+
+// --- WorkingSetGenerator ----------------------------------------------------
+
+WorkingSetGenerator::WorkingSetGenerator(const Config& config,
+                                         std::uint64_t seed)
+    : cfg_(config), rng_(seed) {
+  NC_REQUIRE(cfg_.page_bytes >= 64, "page must be >= 64 bytes");
+  NC_REQUIRE(cfg_.footprint_bytes >= cfg_.page_bytes,
+             "footprint must cover one page");
+  NC_REQUIRE(cfg_.zipf_s > 0.0, "zipf skew must be positive");
+  NC_REQUIRE(cfg_.run_length >= 1, "run length must be >= 1");
+  num_pages_ = cfg_.footprint_bytes / cfg_.page_bytes;
+
+  // Zipf CDF over ranks 1..num_pages (capped to bound setup cost; ranks
+  // beyond the cap share the tail mass uniformly).
+  const std::uint64_t ranked = std::min<std::uint64_t>(num_pages_, 65536);
+  cdf_.resize(ranked);
+  double sum = 0.0;
+  for (std::uint64_t r = 0; r < ranked; ++r) {
+    sum += 1.0 / std::pow(static_cast<double>(r + 1), cfg_.zipf_s);
+    cdf_[r] = sum;
+  }
+  for (double& v : cdf_) v /= sum;
+
+  // Random rank -> page mapping so popular pages are scattered in memory.
+  rank_to_page_.resize(ranked);
+  std::iota(rank_to_page_.begin(), rank_to_page_.end(), 0u);
+  Rng shuffle_rng(seed ^ 0xabcdef123456ull);
+  for (std::size_t i = rank_to_page_.size(); i > 1; --i) {
+    std::swap(rank_to_page_[i - 1], rank_to_page_[shuffle_rng.below(i)]);
+  }
+}
+
+std::uint64_t WorkingSetGenerator::pick_page() {
+  const double u = rng_.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  std::uint64_t rank = static_cast<std::uint64_t>(it - cdf_.begin());
+  if (rank >= cdf_.size()) rank = cdf_.size() - 1;
+  std::uint64_t page = rank_to_page_[rank];
+  if (num_pages_ > cdf_.size()) {
+    // Spread the coarsely ranked tail over the full footprint.
+    page = page * (num_pages_ / cdf_.size()) + rng_.below(num_pages_ / cdf_.size());
+    if (page >= num_pages_) page = num_pages_ - 1;
+  }
+  return page;
+}
+
+Access WorkingSetGenerator::next() {
+  if (run_remaining_ == 0) {
+    const std::uint64_t page = pick_page();
+    const std::uint64_t word =
+        rng_.below(cfg_.page_bytes / 8 - cfg_.run_length + 1);
+    run_addr_ = cfg_.base + page * cfg_.page_bytes + word * 8;
+    run_remaining_ = cfg_.run_length;
+  }
+  Access a;
+  a.address = run_addr_;
+  a.is_write = rng_.uniform() < cfg_.write_fraction;
+  run_addr_ += 8;
+  --run_remaining_;
+  return a;
+}
+
+// --- PointerChaseGenerator --------------------------------------------------
+
+PointerChaseGenerator::PointerChaseGenerator(std::uint64_t base,
+                                             std::uint64_t footprint_bytes,
+                                             std::uint32_t node_bytes,
+                                             std::uint64_t seed)
+    : base_(base), node_bytes_(node_bytes) {
+  NC_REQUIRE(node_bytes_ >= 8, "node must be >= 8 bytes");
+  NC_REQUIRE(footprint_bytes >= node_bytes_ * 2ull,
+             "footprint must hold >= 2 nodes");
+  const std::uint64_t nodes64 = footprint_bytes / node_bytes_;
+  NC_REQUIRE(nodes64 <= 1ull << 28, "pointer-chase footprint too large");
+  const auto nodes = static_cast<std::uint32_t>(nodes64);
+
+  // Sattolo's algorithm: a single cycle visiting every node.
+  std::vector<std::uint32_t> perm(nodes);
+  std::iota(perm.begin(), perm.end(), 0u);
+  Rng rng(seed);
+  for (std::uint32_t i = nodes - 1; i > 0; --i) {
+    const auto j = static_cast<std::uint32_t>(rng.below(i));
+    std::swap(perm[i], perm[j]);
+  }
+  next_index_.resize(nodes);
+  for (std::uint32_t i = 0; i + 1 < nodes; ++i) {
+    next_index_[perm[i]] = perm[i + 1];
+  }
+  next_index_[perm[nodes - 1]] = perm[0];
+}
+
+Access PointerChaseGenerator::next() {
+  Access a;
+  a.address = base_ + static_cast<std::uint64_t>(cursor_) * node_bytes_;
+  a.is_write = false;
+  cursor_ = next_index_[cursor_];
+  return a;
+}
+
+// --- InstructionFetchGenerator ----------------------------------------------
+
+InstructionFetchGenerator::InstructionFetchGenerator(const Config& config,
+                                                     std::uint64_t seed)
+    : cfg_(config), rng_(seed), pc_(config.base) {
+  NC_REQUIRE(cfg_.code_bytes >= 4096, "code footprint must be >= 4KB");
+  NC_REQUIRE(cfg_.mean_block_instructions >= 1.0,
+             "basic blocks must average >= 1 instruction");
+  NC_REQUIRE(cfg_.loop_back_probability >= 0.0 &&
+                 cfg_.loop_back_probability <= 1.0,
+             "loop-back probability must be in [0,1]");
+  NC_REQUIRE(cfg_.hot_targets >= 1, "need at least one loop target");
+  loop_targets_.resize(cfg_.hot_targets);
+  for (auto& t : loop_targets_) {
+    t = cfg_.base + (rng_.below(cfg_.code_bytes / 4)) * 4;
+  }
+}
+
+Access InstructionFetchGenerator::next() {
+  Access a;
+  a.address = pc_;
+  a.is_write = false;  // instruction fetches never write
+
+  // End of basic block with probability 1/mean_block (geometric lengths).
+  if (rng_.uniform() < 1.0 / cfg_.mean_block_instructions) {
+    if (rng_.uniform() < cfg_.loop_back_probability) {
+      // Taken branch to a hot loop header.
+      pc_ = loop_targets_[rng_.below(loop_targets_.size())];
+    } else {
+      // Fresh target: call/long jump; it becomes a new hot header.
+      pc_ = cfg_.base + rng_.below(cfg_.code_bytes / 4) * 4;
+      loop_targets_[rng_.below(loop_targets_.size())] = pc_;
+    }
+  } else {
+    pc_ += 4;
+    if (pc_ >= cfg_.base + cfg_.code_bytes) pc_ = cfg_.base;
+  }
+  return a;
+}
+
+// --- PhaseGenerator ---------------------------------------------------------
+
+PhaseGenerator::PhaseGenerator(
+    std::vector<std::unique_ptr<TraceSource>> sources,
+    std::uint64_t mean_phase_length, std::uint64_t seed)
+    : sources_(std::move(sources)), rng_(seed) {
+  NC_REQUIRE(!sources_.empty(), "phase generator needs at least one source");
+  NC_REQUIRE(mean_phase_length >= 1, "mean phase length must be >= 1");
+  switch_probability_ = 1.0 / static_cast<double>(mean_phase_length);
+}
+
+Access PhaseGenerator::next() {
+  if (sources_.size() > 1 && rng_.uniform() < switch_probability_) {
+    // Jump to a uniformly chosen *different* phase.
+    const std::size_t offset = 1 + rng_.below(sources_.size() - 1);
+    current_ = (current_ + offset) % sources_.size();
+    ++transitions_;
+  }
+  return sources_[current_]->next();
+}
+
+// --- MixGenerator -----------------------------------------------------------
+
+MixGenerator::MixGenerator(std::vector<std::unique_ptr<TraceSource>> sources,
+                           std::vector<double> weights, std::uint64_t seed)
+    : sources_(std::move(sources)), rng_(seed) {
+  NC_REQUIRE(!sources_.empty(), "mix needs at least one source");
+  NC_REQUIRE(sources_.size() == weights.size(),
+             "mix weights/sources size mismatch");
+  double sum = 0.0;
+  for (double w : weights) {
+    NC_REQUIRE(w > 0.0, "mix weights must be positive");
+    sum += w;
+    cumulative_.push_back(sum);
+  }
+  for (double& c : cumulative_) c /= sum;
+}
+
+Access MixGenerator::next() {
+  const double u = rng_.uniform();
+  const auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+  std::size_t idx = static_cast<std::size_t>(it - cumulative_.begin());
+  if (idx >= sources_.size()) idx = sources_.size() - 1;
+  return sources_[idx]->next();
+}
+
+}  // namespace nanocache::sim

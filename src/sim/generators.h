@@ -1,0 +1,148 @@
+// Synthetic workload generators.  These substitute for the paper's
+// SPEC2000 / SPECWEB / TPC-C traces: each produces a reference stream with
+// a distinct locality signature, and mixtures of them reproduce the
+// miss-rate-vs-size shapes architectural simulation of those suites yields
+// (low, flat L1 local miss rates; L2 miss rates falling with size with
+// diminishing returns).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/trace.h"
+#include "util/rng.h"
+
+namespace nanocache::sim {
+
+/// Sequential streaming with a fixed stride over a large footprint —
+/// models the scan-heavy phases of SPEC fp / database table scans.
+class StrideGenerator final : public TraceSource {
+ public:
+  StrideGenerator(std::uint64_t base, std::uint64_t stride_bytes,
+                  std::uint64_t footprint_bytes, double write_fraction,
+                  std::uint64_t seed);
+
+  Access next() override;
+
+ private:
+  std::uint64_t base_;
+  std::uint64_t stride_;
+  std::uint64_t footprint_;
+  double write_fraction_;
+  std::uint64_t offset_ = 0;
+  Rng rng_;
+};
+
+/// Hot/cold working-set model: pages are ranked by Zipf popularity; within
+/// a touched page, short sequential runs.  The classic integer-code
+/// signature (gcc/perl-like).
+class WorkingSetGenerator final : public TraceSource {
+ public:
+  struct Config {
+    std::uint64_t base = 0;
+    std::uint64_t footprint_bytes = 8ull << 20;  ///< total pages footprint
+    std::uint32_t page_bytes = 4096;
+    double zipf_s = 0.9;            ///< popularity skew
+    std::uint32_t run_length = 8;   ///< sequential words per page visit
+    double write_fraction = 0.25;
+  };
+
+  WorkingSetGenerator(const Config& config, std::uint64_t seed);
+
+  Access next() override;
+
+ private:
+  std::uint64_t pick_page();
+
+  Config cfg_;
+  std::uint64_t num_pages_;
+  std::vector<double> cdf_;  ///< Zipf CDF over page ranks
+  std::vector<std::uint32_t> rank_to_page_;
+  Rng rng_;
+  std::uint64_t run_remaining_ = 0;
+  std::uint64_t run_addr_ = 0;
+};
+
+/// Dependent pointer chase over a shuffled ring — the latency-bound
+/// signature (mcf/olden-like): almost no spatial locality, temporal reuse
+/// only at the footprint scale.
+class PointerChaseGenerator final : public TraceSource {
+ public:
+  PointerChaseGenerator(std::uint64_t base, std::uint64_t footprint_bytes,
+                        std::uint32_t node_bytes, std::uint64_t seed);
+
+  Access next() override;
+
+ private:
+  std::uint64_t base_;
+  std::uint32_t node_bytes_;
+  std::vector<std::uint32_t> next_index_;
+  std::uint32_t cursor_ = 0;
+};
+
+/// Instruction-fetch stream: a program counter walking sequentially with
+/// geometrically distributed basic-block lengths, branching either to one
+/// of a few hot loop targets (temporal locality) or to a fresh location in
+/// the code footprint.  The highly sequential signature is what makes
+/// I-caches behave so differently from D-caches.
+class InstructionFetchGenerator final : public TraceSource {
+ public:
+  struct Config {
+    std::uint64_t base = 0x0040'0000;
+    std::uint64_t code_bytes = 512 << 10;  ///< text-segment footprint
+    double mean_block_instructions = 8.0;  ///< instructions per basic block
+    double loop_back_probability = 0.85;   ///< taken branch returns to a loop
+    std::uint32_t hot_targets = 16;        ///< live loop-header set
+  };
+
+  InstructionFetchGenerator(const Config& config, std::uint64_t seed);
+
+  Access next() override;
+
+ private:
+  Config cfg_;
+  Rng rng_;
+  std::uint64_t pc_;
+  std::vector<std::uint64_t> loop_targets_;
+};
+
+/// Program-phase model: a Markov chain over child sources.  Unlike
+/// MixGenerator (which interleaves per access), PhaseGenerator stays in
+/// one phase for a geometrically distributed run of accesses before
+/// switching — reproducing the phase behaviour that makes miss rates
+/// time-varying in real programs.
+class PhaseGenerator final : public TraceSource {
+ public:
+  /// `mean_phase_length` accesses per phase on average (geometric).
+  PhaseGenerator(std::vector<std::unique_ptr<TraceSource>> sources,
+                 std::uint64_t mean_phase_length, std::uint64_t seed);
+
+  Access next() override;
+
+  std::size_t current_phase() const { return current_; }
+  std::uint64_t phase_transitions() const { return transitions_; }
+
+ private:
+  std::vector<std::unique_ptr<TraceSource>> sources_;
+  double switch_probability_;
+  std::size_t current_ = 0;
+  std::uint64_t transitions_ = 0;
+  Rng rng_;
+};
+
+/// Weighted mixture of sources; models a multiprogrammed/benchmark-suite
+/// blend.  Weights need not be normalized.
+class MixGenerator final : public TraceSource {
+ public:
+  MixGenerator(std::vector<std::unique_ptr<TraceSource>> sources,
+               std::vector<double> weights, std::uint64_t seed);
+
+  Access next() override;
+
+ private:
+  std::vector<std::unique_ptr<TraceSource>> sources_;
+  std::vector<double> cumulative_;
+  Rng rng_;
+};
+
+}  // namespace nanocache::sim

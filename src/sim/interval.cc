@@ -1,0 +1,31 @@
+#include "sim/interval.h"
+
+#include "util/error.h"
+#include "util/stats.h"
+
+namespace nanocache::sim {
+
+IntervalRecorder::IntervalRecorder(std::uint64_t window) : window_(window) {
+  NC_REQUIRE(window_ >= 1, "interval window must be >= 1");
+}
+
+void IntervalRecorder::record(bool miss) {
+  if (miss) ++misses_in_window_;
+  if (++in_window_ == window_) {
+    rates_.push_back(static_cast<double>(misses_in_window_) /
+                     static_cast<double>(window_));
+    in_window_ = 0;
+    misses_in_window_ = 0;
+  }
+}
+
+double IntervalRecorder::mean() const {
+  if (rates_.empty()) return 0.0;
+  return math::mean(rates_);
+}
+
+double IntervalRecorder::coefficient_of_variation() const {
+  return math::coefficient_of_variation(rates_);
+}
+
+}  // namespace nanocache::sim

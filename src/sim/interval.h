@@ -1,0 +1,40 @@
+// Windowed statistics: records per-reference hit/miss outcomes into
+// fixed-size windows, exposing the miss-rate time series.  Makes program
+// phase behaviour (PhaseGenerator, real traces) visible and measurable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace nanocache::sim {
+
+class IntervalRecorder {
+ public:
+  /// `window` references per interval.
+  explicit IntervalRecorder(std::uint64_t window);
+
+  /// Record one reference outcome.
+  void record(bool miss);
+
+  /// Miss rates of all *completed* windows, in time order.
+  const std::vector<double>& miss_rates() const { return rates_; }
+
+  /// Mean of the completed-window miss rates (0 if none).
+  double mean() const;
+
+  /// Coefficient of variation (stddev/mean) of the window miss rates —
+  /// the phase-iness metric: ~0 for stationary streams, large when the
+  /// workload alternates between regimes.  0 if fewer than 2 windows or
+  /// zero mean.
+  double coefficient_of_variation() const;
+
+  std::uint64_t window() const { return window_; }
+
+ private:
+  std::uint64_t window_;
+  std::uint64_t in_window_ = 0;
+  std::uint64_t misses_in_window_ = 0;
+  std::vector<double> rates_;
+};
+
+}  // namespace nanocache::sim

@@ -1,0 +1,53 @@
+// Analytic miss-rate models.  The benches use these for smooth parameter
+// sweeps; tests cross-validate them against the trace-driven simulator.
+//
+// The L2 model is the classic power law ("square-root rule of thumb"):
+// miss_rate(C) = m0 * (C / C0)^(-s), clamped to [floor, 1].  The L1 local
+// model reproduces the Section 5 observation that 4K-64K L1 local miss
+// rates are low and vary little.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace nanocache::sim {
+
+/// Power-law miss curve with saturation floor.
+class PowerLawMissModel {
+ public:
+  /// miss(C) = clamp(m0 * (C/C0)^(-exponent), floor, 1).
+  PowerLawMissModel(double m0, std::uint64_t c0_bytes, double exponent,
+                    double floor);
+
+  double operator()(std::uint64_t size_bytes) const;
+
+  double m0() const { return m0_; }
+  double exponent() const { return exponent_; }
+  double floor() const { return floor_; }
+
+  /// Fit from measured (size, miss-rate) points (log-log least squares);
+  /// floor taken as a fraction of the smallest observed rate.
+  static PowerLawMissModel fit(const std::vector<std::uint64_t>& sizes,
+                               const std::vector<double>& rates,
+                               double floor_fraction = 0.25);
+
+ private:
+  double m0_;
+  double c0_;
+  double exponent_;
+  double floor_;
+};
+
+/// Default workload population used by the paper-shaped experiments:
+/// local miss-rate curves averaged over the synthetic suite.  Values are
+/// produced once by sim::measure_suite_miss_curves (see suite.h) and
+/// re-fitted here so benches don't pay simulation cost on every run.
+struct MissCurves {
+  PowerLawMissModel l1;  ///< local L1 miss rate vs L1 size
+  PowerLawMissModel l2;  ///< local L2 miss rate vs L2 size (L1 filtered)
+};
+
+/// The calibrated default curves (constants documented in missmodel.cc).
+MissCurves default_miss_curves();
+
+}  // namespace nanocache::sim

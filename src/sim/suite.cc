@@ -1,0 +1,256 @@
+#include "sim/suite.h"
+
+#include <algorithm>
+
+#include "sim/generators.h"
+#include "util/error.h"
+
+namespace nanocache::sim {
+
+namespace {
+
+// Every workload mixes in a small, very hot region standing in for stack /
+// register-spill traffic — that component is what keeps real codes' local
+// L1 miss rates in the low single digits (the paper's Section 5 premise).
+std::unique_ptr<TraceSource> make_hot_stack(std::uint64_t base,
+                                            std::uint64_t seed) {
+  WorkingSetGenerator::Config cfg;
+  cfg.base = base;
+  cfg.footprint_bytes = 4ull << 10;  // resident in every L1 size studied
+  cfg.page_bytes = 256;
+  cfg.zipf_s = 1.0;
+  cfg.run_length = 8;
+  cfg.write_fraction = 0.45;
+  return std::make_unique<WorkingSetGenerator>(cfg, seed);
+}
+
+std::unique_ptr<TraceSource> make_intcode(std::uint64_t seed) {
+  // gcc/perl-like: hot stack + skewed heap working set (~3 MB) with short
+  // sequential runs.
+  std::vector<std::unique_ptr<TraceSource>> parts;
+  parts.push_back(make_hot_stack(0x1000'0000ull, seed ^ 0x10));
+  WorkingSetGenerator::Config heap;
+  heap.base = 0x2000'0000ull;
+  heap.footprint_bytes = 3ull << 20;
+  heap.zipf_s = 1.10;
+  heap.run_length = 12;
+  heap.write_fraction = 0.30;
+  parts.push_back(std::make_unique<WorkingSetGenerator>(heap, seed ^ 0x11));
+  return std::make_unique<MixGenerator>(std::move(parts),
+                                        std::vector<double>{0.78, 0.22},
+                                        seed ^ 0x12);
+}
+
+std::unique_ptr<TraceSource> make_pointer(std::uint64_t seed) {
+  // mcf-like: hot stack + dependent chase over 2.5 MB with no spatial
+  // locality (fits only in the larger L2 sizes).
+  std::vector<std::unique_ptr<TraceSource>> parts;
+  parts.push_back(make_hot_stack(0x3000'0000ull, seed ^ 0x20));
+  parts.push_back(std::make_unique<PointerChaseGenerator>(
+      0x4000'0000ull, (5ull << 20) / 2, 64, seed ^ 0x22));
+  return std::make_unique<MixGenerator>(std::move(parts),
+                                        std::vector<double>{0.90, 0.10},
+                                        seed ^ 0x23);
+}
+
+std::unique_ptr<TraceSource> make_stream(std::uint64_t seed) {
+  // fp/stream-like: hot stack + unit-stride scans over 12 MB (compulsory
+  // misses no cache capacity removes -> the L2 miss-rate floor).
+  std::vector<std::unique_ptr<TraceSource>> parts;
+  parts.push_back(make_hot_stack(0x7000'0000ull, seed ^ 0x30));
+  parts.push_back(std::make_unique<StrideGenerator>(
+      0x8000'0000ull, 8, 12ull << 20, 0.2, seed ^ 0x33));
+  return std::make_unique<MixGenerator>(std::move(parts),
+                                        std::vector<double>{0.82, 0.18},
+                                        seed ^ 0x34);
+}
+
+std::unique_ptr<TraceSource> make_oltp(std::uint64_t seed) {
+  // TPC-C-like: hot stack + hot index pages + table scans + log writes.
+  std::vector<std::unique_ptr<TraceSource>> parts;
+  parts.push_back(make_hot_stack(0xb000'0000ull, seed ^ 0x40));
+  WorkingSetGenerator::Config idx;
+  idx.base = 0xa000'0000ull;
+  idx.footprint_bytes = 2ull << 20;
+  idx.zipf_s = 1.2;
+  idx.run_length = 8;
+  idx.write_fraction = 0.35;
+  parts.push_back(std::make_unique<WorkingSetGenerator>(idx, seed ^ 0x44));
+  parts.push_back(std::make_unique<StrideGenerator>(
+      0xc000'0000ull, 8, 6ull << 20, 0.1, seed ^ 0x55));
+  parts.push_back(std::make_unique<StrideGenerator>(
+      0xe000'0000ull, 64, 2ull << 20, 1.0, seed ^ 0x66));
+  return std::make_unique<MixGenerator>(
+      std::move(parts), std::vector<double>{0.60, 0.25, 0.10, 0.05},
+      seed ^ 0x77);
+}
+
+std::unique_ptr<TraceSource> make_web(std::uint64_t seed) {
+  // SPECWEB-like: very hot small object cache + long-tail object fetches.
+  std::vector<std::unique_ptr<TraceSource>> parts;
+  parts.push_back(make_hot_stack(0x1800'0000ull, seed ^ 0x80));
+  WorkingSetGenerator::Config hot;
+  hot.footprint_bytes = (3ull << 20) / 2;
+  hot.zipf_s = 1.3;
+  hot.run_length = 16;
+  hot.write_fraction = 0.1;
+  parts.push_back(std::make_unique<WorkingSetGenerator>(hot, seed ^ 0x88));
+  WorkingSetGenerator::Config tail;
+  tail.base = 0x2000'0000ull;
+  tail.footprint_bytes = 24ull << 20;
+  tail.zipf_s = 0.7;
+  tail.run_length = 32;
+  tail.write_fraction = 0.05;
+  parts.push_back(std::make_unique<WorkingSetGenerator>(tail, seed ^ 0x99));
+  return std::make_unique<MixGenerator>(std::move(parts),
+                                        std::vector<double>{0.62, 0.28, 0.10},
+                                        seed ^ 0xaa);
+}
+
+std::unique_ptr<TraceSource> make_dss(std::uint64_t seed) {
+  // Decision-support-like: long table scans joined against a hash table
+  // that fits mid-size L2s.
+  std::vector<std::unique_ptr<TraceSource>> parts;
+  parts.push_back(make_hot_stack(0x3800'0000ull, seed ^ 0xb0));
+  parts.push_back(std::make_unique<StrideGenerator>(
+      0x4800'0000ull, 8, 20ull << 20, 0.05, seed ^ 0xb1));
+  WorkingSetGenerator::Config hash;
+  hash.base = 0x5800'0000ull;
+  hash.footprint_bytes = 1ull << 20;
+  hash.zipf_s = 0.8;  // hash probes are nearly uniform over the table
+  hash.run_length = 4;
+  hash.write_fraction = 0.15;
+  parts.push_back(std::make_unique<WorkingSetGenerator>(hash, seed ^ 0xb2));
+  return std::make_unique<MixGenerator>(std::move(parts),
+                                        std::vector<double>{0.62, 0.16, 0.22},
+                                        seed ^ 0xb3);
+}
+
+std::unique_ptr<TraceSource> make_media(std::uint64_t seed) {
+  // Media-kernel-like: streaming frames through a small hot coefficient
+  // table; very regular, low miss rates everywhere.
+  std::vector<std::unique_ptr<TraceSource>> parts;
+  parts.push_back(make_hot_stack(0x6800'0000ull, seed ^ 0xc0));
+  WorkingSetGenerator::Config coeff;
+  coeff.base = 0x7000'0000ull;
+  coeff.footprint_bytes = 64ull << 10;
+  coeff.zipf_s = 1.0;
+  coeff.run_length = 32;
+  parts.push_back(std::make_unique<WorkingSetGenerator>(coeff, seed ^ 0xc1));
+  parts.push_back(std::make_unique<StrideGenerator>(
+      0x7800'0000ull, 8, 8ull << 20, 0.3, seed ^ 0xc2));
+  return std::make_unique<MixGenerator>(std::move(parts),
+                                        std::vector<double>{0.58, 0.32, 0.10},
+                                        seed ^ 0xc3);
+}
+
+std::unique_ptr<TraceSource> make_jvm(std::uint64_t seed) {
+  // Managed-runtime-like: long mutator phases (intcode signature)
+  // alternating with GC sweeps (strided scans of the heap) — a genuinely
+  // phased workload, built on the Markov phase generator.
+  // Three mutator phases to one GC phase keeps the long-run time share
+  // at ~3:1 (the phase generator switches uniformly among entries).
+  std::vector<std::unique_ptr<TraceSource>> phases;
+  phases.push_back(make_intcode(seed ^ 0xd0));
+  phases.push_back(make_intcode(seed ^ 0xd3));
+  phases.push_back(make_intcode(seed ^ 0xd4));
+  phases.push_back(std::make_unique<StrideGenerator>(
+      0x2000'0000ull, 8, 4ull << 20, 0.4, seed ^ 0xd1));
+  return std::make_unique<PhaseGenerator>(std::move(phases),
+                                          /*mean_phase_length=*/40'000,
+                                          seed ^ 0xd2);
+}
+
+}  // namespace
+
+const std::vector<Workload>& default_suite() {
+  static const std::vector<Workload> suite = {
+      {"intcode", 101, &make_intcode}, {"pointer", 202, &make_pointer},
+      {"stream", 303, &make_stream},   {"oltp", 404, &make_oltp},
+      {"web", 505, &make_web},         {"dss", 606, &make_dss},
+      {"media", 707, &make_media},     {"jvm", 808, &make_jvm},
+  };
+  return suite;
+}
+
+std::unique_ptr<TraceSource> make_workload(const std::string& name,
+                                           std::uint64_t seed) {
+  for (const auto& w : default_suite()) {
+    if (w.name == name) return w.make(seed == 0 ? w.seed : seed);
+  }
+  throw Error("unknown workload: " + name);
+}
+
+namespace {
+
+SuitePoint run_point(const Workload& w, const SuiteRunConfig& cfg,
+                     std::uint64_t l1_bytes, std::uint64_t l2_bytes) {
+  auto trace = w.make(w.seed);
+  TwoLevelHierarchy hier(
+      SetAssociativeCache(l1_bytes, cfg.l1_block, cfg.l1_assoc),
+      SetAssociativeCache(l2_bytes, cfg.l2_block, cfg.l2_assoc));
+  hier.warmup(*trace, cfg.warmup_refs);
+  hier.run(*trace, cfg.measured_refs);
+  SuitePoint p;
+  p.workload = w.name;
+  p.l1_bytes = l1_bytes;
+  p.l2_bytes = l2_bytes;
+  p.l1_miss_rate = hier.stats().l1_miss_rate();
+  p.l2_local_miss_rate = hier.stats().l2_local_miss_rate();
+  return p;
+}
+
+}  // namespace
+
+std::vector<SuitePoint> measure_suite(const SuiteRunConfig& cfg) {
+  NC_REQUIRE(!cfg.l1_sizes.empty() && !cfg.l2_sizes.empty(),
+             "suite config needs sizes");
+  std::vector<SuitePoint> out;
+  const std::uint64_t l2_fixed = cfg.l2_sizes[cfg.l2_sizes.size() / 2];
+  const std::uint64_t l1_fixed = cfg.l1_sizes[cfg.l1_sizes.size() / 2];
+  for (const auto& w : default_suite()) {
+    for (std::uint64_t l1 : cfg.l1_sizes) {
+      out.push_back(run_point(w, cfg, l1, l2_fixed));
+    }
+    for (std::uint64_t l2 : cfg.l2_sizes) {
+      out.push_back(run_point(w, cfg, l1_fixed, l2));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::vector<double> average_curve(const std::vector<SuitePoint>& points,
+                                  const std::vector<std::uint64_t>& sizes,
+                                  bool by_l1) {
+  std::vector<double> avg(sizes.size(), 0.0);
+  std::vector<int> count(sizes.size(), 0);
+  // L1 sweep points share the modal L2 size and vice versa; identify the
+  // fixed level as the most frequent value of the other dimension.
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    for (const auto& p : points) {
+      const std::uint64_t key = by_l1 ? p.l1_bytes : p.l2_bytes;
+      if (key != sizes[i]) continue;
+      avg[i] += by_l1 ? p.l1_miss_rate : p.l2_local_miss_rate;
+      ++count[i];
+    }
+    NC_REQUIRE(count[i] > 0, "no suite points for requested size");
+    avg[i] /= count[i];
+  }
+  return avg;
+}
+
+}  // namespace
+
+std::vector<double> average_l1_curve(const std::vector<SuitePoint>& points,
+                                     const std::vector<std::uint64_t>& sizes) {
+  return average_curve(points, sizes, /*by_l1=*/true);
+}
+
+std::vector<double> average_l2_curve(const std::vector<SuitePoint>& points,
+                                     const std::vector<std::uint64_t>& sizes) {
+  return average_curve(points, sizes, /*by_l1=*/false);
+}
+
+}  // namespace nanocache::sim

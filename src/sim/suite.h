@@ -1,0 +1,67 @@
+// The synthetic benchmark suite standing in for the paper's SPEC2000 /
+// SPECWEB / TPC-C trace collection: a set of named workloads with distinct
+// locality signatures, plus the measurement harness that produces
+// miss-rate-vs-size curves by running them through the simulator.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/hierarchy.h"
+#include "sim/trace.h"
+
+namespace nanocache::sim {
+
+/// A named workload factory (fresh generator per call, deterministic for a
+/// given seed).
+struct Workload {
+  std::string name;
+  std::uint64_t seed = 1;
+  std::unique_ptr<TraceSource> (*make)(std::uint64_t seed);
+};
+
+/// The default suite: integer-code-like, pointer-chasing, streaming,
+/// transaction-mix and web-mix signatures.
+const std::vector<Workload>& default_suite();
+
+/// Look up one workload by name; throws if unknown.
+std::unique_ptr<TraceSource> make_workload(const std::string& name,
+                                           std::uint64_t seed = 0);
+
+/// Miss statistics of one (workload, L1 size, L2 size) run.
+struct SuitePoint {
+  std::string workload;
+  std::uint64_t l1_bytes = 0;
+  std::uint64_t l2_bytes = 0;
+  double l1_miss_rate = 0.0;
+  double l2_local_miss_rate = 0.0;
+};
+
+struct SuiteRunConfig {
+  std::vector<std::uint64_t> l1_sizes = {4096, 8192, 16384, 32768, 65536};
+  std::vector<std::uint64_t> l2_sizes = {256 * 1024, 512 * 1024, 1024 * 1024,
+                                         2048 * 1024, 4096 * 1024};
+  std::uint64_t warmup_refs = 200'000;
+  std::uint64_t measured_refs = 800'000;
+  std::uint32_t l1_block = 32;
+  std::uint32_t l1_assoc = 2;
+  std::uint32_t l2_block = 64;
+  std::uint32_t l2_assoc = 8;
+};
+
+/// Run every workload over the size cross-product; one SuitePoint each.
+/// (L1 varies with L2 fixed at its median entry and vice versa, rather than
+/// the full product, to bound runtime.)
+std::vector<SuitePoint> measure_suite(const SuiteRunConfig& config);
+
+/// Average local miss rate per L1 size (L2 fixed) across workloads.
+std::vector<double> average_l1_curve(const std::vector<SuitePoint>& points,
+                                     const std::vector<std::uint64_t>& sizes);
+
+/// Average local L2 miss rate per L2 size (L1 fixed) across workloads.
+std::vector<double> average_l2_curve(const std::vector<SuitePoint>& points,
+                                     const std::vector<std::uint64_t>& sizes);
+
+}  // namespace nanocache::sim

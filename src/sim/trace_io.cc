@@ -1,0 +1,54 @@
+#include "sim/trace_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace nanocache::sim {
+
+void save_trace(TraceSource& source, std::uint64_t count,
+                const std::string& path) {
+  std::ofstream out(path);
+  NC_REQUIRE(out.good(), "cannot open trace file for writing: " + path);
+  out << "# nanocache trace v1\n" << std::hex;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const Access a = source.next();
+    out << (a.is_write ? 'W' : 'R') << ' ' << a.address << '\n';
+  }
+  NC_REQUIRE(out.good(), "failed writing trace file: " + path);
+}
+
+VectorTrace load_trace(const std::string& path) {
+  std::ifstream in(path);
+  NC_REQUIRE(in.good(), "cannot open trace file: " + path);
+  std::vector<Access> accesses;
+  std::string line;
+  std::uint64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream is(line);
+    char kind = 0;
+    std::string addr_hex;
+    is >> kind >> addr_hex;
+    NC_REQUIRE(!is.fail() && (kind == 'R' || kind == 'W'),
+               "malformed trace line " + std::to_string(line_no) + ": " +
+                   line);
+    std::uint64_t address = 0;
+    std::size_t consumed = 0;
+    try {
+      address = std::stoull(addr_hex, &consumed, 16);
+    } catch (const std::exception&) {
+      consumed = 0;
+    }
+    NC_REQUIRE(consumed == addr_hex.size() && !addr_hex.empty(),
+               "bad address on trace line " + std::to_string(line_no) + ": " +
+                   line);
+    accesses.push_back(Access{address, kind == 'W'});
+  }
+  NC_REQUIRE(!accesses.empty(), "trace file contains no accesses: " + path);
+  return VectorTrace(std::move(accesses));
+}
+
+}  // namespace nanocache::sim

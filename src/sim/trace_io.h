@@ -1,0 +1,27 @@
+// Trace serialization: save any TraceSource prefix to a simple line-based
+// text format and load it back for replay.  Format, one access per line:
+//
+//   R 1a2b3c
+//   W 40
+//
+// ('R'/'W', one hexadecimal address, '#'-prefixed comment lines ignored).
+// This is the interchange point for driving the simulator with externally
+// captured traces.
+#pragma once
+
+#include <string>
+
+#include "sim/trace.h"
+
+namespace nanocache::sim {
+
+/// Write the next `count` accesses of `source` to `path`.
+/// Throws nanocache::Error on I/O failure.
+void save_trace(TraceSource& source, std::uint64_t count,
+                const std::string& path);
+
+/// Load a trace file into a replayable VectorTrace.
+/// Throws nanocache::Error on I/O failure or malformed lines.
+VectorTrace load_trace(const std::string& path);
+
+}  // namespace nanocache::sim

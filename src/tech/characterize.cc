@@ -1,0 +1,38 @@
+#include "tech/characterize.h"
+
+#include "util/error.h"
+
+namespace nanocache::tech {
+
+std::vector<DeviceKnobs> knob_grid(const KnobRange& range, int vth_steps,
+                                   int tox_steps) {
+  NC_REQUIRE(vth_steps >= 2 && tox_steps >= 2, "grid needs >= 2 steps per axis");
+  std::vector<DeviceKnobs> grid;
+  grid.reserve(static_cast<std::size_t>(vth_steps) * tox_steps);
+  for (int i = 0; i < vth_steps; ++i) {
+    const double vth = range.vth_min_v + (range.vth_max_v - range.vth_min_v) *
+                                             static_cast<double>(i) /
+                                             (vth_steps - 1);
+    for (int j = 0; j < tox_steps; ++j) {
+      const double tox = range.tox_min_a + (range.tox_max_a - range.tox_min_a) *
+                                               static_cast<double>(j) /
+                                               (tox_steps - 1);
+      grid.push_back(DeviceKnobs{vth, tox});
+    }
+  }
+  return grid;
+}
+
+std::vector<KnobSample> characterize(
+    const std::vector<DeviceKnobs>& grid,
+    const std::function<double(const DeviceKnobs&)>& figure) {
+  NC_REQUIRE(static_cast<bool>(figure), "figure of merit must be callable");
+  std::vector<KnobSample> samples;
+  samples.reserve(grid.size());
+  for (const auto& k : grid) {
+    samples.push_back(KnobSample{k, figure(k)});
+  }
+  return samples;
+}
+
+}  // namespace nanocache::tech

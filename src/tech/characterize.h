@@ -1,0 +1,30 @@
+// Characterization sweeps: evaluate any scalar figure of merit over a
+// discrete (Vth, Tox) grid.  This is the stand-in for the paper's "extensive
+// HSPICE simulation" step that produces the samples the closed forms are
+// fitted to.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "tech/device.h"
+
+namespace nanocache::tech {
+
+/// One characterization point.
+struct KnobSample {
+  DeviceKnobs knobs;
+  double value = 0.0;
+};
+
+/// Uniform grid over the knob range: `vth_steps` x `tox_steps` points,
+/// inclusive of both endpoints.  Throws if steps < 2.
+std::vector<DeviceKnobs> knob_grid(const KnobRange& range, int vth_steps,
+                                   int tox_steps);
+
+/// Evaluate `figure` at every grid point.
+std::vector<KnobSample> characterize(
+    const std::vector<DeviceKnobs>& grid,
+    const std::function<double(const DeviceKnobs&)>& figure);
+
+}  // namespace nanocache::tech

@@ -1,0 +1,37 @@
+#include "tech/corners.h"
+
+namespace nanocache::tech {
+
+std::string_view corner_name(Corner corner) {
+  switch (corner) {
+    case Corner::kTypical:
+      return "TT";
+    case Corner::kFast:
+      return "FF";
+    case Corner::kSlow:
+      return "SS";
+  }
+  return "unknown";
+}
+
+TechnologyParams apply_corner(const TechnologyParams& base, Corner corner) {
+  TechnologyParams p = base;
+  switch (corner) {
+    case Corner::kTypical:
+      break;
+    case Corner::kFast:
+      p.idsat_ref_a_per_um *= 1.15;
+      p.isub0_a_per_um *= 2.2;
+      p.jg_ref_a_per_um2 *= 1.5;
+      break;
+    case Corner::kSlow:
+      p.idsat_ref_a_per_um /= 1.15;
+      p.isub0_a_per_um /= 2.2;
+      p.jg_ref_a_per_um2 /= 1.5;
+      break;
+  }
+  p.validate();
+  return p;
+}
+
+}  // namespace nanocache::tech

@@ -1,0 +1,29 @@
+// Process corners: systematic shifts of the device parameters modelling
+// fast/slow silicon.  The paper characterizes one (typical) corner; real
+// sign-off would check that a knob assignment optimized at TT still meets
+// timing at SS and does not blow the leakage budget at FF — which is what
+// the corner ablation bench exercises.
+#pragma once
+
+#include <string_view>
+
+#include "tech/params.h"
+
+namespace nanocache::tech {
+
+enum class Corner {
+  kTypical,  ///< TT: the calibrated baseline
+  kFast,     ///< FF: stronger drive, leakier (low-Vth/thin-ox silicon)
+  kSlow,     ///< SS: weaker drive, less leaky
+};
+
+std::string_view corner_name(Corner corner);
+
+/// Shift `base` to the given corner.  Shifts (symmetric around TT):
+///  FF: +15% drive, 2.2x subthreshold, 1.5x gate leakage
+///  SS: the reciprocals
+/// The magnitudes follow the usual +-3-sigma global-corner spreads quoted
+/// for 65 nm-era processes.
+TechnologyParams apply_corner(const TechnologyParams& base, Corner corner);
+
+}  // namespace nanocache::tech

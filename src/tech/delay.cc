@@ -1,0 +1,125 @@
+#include "tech/delay.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace nanocache::tech {
+
+double horowitz(double input_ramp_s, double tf_s, double switching_v_frac,
+                double gain_b) {
+  NC_REQUIRE(tf_s >= 0.0, "time constant must be non-negative");
+  NC_REQUIRE(switching_v_frac > 0.0 && switching_v_frac < 1.0,
+             "switching threshold must be inside (0,1)");
+  if (tf_s == 0.0) return 0.0;
+  if (input_ramp_s <= 0.0) {
+    return 0.69 * tf_s;  // step input: plain RC response
+  }
+  const double a = input_ramp_s / tf_s;
+  const double lnv = std::log(switching_v_frac);
+  return tf_s *
+         std::sqrt(lnv * lnv + 2.0 * a * gain_b * (1.0 - switching_v_frac));
+}
+
+StageDelay gate_stage(double r_drive_ohm, double c_load_f,
+                      double input_ramp_s) {
+  NC_REQUIRE(r_drive_ohm >= 0.0 && c_load_f >= 0.0,
+             "stage parameters must be non-negative");
+  const double tf = r_drive_ohm * c_load_f;
+  StageDelay out;
+  out.delay_s = horowitz(input_ramp_s, tf, 0.5);
+  out.out_ramp_s = 2.2 * tf;  // 10-90% transition of an RC stage
+  return out;
+}
+
+double distributed_rc_delay(double r_drive_ohm, double r_wire_ohm,
+                            double c_wire_f, double c_end_f) {
+  NC_REQUIRE(r_drive_ohm >= 0.0 && r_wire_ohm >= 0.0 && c_wire_f >= 0.0 &&
+                 c_end_f >= 0.0,
+             "RC parameters must be non-negative");
+  // Elmore: driver sees all capacitance; the wire's own resistance sees half
+  // of its distributed capacitance plus the end load.
+  return 0.69 * (r_drive_ohm * (c_wire_f + c_end_f) +
+                 r_wire_ohm * (0.5 * c_wire_f + c_end_f));
+}
+
+DriverChain driver_chain(const DeviceModel& dev, const DeviceKnobs& knobs,
+                         double w_first_um, double c_load_f,
+                         double r_wire_ohm, double c_wire_f,
+                         double input_ramp_s) {
+  NC_REQUIRE(w_first_um > 0.0, "first stage width must be positive");
+  NC_REQUIRE(c_load_f >= 0.0, "load must be non-negative");
+
+  constexpr double kStageEffort = 4.0;
+  const double c_first = dev.gate_cap_f(w_first_um, knobs.tox_a);
+  const double c_total = c_load_f + c_wire_f;
+  const double effort = std::max(1.0, c_total / std::max(c_first, 1e-21));
+  const int stages = std::max(
+      1, static_cast<int>(std::lround(std::log(effort) /
+                                      std::log(kStageEffort))));
+  const double per_stage = std::pow(effort, 1.0 / stages);
+
+  DriverChain chain;
+  chain.stages = stages;
+  double ramp = input_ramp_s;
+  double width = w_first_um;
+  for (int i = 0; i < stages; ++i) {
+    chain.total_width_um += width;
+    const double r_drive = dev.effective_resistance_ohm(width, knobs);
+    const bool last = (i + 1 == stages);
+    double c_next;
+    if (last) {
+      c_next = c_load_f + c_wire_f;
+    } else {
+      c_next = dev.gate_cap_f(width * per_stage, knobs.tox_a);
+    }
+    const double c_self = dev.drain_cap_f(width);
+    if (last && (r_wire_ohm > 0.0 || c_wire_f > 0.0)) {
+      // Final stage drives the wire: Elmore including wire resistance.
+      const double tf = r_drive * (c_self + c_wire_f + c_load_f) +
+                        r_wire_ohm * (0.5 * c_wire_f + c_load_f);
+      const double d = horowitz(ramp, tf, 0.5);
+      chain.delay_s += d;
+      ramp = 2.2 * tf;
+    } else {
+      const auto st = gate_stage(r_drive, c_self + c_next, ramp);
+      chain.delay_s += st.delay_s;
+      ramp = st.out_ramp_s;
+    }
+    width *= per_stage;
+  }
+  chain.out_ramp_s = ramp;
+  return chain;
+}
+
+RepeatedWire repeated_wire(const DeviceModel& dev, const DeviceKnobs& knobs,
+                           double length_um, double c_end_f,
+                           double input_ramp_s) {
+  NC_REQUIRE(length_um > 0.0, "wire length must be positive");
+  NC_REQUIRE(c_end_f >= 0.0, "end load must be non-negative");
+  const auto& p = dev.params();
+  const int segments =
+      std::max(1, static_cast<int>(std::ceil(length_um / kRepeaterSegmentUm)));
+  const double seg_len = length_um / segments;
+  const double r_seg = seg_len * p.rwire_ohm_per_um;
+  const double c_seg = seg_len * p.cwire_f_per_um;
+  const double r_drv = dev.effective_resistance_ohm(kRepeaterWidthUm, knobs);
+  const double c_self = dev.drain_cap_f(kRepeaterWidthUm);
+  const double c_gate = dev.gate_cap_f(kRepeaterWidthUm, knobs.tox_a);
+
+  RepeatedWire out;
+  out.segments = segments;
+  out.total_width_um = kRepeaterWidthUm * segments;
+  double ramp = input_ramp_s;
+  for (int i = 0; i < segments; ++i) {
+    const double c_next = (i + 1 == segments) ? c_end_f : c_gate;
+    const double tf = r_drv * (c_self + c_seg + c_next) +
+                      r_seg * (0.5 * c_seg + c_next);
+    out.delay_s += horowitz(ramp, tf, 0.5);
+    ramp = 2.2 * tf;
+  }
+  return out;
+}
+
+}  // namespace nanocache::tech

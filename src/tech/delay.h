@@ -1,0 +1,70 @@
+// Stage-delay primitives: the Horowitz slope-aware gate delay approximation
+// (as used by CACTI) plus simple RC helpers for distributed wires.
+#pragma once
+
+#include "tech/device.h"
+
+namespace nanocache::tech {
+
+/// Horowitz gate-delay approximation.
+///
+///   delay = tf * sqrt( (ln vs)^2 + 2 * a * b * (1 - vs) )
+///
+/// where tf is the output time constant, `input_ramp` the input transition
+/// time, vs the switching threshold (fraction of Vdd), a = input_ramp / tf
+/// and b the transistor gain factor (~0.5).  Falls back to 0.69*tf for step
+/// inputs.
+double horowitz(double input_ramp_s, double tf_s, double switching_v_frac,
+                double gain_b = 0.5);
+
+/// Result of a single logic stage evaluation.
+struct StageDelay {
+  double delay_s = 0.0;      ///< 50% input to 50% output
+  double out_ramp_s = 0.0;   ///< output transition time handed to next stage
+};
+
+/// Delay of one gate stage: driver with effective resistance `r_drive`
+/// charging `c_load`, evaluated via Horowitz with the incoming ramp.
+StageDelay gate_stage(double r_drive_ohm, double c_load_f,
+                      double input_ramp_s);
+
+/// Elmore delay of a distributed RC wire driven by `r_drive` with a lumped
+/// load `c_end` at the far end: R*(Cw/2 + Ce) + Rw*(Cw/2 + Ce) form.
+double distributed_rc_delay(double r_drive_ohm, double r_wire_ohm,
+                            double c_wire_f, double c_end_f);
+
+/// Inverter-chain driver: given a first-stage input cap target and a final
+/// load, size a geometric chain with stage effort ~4 and return its total
+/// delay and total transistor width (for leakage accounting).
+struct DriverChain {
+  double delay_s = 0.0;
+  double total_width_um = 0.0;  ///< sum of stage widths (nominal geometry)
+  int stages = 0;
+  double out_ramp_s = 0.0;
+};
+
+/// Build/evaluate an inverter chain in technology `dev` at knobs `knobs`
+/// driving `c_load_f` (plus a wire with total resistance r_wire and
+/// capacitance c_wire).  `w_first_um` fixes the first stage width.
+DriverChain driver_chain(const DeviceModel& dev, const DeviceKnobs& knobs,
+                         double w_first_um, double c_load_f,
+                         double r_wire_ohm = 0.0, double c_wire_f = 0.0,
+                         double input_ramp_s = 0.0);
+
+/// Repeater-segmented long wire: the wire is cut into ~kRepeaterSegmentUm
+/// pieces, each driven by a fixed-width repeater, making delay linear in
+/// length (instead of quadratic for an unrepeated RC line).
+struct RepeatedWire {
+  double delay_s = 0.0;
+  double total_width_um = 0.0;  ///< summed repeater width (leakage census)
+  int segments = 0;
+};
+
+inline constexpr double kRepeaterSegmentUm = 400.0;
+inline constexpr double kRepeaterWidthUm = 32.0;
+
+RepeatedWire repeated_wire(const DeviceModel& dev, const DeviceKnobs& knobs,
+                           double length_um, double c_end_f,
+                           double input_ramp_s = 0.0);
+
+}  // namespace nanocache::tech

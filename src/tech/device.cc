@@ -1,0 +1,149 @@
+#include "tech/device.h"
+
+#include <cmath>
+
+#include "util/error.h"
+#include "util/units.h"
+
+namespace nanocache::tech {
+
+DeviceModel::DeviceModel(TechnologyParams params) : params_(params) {
+  params_.validate();
+}
+
+double DeviceModel::geometry_scale(double tox_a) const {
+  NC_REQUIRE(tox_a > 0.0, "Tox must be positive");
+  if (!params_.area_scaling_enabled) return 1.0;
+  return tox_a / params_.tox_nominal_a;
+}
+
+double DeviceModel::leff_um(double tox_a) const {
+  return params_.lgate_nominal_um * geometry_scale(tox_a);
+}
+
+double DeviceModel::subthreshold_current_a(double width_um,
+                                           const DeviceKnobs& knobs,
+                                           double vds_v) const {
+  NC_REQUIRE(width_um >= 0.0, "width must be non-negative");
+  NC_REQUIRE(vds_v >= 0.0 && vds_v <= params_.vdd_v, "Vds out of range");
+  const double vt = params_.thermal_voltage_v();
+  const double n_vt = params_.subthreshold_ideality_n * vt;
+  // DIBL lowers the barrier as Vds rises; the reference current isub0 is
+  // quoted at Vds = Vdd, so only the *difference* from Vdd enters here.
+  const double dibl = params_.dibl_mv_per_v * 1e-3;
+  const double vth_eff = knobs.vth_v + dibl * (params_.vdd_v - vds_v);
+  // Longer channels (thick Tox) leak slightly less per um: 1/s factor.
+  const double i_per_um = params_.isub0_a_per_um / geometry_scale(knobs.tox_a) *
+                          std::exp(-vth_eff / n_vt) *
+                          (1.0 - std::exp(-vds_v / vt));
+  return i_per_um * width_um;
+}
+
+double DeviceModel::subthreshold_current_a(double width_um,
+                                           const DeviceKnobs& knobs) const {
+  return subthreshold_current_a(width_um, knobs, params_.vdd_v);
+}
+
+double DeviceModel::gate_leakage_current_a(double width_um,
+                                           const DeviceKnobs& knobs) const {
+  NC_REQUIRE(width_um >= 0.0, "width must be non-negative");
+  const double area_um2 = width_um * leff_um(knobs.tox_a);
+  const double density =
+      params_.jg_ref_a_per_um2 *
+      std::exp(-params_.jg_tox_slope_per_a * (knobs.tox_a - params_.jg_ref_tox_a));
+  return density * area_um2;
+}
+
+double DeviceModel::off_power_w(double width_um,
+                                const DeviceKnobs& knobs) const {
+  return params_.vdd_v * (subthreshold_current_a(width_um, knobs) +
+                          gate_leakage_current_a(width_um, knobs));
+}
+
+DeviceModel::LeakageSplit DeviceModel::off_power_split_w(
+    double width_um, const DeviceKnobs& knobs) const {
+  LeakageSplit s;
+  s.subthreshold_w =
+      params_.vdd_v * subthreshold_current_a(width_um, knobs);
+  s.gate_w = params_.vdd_v * gate_leakage_current_a(width_um, knobs);
+  return s;
+}
+
+double DeviceModel::on_current_a(double width_um,
+                                 const DeviceKnobs& knobs) const {
+  NC_REQUIRE(width_um >= 0.0, "width must be non-negative");
+  const double overdrive = params_.vdd_v - knobs.vth_v;
+  NC_REQUIRE(overdrive > 0.0, "Vth must stay below Vdd");
+  const double ref_overdrive = params_.vdd_v - params_.knobs.vth_min_v;
+  const double cox_ratio = params_.jg_ref_tox_a / knobs.tox_a;  // Cox ~ 1/Tox
+  return params_.idsat_ref_a_per_um * width_um * cox_ratio *
+         std::pow(overdrive / ref_overdrive, params_.alpha_power);
+}
+
+double DeviceModel::effective_resistance_ohm(double width_um,
+                                             const DeviceKnobs& knobs) const {
+  NC_REQUIRE(width_um > 0.0, "driver width must be positive");
+  return params_.vdd_v / on_current_a(width_um, knobs);
+}
+
+double DeviceModel::gate_cap_f(double width_um, double tox_a) const {
+  NC_REQUIRE(width_um >= 0.0, "width must be non-negative");
+  const double channel =
+      width_um * leff_um(tox_a) * units::cox_per_um2(tox_a);
+  const double overlap = params_.cov_f_per_um * width_um;
+  return channel + overlap;
+}
+
+double DeviceModel::drain_cap_f(double width_um) const {
+  NC_REQUIRE(width_um >= 0.0, "width must be non-negative");
+  return params_.cj_f_per_um * width_um;
+}
+
+double DeviceModel::cell_width_um(double tox_a) const {
+  return params_.cell_width_um * geometry_scale(tox_a);
+}
+
+double DeviceModel::cell_height_um(double tox_a) const {
+  return params_.cell_height_um * geometry_scale(tox_a);
+}
+
+double DeviceModel::cell_area_um2(double tox_a) const {
+  return cell_width_um(tox_a) * cell_height_um(tox_a);
+}
+
+DeviceModel::LeakageSplit DeviceModel::cell_leakage_split_w(
+    const DeviceKnobs& knobs) const {
+  const double s = geometry_scale(knobs.tox_a);
+  const double w_pd = params_.wcell_pulldown_um * s;
+  const double w_pu = params_.wcell_pullup_um * s;
+  const double w_pass = params_.wcell_pass_um * s;
+
+  // Subthreshold: one pull-down and one pull-up are OFF at full rail; the
+  // two pass gates see roughly half rail on average during standby.
+  const double isub = subthreshold_current_a(w_pd, knobs) +
+                      subthreshold_current_a(w_pu, knobs) +
+                      2.0 * subthreshold_current_a(w_pass, knobs,
+                                                   0.5 * params_.vdd_v);
+  // Gate tunnelling: the ON pull-down and pull-up see Vdd across the oxide;
+  // the storage-node side of one pass gate also tunnels.
+  const double ig = gate_leakage_current_a(w_pd, knobs) +
+                    gate_leakage_current_a(w_pu, knobs) +
+                    gate_leakage_current_a(w_pass, knobs);
+  LeakageSplit split;
+  split.subthreshold_w = params_.vdd_v * isub;
+  split.gate_w = params_.vdd_v * ig;
+  return split;
+}
+
+double DeviceModel::cell_leakage_w(const DeviceKnobs& knobs) const {
+  return cell_leakage_split_w(knobs).total();
+}
+
+double DeviceModel::cell_read_current_a(const DeviceKnobs& knobs) const {
+  const double s = geometry_scale(knobs.tox_a);
+  // Series pass-gate + pull-down; dominated by the narrower pass device.
+  const double w_eff = params_.wcell_pass_um * s * 0.8;
+  return on_current_a(w_eff, knobs) / s;  // long channel also slows the cell
+}
+
+}  // namespace nanocache::tech

@@ -1,0 +1,101 @@
+// Per-device analytical model: leakage currents (subthreshold + gate),
+// drive strength, capacitances, and the Tox-coupled geometry scaling the
+// paper imposes (Section 2: thicker Tox => longer drawn channel => larger
+// cell in both dimensions).
+#pragma once
+
+#include "tech/params.h"
+
+namespace nanocache::tech {
+
+/// The two process knobs the paper assigns per cache component.
+struct DeviceKnobs {
+  double vth_v = 0.30;
+  double tox_a = 12.0;
+
+  friend bool operator==(const DeviceKnobs&, const DeviceKnobs&) = default;
+};
+
+/// Analytical transistor model.  All width arguments are in um and refer to
+/// the *nominal-geometry* width; the model internally applies the Tox-driven
+/// geometry scale where the paper requires it (cell area, gate area).
+class DeviceModel {
+ public:
+  explicit DeviceModel(TechnologyParams params);
+
+  const TechnologyParams& params() const { return params_; }
+
+  /// Linear geometry scale s(Tox) = Tox / Tox_nominal (1 when area scaling
+  /// is disabled).  Cell width/height and channel length scale by s.
+  double geometry_scale(double tox_a) const;
+
+  /// Effective channel length at the given Tox, um.
+  double leff_um(double tox_a) const;
+
+  /// Subthreshold (weak-inversion) leakage current of an OFF device with
+  /// Vds = vds_v, per the BSIM-style exponential, amperes.
+  double subthreshold_current_a(double width_um, const DeviceKnobs& knobs,
+                                double vds_v) const;
+
+  /// Convenience: OFF current at full rail Vds = Vdd.
+  double subthreshold_current_a(double width_um,
+                                const DeviceKnobs& knobs) const;
+
+  /// Gate tunnelling current of a device with Vdd across the oxide,
+  /// amperes.  Scales with gate area W * L(Tox) and exponentially with Tox.
+  double gate_leakage_current_a(double width_um,
+                                const DeviceKnobs& knobs) const;
+
+  /// Total static power of one OFF device at full rail: Vdd * (Isub + Ig), W.
+  double off_power_w(double width_um, const DeviceKnobs& knobs) const;
+
+  /// Static power split by mechanism — the decomposition the paper's
+  /// motivation rests on (gate tunnelling can surpass subthreshold).
+  struct LeakageSplit {
+    double subthreshold_w = 0.0;
+    double gate_w = 0.0;
+    double total() const { return subthreshold_w + gate_w; }
+  };
+
+  /// off_power_w split by mechanism.
+  LeakageSplit off_power_split_w(double width_um,
+                                 const DeviceKnobs& knobs) const;
+
+  /// cell_leakage_w split by mechanism.
+  LeakageSplit cell_leakage_split_w(const DeviceKnobs& knobs) const;
+
+  /// Saturation drive current, amperes (alpha-power law; Cox ratio folds in
+  /// the Tox dependence).
+  double on_current_a(double width_um, const DeviceKnobs& knobs) const;
+
+  /// Switching-effective channel resistance Vdd / Ion, ohms.
+  double effective_resistance_ohm(double width_um,
+                                  const DeviceKnobs& knobs) const;
+
+  /// Gate input capacitance (channel + overlap), farads.  The channel term
+  /// W*L(Tox)*Cox(Tox) is nearly Tox-independent because L grows as Cox
+  /// shrinks; the overlap term scales with width only.
+  double gate_cap_f(double width_um, double tox_a) const;
+
+  /// Drain junction capacitance, farads.
+  double drain_cap_f(double width_um) const;
+
+  /// 6T cell footprint at the given Tox, um^2 (Section 2: grows as s^2).
+  double cell_area_um2(double tox_a) const;
+  double cell_width_um(double tox_a) const;
+  double cell_height_um(double tox_a) const;
+
+  /// Static power of one 6T cell holding a value, W: two OFF transistors in
+  /// the cross-coupled pair, two (half-biased) OFF pass gates, plus gate
+  /// tunnelling through the ON devices.
+  double cell_leakage_w(const DeviceKnobs& knobs) const;
+
+  /// Cell read current discharging the bitline (pass gate in series with
+  /// pull-down; modelled as the weaker pass-gate drive), amperes.
+  double cell_read_current_a(const DeviceKnobs& knobs) const;
+
+ private:
+  TechnologyParams params_;
+};
+
+}  // namespace nanocache::tech

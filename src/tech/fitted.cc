@@ -1,0 +1,69 @@
+#include "tech/fitted.h"
+
+#include <cmath>
+
+#include "util/error.h"
+#include "util/math.h"
+
+namespace nanocache::tech {
+
+namespace {
+
+void split_samples(const std::vector<KnobSample>& samples,
+                   std::vector<double>* vth, std::vector<double>* tox,
+                   std::vector<double>* value) {
+  NC_REQUIRE(samples.size() >= 6, "fitting needs >= 6 samples");
+  vth->reserve(samples.size());
+  tox->reserve(samples.size());
+  value->reserve(samples.size());
+  for (const auto& s : samples) {
+    vth->push_back(s.knobs.vth_v);
+    tox->push_back(s.knobs.tox_a);
+    value->push_back(s.value);
+  }
+}
+
+}  // namespace
+
+FittedLeakageModel FittedLeakageModel::fit(
+    const std::vector<KnobSample>& samples) {
+  std::vector<double> vth, tox, value;
+  split_samples(samples, &vth, &tox, &value);
+  // Subthreshold slope is tens of 1/V; gate slope is ~1 per Angstrom.
+  const auto f = math::fit_separable_exponentials(
+      vth, tox, value, /*r1*/ -60.0, -5.0, /*r2*/ -3.0, -0.2, /*steps*/ 80);
+  FittedLeakageModel m;
+  m.a0_ = f.c0;
+  m.a1_ = f.c1;
+  m.rate_vth_ = f.r1;
+  m.a2_ = f.c2;
+  m.rate_tox_ = f.r2;
+  m.r2_ = f.r2_score;
+  return m;
+}
+
+double FittedLeakageModel::operator()(const DeviceKnobs& knobs) const {
+  return a0_ + a1_ * std::exp(rate_vth_ * knobs.vth_v) +
+         a2_ * std::exp(rate_tox_ * knobs.tox_a);
+}
+
+FittedDelayModel FittedDelayModel::fit(const std::vector<KnobSample>& samples) {
+  std::vector<double> vth, tox, value;
+  split_samples(samples, &vth, &tox, &value);
+  // Delay grows weakly-exponentially with Vth: small positive exponent.
+  const auto f =
+      math::fit_exp_linear(vth, tox, value, /*rate*/ 0.1, 8.0, /*steps*/ 240);
+  FittedDelayModel m;
+  m.k0_ = f.c0;
+  m.k1_ = f.c1;
+  m.k3_ = f.rate;
+  m.k2_ = f.c2;
+  m.r2_ = f.r2_score;
+  return m;
+}
+
+double FittedDelayModel::operator()(const DeviceKnobs& knobs) const {
+  return k0_ + k1_ * std::exp(k3_ * knobs.vth_v) + k2_ * knobs.tox_a;
+}
+
+}  // namespace nanocache::tech

@@ -1,0 +1,90 @@
+#include "tech/params.h"
+
+#include <cmath>
+
+#include "util/error.h"
+#include "util/units.h"
+
+namespace nanocache::tech {
+
+double TechnologyParams::thermal_voltage_v() const {
+  return units::thermal_voltage(temperature_k);
+}
+
+double TechnologyParams::subthreshold_swing_mv_per_dec() const {
+  return subthreshold_ideality_n * thermal_voltage_v() * std::log(10.0) * 1e3;
+}
+
+void TechnologyParams::validate() const {
+  NC_REQUIRE(vdd_v > 0.0 && vdd_v < 5.0, "vdd out of range");
+  NC_REQUIRE(temperature_k > 200.0 && temperature_k < 500.0,
+             "temperature out of range");
+  NC_REQUIRE(lgate_nominal_um > 0.0, "channel length must be positive");
+  NC_REQUIRE(tox_nominal_a > 0.0, "nominal Tox must be positive");
+  NC_REQUIRE(subthreshold_ideality_n >= 1.0 && subthreshold_ideality_n < 3.0,
+             "subthreshold ideality out of range");
+  NC_REQUIRE(isub0_a_per_um > 0.0, "isub0 must be positive");
+  NC_REQUIRE(jg_ref_a_per_um2 > 0.0, "gate leakage reference must be positive");
+  NC_REQUIRE(jg_tox_slope_per_a > 0.0, "gate leakage slope must be positive");
+  NC_REQUIRE(alpha_power >= 1.0 && alpha_power <= 2.0,
+             "alpha-power index out of range");
+  NC_REQUIRE(idsat_ref_a_per_um > 0.0, "idsat must be positive");
+  NC_REQUIRE(delay_calibration > 0.0, "delay calibration must be positive");
+  NC_REQUIRE(cell_width_um > 0.0 && cell_height_um > 0.0,
+             "cell dimensions must be positive");
+  NC_REQUIRE(bitline_swing_v > 0.0 && bitline_swing_v < vdd_v,
+             "bitline swing must be inside (0, vdd)");
+  NC_REQUIRE(knobs.vth_min_v < knobs.vth_max_v, "empty Vth range");
+  NC_REQUIRE(knobs.tox_min_a < knobs.tox_max_a, "empty Tox range");
+  NC_REQUIRE(knobs.vth_max_v < vdd_v, "Vth range must stay below Vdd");
+}
+
+TechnologyParams bptm65() {
+  // Defaults in the header are already the calibrated BPTM-65 values: the
+  // 16 KB scheme-III design spans ~0.8-2.2 ns across the full knob window,
+  // matching the x-axis of the paper's Figure 1.
+  TechnologyParams p;
+  p.validate();
+  return p;
+}
+
+TechnologyParams node90() {
+  TechnologyParams p = bptm65();
+  p.vdd_v = 1.1;
+  p.lgate_nominal_um = 0.050;
+  // 90 nm oxides: 16-20 A window; tunnelling ~30x weaker at the window's
+  // thin end than 65 nm's 10 A.
+  p.knobs.tox_min_a = 16.0;
+  p.knobs.tox_max_a = 20.0;
+  p.tox_nominal_a = 18.0;
+  p.jg_ref_tox_a = 16.0;
+  p.jg_ref_a_per_um2 = 0.8e-6;
+  p.isub0_a_per_um = 18e-6;      // longer channel, gentler DIBL
+  p.idsat_ref_a_per_um = 480e-6;
+  // Larger cell (the published 90 nm SRAM cell is ~1 um^2).
+  p.cell_width_um = 1.55;
+  p.cell_height_um = 0.68;
+  p.validate();
+  return p;
+}
+
+TechnologyParams node45() {
+  TechnologyParams p = bptm65();
+  p.vdd_v = 0.9;
+  p.lgate_nominal_um = 0.025;
+  // Pre-high-k 45 nm: 8-11 A oxides with tunnelling up ~an order of
+  // magnitude from 65 nm at the same thickness scaling trend.
+  p.knobs.tox_min_a = 8.0;
+  p.knobs.tox_max_a = 11.0;
+  p.tox_nominal_a = 9.5;
+  p.jg_ref_tox_a = 8.0;
+  p.jg_ref_a_per_um2 = 180e-6;
+  p.isub0_a_per_um = 45e-6;      // worse short-channel control
+  p.idsat_ref_a_per_um = 620e-6;
+  p.cell_width_um = 0.80;
+  p.cell_height_um = 0.36;
+  p.validate();
+  return p;
+}
+
+}  // namespace nanocache::tech

@@ -1,0 +1,123 @@
+#include "util/ascii_chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/table.h"
+
+namespace nanocache {
+
+namespace {
+constexpr char kMarkers[] = "*o+x#@";
+}
+
+AsciiChart::AsciiChart(int width, int height)
+    : width_(width), height_(height) {
+  NC_REQUIRE(width_ >= 16 && width_ <= 200, "chart width out of range");
+  NC_REQUIRE(height_ >= 6 && height_ <= 100, "chart height out of range");
+}
+
+void AsciiChart::add_series(std::string label, std::vector<double> x,
+                            std::vector<double> y, char marker) {
+  NC_REQUIRE(x.size() == y.size(), "series x/y size mismatch");
+  NC_REQUIRE(!x.empty(), "series must be non-empty");
+  if (marker == 0) {
+    marker = kMarkers[series_.size() % (sizeof(kMarkers) - 1)];
+  }
+  series_.push_back(Series{std::move(label), std::move(x), std::move(y),
+                           marker});
+}
+
+std::string AsciiChart::render() const {
+  NC_REQUIRE(!series_.empty(), "chart has no series");
+
+  double x_min = std::numeric_limits<double>::infinity();
+  double x_max = -x_min;
+  double y_min = x_min;
+  double y_max = -x_min;
+  for (const auto& s : series_) {
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      x_min = std::min(x_min, s.x[i]);
+      x_max = std::max(x_max, s.x[i]);
+      double yv = s.y[i];
+      if (log_y_) {
+        NC_REQUIRE(yv > 0.0, "log-scale chart requires positive y values");
+        yv = std::log10(yv);
+      }
+      y_min = std::min(y_min, yv);
+      y_max = std::max(y_max, yv);
+    }
+  }
+  if (x_max == x_min) x_max = x_min + 1.0;
+  if (y_max == y_min) y_max = y_min + 1.0;
+
+  std::vector<std::string> grid(
+      static_cast<std::size_t>(height_),
+      std::string(static_cast<std::size_t>(width_), ' '));
+  auto place = [&](double x, double y, char m) {
+    const int col = static_cast<int>(std::lround(
+        (x - x_min) / (x_max - x_min) * (width_ - 1)));
+    const int row = static_cast<int>(std::lround(
+        (y - y_min) / (y_max - y_min) * (height_ - 1)));
+    char& cell = grid[static_cast<std::size_t>(height_ - 1 - row)]
+                     [static_cast<std::size_t>(col)];
+    // Overlapping series show as '&'.
+    cell = (cell == ' ' || cell == m) ? m : '&';
+  };
+  for (const auto& s : series_) {
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      place(s.x[i], log_y_ ? std::log10(s.y[i]) : s.y[i], s.marker);
+    }
+  }
+
+  std::ostringstream os;
+  if (!title_.empty()) os << title_ << "\n";
+  auto y_tick = [&](int row) {
+    const double t = static_cast<double>(height_ - 1 - row) / (height_ - 1);
+    const double v = y_min + t * (y_max - y_min);
+    return log_y_ ? std::pow(10.0, v) : v;
+  };
+  for (int row = 0; row < height_; ++row) {
+    std::string tick(10, ' ');
+    if (row == 0 || row == height_ - 1 || row == height_ / 2) {
+      std::string v = fmt_fixed(y_tick(row), 1);
+      if (v.size() > 9) v = v.substr(0, 9);
+      tick = std::string(9 - v.size(), ' ') + v + " ";
+    }
+    os << tick << '|' << grid[static_cast<std::size_t>(row)] << "\n";
+  }
+  os << std::string(10, ' ') << '+'
+     << std::string(static_cast<std::size_t>(width_), '-') << "\n";
+  // X tick line: min, mid, max.
+  const std::string lo = fmt_fixed(x_min, 0);
+  const std::string mid = fmt_fixed(0.5 * (x_min + x_max), 0);
+  const std::string hi = fmt_fixed(x_max, 0);
+  std::string xticks(static_cast<std::size_t>(width_) + 11, ' ');
+  xticks.replace(11, lo.size(), lo);
+  const std::size_t mid_pos = 11 + static_cast<std::size_t>(width_ / 2) -
+                              mid.size() / 2;
+  xticks.replace(mid_pos, mid.size(), mid);
+  if (hi.size() < static_cast<std::size_t>(width_)) {
+    xticks.replace(11 + static_cast<std::size_t>(width_) - hi.size(),
+                   hi.size(), hi);
+  }
+  os << xticks << "\n";
+  if (!x_label_.empty() || !y_label_.empty()) {
+    os << "           x: " << x_label_;
+    if (!y_label_.empty()) {
+      os << "   y: " << y_label_ << (log_y_ ? " (log scale)" : "");
+    }
+    os << "\n";
+  }
+  os << "           legend:";
+  for (const auto& s : series_) {
+    os << "  " << s.marker << " " << s.label;
+  }
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace nanocache

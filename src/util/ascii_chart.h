@@ -1,0 +1,49 @@
+// Terminal scatter/line charts: renders (x, y) series into a character
+// grid so the bench harness can show the paper's figures, not just their
+// tables, directly in the terminal.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace nanocache {
+
+class AsciiChart {
+ public:
+  /// Plot area dimensions in characters (axes add a margin around them).
+  AsciiChart(int width = 72, int height = 20);
+
+  /// Add a series; each is drawn with its own marker character.
+  /// Markers cycle through "*o+x#@" when 0 is passed.
+  void add_series(std::string label, std::vector<double> x,
+                  std::vector<double> y, char marker = 0);
+
+  /// Optional axis labels and title.
+  void set_title(std::string title) { title_ = std::move(title); }
+  void set_x_label(std::string label) { x_label_ = std::move(label); }
+  void set_y_label(std::string label) { y_label_ = std::move(label); }
+
+  /// Log-scale the y axis (data must be positive).
+  void set_log_y(bool log_y) { log_y_ = log_y; }
+
+  /// Render the chart with axes, tick values and a legend.
+  std::string render() const;
+
+ private:
+  struct Series {
+    std::string label;
+    std::vector<double> x;
+    std::vector<double> y;
+    char marker;
+  };
+
+  int width_;
+  int height_;
+  bool log_y_ = false;
+  std::string title_;
+  std::string x_label_;
+  std::string y_label_;
+  std::vector<Series> series_;
+};
+
+}  // namespace nanocache

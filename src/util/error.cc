@@ -1,0 +1,15 @@
+#include "util/error.h"
+
+#include <sstream>
+
+namespace nanocache::detail {
+
+void throw_require_failure(const char* condition, const char* file, int line,
+                           const std::string& message) {
+  std::ostringstream os;
+  os << "nanocache precondition failed: " << message << " [" << condition
+     << "] at " << file << ":" << line;
+  throw Error(os.str());
+}
+
+}  // namespace nanocache::detail

@@ -1,0 +1,34 @@
+// Error handling for nanocache.
+//
+// The library throws nanocache::Error (derived from std::runtime_error) for
+// all precondition and model-domain violations.  NC_REQUIRE is the standard
+// argument-validation macro; it formats the failed condition and a
+// caller-supplied message into the exception text.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace nanocache {
+
+/// Exception type thrown for all nanocache precondition/model violations.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_require_failure(const char* condition, const char* file,
+                                        int line, const std::string& message);
+}  // namespace detail
+
+}  // namespace nanocache
+
+/// Validate a precondition; throws nanocache::Error with context on failure.
+#define NC_REQUIRE(cond, message)                                        \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::nanocache::detail::throw_require_failure(#cond, __FILE__,        \
+                                                 __LINE__, (message));   \
+    }                                                                    \
+  } while (false)

@@ -1,0 +1,30 @@
+#include "util/interp.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+#include "util/math.h"
+
+namespace nanocache::math {
+
+LinearInterpolator::LinearInterpolator(std::vector<double> x,
+                                       std::vector<double> y)
+    : x_(std::move(x)), y_(std::move(y)) {
+  NC_REQUIRE(x_.size() == y_.size(), "interpolator table size mismatch");
+  NC_REQUIRE(x_.size() >= 2, "interpolator needs >= 2 points");
+  for (std::size_t i = 1; i < x_.size(); ++i) {
+    NC_REQUIRE(x_[i] > x_[i - 1], "interpolator abscissa must increase");
+  }
+}
+
+double LinearInterpolator::operator()(double x) const {
+  if (x <= x_.front()) return y_.front();
+  if (x >= x_.back()) return y_.back();
+  const auto it = std::upper_bound(x_.begin(), x_.end(), x);
+  const std::size_t hi = static_cast<std::size_t>(it - x_.begin());
+  const std::size_t lo = hi - 1;
+  const double t = (x - x_[lo]) / (x_[hi] - x_[lo]);
+  return lerp(y_[lo], y_[hi], t);
+}
+
+}  // namespace nanocache::math

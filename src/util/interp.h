@@ -1,0 +1,27 @@
+// 1-D piecewise-linear interpolation over a strictly increasing abscissa
+// table.  Used for miss-rate-vs-size curves and calibration tables.
+#pragma once
+
+#include <vector>
+
+namespace nanocache::math {
+
+class LinearInterpolator {
+ public:
+  /// Construct from parallel (x, y) tables; x must be strictly increasing
+  /// with at least two entries.  Throws nanocache::Error otherwise.
+  LinearInterpolator(std::vector<double> x, std::vector<double> y);
+
+  /// Evaluate at `x`; clamps to the end values outside the table range.
+  double operator()(double x) const;
+
+  double min_x() const { return x_.front(); }
+  double max_x() const { return x_.back(); }
+  std::size_t size() const { return x_.size(); }
+
+ private:
+  std::vector<double> x_;
+  std::vector<double> y_;
+};
+
+}  // namespace nanocache::math

@@ -1,0 +1,65 @@
+// Deterministic, seedable random number generation for the workload
+// generators.  SplitMix64 seeds an xoshiro256** core; both are tiny,
+// reproducible across platforms, and fast enough for trace generation.
+#pragma once
+
+#include <cstdint>
+
+namespace nanocache {
+
+/// xoshiro256** PRNG with SplitMix64 seeding.  Deterministic for a given
+/// seed on every platform; satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    std::uint64_t s = seed;
+    for (auto& word : state_) {
+      word = splitmix64(&s);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound) for bound > 0 (Lemire's method).
+  std::uint64_t below(std::uint64_t bound) {
+    const auto x = (*this)();
+    // 128-bit multiply-shift; bias is negligible for the trace lengths used.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(x) * bound) >> 64);
+  }
+
+ private:
+  static std::uint64_t splitmix64(std::uint64_t* s) {
+    std::uint64_t z = (*s += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace nanocache

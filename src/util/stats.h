@@ -1,0 +1,20 @@
+// Small summary-statistics helpers shared by the variation analysis,
+// interval recorder and tests.
+#pragma once
+
+#include <vector>
+
+namespace nanocache::math {
+
+double mean(const std::vector<double>& values);
+
+/// Sample standard deviation (n-1 denominator); 0 for fewer than 2 values.
+double sample_stddev(const std::vector<double>& values);
+
+/// Percentile by nearest-rank on a copy of the data; `q` in [0, 1].
+double percentile(std::vector<double> values, double q);
+
+/// stddev / mean; 0 when the mean is non-positive or n < 2.
+double coefficient_of_variation(const std::vector<double>& values);
+
+}  // namespace nanocache::math

@@ -1,0 +1,118 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace nanocache {
+
+void TextTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+namespace {
+
+std::vector<std::size_t> column_widths(
+    const std::vector<std::string>& header,
+    const std::vector<std::vector<std::string>>& rows) {
+  std::size_t ncols = header.size();
+  for (const auto& r : rows) ncols = std::max(ncols, r.size());
+  std::vector<std::size_t> widths(ncols, 0);
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    widths[i] = std::max(widths[i], header[i].size());
+  }
+  for (const auto& r : rows) {
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      widths[i] = std::max(widths[i], r[i].size());
+    }
+  }
+  return widths;
+}
+
+void render_row(std::ostream& os, const std::vector<std::string>& row,
+                const std::vector<std::size_t>& widths) {
+  os << "|";
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    const std::string& cell = i < row.size() ? row[i] : std::string{};
+    os << ' ' << std::left << std::setw(static_cast<int>(widths[i])) << cell
+       << " |";
+  }
+  os << '\n';
+}
+
+void render_rule(std::ostream& os, const std::vector<std::size_t>& widths) {
+  os << "+";
+  for (std::size_t w : widths) {
+    os << std::string(w + 2, '-') << '+';
+  }
+  os << '\n';
+}
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string TextTable::to_string() const {
+  std::ostringstream os;
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  const auto widths = column_widths(header_, rows_);
+  if (widths.empty()) return os.str();
+  render_rule(os, widths);
+  if (!header_.empty()) {
+    render_row(os, header_, widths);
+    render_rule(os, widths);
+  }
+  for (const auto& r : rows_) render_row(os, r, widths);
+  render_rule(os, widths);
+  return os.str();
+}
+
+std::string TextTable::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&os](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ',';
+      os << csv_escape(row[i]);
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+std::string fmt_fixed(double value, int digits) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << value;
+  return os.str();
+}
+
+std::string fmt_bytes(unsigned long long bytes) {
+  if (bytes >= 1024ull * 1024ull && bytes % (1024ull * 1024ull) == 0) {
+    return std::to_string(bytes / (1024ull * 1024ull)) + "MB";
+  }
+  if (bytes >= 1024ull && bytes % 1024ull == 0) {
+    return std::to_string(bytes / 1024ull) + "KB";
+  }
+  return std::to_string(bytes) + "B";
+}
+
+std::ostream& operator<<(std::ostream& os, const TextTable& table) {
+  return os << table.to_string();
+}
+
+}  // namespace nanocache

@@ -1,0 +1,47 @@
+// Plain-text table and CSV emission used by the bench harness and examples.
+// Benches print the same rows/series the paper's tables and figures report;
+// this keeps that formatting in one place.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace nanocache {
+
+/// Column-aligned text table with an optional title.  Cells are strings;
+/// numeric helpers format with fixed precision.
+class TextTable {
+ public:
+  explicit TextTable(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Set the header row; resets nothing else.
+  void set_header(std::vector<std::string> header);
+
+  /// Append a fully formed row.  Rows may be ragged; rendering pads.
+  void add_row(std::vector<std::string> row);
+
+  /// Render with ASCII rules and column alignment.
+  std::string to_string() const;
+
+  /// Render as RFC-4180-ish CSV (quotes cells containing comma/quote/newline).
+  std::string to_csv() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+  const std::string& title() const { return title_; }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with `digits` digits after the decimal point.
+std::string fmt_fixed(double value, int digits);
+
+/// Format a byte count as "16KB" / "2MB" style.
+std::string fmt_bytes(unsigned long long bytes);
+
+std::ostream& operator<<(std::ostream& os, const TextTable& table);
+
+}  // namespace nanocache

@@ -1,0 +1,66 @@
+// Unit conventions used throughout nanocache.
+//
+// The library computes in a fixed internal unit system; conversion to the
+// units the paper plots in (mW, pS, pJ, Angstrom) happens only at the
+// reporting boundary via the helpers below.
+//
+//   quantity      internal unit   rationale
+//   -----------   -------------   ---------------------------------------
+//   voltage       V
+//   current       A
+//   power         W
+//   energy        J
+//   time          s
+//   capacitance   F
+//   resistance    Ohm
+//   length        um              device/wire geometry is micron-scale
+//   area          um^2
+//   oxide Tox     Angstrom        the paper's knob is quoted in Angstrom
+//
+#pragma once
+
+namespace nanocache::units {
+
+// --- physical constants -------------------------------------------------
+
+/// Boltzmann constant over elementary charge, V/K.
+inline constexpr double kBoltzmannOverQ = 8.617333262e-5;
+
+/// Permittivity of SiO2, F/m (3.9 * eps0).
+inline constexpr double kEpsOxide = 3.9 * 8.8541878128e-12;
+
+/// Thermal voltage kT/q at a given temperature (Kelvin), in volts.
+constexpr double thermal_voltage(double temperature_k) {
+  return kBoltzmannOverQ * temperature_k;
+}
+
+// --- conversions to reporting units --------------------------------------
+
+constexpr double watts_to_mw(double w) { return w * 1e3; }
+constexpr double watts_to_uw(double w) { return w * 1e6; }
+constexpr double seconds_to_ps(double s) { return s * 1e12; }
+constexpr double seconds_to_ns(double s) { return s * 1e9; }
+constexpr double joules_to_pj(double j) { return j * 1e12; }
+constexpr double joules_to_nj(double j) { return j * 1e9; }
+constexpr double farads_to_ff(double f) { return f * 1e15; }
+
+constexpr double mw_to_watts(double mw) { return mw * 1e-3; }
+constexpr double ps_to_seconds(double ps) { return ps * 1e-12; }
+constexpr double ns_to_seconds(double ns) { return ns * 1e-9; }
+constexpr double pj_to_joules(double pj) { return pj * 1e-12; }
+constexpr double nj_to_joules(double nj) { return nj * 1e-9; }
+constexpr double ff_to_farads(double ff) { return ff * 1e-15; }
+
+/// Oxide capacitance per unit area for a given oxide thickness, F/um^2.
+/// Tox is in Angstrom (1 A = 1e-10 m); result converted from F/m^2 to F/um^2.
+constexpr double cox_per_um2(double tox_angstrom) {
+  const double tox_m = tox_angstrom * 1e-10;
+  return kEpsOxide / tox_m * 1e-12;  // F/m^2 -> F/um^2
+}
+
+// --- size helpers ---------------------------------------------------------
+
+inline constexpr unsigned long long kKiB = 1024ull;
+inline constexpr unsigned long long kMiB = 1024ull * 1024ull;
+
+}  // namespace nanocache::units

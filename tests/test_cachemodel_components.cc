@@ -1,0 +1,320 @@
+// Tests for the four component models and the assembled CacheModel:
+// monotonicities in both knobs, size scaling, the Section 3 additivity, the
+// Section 2 area coupling, and the per-component fitted closed forms.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cachemodel/cache_model.h"
+#include "cachemodel/fitted_cache.h"
+#include "util/error.h"
+
+namespace nanocache::cachemodel {
+namespace {
+
+std::unique_ptr<CacheModel> make_cache(std::uint64_t size,
+                                       bool is_l2 = false) {
+  tech::DeviceModel dev(tech::bptm65());
+  auto org = is_l2 ? l2_organization(size, dev) : l1_organization(size, dev);
+  return std::make_unique<CacheModel>(org, tech::DeviceModel(dev.params()));
+}
+
+class ComponentKnobMonotonicity
+    : public ::testing::TestWithParam<ComponentKind> {};
+
+TEST_P(ComponentKnobMonotonicity, LeakageFallsWithVth) {
+  const auto m = make_cache(16 * 1024);
+  const auto kind = GetParam();
+  for (double tox : {10.0, 12.0, 14.0}) {
+    double prev = m->component(kind, {0.20, tox}).leakage_w;
+    for (double vth = 0.25; vth <= 0.501; vth += 0.05) {
+      const double cur = m->component(kind, {vth, tox}).leakage_w;
+      EXPECT_LT(cur, prev * 1.0001) << "tox=" << tox << " vth=" << vth;
+      prev = cur;
+    }
+  }
+}
+
+TEST_P(ComponentKnobMonotonicity, LeakageFallsWithTox) {
+  const auto m = make_cache(16 * 1024);
+  const auto kind = GetParam();
+  for (double vth : {0.2, 0.35, 0.5}) {
+    double prev = m->component(kind, {vth, 10.0}).leakage_w;
+    for (double tox = 11.0; tox <= 14.01; tox += 1.0) {
+      const double cur = m->component(kind, {vth, tox}).leakage_w;
+      EXPECT_LT(cur, prev) << "vth=" << vth << " tox=" << tox;
+      prev = cur;
+    }
+  }
+}
+
+TEST_P(ComponentKnobMonotonicity, DelayRisesWithBothKnobs) {
+  const auto m = make_cache(16 * 1024);
+  const auto kind = GetParam();
+  EXPECT_LT(m->component(kind, {0.2, 12.0}).delay_s,
+            m->component(kind, {0.5, 12.0}).delay_s);
+  EXPECT_LT(m->component(kind, {0.35, 10.0}).delay_s,
+            m->component(kind, {0.35, 14.0}).delay_s);
+}
+
+TEST_P(ComponentKnobMonotonicity, MetricsArePositive) {
+  const auto m = make_cache(16 * 1024);
+  const auto c = m->component(GetParam(), {0.35, 12.0});
+  EXPECT_GT(c.delay_s, 0.0);
+  EXPECT_GT(c.leakage_w, 0.0);
+  EXPECT_GT(c.dynamic_energy_j, 0.0);
+  EXPECT_GT(c.area_um2, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllComponents, ComponentKnobMonotonicity,
+    ::testing::Values(ComponentKind::kCellArray, ComponentKind::kDecoder,
+                      ComponentKind::kAddressDrivers,
+                      ComponentKind::kDataDrivers),
+    [](const auto& info) {
+      return std::string(component_name(info.param)).substr(0, 4) +
+             std::to_string(static_cast<int>(info.param));
+    });
+
+TEST(ArrayModel, LeakageScalesWithCacheSize) {
+  const tech::DeviceKnobs k{0.35, 12.0};
+  const auto small = make_cache(4 * 1024);
+  const auto large = make_cache(64 * 1024);
+  const double ratio =
+      large->component(ComponentKind::kCellArray, k).leakage_w /
+      small->component(ComponentKind::kCellArray, k).leakage_w;
+  // 16x the bits -> roughly 16x the leakage (periphery makes it inexact).
+  EXPECT_GT(ratio, 10.0);
+  EXPECT_LT(ratio, 22.0);
+}
+
+TEST(ArrayModel, ArrayDominatesCacheLeakage) {
+  // The paper's premise: the cell array is the leakiest component.
+  const auto m = make_cache(16 * 1024);
+  const tech::DeviceKnobs k{0.35, 12.0};
+  const double array = m->component(ComponentKind::kCellArray, k).leakage_w;
+  for (ComponentKind kind :
+       {ComponentKind::kDecoder, ComponentKind::kAddressDrivers,
+        ComponentKind::kDataDrivers}) {
+    EXPECT_GT(array, m->component(kind, k).leakage_w * 3.0);
+  }
+}
+
+TEST(ArrayModel, StagesArePositiveAndSum) {
+  tech::DeviceModel dev(tech::bptm65());
+  const auto org = l1_organization(16 * 1024, dev);
+  const ArrayModel array(org, dev);
+  const tech::DeviceKnobs k{0.3, 12.0};
+  EXPECT_GT(array.wordline_delay_s(k), 0.0);
+  EXPECT_GT(array.bitline_delay_s(k), 0.0);
+  EXPECT_GT(array.senseamp_delay_s(k), 0.0);
+  const double sum = (array.wordline_delay_s(k) + array.bitline_delay_s(k) +
+                      array.senseamp_delay_s(k)) *
+                     dev.params().delay_calibration;
+  EXPECT_NEAR(array.evaluate(k).delay_s, sum, sum * 1e-12);
+}
+
+TEST(ArrayModel, AreaGrowsWithTox) {
+  tech::DeviceModel dev(tech::bptm65());
+  const auto org = l1_organization(16 * 1024, dev);
+  const ArrayModel array(org, dev);
+  EXPECT_GT(array.area_um2(14.0), array.area_um2(10.0) * 1.5);
+}
+
+TEST(ArrayModel, CellCountIncludesTags) {
+  tech::DeviceModel dev(tech::bptm65());
+  const auto org = l1_organization(16 * 1024, dev);
+  const ArrayModel array(org, dev);
+  EXPECT_GT(array.cell_count(), org.data_bits());
+  EXPECT_EQ(array.cell_count(), org.total_bits());
+}
+
+TEST(DecoderModel, GateCountTracksRows) {
+  tech::DeviceModel dev(tech::bptm65());
+  const auto small_org = l1_organization(4 * 1024, dev);
+  const auto large_org = l1_organization(64 * 1024, dev);
+  const DecoderModel small(small_org, dev);
+  const DecoderModel large(large_org, dev);
+  EXPECT_GT(large.row_gate_count(), small.row_gate_count());
+}
+
+TEST(BusDrivers, LongerBusSlowerAndLeakier) {
+  tech::DeviceModel dev(tech::bptm65());
+  const tech::DeviceKnobs k{0.3, 12.0};
+  const BusDriverModel short_bus(dev, 32, 200.0, 5e-15, 0.5);
+  const BusDriverModel long_bus(dev, 32, 2000.0, 5e-15, 0.5);
+  EXPECT_GT(long_bus.evaluate(k).delay_s, short_bus.evaluate(k).delay_s);
+  EXPECT_GT(long_bus.evaluate(k).leakage_w, short_bus.evaluate(k).leakage_w);
+  EXPECT_GT(long_bus.evaluate(k).dynamic_energy_j,
+            short_bus.evaluate(k).dynamic_energy_j);
+}
+
+TEST(BusDrivers, EnergyScalesWithBitsAndActivity) {
+  tech::DeviceModel dev(tech::bptm65());
+  const tech::DeviceKnobs k{0.3, 12.0};
+  const BusDriverModel narrow(dev, 32, 500.0, 5e-15, 0.5);
+  const BusDriverModel wide(dev, 64, 500.0, 5e-15, 0.5);
+  EXPECT_NEAR(wide.evaluate(k).dynamic_energy_j /
+                  narrow.evaluate(k).dynamic_energy_j,
+              2.0, 1e-9);
+  const BusDriverModel busy(dev, 32, 500.0, 5e-15, 1.0);
+  EXPECT_NEAR(busy.evaluate(k).dynamic_energy_j /
+                  narrow.evaluate(k).dynamic_energy_j,
+              2.0, 1e-9);
+}
+
+TEST(BusDrivers, ValidatesArguments) {
+  tech::DeviceModel dev(tech::bptm65());
+  EXPECT_THROW(BusDriverModel(dev, 0, 100.0, 1e-15, 0.5), Error);
+  EXPECT_THROW(BusDriverModel(dev, 8, -1.0, 1e-15, 0.5), Error);
+  EXPECT_THROW(BusDriverModel(dev, 8, 100.0, 1e-15, 0.0), Error);
+}
+
+TEST_P(ComponentKnobMonotonicity, LeakageSplitSumsToTotal) {
+  const auto m = make_cache(16 * 1024);
+  for (double vth : {0.2, 0.35, 0.5}) {
+    for (double tox : {10.0, 12.0, 14.0}) {
+      const auto c = m->component(GetParam(), {vth, tox});
+      EXPECT_NEAR(c.leakage_sub_w + c.leakage_gate_w, c.leakage_w,
+                  c.leakage_w * 1e-12);
+      EXPECT_GT(c.leakage_sub_w, 0.0);
+      EXPECT_GT(c.leakage_gate_w, 0.0);
+    }
+  }
+}
+
+TEST(CacheModel, GateShareGrowsAsToxThins) {
+  const auto m = make_cache(16 * 1024);
+  double prev_share = 1.1;
+  for (double tox : {10.0, 11.0, 12.0, 13.0, 14.0}) {
+    const auto r = m->evaluate_uniform({0.35, tox});
+    const double share = r.leakage_gate_w / r.leakage_w;
+    EXPECT_LT(share, prev_share) << tox;
+    prev_share = share;
+  }
+}
+
+TEST(CacheModel, MotivationGateSurpassesSubAtThinTox) {
+  // Section 1: "gate leakage power can potentially surpass the
+  // subthreshold leakage at low Tox".
+  const auto m = make_cache(16 * 1024);
+  const auto thin = m->evaluate_uniform({0.4, 10.0});
+  EXPECT_GT(thin.leakage_gate_w, thin.leakage_sub_w);
+  const auto low_vth_thick = m->evaluate_uniform({0.2, 14.0});
+  EXPECT_GT(low_vth_thick.leakage_sub_w, low_vth_thick.leakage_gate_w);
+}
+
+TEST(CacheModel, EvaluateSumsComponents) {
+  const auto m = make_cache(16 * 1024);
+  const tech::DeviceKnobs k{0.35, 12.0};
+  const auto total = m->evaluate_uniform(k);
+  double delay = 0.0;
+  double leak = 0.0;
+  for (ComponentKind kind : kAllComponents) {
+    delay += total.per_component[static_cast<std::size_t>(kind)].delay_s;
+    leak += total.per_component[static_cast<std::size_t>(kind)].leakage_w;
+  }
+  EXPECT_NEAR(total.access_time_s, delay, delay * 1e-12);
+  EXPECT_NEAR(total.leakage_w, leak, leak * 1e-12);
+}
+
+TEST(CacheModel, UniformMatchesComponentView) {
+  // The independent-component view at uniform knobs must agree with the
+  // assembled evaluation under nominal coupling.
+  const auto m = make_cache(16 * 1024);
+  const tech::DeviceKnobs k{0.3, 13.0};
+  double sum = 0.0;
+  for (ComponentKind kind : kAllComponents) {
+    sum += m->component(kind, k).delay_s;
+  }
+  EXPECT_NEAR(m->evaluate_uniform(k).access_time_s, sum, sum * 1e-12);
+}
+
+TEST(CacheModel, MixedAssignmentBlendsKnobs) {
+  const auto m = make_cache(16 * 1024);
+  ComponentAssignment mixed = ComponentAssignment::split(
+      /*array=*/{0.5, 14.0}, /*periphery=*/{0.2, 10.0});
+  const auto slow = m->evaluate_uniform({0.5, 14.0});
+  const auto fast = m->evaluate_uniform({0.2, 10.0});
+  const auto mix = m->evaluate(mixed);
+  EXPECT_GT(mix.access_time_s, fast.access_time_s);
+  EXPECT_LT(mix.access_time_s, slow.access_time_s);
+  EXPECT_LT(mix.leakage_w, fast.leakage_w);
+  EXPECT_GT(mix.leakage_w, slow.leakage_w);
+}
+
+TEST(CacheModel, AreaCouplingChangesDriverDelay) {
+  // Section 2: thicker array Tox -> larger cells -> longer buses.  Exact
+  // coupling must show slower drivers than the nominal-geometry view when
+  // the array runs thick Tox.
+  const auto m = make_cache(64 * 1024);
+  ComponentAssignment a = ComponentAssignment::split(
+      /*array=*/{0.5, 14.0}, /*periphery=*/{0.2, 10.0});
+  const auto nominal = m->evaluate(a, AreaCoupling::kNominal);
+  const auto coupled = m->evaluate(a, AreaCoupling::kArrayTox);
+  const auto idx = static_cast<std::size_t>(ComponentKind::kAddressDrivers);
+  EXPECT_GT(coupled.per_component[idx].delay_s,
+            nominal.per_component[idx].delay_s);
+}
+
+TEST(CacheModel, LargerCachesSlowerAndLeakier) {
+  const tech::DeviceKnobs k{0.35, 12.0};
+  const auto small = make_cache(4 * 1024);
+  const auto large = make_cache(64 * 1024);
+  EXPECT_LT(small->evaluate_uniform(k).access_time_s,
+            large->evaluate_uniform(k).access_time_s);
+  EXPECT_LT(small->evaluate_uniform(k).leakage_w,
+            large->evaluate_uniform(k).leakage_w);
+}
+
+TEST(CacheModel, SixteenKbMatchesFigure1Window) {
+  // Calibration contract: the paper's Figure 1 plots the 16 KB design
+  // between ~0.8 and ~2.3 ns with leakage tens of mW at the fast corner.
+  const auto m = make_cache(16 * 1024);
+  const auto fast = m->evaluate_uniform({0.2, 10.0});
+  const auto slow = m->evaluate_uniform({0.5, 14.0});
+  EXPECT_GT(fast.access_time_s, 0.6e-9);
+  EXPECT_LT(fast.access_time_s, 1.1e-9);
+  EXPECT_GT(slow.access_time_s, 1.8e-9);
+  EXPECT_LT(slow.access_time_s, 2.6e-9);
+  EXPECT_GT(fast.leakage_w, 20e-3);
+  EXPECT_LT(fast.leakage_w, 80e-3);
+  EXPECT_LT(slow.leakage_w, 5e-3);
+}
+
+// --- fitted per-component closed forms -------------------------------------
+
+TEST(FittedCacheModel, AllFitsHighQuality) {
+  const auto m = make_cache(16 * 1024);
+  const auto fits = FittedCacheModel::fit(*m);
+  EXPECT_GT(fits.worst_r2(), 0.95);
+}
+
+TEST(FittedCacheModel, SummationMatchesDefinition) {
+  const auto m = make_cache(16 * 1024);
+  const auto fits = FittedCacheModel::fit(*m);
+  const ComponentAssignment a(tech::DeviceKnobs{0.35, 12.0});
+  double leak = 0.0;
+  double delay = 0.0;
+  for (ComponentKind kind : kAllComponents) {
+    leak += fits.component_leakage_w(kind, a.get(kind));
+    delay += fits.component_delay_s(kind, a.get(kind));
+  }
+  EXPECT_NEAR(fits.leakage_w(a), leak, std::abs(leak) * 1e-12);
+  EXPECT_NEAR(fits.access_time_s(a), delay, delay * 1e-12);
+}
+
+TEST(FittedCacheModel, TracksStructuralModel) {
+  const auto m = make_cache(16 * 1024);
+  const auto fits = FittedCacheModel::fit(*m);
+  for (const auto& k :
+       {tech::DeviceKnobs{0.25, 11.0}, tech::DeviceKnobs{0.45, 13.0}}) {
+    const ComponentAssignment a(k);
+    const auto truth = m->evaluate(a);
+    EXPECT_NEAR(fits.access_time_s(a) / truth.access_time_s, 1.0, 0.05);
+    EXPECT_NEAR(fits.leakage_w(a) / truth.leakage_w, 1.0, 0.5);
+  }
+}
+
+}  // namespace
+}  // namespace nanocache::cachemodel

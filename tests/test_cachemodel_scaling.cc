@@ -1,0 +1,113 @@
+// Parameterized scaling sweeps: structural-model invariants across the
+// full range of cache sizes the experiments touch (4 KB L1 through 4 MB
+// L2).  These are the properties the Section 5 size sweeps lean on.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "cachemodel/cache_model.h"
+
+namespace nanocache::cachemodel {
+namespace {
+
+struct SizeCase {
+  std::uint64_t bytes;
+  bool is_l2;
+};
+
+std::unique_ptr<CacheModel> build(const SizeCase& c) {
+  tech::DeviceModel dev(tech::bptm65());
+  auto org = c.is_l2 ? l2_organization(c.bytes, dev)
+                     : l1_organization(c.bytes, dev);
+  return std::make_unique<CacheModel>(org, tech::DeviceModel(dev.params()));
+}
+
+class SizeScaling : public ::testing::TestWithParam<SizeCase> {};
+
+TEST_P(SizeScaling, MetricsPositiveAndFinite) {
+  const auto m = build(GetParam());
+  for (double vth : {0.2, 0.5}) {
+    for (double tox : {10.0, 14.0}) {
+      const auto r = m->evaluate_uniform({vth, tox});
+      EXPECT_GT(r.access_time_s, 0.0);
+      EXPECT_LT(r.access_time_s, 100e-9);
+      EXPECT_GT(r.leakage_w, 0.0);
+      EXPECT_LT(r.leakage_w, 100.0);
+      EXPECT_GT(r.dynamic_energy_j, 0.0);
+      EXPECT_LT(r.dynamic_energy_j, 1e-6);
+      EXPECT_GT(r.area_um2, 0.0);
+    }
+  }
+}
+
+TEST_P(SizeScaling, KnobMonotonicityHoldsAtEverySize) {
+  const auto m = build(GetParam());
+  EXPECT_LT(m->evaluate_uniform({0.2, 10.0}).access_time_s,
+            m->evaluate_uniform({0.5, 14.0}).access_time_s);
+  EXPECT_GT(m->evaluate_uniform({0.2, 10.0}).leakage_w,
+            m->evaluate_uniform({0.5, 14.0}).leakage_w);
+}
+
+TEST_P(SizeScaling, SplitAssignmentDominatesUniformSlow) {
+  // Array conservative + periphery fast must be faster than all-
+  // conservative and less leaky than all-fast, at every size.
+  const auto m = build(GetParam());
+  const auto split = m->evaluate(
+      ComponentAssignment::split({0.5, 14.0}, {0.2, 10.0}));
+  EXPECT_LT(split.access_time_s,
+            m->evaluate_uniform({0.5, 14.0}).access_time_s);
+  EXPECT_LT(split.leakage_w, m->evaluate_uniform({0.2, 10.0}).leakage_w);
+}
+
+TEST_P(SizeScaling, TagOverheadBounded) {
+  const auto m = build(GetParam());
+  const auto& org = m->organization();
+  const double overhead =
+      static_cast<double>(org.total_bits()) / org.data_bits();
+  EXPECT_GT(overhead, 1.0);
+  EXPECT_LT(overhead, 1.25);  // tags are a thin slice of the array
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperSizeRange, SizeScaling,
+    ::testing::Values(SizeCase{4 * 1024, false}, SizeCase{8 * 1024, false},
+                      SizeCase{16 * 1024, false}, SizeCase{32 * 1024, false},
+                      SizeCase{64 * 1024, false},
+                      SizeCase{256 * 1024, true}, SizeCase{512 * 1024, true},
+                      SizeCase{1024 * 1024, true},
+                      SizeCase{2048 * 1024, true},
+                      SizeCase{4096 * 1024, true}),
+    [](const auto& info) {
+      return std::string(info.param.is_l2 ? "L2_" : "L1_") +
+             std::to_string(info.param.bytes / 1024) + "K";
+    });
+
+TEST(SizeScalingCross, LeakageRoughlyLinearInCapacity) {
+  // Same level, same knobs: leakage per byte within a 2x band across sizes.
+  const tech::DeviceKnobs k{0.35, 12.0};
+  std::vector<double> per_byte;
+  for (std::uint64_t size : {256ull << 10, 1024ull << 10, 4096ull << 10}) {
+    const auto m = build({size, true});
+    per_byte.push_back(m->evaluate_uniform(k).leakage_w /
+                       static_cast<double>(size));
+  }
+  for (double v : per_byte) {
+    EXPECT_GT(v, per_byte[0] * 0.5);
+    EXPECT_LT(v, per_byte[0] * 2.0);
+  }
+}
+
+TEST(SizeScalingCross, AccessTimeGrowsSublinearly) {
+  // 16x capacity should cost far less than 16x delay (banking).
+  const tech::DeviceKnobs k{0.35, 12.0};
+  const auto small = build({256 * 1024, true});
+  const auto large = build({4096 * 1024, true});
+  const double ratio = large->evaluate_uniform(k).access_time_s /
+                       small->evaluate_uniform(k).access_time_s;
+  EXPECT_GT(ratio, 1.2);
+  EXPECT_LT(ratio, 5.0);
+}
+
+}  // namespace
+}  // namespace nanocache::cachemodel

@@ -1,0 +1,111 @@
+// Integration tests for the paper's own optimization pipeline: Explorer
+// experiments driven by the fitted closed forms (Eqs. 1-2) instead of the
+// structural model.  The headline claims must survive the substitution.
+#include <gtest/gtest.h>
+
+#include "core/explorer.h"
+
+namespace nanocache::core {
+namespace {
+
+Explorer& fitted_explorer() {
+  static Explorer e = [] {
+    ExperimentConfig cfg;
+    cfg.use_fitted_models = true;
+    return Explorer(cfg);
+  }();
+  return e;
+}
+
+TEST(FittedPath, SchemeOrderingHolds) {
+  const auto ladder = fitted_explorer().delay_ladder(16 * 1024, 5);
+  const auto rows = fitted_explorer().scheme_comparison(16 * 1024, ladder);
+  int compared = 0;
+  for (const auto& r : rows) {
+    if (!(r.scheme1 && r.scheme2 && r.scheme3)) continue;
+    EXPECT_LE(r.scheme1->leakage_w, r.scheme2->leakage_w * (1 + 1e-12));
+    EXPECT_LE(r.scheme2->leakage_w, r.scheme3->leakage_w * (1 + 1e-12));
+    ++compared;
+  }
+  EXPECT_GE(compared, 3);
+}
+
+TEST(FittedPath, L2SweepStillNonMonotone) {
+  bool bigger_wins = false;
+  bool largest_not_best = false;
+  for (double headroom : {1.05, 1.15, 1.30}) {
+    const auto rows = fitted_explorer().l2_size_sweep(
+        opt::Scheme::kUniform,
+        fitted_explorer().l2_squeeze_target_s(headroom));
+    const SizeSweepRow* best = nullptr;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      if (!rows[i].feasible) continue;
+      if (i > 0 && rows[i - 1].feasible &&
+          rows[i].level_leakage_w < rows[i - 1].level_leakage_w) {
+        bigger_wins = true;
+      }
+      if (!best || rows[i].level_leakage_w < best->level_leakage_w) {
+        best = &rows[i];
+      }
+    }
+    if (best && best->size_bytes != rows.back().size_bytes) {
+      largest_not_best = true;
+    }
+  }
+  EXPECT_TRUE(bigger_wins);
+  EXPECT_TRUE(largest_not_best);
+}
+
+TEST(FittedPath, L1SweepSmallestStillWins) {
+  const auto rows = fitted_explorer().l1_size_sweep(
+      fitted_explorer().l2_squeeze_target_s(1.25));
+  const SizeSweepRow* best = nullptr;
+  for (const auto& r : rows) {
+    if (!r.feasible) continue;
+    if (!best || r.total_leakage_w < best->total_leakage_w) best = &r;
+  }
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->size_bytes, rows.front().size_bytes);
+}
+
+TEST(FittedPath, AgreesWithStructuralWithinModelError) {
+  // Same experiment through both paths: optimal leakage within the fit's
+  // error band at matched targets.
+  Explorer structural;
+  const auto ladder = structural.delay_ladder(16 * 1024, 5);
+  const auto rs = structural.scheme_comparison(16 * 1024, ladder);
+  const auto rf = fitted_explorer().scheme_comparison(16 * 1024, ladder);
+  int compared = 0;
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    if (!(rs[i].scheme2 && rf[i].scheme2)) continue;
+    // Judge the fitted path's pick on the structural truth.  Its delay may
+    // overshoot the target by the fit error; bound that error, and only
+    // compare leakage when its pick is structurally feasible (otherwise it
+    // optimized a different feasible set).
+    const auto& m = structural.l1_model(16 * 1024);
+    const auto truth_f = m.evaluate(rf[i].scheme2->assignment);
+    EXPECT_LE(truth_f.access_time_s, rs[i].delay_target_s * 1.15) << i;
+    if (truth_f.access_time_s <= rs[i].delay_target_s * (1 + 1e-9)) {
+      const double leak_s = m.evaluate(rs[i].scheme2->assignment).leakage_w;
+      EXPECT_LE(leak_s, truth_f.leakage_w * (1 + 1e-9)) << i;
+      EXPECT_LE(truth_f.leakage_w, leak_s * 2.5) << i;
+      ++compared;
+    }
+  }
+  EXPECT_GE(compared, 2);
+}
+
+TEST(FittedPath, EvaluatorCachesFits) {
+  // Two calls for the same model must not refit (same underlying object —
+  // observable through identical outputs and, indirectly, fast runtime).
+  const auto& m = fitted_explorer().l1_model(16 * 1024);
+  const auto e1 = fitted_explorer().evaluator(m);
+  const auto e2 = fitted_explorer().evaluator(m);
+  const tech::DeviceKnobs k{0.31, 11.7};
+  EXPECT_DOUBLE_EQ(
+      e1(cachemodel::ComponentKind::kCellArray, k).leakage_w,
+      e2(cachemodel::ComponentKind::kCellArray, k).leakage_w);
+}
+
+}  // namespace
+}  // namespace nanocache::core

@@ -1,0 +1,146 @@
+// Tests for the scheme-frontier primitive and the joint L1 x L2 sizing
+// extension.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/explorer.h"
+#include "opt/schemes.h"
+#include "util/error.h"
+
+namespace nanocache::core {
+namespace {
+
+Explorer& explorer() {
+  static Explorer e;
+  return e;
+}
+
+TEST(SchemeFrontier, SortedAndStrictlyImproving) {
+  const auto eval = opt::structural_evaluator(explorer().l1_model(16 * 1024));
+  for (opt::Scheme s : {opt::Scheme::kPerComponent,
+                        opt::Scheme::kArrayPeriphery,
+                        opt::Scheme::kUniform}) {
+    const auto front =
+        opt::scheme_frontier(eval, explorer().config().grid, s);
+    ASSERT_GT(front.size(), 3u);
+    for (std::size_t i = 1; i < front.size(); ++i) {
+      EXPECT_GT(front[i].access_time_s, front[i - 1].access_time_s);
+      EXPECT_LT(front[i].leakage_w, front[i - 1].leakage_w);
+    }
+  }
+}
+
+TEST(SchemeFrontier, EndpointsMatchMinDelayAndMinLeak) {
+  const auto eval = opt::structural_evaluator(explorer().l1_model(16 * 1024));
+  const auto& grid = explorer().config().grid;
+  const auto front =
+      opt::scheme_frontier(eval, grid, opt::Scheme::kUniform);
+  EXPECT_NEAR(front.front().access_time_s,
+              opt::min_access_time(eval, grid, opt::Scheme::kUniform),
+              front.front().access_time_s * 1e-9);
+  // The slow end of the frontier is the global leakage minimum.
+  const auto loose = opt::optimize_single_cache(eval, grid,
+                                                opt::Scheme::kUniform, 1.0);
+  ASSERT_TRUE(loose.has_value());
+  EXPECT_NEAR(front.back().leakage_w, loose->leakage_w,
+              loose->leakage_w * 1e-9);
+}
+
+TEST(SchemeFrontier, ConsistentWithConstrainedOptimizer) {
+  // For any frontier point's access time used as a constraint, the
+  // constrained optimizer must return the same leakage.
+  const auto eval = opt::structural_evaluator(explorer().l1_model(16 * 1024));
+  const auto& grid = explorer().config().grid;
+  const auto front =
+      opt::scheme_frontier(eval, grid, opt::Scheme::kArrayPeriphery);
+  for (std::size_t i = 0; i < front.size(); i += front.size() / 5 + 1) {
+    const auto r = opt::optimize_single_cache(
+        eval, grid, opt::Scheme::kArrayPeriphery,
+        front[i].access_time_s * (1 + 1e-12));
+    ASSERT_TRUE(r.has_value());
+    EXPECT_NEAR(r->leakage_w, front[i].leakage_w,
+                front[i].leakage_w * 1e-9);
+  }
+}
+
+TEST(SchemeFrontier, RicherSchemesDominate) {
+  // At every scheme-III frontier point, scheme I achieves at most that
+  // leakage at the same access time.
+  const auto eval = opt::structural_evaluator(explorer().l1_model(16 * 1024));
+  const auto& grid = explorer().config().grid;
+  const auto f3 = opt::scheme_frontier(eval, grid, opt::Scheme::kUniform);
+  const auto f1 =
+      opt::scheme_frontier(eval, grid, opt::Scheme::kPerComponent);
+  for (const auto& p3 : f3) {
+    double best1 = 1e18;
+    for (const auto& p1 : f1) {
+      if (p1.access_time_s <= p3.access_time_s * (1 + 1e-12)) {
+        best1 = std::min(best1, p1.leakage_w);
+      }
+    }
+    EXPECT_LE(best1, p3.leakage_w * (1 + 1e-9));
+  }
+}
+
+TEST(JointSizing, CoversCrossProduct) {
+  const auto rows =
+      explorer().joint_size_study(explorer().l2_squeeze_target_s(1.15));
+  const auto& cfg = explorer().config();
+  EXPECT_EQ(rows.size(), cfg.l1_size_sweep.size() * cfg.l2_size_sweep.size());
+}
+
+TEST(JointSizing, FeasibleRowsMeetTarget) {
+  const double target = explorer().l2_squeeze_target_s(1.15);
+  for (const auto& r : explorer().joint_size_study(target)) {
+    if (!r.feasible) continue;
+    EXPECT_LE(r.amat_s, target * (1 + 1e-9));
+    EXPECT_NEAR(r.total_leakage_w, r.l1.leakage_w + r.l2.leakage_w,
+                r.total_leakage_w * 1e-9);
+  }
+}
+
+TEST(JointSizing, NeverWorseThanOneAtATime) {
+  // With the L1 free, the joint optimum at (16K, any L2) must be at least
+  // as good as the Section 5 one-at-a-time result for the same sizes.
+  const double target = explorer().l2_squeeze_target_s(1.15);
+  const auto joint = explorer().joint_size_study(target);
+  const auto separate =
+      explorer().l2_size_sweep(opt::Scheme::kArrayPeriphery, target);
+  for (const auto& s : separate) {
+    if (!s.feasible) continue;
+    for (const auto& j : joint) {
+      if (j.l1_size_bytes != explorer().config().l1_size_bytes ||
+          j.l2_size_bytes != s.size_bytes || !j.feasible) {
+        continue;
+      }
+      EXPECT_LE(j.total_leakage_w, s.total_leakage_w * (1 + 1e-9))
+          << s.size_bytes;
+    }
+  }
+}
+
+TEST(JointSizing, SmallL1AlwaysOptimal) {
+  const auto rows =
+      explorer().joint_size_study(explorer().l2_squeeze_target_s(1.1));
+  // Within each L2 column, the 4K L1 row must be minimal.
+  for (std::uint64_t l2 : explorer().config().l2_size_sweep) {
+    const Explorer::JointSizingRow* best = nullptr;
+    for (const auto& r : rows) {
+      if (r.l2_size_bytes != l2 || !r.feasible) continue;
+      if (!best || r.total_leakage_w < best->total_leakage_w) best = &r;
+    }
+    if (best != nullptr) {
+      EXPECT_EQ(best->l1_size_bytes,
+                explorer().config().l1_size_sweep.front())
+          << l2;
+    }
+  }
+}
+
+TEST(JointSizing, RejectsBadTarget) {
+  EXPECT_THROW(explorer().joint_size_study(-1.0), Error);
+}
+
+}  // namespace
+}  // namespace nanocache::core

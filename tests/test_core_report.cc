@@ -1,0 +1,120 @@
+// Tests for the reporting layer: long-format tables, CSV export artifacts,
+// and the technology-override (ablation) path through ExperimentConfig.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/report.h"
+#include "util/error.h"
+
+namespace nanocache::core {
+namespace {
+
+Explorer& explorer() {
+  static Explorer e;
+  return e;
+}
+
+TEST(Report, Fig1LongTableOneRowPerPoint) {
+  const auto series = explorer().fig1_fixed_knob(16 * 1024, 5);
+  const auto t = fig1_long_table(series);
+  EXPECT_EQ(t.row_count(), 4u * 5u);
+  const auto csv = t.to_csv();
+  EXPECT_NE(csv.find("Tox=10A"), std::string::npos);
+  EXPECT_NE(csv.find("Vth=400mV"), std::string::npos);
+}
+
+TEST(Report, SchemeLongTableThreeRowsPerTarget) {
+  const auto ladder = explorer().delay_ladder(16 * 1024, 3);
+  const auto rows = explorer().scheme_comparison(16 * 1024, ladder);
+  const auto t = scheme_long_table(rows);
+  EXPECT_EQ(t.row_count(), 3u * 3u);
+}
+
+TEST(Report, SizeSweepTableMarksInfeasible) {
+  std::vector<SizeSweepRow> rows(2);
+  rows[0].size_bytes = 4096;
+  rows[0].feasible = false;
+  rows[1].size_bytes = 8192;
+  rows[1].feasible = true;
+  rows[1].level_leakage_w = 1e-3;
+  rows[1].total_leakage_w = 2e-3;
+  rows[1].amat_s = 1.5e-9;
+  const auto csv = size_sweep_table(rows, "l1").to_csv();
+  std::istringstream is(csv);
+  std::string header, r0, r1;
+  std::getline(is, header);
+  std::getline(is, r0);
+  std::getline(is, r1);
+  EXPECT_NE(r0.find(",0,"), std::string::npos);  // feasible flag 0
+  EXPECT_NE(r1.find(",1,"), std::string::npos);
+  EXPECT_NE(r1.find("1500.0"), std::string::npos);
+}
+
+TEST(Report, Fig2LongTableLabelsMenus) {
+  // Small synthetic series to keep this test fast.
+  std::vector<Fig2Series> series(1);
+  series[0].label = "2 Tox + 2 Vth";
+  opt::SystemDesignPoint p;
+  p.amat_s = 1.5e-9;
+  p.energy_j = 150e-12;
+  p.leakage_w = 80e-3;
+  series[0].points.push_back(p);
+  const auto csv = fig2_long_table(series).to_csv();
+  EXPECT_NE(csv.find("2 Tox + 2 Vth,1500.0,150.00,80.00"), std::string::npos);
+}
+
+TEST(Report, ExportAllCsvWritesSixFiles) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "nanocache_report_test";
+  std::filesystem::remove_all(dir);
+  const int n = export_all_csv(explorer(), dir.string());
+  EXPECT_EQ(n, 6);
+  for (const char* name :
+       {"fig1.csv", "scheme_comparison.csv", "l2_sweep_uniform.csv",
+        "l2_sweep_split.csv", "l1_sweep.csv", "fig2.csv"}) {
+    const auto path = dir / name;
+    ASSERT_TRUE(std::filesystem::exists(path)) << name;
+    EXPECT_GT(std::filesystem::file_size(path), 50u) << name;
+    // Header line plus at least one data row.
+    std::ifstream in(path);
+    std::string line;
+    int lines = 0;
+    while (std::getline(in, line)) ++lines;
+    EXPECT_GE(lines, 2) << name;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+// --- technology override (the ablation path) --------------------------------
+
+TEST(ConfigTechnology, OverrideChangesModels) {
+  ExperimentConfig hot;
+  hot.technology.temperature_k = 400.0;
+  Explorer hot_explorer(hot);
+  const double hot_leak =
+      hot_explorer.l1_model(16 * 1024).evaluate_uniform({0.3, 14.0}).leakage_w;
+  const double ref_leak =
+      explorer().l1_model(16 * 1024).evaluate_uniform({0.3, 14.0}).leakage_w;
+  EXPECT_GT(hot_leak, ref_leak * 1.2);  // subthreshold grows with T
+}
+
+TEST(ConfigTechnology, InvalidOverrideRejected) {
+  ExperimentConfig bad;
+  bad.technology.vdd_v = -1.0;
+  EXPECT_THROW(Explorer e(bad), nanocache::Error);
+}
+
+TEST(ConfigTechnology, AreaScalingOffFreezesArea) {
+  ExperimentConfig cfg;
+  cfg.technology.area_scaling_enabled = false;
+  Explorer frozen(cfg);
+  const auto& m = frozen.l1_model(16 * 1024);
+  EXPECT_DOUBLE_EQ(m.evaluate_uniform({0.3, 10.0}).area_um2,
+                   m.evaluate_uniform({0.3, 14.0}).area_um2);
+}
+
+}  // namespace
+}  // namespace nanocache::core

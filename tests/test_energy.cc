@@ -1,0 +1,128 @@
+// Tests for the memory-system model: the AMAT identity, energy accounting,
+// and monotonicity in miss rates and knob choices.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "energy/memory_system.h"
+#include "util/error.h"
+
+namespace nanocache::energy {
+namespace {
+
+using cachemodel::CacheModel;
+using cachemodel::ComponentAssignment;
+
+struct Fixture {
+  Fixture() {
+    tech::DeviceModel dev(tech::bptm65());
+    l1 = std::make_unique<CacheModel>(
+        cachemodel::l1_organization(16 * 1024, dev),
+        tech::DeviceModel(dev.params()));
+    l2 = std::make_unique<CacheModel>(
+        cachemodel::l2_organization(1024 * 1024, dev),
+        tech::DeviceModel(dev.params()));
+  }
+  std::unique_ptr<CacheModel> l1;
+  std::unique_ptr<CacheModel> l2;
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+MemorySystemModel make_system(MissRates miss = {0.03, 0.15},
+                              MainMemoryParams mem = {}) {
+  return MemorySystemModel(*fixture().l1, *fixture().l2, miss, mem);
+}
+
+TEST(MemorySystem, AmatIdentity) {
+  const auto sys = make_system({0.05, 0.2}, {40e-9, 10e-9});
+  EXPECT_NEAR(sys.amat_s(1e-9, 4e-9), 1e-9 + 0.05 * (4e-9 + 0.2 * 40e-9),
+              1e-18);
+}
+
+TEST(MemorySystem, ConstantTerms) {
+  const auto sys = make_system({0.05, 0.2}, {40e-9, 10e-9});
+  EXPECT_NEAR(sys.memory_amat_term_s(), 0.05 * 0.2 * 40e-9, 1e-18);
+  EXPECT_NEAR(sys.memory_dynamic_energy_j(), 0.05 * 0.2 * 10e-9, 1e-18);
+}
+
+TEST(MemorySystem, EvaluateCombinesLevels) {
+  const auto sys = make_system();
+  const ComponentAssignment knobs(tech::DeviceKnobs{0.35, 12.0});
+  const auto m = sys.evaluate(knobs, knobs);
+  const auto l1m = fixture().l1->evaluate(knobs);
+  const auto l2m = fixture().l2->evaluate(knobs);
+  EXPECT_NEAR(m.l1_access_time_s, l1m.access_time_s, 1e-18);
+  EXPECT_NEAR(m.l2_access_time_s, l2m.access_time_s, 1e-18);
+  EXPECT_NEAR(m.leakage_w, l1m.leakage_w + l2m.leakage_w, 1e-12);
+  EXPECT_NEAR(m.amat_s, sys.amat_s(l1m.access_time_s, l2m.access_time_s),
+              1e-18);
+  EXPECT_NEAR(m.total_energy_j, m.dynamic_energy_j + m.leakage_energy_j,
+              1e-20);
+  EXPECT_NEAR(m.leakage_energy_j, m.leakage_w * m.amat_s, 1e-20);
+}
+
+TEST(MemorySystem, DynamicEnergyWeightsL2ByMissRate) {
+  const ComponentAssignment knobs(tech::DeviceKnobs{0.35, 12.0});
+  const auto low = make_system({0.01, 0.15}).evaluate(knobs, knobs);
+  const auto high = make_system({0.10, 0.15}).evaluate(knobs, knobs);
+  EXPECT_GT(high.dynamic_energy_j, low.dynamic_energy_j);
+  EXPECT_GT(high.amat_s, low.amat_s);
+}
+
+TEST(MemorySystem, SlowerKnobsLessLeakageMoreAmat) {
+  const auto sys = make_system();
+  const ComponentAssignment fast(tech::DeviceKnobs{0.2, 10.0});
+  const ComponentAssignment slow(tech::DeviceKnobs{0.5, 14.0});
+  const auto mf = sys.evaluate(fast, fast);
+  const auto ms = sys.evaluate(slow, slow);
+  EXPECT_GT(mf.leakage_w, ms.leakage_w);
+  EXPECT_LT(mf.amat_s, ms.amat_s);
+}
+
+TEST(MemorySystem, EnergyTradeoffExistsAcrossKnobs) {
+  // Total energy must not be monotone in the knobs: leakage dominates at
+  // the fast corner, the AMAT-scaled residual at the slow one is small,
+  // so the minimum lies strictly between in leakage terms.
+  const auto sys = make_system();
+  const auto fast = sys.evaluate(ComponentAssignment({0.2, 10.0}),
+                                 ComponentAssignment({0.2, 10.0}));
+  const auto mid = sys.evaluate(ComponentAssignment({0.4, 13.0}),
+                                ComponentAssignment({0.4, 13.0}));
+  EXPECT_LT(mid.total_energy_j, fast.total_energy_j);
+}
+
+TEST(MemorySystem, Figure2EnergyWindow) {
+  // Calibration contract for Figure 2: at sensible operating points the
+  // system lands in the paper's 50-400 pJ / 1.3-2.1 ns window.
+  const auto sys = make_system({0.0318, 0.162});
+  const auto m = sys.evaluate(
+      ComponentAssignment::split({0.45, 14.0}, {0.30, 12.0}),
+      ComponentAssignment::split({0.50, 14.0}, {0.30, 13.0}));
+  EXPECT_GT(m.amat_s, 1.2e-9);
+  EXPECT_LT(m.amat_s, 2.3e-9);
+  EXPECT_GT(m.total_energy_j, 40e-12);
+  EXPECT_LT(m.total_energy_j, 450e-12);
+}
+
+TEST(MemorySystem, ValidatesInputs) {
+  EXPECT_THROW(make_system({-0.1, 0.2}), Error);
+  EXPECT_THROW(make_system({0.1, 1.5}), Error);
+  EXPECT_THROW(make_system({0.1, 0.2}, {0.0, 1e-9}), Error);
+  EXPECT_THROW(make_system({0.1, 0.2}, {1e-9, -1.0}), Error);
+}
+
+TEST(MemorySystem, AccessorsExposeConfiguration) {
+  const auto sys = make_system({0.07, 0.33}, {25e-9, 5e-9});
+  EXPECT_EQ(&sys.l1(), fixture().l1.get());
+  EXPECT_EQ(&sys.l2(), fixture().l2.get());
+  EXPECT_DOUBLE_EQ(sys.miss().l1, 0.07);
+  EXPECT_DOUBLE_EQ(sys.miss().l2_local, 0.33);
+  EXPECT_DOUBLE_EQ(sys.memory().access_latency_s, 25e-9);
+}
+
+}  // namespace
+}  // namespace nanocache::energy

@@ -1,0 +1,178 @@
+// Tests for the simulated-annealing optimizer (against the exact DP) and
+// the Monte-Carlo variation analysis.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cachemodel/variation.h"
+#include "opt/anneal.h"
+#include "util/error.h"
+
+namespace nanocache {
+namespace {
+
+using cachemodel::CacheModel;
+using cachemodel::ComponentAssignment;
+using opt::Scheme;
+
+const CacheModel& cache16k() {
+  static auto model = [] {
+    tech::DeviceModel dev(tech::bptm65());
+    return std::make_unique<CacheModel>(
+        cachemodel::l1_organization(16 * 1024, dev),
+        tech::DeviceModel(dev.params()));
+  }();
+  return *model;
+}
+
+// --- annealing ---------------------------------------------------------------
+
+TEST(Anneal, FeasibleAndConstraintRespected) {
+  const auto eval = opt::structural_evaluator(cache16k());
+  const auto grid = opt::KnobGrid::paper_default();
+  const double lo =
+      opt::min_access_time(eval, grid, Scheme::kArrayPeriphery);
+  const auto r = opt::anneal_single_cache(eval, grid,
+                                          Scheme::kArrayPeriphery, lo * 1.3);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_LE(r->access_time_s, lo * 1.3 * (1 + 1e-12));
+}
+
+TEST(Anneal, CloseToExactOptimum) {
+  const auto eval = opt::structural_evaluator(cache16k());
+  const auto grid = opt::KnobGrid::paper_default();
+  for (Scheme s : {Scheme::kPerComponent, Scheme::kArrayPeriphery,
+                   Scheme::kUniform}) {
+    const double lo = opt::min_access_time(eval, grid, s);
+    for (double factor : {1.2, 1.6}) {
+      const auto exact =
+          opt::optimize_single_cache(eval, grid, s, lo * factor);
+      const auto sa = opt::anneal_single_cache(eval, grid, s, lo * factor);
+      ASSERT_TRUE(exact && sa) << factor;
+      // Annealing is a heuristic; require it lands within 10% of exact on
+      // these small instances (it usually hits it exactly).
+      EXPECT_LE(sa->leakage_w, exact->leakage_w * 1.10)
+          << opt::scheme_name(s) << " @" << factor;
+      // And it can never beat the exact optimizer.
+      EXPECT_GE(sa->leakage_w, exact->leakage_w * (1 - 1e-9));
+    }
+  }
+}
+
+TEST(Anneal, DeterministicForSeed) {
+  const auto eval = opt::structural_evaluator(cache16k());
+  const auto grid = opt::KnobGrid::paper_default();
+  const double lo = opt::min_access_time(eval, grid, Scheme::kPerComponent);
+  opt::AnnealConfig cfg;
+  cfg.iterations = 3000;
+  const auto a = opt::anneal_single_cache(eval, grid, Scheme::kPerComponent,
+                                          lo * 1.3, cfg);
+  const auto b = opt::anneal_single_cache(eval, grid, Scheme::kPerComponent,
+                                          lo * 1.3, cfg);
+  ASSERT_TRUE(a && b);
+  EXPECT_DOUBLE_EQ(a->leakage_w, b->leakage_w);
+  EXPECT_EQ(a->assignment, b->assignment);
+}
+
+TEST(Anneal, InfeasibleTargetReturnsNullopt) {
+  const auto eval = opt::structural_evaluator(cache16k());
+  const auto grid = opt::KnobGrid::paper_default();
+  const double lo = opt::min_access_time(eval, grid, Scheme::kUniform);
+  EXPECT_FALSE(opt::anneal_single_cache(eval, grid, Scheme::kUniform,
+                                        lo * 0.5)
+                   .has_value());
+}
+
+TEST(Anneal, ValidatesConfig) {
+  const auto eval = opt::structural_evaluator(cache16k());
+  const auto grid = opt::KnobGrid::paper_default();
+  opt::AnnealConfig cfg;
+  cfg.iterations = 10;
+  EXPECT_THROW(opt::anneal_single_cache(eval, grid, Scheme::kUniform, 1e-9,
+                                        cfg),
+               Error);
+  EXPECT_THROW(opt::anneal_single_cache(eval, grid, Scheme::kUniform, -1.0),
+               Error);
+}
+
+TEST(Anneal, RespectsSchemeSharing) {
+  const auto eval = opt::structural_evaluator(cache16k());
+  const auto grid = opt::KnobGrid::paper_default();
+  const double lo = opt::min_access_time(eval, grid, Scheme::kUniform);
+  const auto r =
+      opt::anneal_single_cache(eval, grid, Scheme::kUniform, lo * 1.4);
+  ASSERT_TRUE(r.has_value());
+  const auto& first = r->assignment.get(cachemodel::ComponentKind::kCellArray);
+  for (auto kind : cachemodel::kAllComponents) {
+    EXPECT_EQ(r->assignment.get(kind), first);
+  }
+}
+
+// --- variation ---------------------------------------------------------------
+
+TEST(Variation, DeterministicForSeed) {
+  const ComponentAssignment a(tech::DeviceKnobs{0.35, 12.0});
+  cachemodel::VariationParams p;
+  p.samples = 100;
+  const auto r1 = cachemodel::monte_carlo(cache16k(), a, p, 0.0, 7);
+  const auto r2 = cachemodel::monte_carlo(cache16k(), a, p, 0.0, 7);
+  EXPECT_DOUBLE_EQ(r1.leakage_w.mean, r2.leakage_w.mean);
+  EXPECT_DOUBLE_EQ(r1.leakage_w.p95, r2.leakage_w.p95);
+}
+
+TEST(Variation, ZeroSigmaDegeneratesToNominal) {
+  const ComponentAssignment a(tech::DeviceKnobs{0.35, 12.0});
+  cachemodel::VariationParams p;
+  p.vth_sigma_v = 0.0;
+  p.tox_sigma_a = 0.0;
+  p.samples = 10;
+  const auto r = cachemodel::monte_carlo(cache16k(), a, p);
+  const auto nominal = cache16k().evaluate(a);
+  EXPECT_NEAR(r.leakage_w.mean, nominal.leakage_w,
+              nominal.leakage_w * 1e-12);
+  EXPECT_NEAR(r.leakage_w.stddev, 0.0, nominal.leakage_w * 1e-12);
+  EXPECT_DOUBLE_EQ(r.timing_yield, 1.0);
+}
+
+TEST(Variation, LeakageSkewsAboveNominal) {
+  // exp() of a Gaussian has mean above the nominal (Jensen).
+  const ComponentAssignment a(tech::DeviceKnobs{0.40, 13.0});
+  cachemodel::VariationParams p;
+  p.samples = 1500;
+  const auto r = cachemodel::monte_carlo(cache16k(), a, p);
+  const auto nominal = cache16k().evaluate(a);
+  EXPECT_GT(r.leakage_w.mean, nominal.leakage_w);
+  EXPECT_GT(r.leakage_w.p95, r.leakage_w.mean);
+  EXPECT_LE(r.leakage_w.min, r.leakage_w.mean);
+  EXPECT_GE(r.leakage_w.max, r.leakage_w.p95);
+}
+
+TEST(Variation, YieldMonotoneInConstraint) {
+  const ComponentAssignment a(tech::DeviceKnobs{0.35, 12.0});
+  const auto nominal = cache16k().evaluate(a);
+  cachemodel::VariationParams p;
+  p.samples = 400;
+  const auto tight = cachemodel::monte_carlo(
+      cache16k(), a, p, nominal.access_time_s * 0.97);
+  const auto exact = cachemodel::monte_carlo(cache16k(), a, p,
+                                             nominal.access_time_s);
+  const auto loose = cachemodel::monte_carlo(
+      cache16k(), a, p, nominal.access_time_s * 1.10);
+  EXPECT_LE(tight.timing_yield, exact.timing_yield);
+  EXPECT_LE(exact.timing_yield, loose.timing_yield);
+  EXPECT_GT(loose.timing_yield, 0.9);
+  EXPECT_LT(tight.timing_yield, 0.5);
+}
+
+TEST(Variation, Validates) {
+  const ComponentAssignment a(tech::DeviceKnobs{0.35, 12.0});
+  cachemodel::VariationParams p;
+  p.samples = 1;
+  EXPECT_THROW(cachemodel::monte_carlo(cache16k(), a, p), Error);
+  p.samples = 10;
+  p.vth_sigma_v = -1.0;
+  EXPECT_THROW(cachemodel::monte_carlo(cache16k(), a, p), Error);
+}
+
+}  // namespace
+}  // namespace nanocache

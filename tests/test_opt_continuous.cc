@@ -1,0 +1,161 @@
+// Tests for the continuous (Lagrangian / NLP-style) optimizer over the
+// fitted closed forms: feasibility, constraint satisfaction, agreement
+// with the fine discrete grid, and the scheme ordering.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "opt/continuous.h"
+#include "util/error.h"
+
+namespace nanocache::opt {
+namespace {
+
+using cachemodel::CacheModel;
+using cachemodel::ComponentKind;
+using cachemodel::FittedCacheModel;
+
+struct Fixture {
+  Fixture() {
+    tech::DeviceModel dev(tech::bptm65());
+    model = std::make_unique<CacheModel>(
+        cachemodel::l1_organization(16 * 1024, dev),
+        tech::DeviceModel(dev.params()));
+    fits = std::make_unique<FittedCacheModel>(FittedCacheModel::fit(*model));
+  }
+  std::unique_ptr<CacheModel> model;
+  std::unique_ptr<FittedCacheModel> fits;
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+tech::KnobRange range() { return tech::bptm65().knobs; }
+
+double fastest_fitted(Scheme scheme) {
+  const cachemodel::ComponentAssignment fast(
+      tech::DeviceKnobs{range().vth_min_v, range().tox_min_a});
+  (void)scheme;  // the fastest corner is scheme-independent
+  return fixture().fits->access_time_s(fast);
+}
+
+TEST(Continuous, InfeasibleBelowFastestCorner) {
+  const double lo = fastest_fitted(Scheme::kPerComponent);
+  EXPECT_FALSE(optimize_continuous(*fixture().fits, range(),
+                                   Scheme::kPerComponent, lo * 0.8)
+                   .has_value());
+  EXPECT_THROW(optimize_continuous(*fixture().fits, range(),
+                                   Scheme::kPerComponent, -1.0),
+               Error);
+}
+
+TEST(Continuous, SatisfiesConstraint) {
+  const double lo = fastest_fitted(Scheme::kPerComponent);
+  for (Scheme s : {Scheme::kPerComponent, Scheme::kArrayPeriphery,
+                   Scheme::kUniform}) {
+    for (double factor : {1.1, 1.4, 1.9}) {
+      const auto r = optimize_continuous(*fixture().fits, range(), s,
+                                         lo * factor);
+      ASSERT_TRUE(r.has_value()) << factor;
+      EXPECT_LE(r->access_time_s, lo * factor * (1 + 1e-9)) << factor;
+      // The reported metrics must match re-evaluating the assignment.
+      EXPECT_NEAR(fixture().fits->leakage_w(r->assignment), r->leakage_w,
+                  r->leakage_w * 1e-9);
+    }
+  }
+}
+
+TEST(Continuous, ConstraintInactiveAtVeryLooseTargets) {
+  // With a huge budget the solution is the pure leakage minimum: the
+  // slow/thick corner of the box.
+  const auto r = optimize_continuous(*fixture().fits, range(),
+                                     Scheme::kPerComponent, 1.0 /*1 second*/);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_DOUBLE_EQ(r->lambda, 0.0);
+  for (ComponentKind kind : cachemodel::kAllComponents) {
+    const auto& k = r->assignment.get(kind);
+    EXPECT_NEAR(k.vth_v, range().vth_max_v, 1e-6);
+    EXPECT_NEAR(k.tox_a, range().tox_max_a, 1e-4);
+  }
+}
+
+TEST(Continuous, BeatsOrMatchesCoarseGridAndTracksFineGrid) {
+  // The continuous optimum on the same (fitted) objective must be at least
+  // as good as any grid-restricted optimum, and the fine grid should come
+  // close to it.
+  const auto eval = fitted_evaluator(*fixture().fits, *fixture().model);
+  const double lo = fastest_fitted(Scheme::kPerComponent);
+  for (double factor : {1.2, 1.5}) {
+    const double target = lo * factor;
+    const auto cont = optimize_continuous(*fixture().fits, range(),
+                                          Scheme::kPerComponent, target);
+    const auto coarse = optimize_single_cache(
+        eval, KnobGrid::paper_default(), Scheme::kPerComponent, target);
+    const auto fine = optimize_single_cache(eval, KnobGrid::fine(),
+                                            Scheme::kPerComponent, target);
+    ASSERT_TRUE(cont && coarse && fine) << factor;
+    EXPECT_LE(cont->leakage_w, coarse->leakage_w * (1 + 1e-6)) << factor;
+    EXPECT_LE(cont->leakage_w, fine->leakage_w * (1 + 1e-6)) << factor;
+    // Fine grid within ~20% of continuous; coarse can be further off.
+    EXPECT_LE(fine->leakage_w, cont->leakage_w * 1.25) << factor;
+  }
+}
+
+TEST(Continuous, SchemeOrderingPreserved) {
+  const double lo = fastest_fitted(Scheme::kUniform);
+  for (double factor : {1.15, 1.5}) {
+    const auto s1 = optimize_continuous(*fixture().fits, range(),
+                                        Scheme::kPerComponent, lo * factor);
+    const auto s2 = optimize_continuous(*fixture().fits, range(),
+                                        Scheme::kArrayPeriphery, lo * factor);
+    const auto s3 = optimize_continuous(*fixture().fits, range(),
+                                        Scheme::kUniform, lo * factor);
+    ASSERT_TRUE(s1 && s2 && s3) << factor;
+    EXPECT_LE(s1->leakage_w, s2->leakage_w * (1 + 1e-6)) << factor;
+    EXPECT_LE(s2->leakage_w, s3->leakage_w * (1 + 1e-6)) << factor;
+  }
+}
+
+TEST(Continuous, SchemeSharingStructureRespected) {
+  const double lo = fastest_fitted(Scheme::kUniform);
+  const auto s2 = optimize_continuous(*fixture().fits, range(),
+                                      Scheme::kArrayPeriphery, lo * 1.3);
+  ASSERT_TRUE(s2.has_value());
+  EXPECT_EQ(s2->assignment.get(ComponentKind::kDecoder),
+            s2->assignment.get(ComponentKind::kAddressDrivers));
+  EXPECT_EQ(s2->assignment.get(ComponentKind::kDecoder),
+            s2->assignment.get(ComponentKind::kDataDrivers));
+  const auto s3 = optimize_continuous(*fixture().fits, range(),
+                                      Scheme::kUniform, lo * 1.3);
+  ASSERT_TRUE(s3.has_value());
+  EXPECT_EQ(s3->assignment.get(ComponentKind::kCellArray),
+            s3->assignment.get(ComponentKind::kDataDrivers));
+}
+
+TEST(Continuous, ArrayConservativeInContinuousOptimaToo) {
+  const double lo = fastest_fitted(Scheme::kPerComponent);
+  const auto r = optimize_continuous(*fixture().fits, range(),
+                                     Scheme::kPerComponent, lo * 1.3);
+  ASSERT_TRUE(r.has_value());
+  const auto& arr = r->assignment.get(ComponentKind::kCellArray);
+  const auto& dec = r->assignment.get(ComponentKind::kDecoder);
+  EXPECT_GE(arr.vth_v, dec.vth_v - 1e-6);
+  EXPECT_GE(arr.tox_a, dec.tox_a - 1e-4);
+}
+
+TEST(Continuous, TighterConstraintNeverReducesLeakage) {
+  const double lo = fastest_fitted(Scheme::kArrayPeriphery);
+  double prev = std::numeric_limits<double>::infinity();
+  for (double factor : {1.08, 1.2, 1.4, 1.8}) {
+    const auto r = optimize_continuous(*fixture().fits, range(),
+                                       Scheme::kArrayPeriphery, lo * factor);
+    ASSERT_TRUE(r.has_value()) << factor;
+    EXPECT_LE(r->leakage_w, prev * (1 + 1e-6)) << factor;
+    prev = r->leakage_w;
+  }
+}
+
+}  // namespace
+}  // namespace nanocache::opt

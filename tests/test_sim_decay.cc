@@ -1,0 +1,141 @@
+// Tests for the cache-decay extension (gated-Vdd-style sleeping lines):
+// decay semantics, the lazy dirty-drain accounting, and the live-fraction
+// time integration.
+#include <gtest/gtest.h>
+
+#include "sim/cache.h"
+
+namespace nanocache::sim {
+namespace {
+
+TEST(Decay, DisabledByDefault) {
+  SetAssociativeCache c(1024, 32, 2);
+  EXPECT_EQ(c.decay_interval(), 0u);
+  EXPECT_DOUBLE_EQ(c.average_live_fraction(), 1.0);
+}
+
+TEST(Decay, LineSleepsAfterInterval) {
+  SetAssociativeCache c(1024, 32, 2);
+  c.enable_decay(4);
+  c.access(0, false);
+  // Five accesses to other sets age the line strictly past its interval.
+  for (int i = 1; i <= 5; ++i) c.access(i * 32, false);
+  EXPECT_FALSE(c.contains(0));  // asleep
+  const auto r = c.access(0, false);
+  EXPECT_FALSE(r.hit);
+  EXPECT_EQ(c.stats().decay_misses, 1u);
+}
+
+TEST(Decay, LineSurvivesWithinInterval) {
+  SetAssociativeCache c(1024, 32, 2);
+  c.enable_decay(16);
+  c.access(0, false);
+  for (int i = 1; i <= 8; ++i) c.access(i * 32, false);
+  EXPECT_TRUE(c.contains(0));
+  EXPECT_TRUE(c.access(0, false).hit);
+  EXPECT_EQ(c.stats().decay_misses, 0u);
+}
+
+TEST(Decay, RepeatedTouchKeepsLineAlive) {
+  SetAssociativeCache c(1024, 32, 2);
+  c.enable_decay(4);
+  for (int round = 0; round < 20; ++round) {
+    EXPECT_EQ(c.access(0, false).hit, round != 0);
+    c.access(32, false);  // one intervening access in another set
+  }
+  EXPECT_EQ(c.stats().decay_misses, 0u);
+}
+
+TEST(Decay, DirtySleepingLineDrainsOnReRef) {
+  SetAssociativeCache c(1024, 32, 2);
+  c.enable_decay(2);
+  c.access(0, true);  // dirty
+  c.access(32, false);
+  c.access(64, false);
+  c.access(96, false);
+  const auto r = c.access(0, false);  // decayed re-reference
+  EXPECT_FALSE(r.hit);
+  EXPECT_TRUE(r.writeback);
+  EXPECT_EQ(c.stats().writebacks, 1u);
+  // The refill is clean: evicting it later must not write back again.
+  EXPECT_TRUE(c.access(0, false).hit);
+}
+
+TEST(Decay, DecayMissesCountedInsideMisses) {
+  SetAssociativeCache c(1024, 32, 2);
+  c.enable_decay(2);
+  c.access(0, false);  // cold miss
+  c.access(32, false);
+  c.access(64, false);
+  c.access(96, false);
+  c.access(0, false);  // decay miss
+  EXPECT_EQ(c.stats().decay_misses, 1u);
+  EXPECT_EQ(c.stats().misses, 5u);
+}
+
+TEST(Decay, LiveFractionShrinksWithShorterIntervals) {
+  // Cold-scan the whole cache once, then spin on one line: every scanned
+  // line stays awake for exactly its decay interval, so the time-averaged
+  // live fraction is proportional to the interval.
+  auto run = [](std::uint64_t interval) {
+    SetAssociativeCache c(4096, 32, 2);
+    if (interval) c.enable_decay(interval);
+    for (int b = 0; b < 128; ++b) {
+      c.access(static_cast<std::uint64_t>(b) * 32, false);
+    }
+    for (int i = 0; i < 4096; ++i) c.access(0, false);
+    return c.average_live_fraction();
+  };
+  const double off = run(0);
+  const double slow = run(2048);
+  const double fast = run(64);
+  EXPECT_DOUBLE_EQ(off, 1.0);
+  EXPECT_LT(slow, 1.0);
+  EXPECT_LT(fast, slow);
+  EXPECT_GT(fast, 0.0);
+}
+
+TEST(Decay, LiveFractionNearOneForHotLoop) {
+  SetAssociativeCache c(1024, 32, 2);
+  c.enable_decay(1024);
+  // Every line touched every 32 accesses: all lines stay awake.
+  for (int rep = 0; rep < 100; ++rep) {
+    for (int b = 0; b < 32; ++b) {
+      c.access(static_cast<std::uint64_t>(b) * 32, false);
+    }
+  }
+  EXPECT_GT(c.average_live_fraction(), 0.9);
+}
+
+TEST(Decay, ResetStatsRestartsWindow) {
+  SetAssociativeCache c(1024, 32, 2);
+  c.enable_decay(32);  // longer than the hot loop's 16-access revisit gap
+  for (int b = 0; b < 64; ++b) {
+    c.access(static_cast<std::uint64_t>(b) * 32, false);
+  }
+  c.reset_stats();
+  EXPECT_EQ(c.stats().accesses, 0u);
+  // Fresh window with a hot loop: live fraction reflects only the window.
+  for (int rep = 0; rep < 50; ++rep) {
+    for (int b = 0; b < 16; ++b) {
+      c.access(static_cast<std::uint64_t>(b) * 32, false);
+    }
+  }
+  EXPECT_GT(c.average_live_fraction(), 0.3);
+}
+
+TEST(Decay, NormalEvictionOfDirtyDecayedVictimStillDrainsOnce) {
+  // 1-way set: a dirty line decays, then a conflicting block replaces it;
+  // exactly one writeback must be charged.
+  SetAssociativeCache c(1024, 32, 1);
+  c.enable_decay(2);
+  c.access(0, true);  // dirty
+  c.access(32, false);
+  c.access(64, false);
+  c.access(96, false);   // line 0 now decayed
+  c.access(1024, false); // conflicts with 0, evicts it
+  EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+}  // namespace
+}  // namespace nanocache::sim

@@ -1,0 +1,172 @@
+// Tests for the simulator extensions: write-through/no-write-allocate
+// hierarchy policy, the no-allocate cache path, and the program-phase
+// generator.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/generators.h"
+#include "sim/hierarchy.h"
+#include "util/rng.h"
+#include "util/error.h"
+
+namespace nanocache::sim {
+namespace {
+
+// --- no-allocate cache path --------------------------------------------------
+
+TEST(NoAllocate, MissDoesNotFill) {
+  SetAssociativeCache c(1024, 32, 2);
+  const auto r = c.access(0x100, false, /*allocate_on_miss=*/false);
+  EXPECT_FALSE(r.hit);
+  EXPECT_FALSE(c.contains(0x100));
+  EXPECT_EQ(c.stats().misses, 1u);
+}
+
+TEST(NoAllocate, HitStillUpdatesRecency) {
+  SetAssociativeCache c(1024, 32, 2, Replacement::kLru);
+  const std::uint64_t A = 0, B = 512, C = 1024;  // one set
+  c.access(A, false);
+  c.access(B, false);
+  // Touch A through the no-allocate path: must refresh its recency.
+  EXPECT_TRUE(c.access(A, false, /*allocate_on_miss=*/false).hit);
+  c.access(C, false);  // evicts B, not A
+  EXPECT_TRUE(c.contains(A));
+  EXPECT_FALSE(c.contains(B));
+}
+
+// --- write-through hierarchy --------------------------------------------------
+
+TEST(WriteThrough, EveryWriteReachesL2) {
+  TwoLevelHierarchy wt(SetAssociativeCache(1024, 32, 2),
+                       SetAssociativeCache(16 * 1024, 64, 8),
+                       WritePolicy::kWriteThroughNoAllocate);
+  for (int i = 0; i < 10; ++i) wt.access(0x40, true);  // same line
+  EXPECT_EQ(wt.stats().l2_accesses, 10u);
+}
+
+TEST(WriteThrough, WriteMissDoesNotFillL1) {
+  TwoLevelHierarchy wt(SetAssociativeCache(1024, 32, 2),
+                       SetAssociativeCache(16 * 1024, 64, 8),
+                       WritePolicy::kWriteThroughNoAllocate);
+  wt.access(0x80, true);
+  EXPECT_FALSE(wt.l1().contains(0x80));
+  EXPECT_TRUE(wt.l2().contains(0x80));
+}
+
+TEST(WriteThrough, ReadsStillAllocate) {
+  TwoLevelHierarchy wt(SetAssociativeCache(1024, 32, 2),
+                       SetAssociativeCache(16 * 1024, 64, 8),
+                       WritePolicy::kWriteThroughNoAllocate);
+  wt.access(0x80, false);
+  EXPECT_TRUE(wt.l1().contains(0x80));
+}
+
+TEST(WriteThrough, NoL1Writebacks) {
+  TwoLevelHierarchy wt(SetAssociativeCache(1024, 32, 1),
+                       SetAssociativeCache(16 * 1024, 64, 8),
+                       WritePolicy::kWriteThroughNoAllocate);
+  // Read-allocate a line, write it (stays clean), then conflict it out.
+  wt.access(0, false);
+  wt.access(0, true);
+  wt.access(1024, false);
+  EXPECT_EQ(wt.stats().l1_writebacks, 0u);
+}
+
+TEST(WriteThrough, MoreL2TrafficThanWriteBackWhenResident) {
+  // The classic write-through cost shows on a working set resident in L1:
+  // write-back coalesces repeated writes in the L1 line; write-through
+  // sends every one of them to L2.
+  auto run = [](WritePolicy policy) {
+    TwoLevelHierarchy h(SetAssociativeCache(4096, 32, 2),
+                        SetAssociativeCache(64 * 1024, 64, 8), policy);
+    Rng rng(7);
+    for (int i = 0; i < 20000; ++i) {
+      const std::uint64_t addr = rng.below(2048);  // fits in L1
+      h.access(addr & ~7ull, rng.uniform() < 0.4);
+    }
+    return h.stats().l2_accesses;
+  };
+  EXPECT_GT(run(WritePolicy::kWriteThroughNoAllocate),
+            5 * run(WritePolicy::kWriteBackAllocate));
+}
+
+TEST(WriteThrough, PolicyAccessorWorks) {
+  TwoLevelHierarchy h(SetAssociativeCache(1024, 32, 2),
+                      SetAssociativeCache(16 * 1024, 64, 8));
+  EXPECT_EQ(h.write_policy(), WritePolicy::kWriteBackAllocate);
+}
+
+// --- phase generator ----------------------------------------------------------
+
+std::vector<std::unique_ptr<TraceSource>> two_regions() {
+  std::vector<std::unique_ptr<TraceSource>> v;
+  v.push_back(std::make_unique<StrideGenerator>(0x0, 8, 4096, 0.0, 1));
+  v.push_back(
+      std::make_unique<StrideGenerator>(0x10000000, 8, 4096, 0.0, 2));
+  return v;
+}
+
+TEST(PhaseGenerator, StaysInPhaseForRuns) {
+  PhaseGenerator g(two_regions(), /*mean_phase_length=*/1000, 42);
+  // Over a window much shorter than the mean phase, almost all accesses
+  // come from one region.
+  int switches = 0;
+  bool last_high = g.next().address >= 0x10000000;
+  for (int i = 0; i < 200; ++i) {
+    const bool high = g.next().address >= 0x10000000;
+    if (high != last_high) ++switches;
+    last_high = high;
+  }
+  EXPECT_LE(switches, 2);
+}
+
+TEST(PhaseGenerator, EventuallyVisitsAllPhases) {
+  PhaseGenerator g(two_regions(), /*mean_phase_length=*/50, 42);
+  bool low = false;
+  bool high = false;
+  for (int i = 0; i < 5000; ++i) {
+    if (g.next().address >= 0x10000000) {
+      high = true;
+    } else {
+      low = true;
+    }
+  }
+  EXPECT_TRUE(low);
+  EXPECT_TRUE(high);
+  EXPECT_GT(g.phase_transitions(), 10u);
+}
+
+TEST(PhaseGenerator, MeanPhaseLengthApproximatelyRespected) {
+  PhaseGenerator g(two_regions(), /*mean_phase_length=*/100, 7);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) g.next();
+  const double mean_run =
+      static_cast<double>(n) / static_cast<double>(g.phase_transitions());
+  EXPECT_NEAR(mean_run, 100.0, 25.0);
+}
+
+TEST(PhaseGenerator, SinglePhaseNeverSwitches) {
+  std::vector<std::unique_ptr<TraceSource>> one;
+  one.push_back(std::make_unique<StrideGenerator>(0, 8, 4096, 0.0, 1));
+  PhaseGenerator g(std::move(one), 10, 3);
+  for (int i = 0; i < 1000; ++i) g.next();
+  EXPECT_EQ(g.phase_transitions(), 0u);
+  EXPECT_EQ(g.current_phase(), 0u);
+}
+
+TEST(PhaseGenerator, Validates) {
+  EXPECT_THROW(PhaseGenerator({}, 10, 1), Error);
+  EXPECT_THROW(PhaseGenerator(two_regions(), 0, 1), Error);
+}
+
+TEST(PhaseGenerator, Deterministic) {
+  PhaseGenerator a(two_regions(), 30, 9);
+  PhaseGenerator b(two_regions(), 30, 9);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_EQ(a.next().address, b.next().address);
+  }
+}
+
+}  // namespace
+}  // namespace nanocache::sim

@@ -1,0 +1,87 @@
+// Tests for the interval (windowed miss-rate) recorder and its use as a
+// phase-behaviour detector together with PhaseGenerator.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/cache.h"
+#include "sim/generators.h"
+#include "sim/interval.h"
+#include "util/error.h"
+
+namespace nanocache::sim {
+namespace {
+
+TEST(Interval, WindowsCompleteOnSchedule) {
+  IntervalRecorder rec(4);
+  for (int i = 0; i < 10; ++i) rec.record(i % 2 == 0);
+  // 10 records -> 2 complete windows of 4; the partial window is pending.
+  ASSERT_EQ(rec.miss_rates().size(), 2u);
+  EXPECT_DOUBLE_EQ(rec.miss_rates()[0], 0.5);
+  EXPECT_DOUBLE_EQ(rec.miss_rates()[1], 0.5);
+}
+
+TEST(Interval, MeanAndCv) {
+  IntervalRecorder rec(2);
+  rec.record(true);
+  rec.record(true);   // window 1: 1.0
+  rec.record(false);
+  rec.record(false);  // window 2: 0.0
+  EXPECT_DOUBLE_EQ(rec.mean(), 0.5);
+  EXPECT_GT(rec.coefficient_of_variation(), 1.0);
+}
+
+TEST(Interval, StationaryStreamHasLowCv) {
+  IntervalRecorder rec(100);
+  Rng rng(5);
+  for (int i = 0; i < 100000; ++i) rec.record(rng.uniform() < 0.2);
+  EXPECT_NEAR(rec.mean(), 0.2, 0.01);
+  EXPECT_LT(rec.coefficient_of_variation(), 0.35);
+}
+
+TEST(Interval, EmptyAndDegenerateAreZero) {
+  IntervalRecorder rec(10);
+  EXPECT_DOUBLE_EQ(rec.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rec.coefficient_of_variation(), 0.0);
+  for (int i = 0; i < 10; ++i) rec.record(false);
+  EXPECT_DOUBLE_EQ(rec.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rec.coefficient_of_variation(), 0.0);  // zero mean
+}
+
+TEST(Interval, RejectsZeroWindow) {
+  EXPECT_THROW(IntervalRecorder(0), Error);
+}
+
+TEST(Interval, PhasedWorkloadShowsHigherCvThanBlended) {
+  // The same two sources, phase-alternated vs per-access blended, through
+  // the same cache: the phased version must show bursty window miss rates.
+  auto run = [](bool phased) {
+    auto make_sources = [] {
+      std::vector<std::unique_ptr<TraceSource>> v;
+      WorkingSetGenerator::Config hot;
+      hot.footprint_bytes = 8 << 10;
+      v.push_back(std::make_unique<WorkingSetGenerator>(hot, 1));
+      v.push_back(std::make_unique<PointerChaseGenerator>(0x10000000,
+                                                          1 << 20, 64, 2));
+      return v;
+    };
+    std::unique_ptr<TraceSource> src;
+    if (phased) {
+      src = std::make_unique<PhaseGenerator>(make_sources(), 5000, 9);
+    } else {
+      src = std::make_unique<MixGenerator>(make_sources(),
+                                           std::vector<double>{0.5, 0.5}, 9);
+    }
+    SetAssociativeCache cache(16 * 1024, 32, 2);
+    IntervalRecorder rec(1000);
+    for (int i = 0; i < 120000; ++i) {
+      const Access a = src->next();
+      rec.record(!cache.access(a.address, a.is_write).hit);
+    }
+    return rec.coefficient_of_variation();
+  };
+  EXPECT_GT(run(true), 2.0 * run(false));
+}
+
+}  // namespace
+}  // namespace nanocache::sim

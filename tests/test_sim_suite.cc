@@ -1,0 +1,164 @@
+// Tests for the synthetic benchmark suite and the analytic miss models —
+// including the cross-validation between the trace-driven simulator and
+// the power-law curves Section 5's sweeps consume.
+#include <gtest/gtest.h>
+
+#include "sim/missmodel.h"
+#include "sim/suite.h"
+#include "util/error.h"
+
+namespace nanocache::sim {
+namespace {
+
+TEST(MissModel, EvaluatesPowerLaw) {
+  PowerLawMissModel m(0.2, 1024, 0.5, 0.01);
+  EXPECT_NEAR(m(1024), 0.2, 1e-12);
+  EXPECT_NEAR(m(4096), 0.1, 1e-12);  // 4x size, sqrt rule -> half
+}
+
+TEST(MissModel, ClampsToFloorAndOne) {
+  PowerLawMissModel m(0.9, 1024, 1.0, 0.05);
+  EXPECT_DOUBLE_EQ(m(1 << 30), 0.05);  // floor
+  EXPECT_LE(m(1), 1.0);
+}
+
+TEST(MissModel, Validates) {
+  EXPECT_THROW(PowerLawMissModel(0.0, 1024, 0.5, 0.0), Error);
+  EXPECT_THROW(PowerLawMissModel(0.5, 1024, -0.5, 0.0), Error);
+  EXPECT_THROW(PowerLawMissModel(0.5, 1024, 0.5, 0.6), Error);
+  PowerLawMissModel ok(0.5, 1024, 0.5, 0.0);
+  EXPECT_THROW(ok(0), Error);
+}
+
+TEST(MissModel, FitRecoversSyntheticCurve) {
+  PowerLawMissModel truth(0.3, 4096, 0.4, 0.0001);
+  std::vector<std::uint64_t> sizes;
+  std::vector<double> rates;
+  for (std::uint64_t s = 4096; s <= 4096 * 64; s *= 2) {
+    sizes.push_back(s);
+    rates.push_back(truth(s));
+  }
+  const auto fit = PowerLawMissModel::fit(sizes, rates);
+  EXPECT_NEAR(fit.exponent(), 0.4, 0.01);
+  EXPECT_NEAR(fit(16384) / truth(16384), 1.0, 0.02);
+}
+
+TEST(MissModel, FitRejectsRisingCurves) {
+  EXPECT_THROW(
+      PowerLawMissModel::fit({1024, 2048}, {0.1, 0.2}), Error);
+}
+
+TEST(MissModel, DefaultCurvesShape) {
+  const auto curves = default_miss_curves();
+  // L1: low and falling slowly across 4K-64K.
+  EXPECT_LT(curves.l1(4096), 0.08);
+  EXPECT_GT(curves.l1(4096), curves.l1(65536));
+  EXPECT_LT(curves.l1(4096) / curves.l1(65536), 3.0);  // "do not vary much"
+  // L2: falls with size, floor-dominated at the top.
+  EXPECT_GT(curves.l2(256 * 1024), curves.l2(4096 * 1024));
+  EXPECT_GT(curves.l2(4096 * 1024), 0.05);
+}
+
+TEST(Suite, HasEightNamedWorkloads) {
+  const auto& suite = default_suite();
+  ASSERT_EQ(suite.size(), 8u);
+  for (const auto& w : suite) {
+    EXPECT_FALSE(w.name.empty());
+    auto gen = w.make(w.seed);
+    ASSERT_NE(gen, nullptr);
+    EXPECT_NO_THROW(gen->next());
+  }
+}
+
+TEST(Suite, MakeWorkloadByName) {
+  EXPECT_NE(make_workload("intcode"), nullptr);
+  EXPECT_NE(make_workload("oltp", 123), nullptr);
+  EXPECT_THROW(make_workload("no-such-benchmark"), Error);
+}
+
+TEST(Suite, WorkloadsAreDeterministic) {
+  for (const auto& w : default_suite()) {
+    auto a = w.make(w.seed);
+    auto b = w.make(w.seed);
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_EQ(a->next().address, b->next().address) << w.name;
+    }
+  }
+}
+
+// The heavier cross-validation: run a reduced suite sweep and check the
+// properties the paper relies on.  Kept at modest trace lengths so the
+// whole test file stays in seconds.
+class SuiteCrossValidation : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SuiteRunConfig cfg;
+    cfg.l1_sizes = {4096, 16384, 65536};
+    cfg.l2_sizes = {256 * 1024, 1024 * 1024, 4096 * 1024};
+    cfg.warmup_refs = 60'000;
+    cfg.measured_refs = 240'000;
+    points_ = new std::vector<SuitePoint>(measure_suite(cfg));
+    cfg_ = new SuiteRunConfig(cfg);
+  }
+  static void TearDownTestSuite() {
+    delete points_;
+    delete cfg_;
+    points_ = nullptr;
+    cfg_ = nullptr;
+  }
+  static std::vector<SuitePoint>* points_;
+  static SuiteRunConfig* cfg_;
+};
+
+std::vector<SuitePoint>* SuiteCrossValidation::points_ = nullptr;
+SuiteRunConfig* SuiteCrossValidation::cfg_ = nullptr;
+
+TEST_F(SuiteCrossValidation, L1LocalMissRatesLowAndFlat) {
+  const auto avg = average_l1_curve(*points_, cfg_->l1_sizes);
+  for (double m : avg) {
+    EXPECT_LT(m, 0.18);
+    EXPECT_GT(m, 0.005);
+  }
+  EXPECT_LT(avg.front() / avg.back(), 3.0);  // 4K vs 64K: "do not vary much"
+}
+
+TEST_F(SuiteCrossValidation, L1MissRateFallsWithSize) {
+  const auto avg = average_l1_curve(*points_, cfg_->l1_sizes);
+  for (std::size_t i = 1; i < avg.size(); ++i) {
+    EXPECT_LE(avg[i], avg[i - 1] * 1.05) << i;  // small noise band
+  }
+}
+
+TEST_F(SuiteCrossValidation, L2LocalMissRateFallsWithSize) {
+  const auto avg = average_l2_curve(*points_, cfg_->l2_sizes);
+  EXPECT_LT(avg.back(), avg.front());
+}
+
+TEST_F(SuiteCrossValidation, L2CurveSameBallparkAsAnalyticModel) {
+  // The analytic curve is a regime calibration, not a trace fit; require
+  // agreement in order of magnitude and direction, not in value.
+  const auto avg = average_l2_curve(*points_, cfg_->l2_sizes);
+  const auto curves = default_miss_curves();
+  for (std::size_t i = 0; i < cfg_->l2_sizes.size(); ++i) {
+    const double model = curves.l2(cfg_->l2_sizes[i]);
+    EXPECT_GT(avg[i], model * 0.3) << i;
+    EXPECT_LT(avg[i], model * 4.0) << i;
+  }
+}
+
+TEST_F(SuiteCrossValidation, PerWorkloadRatesAreSane) {
+  for (const auto& p : *points_) {
+    EXPECT_GE(p.l1_miss_rate, 0.0);
+    EXPECT_LE(p.l1_miss_rate, 1.0);
+    EXPECT_GE(p.l2_local_miss_rate, 0.0);
+    EXPECT_LE(p.l2_local_miss_rate, 1.0);
+  }
+}
+
+TEST(Suite, AverageCurveRejectsUnknownSizes) {
+  std::vector<SuitePoint> pts{{"w", 4096, 65536, 0.1, 0.2}};
+  EXPECT_THROW(average_l1_curve(pts, {8192}), Error);
+}
+
+}  // namespace
+}  // namespace nanocache::sim

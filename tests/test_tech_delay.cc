@@ -1,0 +1,128 @@
+// Unit tests for the stage-delay primitives: Horowitz approximation, RC
+// stages, driver chains and repeater-segmented wires.
+#include <gtest/gtest.h>
+
+#include "tech/delay.h"
+#include "util/error.h"
+
+namespace nanocache::tech {
+namespace {
+
+DeviceModel make_model() { return DeviceModel(bptm65()); }
+
+TEST(Horowitz, StepInputIsPlainRc) {
+  EXPECT_NEAR(horowitz(0.0, 10e-12, 0.5), 6.9e-12, 1e-15);
+}
+
+TEST(Horowitz, ZeroTimeConstantIsZero) {
+  EXPECT_DOUBLE_EQ(horowitz(5e-12, 0.0, 0.5), 0.0);
+}
+
+TEST(Horowitz, SlowerInputRampIncreasesDelay) {
+  const double tf = 10e-12;
+  const double fast = horowitz(1e-12, tf, 0.5);
+  const double slow = horowitz(40e-12, tf, 0.5);
+  EXPECT_GT(slow, fast);
+}
+
+TEST(Horowitz, RejectsBadThreshold) {
+  EXPECT_THROW(horowitz(0.0, 1e-12, 0.0), Error);
+  EXPECT_THROW(horowitz(0.0, 1e-12, 1.0), Error);
+  EXPECT_THROW(horowitz(0.0, -1e-12, 0.5), Error);
+}
+
+TEST(GateStage, DelayScalesWithRc) {
+  const auto a = gate_stage(1000.0, 10e-15, 0.0);
+  const auto b = gate_stage(2000.0, 10e-15, 0.0);
+  EXPECT_NEAR(b.delay_s / a.delay_s, 2.0, 1e-9);
+  EXPECT_GT(b.out_ramp_s, a.out_ramp_s);
+}
+
+TEST(GateStage, RejectsNegativeInputs) {
+  EXPECT_THROW(gate_stage(-1.0, 1e-15, 0.0), Error);
+  EXPECT_THROW(gate_stage(1.0, -1e-15, 0.0), Error);
+}
+
+TEST(DistributedRc, MatchesElmoreForm) {
+  // driver 1k, wire 500 ohm / 20 fF, end load 5 fF.
+  const double d = distributed_rc_delay(1000.0, 500.0, 20e-15, 5e-15);
+  const double elmore = 0.69 * (1000.0 * 25e-15 + 500.0 * (10e-15 + 5e-15));
+  EXPECT_NEAR(d, elmore, 1e-18);
+}
+
+TEST(DistributedRc, ZeroWireIsLumpedRc) {
+  EXPECT_NEAR(distributed_rc_delay(1000.0, 0.0, 0.0, 10e-15),
+              0.69 * 1000.0 * 10e-15, 1e-18);
+}
+
+TEST(DriverChain, MoreLoadMoreStages) {
+  const auto dev = make_model();
+  const DeviceKnobs k{0.3, 12.0};
+  const auto small = driver_chain(dev, k, 1.0, 10e-15);
+  const auto large = driver_chain(dev, k, 1.0, 3000e-15);
+  EXPECT_GE(large.stages, small.stages);
+  EXPECT_GT(large.total_width_um, small.total_width_um);
+  EXPECT_GT(large.delay_s, small.delay_s);
+}
+
+TEST(DriverChain, DelayRisesWithVth) {
+  const auto dev = make_model();
+  const auto fast = driver_chain(dev, {0.2, 12.0}, 1.0, 200e-15);
+  const auto slow = driver_chain(dev, {0.5, 12.0}, 1.0, 200e-15);
+  EXPECT_GT(slow.delay_s, fast.delay_s);
+}
+
+TEST(DriverChain, DelayRisesWithTox) {
+  const auto dev = make_model();
+  const auto thin = driver_chain(dev, {0.3, 10.0}, 1.0, 200e-15);
+  const auto thick = driver_chain(dev, {0.3, 14.0}, 1.0, 200e-15);
+  EXPECT_GT(thick.delay_s, thin.delay_s);
+}
+
+TEST(DriverChain, RejectsBadFirstStage) {
+  const auto dev = make_model();
+  EXPECT_THROW(driver_chain(dev, {0.3, 12.0}, 0.0, 1e-15), Error);
+  EXPECT_THROW(driver_chain(dev, {0.3, 12.0}, 1.0, -1e-15), Error);
+}
+
+TEST(RepeatedWire, SegmentsByLength) {
+  const auto dev = make_model();
+  const DeviceKnobs k{0.3, 12.0};
+  const auto short_wire = repeated_wire(dev, k, 300.0, 5e-15);
+  const auto long_wire = repeated_wire(dev, k, 3000.0, 5e-15);
+  EXPECT_EQ(short_wire.segments, 1);
+  EXPECT_EQ(long_wire.segments, 8);  // ceil(3000/400)
+  EXPECT_GT(long_wire.total_width_um, short_wire.total_width_um);
+}
+
+TEST(RepeatedWire, DelayNearlyLinearInLength) {
+  // The whole point of repeaters: doubling the wire roughly doubles delay
+  // (unrepeated RC would quadruple it).
+  const auto dev = make_model();
+  const DeviceKnobs k{0.3, 12.0};
+  const double d1 = repeated_wire(dev, k, 2000.0, 0.0).delay_s;
+  const double d2 = repeated_wire(dev, k, 4000.0, 0.0).delay_s;
+  EXPECT_GT(d2 / d1, 1.7);
+  EXPECT_LT(d2 / d1, 2.3);
+}
+
+TEST(RepeatedWire, BeatsUnrepeatedOnLongWires) {
+  const auto dev = make_model();
+  const DeviceKnobs k{0.3, 12.0};
+  const auto& p = dev.params();
+  const double length = 4000.0;
+  const double r_wire = length * p.rwire_ohm_per_um;
+  const double c_wire = length * p.cwire_f_per_um;
+  const double unrepeated = distributed_rc_delay(
+      dev.effective_resistance_ohm(kRepeaterWidthUm, k), r_wire, c_wire, 0.0);
+  EXPECT_LT(repeated_wire(dev, k, length, 0.0).delay_s, unrepeated);
+}
+
+TEST(RepeatedWire, RejectsBadInputs) {
+  const auto dev = make_model();
+  EXPECT_THROW(repeated_wire(dev, {0.3, 12.0}, 0.0, 0.0), Error);
+  EXPECT_THROW(repeated_wire(dev, {0.3, 12.0}, 100.0, -1e-15), Error);
+}
+
+}  // namespace
+}  // namespace nanocache::tech

@@ -1,0 +1,287 @@
+// Unit + property tests for the analytical device model: leakage
+// monotonicities, geometry scaling, drive strength, and parameter
+// validation.  These are the physical invariants everything downstream
+// (Figure 1's shape, the scheme optimizer's choices) rests on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tech/characterize.h"
+#include "tech/device.h"
+#include "util/error.h"
+
+namespace nanocache::tech {
+namespace {
+
+DeviceModel make_model() { return DeviceModel(bptm65()); }
+
+TEST(TechnologyParams, DefaultsValidate) {
+  EXPECT_NO_THROW(bptm65().validate());
+}
+
+TEST(TechnologyParams, SubthresholdSwingRealistic) {
+  // 65 nm-era swing: ~80-110 mV/decade.
+  const double swing = bptm65().subthreshold_swing_mv_per_dec();
+  EXPECT_GT(swing, 75.0);
+  EXPECT_LT(swing, 115.0);
+}
+
+TEST(TechnologyParams, ValidationCatchesBadValues) {
+  auto bad = bptm65();
+  bad.vdd_v = -1.0;
+  EXPECT_THROW(bad.validate(), Error);
+
+  bad = bptm65();
+  bad.knobs.vth_min_v = 0.6;  // empty range
+  EXPECT_THROW(bad.validate(), Error);
+
+  bad = bptm65();
+  bad.bitline_swing_v = 2.0;  // above vdd
+  EXPECT_THROW(bad.validate(), Error);
+
+  bad = bptm65();
+  bad.alpha_power = 3.0;
+  EXPECT_THROW(bad.validate(), Error);
+}
+
+TEST(DeviceModel, GeometryScaleLinearInTox) {
+  const auto dev = make_model();
+  const double t0 = dev.params().tox_nominal_a;
+  EXPECT_DOUBLE_EQ(dev.geometry_scale(t0), 1.0);
+  EXPECT_NEAR(dev.geometry_scale(t0 * 1.5), 1.5, 1e-12);
+  EXPECT_NEAR(dev.leff_um(14.0) / dev.leff_um(10.0), 1.4, 1e-12);
+}
+
+TEST(DeviceModel, GeometryScaleDisabledIsUnity) {
+  auto p = bptm65();
+  p.area_scaling_enabled = false;
+  DeviceModel dev(p);
+  EXPECT_DOUBLE_EQ(dev.geometry_scale(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(dev.geometry_scale(14.0), 1.0);
+  EXPECT_DOUBLE_EQ(dev.cell_area_um2(10.0), dev.cell_area_um2(14.0));
+}
+
+TEST(DeviceModel, SubthresholdFallsExponentiallyWithVth) {
+  const auto dev = make_model();
+  const double i02 = dev.subthreshold_current_a(1.0, {0.2, 12.0});
+  const double i03 = dev.subthreshold_current_a(1.0, {0.3, 12.0});
+  const double i04 = dev.subthreshold_current_a(1.0, {0.4, 12.0});
+  EXPECT_GT(i02, i03);
+  EXPECT_GT(i03, i04);
+  // Exponential: constant ratio per 100 mV.
+  EXPECT_NEAR(i02 / i03, i03 / i04, (i02 / i03) * 1e-6);
+}
+
+TEST(DeviceModel, SubthresholdScalesWithWidth) {
+  const auto dev = make_model();
+  const DeviceKnobs k{0.3, 12.0};
+  EXPECT_NEAR(dev.subthreshold_current_a(2.0, k),
+              2.0 * dev.subthreshold_current_a(1.0, k), 1e-18);
+}
+
+TEST(DeviceModel, SubthresholdVanishesAtZeroVds) {
+  const auto dev = make_model();
+  EXPECT_DOUBLE_EQ(dev.subthreshold_current_a(1.0, {0.3, 12.0}, 0.0), 0.0);
+}
+
+TEST(DeviceModel, DiblRaisesLeakageWithVds) {
+  const auto dev = make_model();
+  const DeviceKnobs k{0.3, 12.0};
+  const double full = dev.subthreshold_current_a(1.0, k, 1.0);
+  const double half = dev.subthreshold_current_a(1.0, k, 0.5);
+  EXPECT_GT(full, half);
+}
+
+TEST(DeviceModel, GateLeakageFallsExponentiallyWithTox) {
+  const auto dev = make_model();
+  const double i10 = dev.gate_leakage_current_a(1.0, {0.3, 10.0});
+  const double i12 = dev.gate_leakage_current_a(1.0, {0.3, 12.0});
+  const double i14 = dev.gate_leakage_current_a(1.0, {0.3, 14.0});
+  EXPECT_GT(i10, i12);
+  EXPECT_GT(i12, i14);
+  // ~2.5-3x reduction per Angstrom (slope 1.05/A), corrected for the
+  // linear gate-area growth with Tox.
+  const double per_angstrom = std::pow(i10 / i14, 1.0 / 4.0);
+  EXPECT_GT(per_angstrom, 2.2);
+  EXPECT_LT(per_angstrom, 3.2);
+}
+
+TEST(DeviceModel, GateLeakageIndependentOfVth) {
+  const auto dev = make_model();
+  EXPECT_DOUBLE_EQ(dev.gate_leakage_current_a(1.0, {0.2, 12.0}),
+                   dev.gate_leakage_current_a(1.0, {0.5, 12.0}));
+}
+
+TEST(DeviceModel, OffPowerCombinesBothMechanisms) {
+  const auto dev = make_model();
+  const DeviceKnobs k{0.35, 11.0};
+  const double expected =
+      dev.params().vdd_v * (dev.subthreshold_current_a(1.0, k) +
+                            dev.gate_leakage_current_a(1.0, k));
+  EXPECT_DOUBLE_EQ(dev.off_power_w(1.0, k), expected);
+}
+
+TEST(DeviceModel, OnCurrentFallsWithVthAndTox) {
+  const auto dev = make_model();
+  EXPECT_GT(dev.on_current_a(1.0, {0.2, 12.0}),
+            dev.on_current_a(1.0, {0.4, 12.0}));
+  EXPECT_GT(dev.on_current_a(1.0, {0.3, 10.0}),
+            dev.on_current_a(1.0, {0.3, 14.0}));
+}
+
+TEST(DeviceModel, OnCurrentAtReferenceCorner) {
+  const auto dev = make_model();
+  EXPECT_NEAR(dev.on_current_a(1.0, {0.2, 10.0}),
+              dev.params().idsat_ref_a_per_um, 1e-9);
+}
+
+TEST(DeviceModel, OnCurrentRejectsVthAboveVdd) {
+  const auto dev = make_model();
+  EXPECT_THROW(dev.on_current_a(1.0, {1.2, 12.0}), Error);
+}
+
+TEST(DeviceModel, EffectiveResistanceInverseOfDrive) {
+  const auto dev = make_model();
+  const DeviceKnobs k{0.3, 12.0};
+  EXPECT_NEAR(dev.effective_resistance_ohm(2.0, k) * dev.on_current_a(2.0, k),
+              dev.params().vdd_v, 1e-9);
+}
+
+TEST(DeviceModel, GateCapNearlyToxIndependent) {
+  // Channel term W*L(Tox)*Cox(Tox): L grows as Cox shrinks, so the total
+  // gate cap moves by well under 10% across the Tox window.
+  const auto dev = make_model();
+  const double c10 = dev.gate_cap_f(1.0, 10.0);
+  const double c14 = dev.gate_cap_f(1.0, 14.0);
+  EXPECT_NEAR(c10 / c14, 1.0, 0.1);
+}
+
+TEST(DeviceModel, CellAreaGrowsQuadratically) {
+  // Section 2: the cell grows in BOTH dimensions with Tox.
+  const auto dev = make_model();
+  const double ratio = dev.cell_area_um2(14.0) / dev.cell_area_um2(10.0);
+  EXPECT_NEAR(ratio, (14.0 / 10.0) * (14.0 / 10.0), 1e-9);
+}
+
+TEST(DeviceModel, CellAreaRealisticFor65nm) {
+  const auto dev = make_model();
+  const double a = dev.cell_area_um2(dev.params().tox_nominal_a);
+  EXPECT_GT(a, 0.3);  // um^2
+  EXPECT_LT(a, 1.0);
+}
+
+TEST(DeviceModel, CellLeakageMonotoneInBothKnobs) {
+  const auto dev = make_model();
+  for (double tox : {10.0, 12.0, 14.0}) {
+    EXPECT_GT(dev.cell_leakage_w({0.2, tox}), dev.cell_leakage_w({0.35, tox}))
+        << "tox=" << tox;
+    EXPECT_GT(dev.cell_leakage_w({0.35, tox}), dev.cell_leakage_w({0.5, tox}))
+        << "tox=" << tox;
+  }
+  for (double vth : {0.2, 0.35, 0.5}) {
+    EXPECT_GT(dev.cell_leakage_w({vth, 10.0}), dev.cell_leakage_w({vth, 12.0}))
+        << "vth=" << vth;
+    EXPECT_GT(dev.cell_leakage_w({vth, 12.0}), dev.cell_leakage_w({vth, 14.0}))
+        << "vth=" << vth;
+  }
+}
+
+TEST(DeviceModel, CellLeakageNanoampScale) {
+  // Per-cell leakage at mid knobs should be nA-scale (10s of nW at 1 V) —
+  // the magnitude that makes a 16 KB array land in Figure 1's mW window.
+  const auto dev = make_model();
+  const double w = dev.cell_leakage_w({0.35, 12.0});
+  EXPECT_GT(w, 1e-9);
+  EXPECT_LT(w, 1e-6);
+}
+
+TEST(DeviceModel, CellReadCurrentFallsWithBothKnobs) {
+  const auto dev = make_model();
+  EXPECT_GT(dev.cell_read_current_a({0.2, 12.0}),
+            dev.cell_read_current_a({0.4, 12.0}));
+  EXPECT_GT(dev.cell_read_current_a({0.3, 10.0}),
+            dev.cell_read_current_a({0.3, 14.0}));
+}
+
+TEST(DeviceModel, NegativeWidthRejected) {
+  const auto dev = make_model();
+  EXPECT_THROW(dev.subthreshold_current_a(-1.0, {0.3, 12.0}), Error);
+  EXPECT_THROW(dev.gate_leakage_current_a(-1.0, {0.3, 12.0}), Error);
+  EXPECT_THROW(dev.on_current_a(-1.0, {0.3, 12.0}), Error);
+}
+
+// --- gate vs subthreshold crossover: the paper's core premise -------------
+
+TEST(DeviceModel, GateLeakageDominatesAtThinToxHighVth) {
+  // "With aggressive Tox scaling, gate leakage can surpass subthreshold":
+  // at Tox = 10 A and Vth = 0.4 V the tunnelling component must dominate.
+  const auto dev = make_model();
+  const DeviceKnobs k{0.4, 10.0};
+  EXPECT_GT(dev.gate_leakage_current_a(1.0, k),
+            dev.subthreshold_current_a(1.0, k));
+}
+
+TEST(DeviceModel, SubthresholdDominatesAtThickToxLowVth) {
+  const auto dev = make_model();
+  const DeviceKnobs k{0.2, 14.0};
+  EXPECT_GT(dev.subthreshold_current_a(1.0, k),
+            dev.gate_leakage_current_a(1.0, k));
+}
+
+// --- characterization sweeps ----------------------------------------------
+
+TEST(Characterize, GridHasExpectedShape) {
+  const auto grid = knob_grid(bptm65().knobs, 7, 5);
+  EXPECT_EQ(grid.size(), 35u);
+  EXPECT_DOUBLE_EQ(grid.front().vth_v, 0.20);
+  EXPECT_DOUBLE_EQ(grid.front().tox_a, 10.0);
+  EXPECT_DOUBLE_EQ(grid.back().vth_v, 0.50);
+  EXPECT_DOUBLE_EQ(grid.back().tox_a, 14.0);
+}
+
+TEST(Characterize, GridRejectsDegenerateSteps) {
+  EXPECT_THROW(knob_grid(bptm65().knobs, 1, 5), Error);
+  EXPECT_THROW(knob_grid(bptm65().knobs, 5, 1), Error);
+}
+
+TEST(Characterize, EvaluatesFigureOfMerit) {
+  const auto grid = knob_grid(bptm65().knobs, 3, 3);
+  const auto samples =
+      characterize(grid, [](const DeviceKnobs& k) { return k.vth_v + k.tox_a; });
+  ASSERT_EQ(samples.size(), 9u);
+  for (const auto& s : samples) {
+    EXPECT_DOUBLE_EQ(s.value, s.knobs.vth_v + s.knobs.tox_a);
+  }
+}
+
+// --- parameterized monotonicity sweep across the full knob plane ----------
+
+class DeviceMonotonicity : public ::testing::TestWithParam<double> {};
+
+TEST_P(DeviceMonotonicity, OffPowerFallsAlongVthAtFixedTox) {
+  const auto dev = make_model();
+  const double tox = GetParam();
+  double prev = dev.off_power_w(1.0, {0.20, tox});
+  for (double vth = 0.25; vth <= 0.501; vth += 0.05) {
+    const double cur = dev.off_power_w(1.0, {vth, tox});
+    EXPECT_LT(cur, prev) << "vth=" << vth << " tox=" << tox;
+    prev = cur;
+  }
+}
+
+TEST_P(DeviceMonotonicity, DelayProxyRisesAlongVthAtFixedTox) {
+  const auto dev = make_model();
+  const double tox = GetParam();
+  double prev = dev.effective_resistance_ohm(1.0, {0.20, tox});
+  for (double vth = 0.25; vth <= 0.501; vth += 0.05) {
+    const double cur = dev.effective_resistance_ohm(1.0, {vth, tox});
+    EXPECT_GT(cur, prev) << "vth=" << vth << " tox=" << tox;
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ToxPlane, DeviceMonotonicity,
+                         ::testing::Values(10.0, 11.0, 12.0, 13.0, 14.0));
+
+}  // namespace
+}  // namespace nanocache::tech

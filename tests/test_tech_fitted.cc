@@ -1,0 +1,123 @@
+// Tests for the paper's closed-form models (Section 3): fitting Eq. (1)
+// and Eq. (2) to device/cache characterization data and checking the signs
+// and quality the paper reports.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tech/characterize.h"
+#include "tech/device.h"
+#include "tech/fitted.h"
+#include "util/error.h"
+
+namespace nanocache::tech {
+namespace {
+
+std::vector<KnobSample> leakage_samples(const DeviceModel& dev) {
+  const auto grid = knob_grid(dev.params().knobs, 13, 9);
+  return characterize(grid, [&](const DeviceKnobs& k) {
+    // A 6T-cell-shaped leakage figure: what the paper fitted from HSPICE.
+    return dev.cell_leakage_w(k);
+  });
+}
+
+std::vector<KnobSample> delay_samples(const DeviceModel& dev) {
+  const auto grid = knob_grid(dev.params().knobs, 13, 9);
+  return characterize(grid, [&](const DeviceKnobs& k) {
+    // A stage-delay-shaped figure: R_eff(Vth, Tox) * C with C ~ constant.
+    return dev.effective_resistance_ohm(1.0, k) * 10e-15;
+  });
+}
+
+TEST(FittedLeakageModel, HighQualityFit) {
+  const DeviceModel dev(bptm65());
+  const auto m = FittedLeakageModel::fit(leakage_samples(dev));
+  EXPECT_GT(m.r2(), 0.97);
+}
+
+TEST(FittedLeakageModel, ExponentSignsMatchPaper) {
+  // Eq. (1): both exponents negative (leakage falls as either knob rises).
+  const DeviceModel dev(bptm65());
+  const auto m = FittedLeakageModel::fit(leakage_samples(dev));
+  EXPECT_LT(m.rate_vth(), 0.0);
+  EXPECT_LT(m.rate_tox(), 0.0);
+  EXPECT_GT(m.a1(), 0.0);
+  EXPECT_GT(m.a2(), 0.0);
+}
+
+TEST(FittedLeakageModel, TracksSourceWithinTolerance) {
+  const DeviceModel dev(bptm65());
+  const auto m = FittedLeakageModel::fit(leakage_samples(dev));
+  // Spot-check interior points (not on the fitting grid).
+  for (const auto& k :
+       {DeviceKnobs{0.27, 10.7}, DeviceKnobs{0.41, 12.3},
+        DeviceKnobs{0.33, 13.6}}) {
+    const double truth = dev.cell_leakage_w(k);
+    const double fitted = m(k);
+    EXPECT_NEAR(fitted / truth, 1.0, 0.5)
+        << "vth=" << k.vth_v << " tox=" << k.tox_a;
+  }
+}
+
+TEST(FittedLeakageModel, MonotoneOverKnobWindow) {
+  const DeviceModel dev(bptm65());
+  const auto m = FittedLeakageModel::fit(leakage_samples(dev));
+  for (double tox : {10.0, 12.0, 14.0}) {
+    EXPECT_GT(m({0.2, tox}), m({0.5, tox}));
+  }
+  for (double vth : {0.2, 0.35, 0.5}) {
+    EXPECT_GT(m({vth, 10.0}), m({vth, 14.0}));
+  }
+}
+
+TEST(FittedLeakageModel, RejectsTinySampleSets) {
+  EXPECT_THROW(FittedLeakageModel::fit({}), Error);
+  std::vector<KnobSample> few(4, KnobSample{{0.3, 12.0}, 1.0});
+  EXPECT_THROW(FittedLeakageModel::fit(few), Error);
+}
+
+TEST(FittedDelayModel, HighQualityFit) {
+  const DeviceModel dev(bptm65());
+  const auto m = FittedDelayModel::fit(delay_samples(dev));
+  EXPECT_GT(m.r2(), 0.98);
+}
+
+TEST(FittedDelayModel, ShapeMatchesPaper) {
+  // Eq. (2): delay = k0 + k1 e^(k3 Vth) + k2 Tox with small positive k3
+  // and positive linear Tox slope.
+  const DeviceModel dev(bptm65());
+  const auto m = FittedDelayModel::fit(delay_samples(dev));
+  EXPECT_GT(m.k3(), 0.0);
+  EXPECT_GT(m.k1(), 0.0);
+  EXPECT_GT(m.k2(), 0.0);
+}
+
+TEST(FittedDelayModel, MonotoneOverKnobWindow) {
+  const DeviceModel dev(bptm65());
+  const auto m = FittedDelayModel::fit(delay_samples(dev));
+  for (double tox : {10.0, 12.0, 14.0}) {
+    EXPECT_LT(m({0.2, tox}), m({0.5, tox}));
+  }
+  for (double vth : {0.2, 0.35, 0.5}) {
+    EXPECT_LT(m({vth, 10.0}), m({vth, 14.0}));
+  }
+}
+
+TEST(FittedDelayModel, LinearInToxAtFixedVth) {
+  // The fitted form is exactly linear in Tox: equal steps, equal deltas.
+  const DeviceModel dev(bptm65());
+  const auto m = FittedDelayModel::fit(delay_samples(dev));
+  const double d1 = m({0.3, 11.0}) - m({0.3, 10.0});
+  const double d2 = m({0.3, 14.0}) - m({0.3, 13.0});
+  EXPECT_NEAR(d1, d2, std::abs(d1) * 1e-9);
+}
+
+TEST(FittedDelayModel, DefaultConstructedIsZero) {
+  FittedDelayModel m;
+  EXPECT_DOUBLE_EQ(m({0.3, 12.0}), 0.0);
+  FittedLeakageModel l;
+  EXPECT_DOUBLE_EQ(l({0.3, 12.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace nanocache::tech

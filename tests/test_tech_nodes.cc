@@ -1,0 +1,95 @@
+// Tests for the 90/65/45 nm technology parameter packs and the scaling
+// trends the node ablation relies on.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cachemodel/cache_model.h"
+#include "tech/params.h"
+
+namespace nanocache::tech {
+namespace {
+
+TEST(Nodes, AllValidate) {
+  EXPECT_NO_THROW(node90().validate());
+  EXPECT_NO_THROW(bptm65().validate());
+  EXPECT_NO_THROW(node45().validate());
+}
+
+TEST(Nodes, GeometryShrinksWithScaling) {
+  EXPECT_GT(node90().lgate_nominal_um, bptm65().lgate_nominal_um);
+  EXPECT_GT(bptm65().lgate_nominal_um, node45().lgate_nominal_um);
+  EXPECT_GT(node90().cell_width_um * node90().cell_height_um,
+            bptm65().cell_width_um * bptm65().cell_height_um);
+  EXPECT_GT(bptm65().cell_width_um * bptm65().cell_height_um,
+            node45().cell_width_um * node45().cell_height_um);
+}
+
+TEST(Nodes, OxideWindowsThinWithScaling) {
+  EXPECT_GT(node90().knobs.tox_min_a, bptm65().knobs.tox_min_a);
+  EXPECT_GT(bptm65().knobs.tox_min_a, node45().knobs.tox_min_a);
+  // Each node's nominal sits inside its own window.
+  for (const auto& p : {node90(), bptm65(), node45()}) {
+    EXPECT_GE(p.tox_nominal_a, p.knobs.tox_min_a);
+    EXPECT_LE(p.tox_nominal_a, p.knobs.tox_max_a);
+  }
+}
+
+TEST(Nodes, SupplyDropsWithScaling) {
+  EXPECT_GT(node90().vdd_v, bptm65().vdd_v);
+  EXPECT_GT(bptm65().vdd_v, node45().vdd_v);
+}
+
+TEST(Nodes, GateTunnellingGrowsAtThinEnd) {
+  // Density at each node's own thinnest oxide grows steeply with scaling.
+  auto density_at_thin = [](const TechnologyParams& p) {
+    DeviceModel dev(p);
+    return dev.gate_leakage_current_a(1.0,
+                                      {0.35, p.knobs.tox_min_a}) /
+           dev.leff_um(p.knobs.tox_min_a);  // per gate area
+  };
+  EXPECT_GT(density_at_thin(bptm65()), 10.0 * density_at_thin(node90()));
+  EXPECT_GT(density_at_thin(node45()), 3.0 * density_at_thin(bptm65()));
+}
+
+TEST(Nodes, CacheModelsBuildAtEveryNode) {
+  for (const auto& p : {node90(), bptm65(), node45()}) {
+    DeviceModel dev(p);
+    const auto org = cachemodel::l1_organization(16 * 1024, dev);
+    cachemodel::CacheModel model(org, DeviceModel(p));
+    const auto m = model.evaluate_uniform({0.35, p.tox_nominal_a});
+    EXPECT_GT(m.access_time_s, 0.0);
+    EXPECT_GT(m.leakage_w, 0.0);
+    EXPECT_GT(m.dynamic_energy_j, 0.0);
+  }
+}
+
+TEST(Nodes, GateShareGrowsAcrossNodes) {
+  // The introduction's forecast, asserted at mid-window knobs.
+  auto gate_share = [](const TechnologyParams& p) {
+    DeviceModel dev(p);
+    const auto org = cachemodel::l1_organization(16 * 1024, dev);
+    cachemodel::CacheModel model(org, DeviceModel(p));
+    const auto m = model.evaluate_uniform({0.35, p.tox_nominal_a});
+    return m.leakage_gate_w / m.leakage_w;
+  };
+  const double g90 = gate_share(node90());
+  const double g65 = gate_share(bptm65());
+  const double g45 = gate_share(node45());
+  EXPECT_LT(g90, g65);
+  EXPECT_LT(g65, g45);
+}
+
+TEST(Nodes, AbsoluteLeakageGrowsAcrossNodes) {
+  auto leak = [](const TechnologyParams& p) {
+    DeviceModel dev(p);
+    const auto org = cachemodel::l1_organization(16 * 1024, dev);
+    cachemodel::CacheModel model(org, DeviceModel(p));
+    return model.evaluate_uniform({0.35, p.tox_nominal_a}).leakage_w;
+  };
+  EXPECT_LT(leak(node90()), leak(bptm65()));
+  EXPECT_LT(leak(bptm65()), leak(node45()));
+}
+
+}  // namespace
+}  // namespace nanocache::tech

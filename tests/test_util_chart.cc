@@ -1,0 +1,84 @@
+// Tests for the ASCII chart renderer.
+#include <gtest/gtest.h>
+
+#include "util/ascii_chart.h"
+#include "util/error.h"
+
+namespace nanocache {
+namespace {
+
+TEST(AsciiChart, RendersMarkersAndLegend) {
+  AsciiChart c(40, 10);
+  c.add_series("up", {0, 1, 2}, {0, 1, 2});
+  c.add_series("down", {0, 1, 2}, {2, 1, 0});
+  const std::string out = c.render();
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find('o'), std::string::npos);
+  EXPECT_NE(out.find("legend:"), std::string::npos);
+  EXPECT_NE(out.find("up"), std::string::npos);
+  EXPECT_NE(out.find("down"), std::string::npos);
+}
+
+TEST(AsciiChart, CrossingSeriesOverlapMark) {
+  AsciiChart c(41, 11);
+  c.add_series("a", {0, 1, 2}, {0, 1, 2});
+  c.add_series("b", {0, 1, 2}, {2, 1, 0});
+  // Both series pass through (1,1): overlap renders as '&'.
+  EXPECT_NE(c.render().find('&'), std::string::npos);
+}
+
+TEST(AsciiChart, TitleAndAxisLabelsShown) {
+  AsciiChart c(40, 10);
+  c.set_title("the title");
+  c.set_x_label("xx");
+  c.set_y_label("yy");
+  c.add_series("s", {0, 10}, {5, 6});
+  const std::string out = c.render();
+  EXPECT_EQ(out.find("the title"), 0u);
+  EXPECT_NE(out.find("x: xx"), std::string::npos);
+  EXPECT_NE(out.find("y: yy"), std::string::npos);
+}
+
+TEST(AsciiChart, TickValuesSpanData) {
+  AsciiChart c(40, 10);
+  c.add_series("s", {100, 300}, {1, 9});
+  const std::string out = c.render();
+  EXPECT_NE(out.find("100"), std::string::npos);
+  EXPECT_NE(out.find("300"), std::string::npos);
+  EXPECT_NE(out.find("9.0"), std::string::npos);
+  EXPECT_NE(out.find("1.0"), std::string::npos);
+}
+
+TEST(AsciiChart, LogScaleMentionedAndPositive) {
+  AsciiChart c(40, 10);
+  c.set_log_y(true);
+  c.set_y_label("p");
+  c.add_series("s", {0, 1}, {1.0, 1000.0});
+  EXPECT_NE(c.render().find("log scale"), std::string::npos);
+
+  AsciiChart bad(40, 10);
+  bad.set_log_y(true);
+  bad.add_series("s", {0, 1}, {0.0, 1.0});
+  EXPECT_THROW(bad.render(), Error);
+}
+
+TEST(AsciiChart, DegenerateRangesHandled) {
+  AsciiChart c(40, 10);
+  c.add_series("flat", {1, 2, 3}, {5, 5, 5});  // zero y-range
+  EXPECT_NO_THROW(c.render());
+  AsciiChart c2(40, 10);
+  c2.add_series("point", {1}, {5});
+  EXPECT_NO_THROW(c2.render());
+}
+
+TEST(AsciiChart, Validates) {
+  EXPECT_THROW(AsciiChart(4, 10), Error);
+  EXPECT_THROW(AsciiChart(40, 2), Error);
+  AsciiChart c(40, 10);
+  EXPECT_THROW(c.render(), Error);  // no series
+  EXPECT_THROW(c.add_series("bad", {1, 2}, {1}), Error);
+  EXPECT_THROW(c.add_series("empty", {}, {}), Error);
+}
+
+}  // namespace
+}  // namespace nanocache

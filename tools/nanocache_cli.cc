@@ -1,0 +1,311 @@
+// nanocache command-line driver: ad-hoc model queries, single
+// optimizations, experiment runs and CSV export without writing C++.
+//
+//   nanocache_cli list
+//   nanocache_cli cache --size 16384 [--l2] [--vth 0.35] [--tox 12]
+//   nanocache_cli optimize --size 16384 --scheme II --delay-ps 1400
+//   nanocache_cli run fig1|schemes|l2|l2split|l1|fig2
+//   nanocache_cli export --dir out_csv
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "core/explorer.h"
+#include "core/report.h"
+#include "cachemodel/variation.h"
+#include "opt/sensitivity.h"
+#include "util/error.h"
+#include "util/table.h"
+#include "util/units.h"
+
+using namespace nanocache;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::string positional;
+  std::map<std::string, std::string> flags;
+};
+
+Args parse(int argc, char** argv) {
+  Args a;
+  if (argc < 2) return a;
+  a.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const std::string key = arg.substr(2);
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        a.flags[key] = argv[++i];
+      } else {
+        a.flags[key] = "true";
+      }
+    } else if (a.positional.empty()) {
+      a.positional = arg;
+    }
+  }
+  return a;
+}
+
+double flag_d(const Args& a, const std::string& key, double fallback) {
+  const auto it = a.flags.find(key);
+  return it == a.flags.end() ? fallback : std::stod(it->second);
+}
+
+std::uint64_t flag_u(const Args& a, const std::string& key,
+                     std::uint64_t fallback) {
+  const auto it = a.flags.find(key);
+  return it == a.flags.end() ? fallback : std::stoull(it->second);
+}
+
+int usage() {
+  std::cout <<
+      "usage:\n"
+      "  nanocache_cli list\n"
+      "  nanocache_cli cache --size <bytes> [--l2] [--vth V] [--tox A]\n"
+      "  nanocache_cli optimize --size <bytes> --scheme I|II|III "
+      "--delay-ps <ps>\n"
+      "  nanocache_cli run fig1|schemes|l2|l2split|l1|fig2\n"
+      "  nanocache_cli frontier --size <bytes> [--l2] --scheme I|II|III\n"
+      "  nanocache_cli sensitivity --size <bytes> [--l2] [--vth V] "
+      "[--tox A]\n"
+      "  nanocache_cli variation --size <bytes> [--l2] [--vth V] [--tox A] "
+      "[--samples N]\n"
+      "  nanocache_cli export [--dir <directory>]\n";
+  return 2;
+}
+
+int cmd_list() {
+  TextTable t("experiments");
+  t.set_header({"name", "paper artifact"});
+  t.add_row({"fig1", "Figure 1: fixed-Vth vs fixed-Tox, 16KB"});
+  t.add_row({"schemes", "Section 4: scheme I/II/III comparison"});
+  t.add_row({"l2", "Section 5: L2 size sweep, one pair"});
+  t.add_row({"l2split", "Section 5: L2 size sweep, array/periphery split"});
+  t.add_row({"l1", "Section 5: L1 size sweep"});
+  t.add_row({"fig2", "Figure 2: (Tox, Vth) tuple problem"});
+  std::cout << t;
+  return 0;
+}
+
+int cmd_cache(const Args& args) {
+  const auto size = flag_u(args, "size", 16 * 1024);
+  const bool is_l2 = args.flags.count("l2") > 0;
+  const tech::DeviceKnobs knobs{flag_d(args, "vth", 0.35),
+                                flag_d(args, "tox", 12.0)};
+  core::Explorer explorer;
+  const auto& model =
+      is_l2 ? explorer.l2_model(size) : explorer.l1_model(size);
+  const auto m = model.evaluate_uniform(knobs);
+  std::cout << model.organization().describe() << " at Vth="
+            << fmt_fixed(knobs.vth_v, 2) << "V Tox="
+            << fmt_fixed(knobs.tox_a, 1) << "A\n";
+  TextTable t;
+  t.set_header({"component", "delay [pS]", "leakage [mW]", "dynamic [pJ]"});
+  for (auto kind : cachemodel::kAllComponents) {
+    const auto& c = m.per_component[static_cast<std::size_t>(kind)];
+    t.add_row({std::string(cachemodel::component_name(kind)),
+               fmt_fixed(units::seconds_to_ps(c.delay_s), 1),
+               fmt_fixed(units::watts_to_mw(c.leakage_w), 4),
+               fmt_fixed(units::joules_to_pj(c.dynamic_energy_j), 3)});
+  }
+  t.add_row({"TOTAL", fmt_fixed(units::seconds_to_ps(m.access_time_s), 1),
+             fmt_fixed(units::watts_to_mw(m.leakage_w), 4),
+             fmt_fixed(units::joules_to_pj(m.dynamic_energy_j), 3)});
+  std::cout << t;
+  return 0;
+}
+
+int cmd_optimize(const Args& args) {
+  const auto size = flag_u(args, "size", 16 * 1024);
+  const bool is_l2 = args.flags.count("l2") > 0;
+  const double delay_ps = flag_d(args, "delay-ps", 1400.0);
+  const auto scheme_it = args.flags.find("scheme");
+  opt::Scheme scheme = opt::Scheme::kArrayPeriphery;
+  if (scheme_it != args.flags.end()) {
+    if (scheme_it->second == "I") {
+      scheme = opt::Scheme::kPerComponent;
+    } else if (scheme_it->second == "II") {
+      scheme = opt::Scheme::kArrayPeriphery;
+    } else if (scheme_it->second == "III") {
+      scheme = opt::Scheme::kUniform;
+    } else {
+      std::cerr << "unknown scheme: " << scheme_it->second << "\n";
+      return 2;
+    }
+  }
+  core::Explorer explorer;
+  const auto& model =
+      is_l2 ? explorer.l2_model(size) : explorer.l1_model(size);
+  const auto eval = opt::structural_evaluator(model);
+  const auto grid = opt::KnobGrid::paper_default();
+  const auto result = opt::optimize_single_cache(
+      eval, grid, scheme, units::ps_to_seconds(delay_ps));
+  if (!result) {
+    std::cout << "infeasible: minimum achievable is "
+              << fmt_fixed(units::seconds_to_ps(opt::min_access_time(
+                               eval, grid, scheme)),
+                           1)
+              << " pS under scheme " << opt::scheme_name(scheme) << "\n";
+    return 1;
+  }
+  std::cout << "scheme " << opt::scheme_name(scheme) << " optimum under "
+            << fmt_fixed(delay_ps, 0) << " pS:\n";
+  TextTable t;
+  t.set_header({"component", "Vth [V]", "Tox [A]"});
+  for (auto kind : cachemodel::kAllComponents) {
+    const auto& k = result->assignment.get(kind);
+    t.add_row({std::string(cachemodel::component_name(kind)),
+               fmt_fixed(k.vth_v, 2), fmt_fixed(k.tox_a, 0)});
+  }
+  std::cout << t << "leakage "
+            << fmt_fixed(units::watts_to_mw(result->leakage_w), 4)
+            << " mW at "
+            << fmt_fixed(units::seconds_to_ps(result->access_time_s), 1)
+            << " pS\n";
+  return 0;
+}
+
+int cmd_run(const Args& args) {
+  core::Explorer explorer;
+  const std::string& which = args.positional;
+  if (which == "fig1") {
+    std::cout << core::fig1_long_table(
+        explorer.fig1_fixed_knob(explorer.config().l1_size_bytes));
+  } else if (which == "schemes") {
+    const auto ladder =
+        explorer.delay_ladder(explorer.config().l1_size_bytes, 9);
+    std::cout << core::scheme_long_table(explorer.scheme_comparison(
+        explorer.config().l1_size_bytes, ladder));
+  } else if (which == "l2") {
+    std::cout << core::size_sweep_table(
+        explorer.l2_size_sweep(opt::Scheme::kUniform,
+                               explorer.l2_squeeze_target_s()),
+        "l2_uniform");
+  } else if (which == "l2split") {
+    std::cout << core::size_sweep_table(
+        explorer.l2_size_sweep(opt::Scheme::kArrayPeriphery,
+                               explorer.l2_squeeze_target_s()),
+        "l2_split");
+  } else if (which == "l1") {
+    std::cout << core::size_sweep_table(
+        explorer.l1_size_sweep(explorer.l2_squeeze_target_s(1.25)), "l1");
+  } else if (which == "fig2") {
+    std::cout << core::fig2_long_table(explorer.fig2_tuple_frontiers());
+  } else {
+    std::cerr << "unknown experiment: '" << which << "'\n";
+    return usage();
+  }
+  return 0;
+}
+
+int cmd_frontier(const Args& args) {
+  const auto size = flag_u(args, "size", 16 * 1024);
+  const bool is_l2 = args.flags.count("l2") > 0;
+  opt::Scheme scheme = opt::Scheme::kArrayPeriphery;
+  const auto it = args.flags.find("scheme");
+  if (it != args.flags.end()) {
+    if (it->second == "I") scheme = opt::Scheme::kPerComponent;
+    else if (it->second == "III") scheme = opt::Scheme::kUniform;
+  }
+  core::Explorer explorer;
+  const auto& model =
+      is_l2 ? explorer.l2_model(size) : explorer.l1_model(size);
+  const auto front = opt::scheme_frontier(opt::structural_evaluator(model),
+                                          opt::KnobGrid::paper_default(),
+                                          scheme);
+  TextTable t("leakage/delay frontier, scheme " + opt::scheme_name(scheme));
+  t.set_header({"access time [pS]", "leakage [mW]"});
+  for (const auto& p : front) {
+    t.add_row({fmt_fixed(units::seconds_to_ps(p.access_time_s), 1),
+               fmt_fixed(units::watts_to_mw(p.leakage_w), 4)});
+  }
+  std::cout << t;
+  return 0;
+}
+
+int cmd_sensitivity(const Args& args) {
+  const auto size = flag_u(args, "size", 16 * 1024);
+  const bool is_l2 = args.flags.count("l2") > 0;
+  const tech::DeviceKnobs at{flag_d(args, "vth", 0.35),
+                             flag_d(args, "tox", 12.0)};
+  core::Explorer explorer;
+  const auto& model =
+      is_l2 ? explorer.l2_model(size) : explorer.l1_model(size);
+  const auto s = opt::cache_sensitivity(
+      opt::structural_evaluator(model), at,
+      explorer.config().technology.knobs);
+  TextTable t("knob sensitivities at Vth=" + fmt_fixed(at.vth_v, 2) +
+              "V, Tox=" + fmt_fixed(at.tox_a, 1) + "A");
+  t.set_header({"metric", "vs Vth", "vs Tox"});
+  t.add_row({"d ln(leakage) / d knob", fmt_fixed(s.leakage_vs_vth, 2) + " /V",
+             fmt_fixed(s.leakage_vs_tox, 3) + " /A"});
+  t.add_row({"d ln(delay) / d knob", fmt_fixed(s.delay_vs_vth, 2) + " /V",
+             fmt_fixed(s.delay_vs_tox, 3) + " /A"});
+  t.add_row({"leakage bought per delay",
+             fmt_fixed(s.leakage_efficiency_vth(), 2),
+             fmt_fixed(s.leakage_efficiency_tox(), 2)});
+  std::cout << t;
+  return 0;
+}
+
+int cmd_variation(const Args& args) {
+  const auto size = flag_u(args, "size", 16 * 1024);
+  const bool is_l2 = args.flags.count("l2") > 0;
+  const cachemodel::ComponentAssignment knobs(
+      tech::DeviceKnobs{flag_d(args, "vth", 0.35), flag_d(args, "tox", 12.0)});
+  core::Explorer explorer;
+  const auto& model =
+      is_l2 ? explorer.l2_model(size) : explorer.l1_model(size);
+  cachemodel::VariationParams p;
+  p.samples = static_cast<int>(flag_u(args, "samples", 500));
+  const auto nominal = model.evaluate(knobs);
+  const auto r = cachemodel::monte_carlo(model, knobs, p,
+                                         nominal.access_time_s);
+  TextTable t("Monte Carlo (" + std::to_string(r.samples) + " samples)");
+  t.set_header({"metric", "nominal", "mean", "p95", "max"});
+  t.add_row({"leakage [mW]",
+             fmt_fixed(units::watts_to_mw(nominal.leakage_w), 3),
+             fmt_fixed(units::watts_to_mw(r.leakage_w.mean), 3),
+             fmt_fixed(units::watts_to_mw(r.leakage_w.p95), 3),
+             fmt_fixed(units::watts_to_mw(r.leakage_w.max), 3)});
+  t.add_row({"access time [pS]",
+             fmt_fixed(units::seconds_to_ps(nominal.access_time_s), 1),
+             fmt_fixed(units::seconds_to_ps(r.access_time_s.mean), 1),
+             fmt_fixed(units::seconds_to_ps(r.access_time_s.p95), 1),
+             fmt_fixed(units::seconds_to_ps(r.access_time_s.max), 1)});
+  std::cout << t << "timing yield at the nominal delay: "
+            << fmt_fixed(r.timing_yield * 100.0, 1) << "%\n";
+  return 0;
+}
+
+int cmd_export(const Args& args) {
+  const auto it = args.flags.find("dir");
+  const std::string dir = it == args.flags.end() ? "nanocache_csv" : it->second;
+  core::Explorer explorer;
+  const int n = core::export_all_csv(explorer, dir);
+  std::cout << "wrote " << n << " CSV files to " << dir << "/\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args = parse(argc, argv);
+    if (args.command == "list") return cmd_list();
+    if (args.command == "cache") return cmd_cache(args);
+    if (args.command == "optimize") return cmd_optimize(args);
+    if (args.command == "run") return cmd_run(args);
+    if (args.command == "frontier") return cmd_frontier(args);
+    if (args.command == "sensitivity") return cmd_sensitivity(args);
+    if (args.command == "variation") return cmd_variation(args);
+    if (args.command == "export") return cmd_export(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
