@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_area_scaling.dir/abl_area_scaling.cc.o"
+  "CMakeFiles/abl_area_scaling.dir/abl_area_scaling.cc.o.d"
+  "abl_area_scaling"
+  "abl_area_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_area_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

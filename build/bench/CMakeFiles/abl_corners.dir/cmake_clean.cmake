@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_corners.dir/abl_corners.cc.o"
+  "CMakeFiles/abl_corners.dir/abl_corners.cc.o.d"
+  "abl_corners"
+  "abl_corners.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_corners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

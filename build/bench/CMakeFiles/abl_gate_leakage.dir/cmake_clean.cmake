@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_gate_leakage.dir/abl_gate_leakage.cc.o"
+  "CMakeFiles/abl_gate_leakage.dir/abl_gate_leakage.cc.o.d"
+  "abl_gate_leakage"
+  "abl_gate_leakage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_gate_leakage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_grid_resolution.dir/abl_grid_resolution.cc.o"
+  "CMakeFiles/abl_grid_resolution.dir/abl_grid_resolution.cc.o.d"
+  "abl_grid_resolution"
+  "abl_grid_resolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_grid_resolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_node_scaling.dir/abl_node_scaling.cc.o"
+  "CMakeFiles/abl_node_scaling.dir/abl_node_scaling.cc.o.d"
+  "abl_node_scaling"
+  "abl_node_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_node_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

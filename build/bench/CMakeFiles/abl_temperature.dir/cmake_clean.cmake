@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_temperature.dir/abl_temperature.cc.o"
+  "CMakeFiles/abl_temperature.dir/abl_temperature.cc.o.d"
+  "abl_temperature"
+  "abl_temperature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_temperature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

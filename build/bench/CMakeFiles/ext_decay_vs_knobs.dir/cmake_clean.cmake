@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_decay_vs_knobs.dir/ext_decay_vs_knobs.cc.o"
+  "CMakeFiles/ext_decay_vs_knobs.dir/ext_decay_vs_knobs.cc.o.d"
+  "ext_decay_vs_knobs"
+  "ext_decay_vs_knobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_decay_vs_knobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ext_decay_vs_knobs.
+# This may be replaced when dependencies are built.

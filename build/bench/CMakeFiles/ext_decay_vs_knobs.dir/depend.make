@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_decay_vs_knobs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_joint_sizing.dir/ext_joint_sizing.cc.o"
+  "CMakeFiles/ext_joint_sizing.dir/ext_joint_sizing.cc.o.d"
+  "ext_joint_sizing"
+  "ext_joint_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_joint_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_split_l1.dir/ext_split_l1.cc.o"
+  "CMakeFiles/ext_split_l1.dir/ext_split_l1.cc.o.d"
+  "ext_split_l1"
+  "ext_split_l1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_split_l1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_split_l1.
+# This may be replaced when dependencies are built.

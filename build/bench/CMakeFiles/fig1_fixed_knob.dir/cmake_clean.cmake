@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_fixed_knob.dir/fig1_fixed_knob.cc.o"
+  "CMakeFiles/fig1_fixed_knob.dir/fig1_fixed_knob.cc.o.d"
+  "fig1_fixed_knob"
+  "fig1_fixed_knob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_fixed_knob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

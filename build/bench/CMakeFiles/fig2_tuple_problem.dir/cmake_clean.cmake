@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_tuple_problem.dir/fig2_tuple_problem.cc.o"
+  "CMakeFiles/fig2_tuple_problem.dir/fig2_tuple_problem.cc.o.d"
+  "fig2_tuple_problem"
+  "fig2_tuple_problem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_tuple_problem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_baseline_knobs.dir/tab_baseline_knobs.cc.o"
+  "CMakeFiles/tab_baseline_knobs.dir/tab_baseline_knobs.cc.o.d"
+  "tab_baseline_knobs"
+  "tab_baseline_knobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_baseline_knobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

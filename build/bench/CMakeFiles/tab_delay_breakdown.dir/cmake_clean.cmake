@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_delay_breakdown.dir/tab_delay_breakdown.cc.o"
+  "CMakeFiles/tab_delay_breakdown.dir/tab_delay_breakdown.cc.o.d"
+  "tab_delay_breakdown"
+  "tab_delay_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_delay_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

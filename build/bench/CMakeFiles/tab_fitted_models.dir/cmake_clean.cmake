@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_fitted_models.dir/tab_fitted_models.cc.o"
+  "CMakeFiles/tab_fitted_models.dir/tab_fitted_models.cc.o.d"
+  "tab_fitted_models"
+  "tab_fitted_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_fitted_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_l1_size_sweep.dir/tab_l1_size_sweep.cc.o"
+  "CMakeFiles/tab_l1_size_sweep.dir/tab_l1_size_sweep.cc.o.d"
+  "tab_l1_size_sweep"
+  "tab_l1_size_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_l1_size_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

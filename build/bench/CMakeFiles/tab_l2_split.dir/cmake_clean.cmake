@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_l2_split.dir/tab_l2_split.cc.o"
+  "CMakeFiles/tab_l2_split.dir/tab_l2_split.cc.o.d"
+  "tab_l2_split"
+  "tab_l2_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_l2_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

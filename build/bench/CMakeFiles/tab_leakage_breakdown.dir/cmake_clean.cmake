@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_leakage_breakdown.dir/tab_leakage_breakdown.cc.o"
+  "CMakeFiles/tab_leakage_breakdown.dir/tab_leakage_breakdown.cc.o.d"
+  "tab_leakage_breakdown"
+  "tab_leakage_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_leakage_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

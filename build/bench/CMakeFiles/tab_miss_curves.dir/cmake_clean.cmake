@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_miss_curves.dir/tab_miss_curves.cc.o"
+  "CMakeFiles/tab_miss_curves.dir/tab_miss_curves.cc.o.d"
+  "tab_miss_curves"
+  "tab_miss_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_miss_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

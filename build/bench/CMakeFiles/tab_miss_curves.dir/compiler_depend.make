@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tab_miss_curves.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_scheme_comparison.dir/tab_scheme_comparison.cc.o"
+  "CMakeFiles/tab_scheme_comparison.dir/tab_scheme_comparison.cc.o.d"
+  "tab_scheme_comparison"
+  "tab_scheme_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_scheme_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embedded_l2_sizing.dir/embedded_l2_sizing.cpp.o"
+  "CMakeFiles/embedded_l2_sizing.dir/embedded_l2_sizing.cpp.o.d"
+  "embedded_l2_sizing"
+  "embedded_l2_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embedded_l2_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/process_menu_selection.dir/process_menu_selection.cpp.o"
+  "CMakeFiles/process_menu_selection.dir/process_menu_selection.cpp.o.d"
+  "process_menu_selection"
+  "process_menu_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/process_menu_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

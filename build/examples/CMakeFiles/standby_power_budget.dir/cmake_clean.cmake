@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/standby_power_budget.dir/standby_power_budget.cpp.o"
+  "CMakeFiles/standby_power_budget.dir/standby_power_budget.cpp.o.d"
+  "standby_power_budget"
+  "standby_power_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/standby_power_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

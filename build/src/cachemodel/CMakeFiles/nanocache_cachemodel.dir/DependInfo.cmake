@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cachemodel/array.cc" "src/cachemodel/CMakeFiles/nanocache_cachemodel.dir/array.cc.o" "gcc" "src/cachemodel/CMakeFiles/nanocache_cachemodel.dir/array.cc.o.d"
+  "/root/repo/src/cachemodel/cache_model.cc" "src/cachemodel/CMakeFiles/nanocache_cachemodel.dir/cache_model.cc.o" "gcc" "src/cachemodel/CMakeFiles/nanocache_cachemodel.dir/cache_model.cc.o.d"
+  "/root/repo/src/cachemodel/component.cc" "src/cachemodel/CMakeFiles/nanocache_cachemodel.dir/component.cc.o" "gcc" "src/cachemodel/CMakeFiles/nanocache_cachemodel.dir/component.cc.o.d"
+  "/root/repo/src/cachemodel/decoder.cc" "src/cachemodel/CMakeFiles/nanocache_cachemodel.dir/decoder.cc.o" "gcc" "src/cachemodel/CMakeFiles/nanocache_cachemodel.dir/decoder.cc.o.d"
+  "/root/repo/src/cachemodel/drivers.cc" "src/cachemodel/CMakeFiles/nanocache_cachemodel.dir/drivers.cc.o" "gcc" "src/cachemodel/CMakeFiles/nanocache_cachemodel.dir/drivers.cc.o.d"
+  "/root/repo/src/cachemodel/fitted_cache.cc" "src/cachemodel/CMakeFiles/nanocache_cachemodel.dir/fitted_cache.cc.o" "gcc" "src/cachemodel/CMakeFiles/nanocache_cachemodel.dir/fitted_cache.cc.o.d"
+  "/root/repo/src/cachemodel/organization.cc" "src/cachemodel/CMakeFiles/nanocache_cachemodel.dir/organization.cc.o" "gcc" "src/cachemodel/CMakeFiles/nanocache_cachemodel.dir/organization.cc.o.d"
+  "/root/repo/src/cachemodel/variation.cc" "src/cachemodel/CMakeFiles/nanocache_cachemodel.dir/variation.cc.o" "gcc" "src/cachemodel/CMakeFiles/nanocache_cachemodel.dir/variation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tech/CMakeFiles/nanocache_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nanocache_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

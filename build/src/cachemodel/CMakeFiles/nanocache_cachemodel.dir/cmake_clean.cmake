@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nanocache_cachemodel.dir/array.cc.o"
+  "CMakeFiles/nanocache_cachemodel.dir/array.cc.o.d"
+  "CMakeFiles/nanocache_cachemodel.dir/cache_model.cc.o"
+  "CMakeFiles/nanocache_cachemodel.dir/cache_model.cc.o.d"
+  "CMakeFiles/nanocache_cachemodel.dir/component.cc.o"
+  "CMakeFiles/nanocache_cachemodel.dir/component.cc.o.d"
+  "CMakeFiles/nanocache_cachemodel.dir/decoder.cc.o"
+  "CMakeFiles/nanocache_cachemodel.dir/decoder.cc.o.d"
+  "CMakeFiles/nanocache_cachemodel.dir/drivers.cc.o"
+  "CMakeFiles/nanocache_cachemodel.dir/drivers.cc.o.d"
+  "CMakeFiles/nanocache_cachemodel.dir/fitted_cache.cc.o"
+  "CMakeFiles/nanocache_cachemodel.dir/fitted_cache.cc.o.d"
+  "CMakeFiles/nanocache_cachemodel.dir/organization.cc.o"
+  "CMakeFiles/nanocache_cachemodel.dir/organization.cc.o.d"
+  "CMakeFiles/nanocache_cachemodel.dir/variation.cc.o"
+  "CMakeFiles/nanocache_cachemodel.dir/variation.cc.o.d"
+  "libnanocache_cachemodel.a"
+  "libnanocache_cachemodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nanocache_cachemodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nanocache_core.dir/config.cc.o"
+  "CMakeFiles/nanocache_core.dir/config.cc.o.d"
+  "CMakeFiles/nanocache_core.dir/explorer.cc.o"
+  "CMakeFiles/nanocache_core.dir/explorer.cc.o.d"
+  "CMakeFiles/nanocache_core.dir/report.cc.o"
+  "CMakeFiles/nanocache_core.dir/report.cc.o.d"
+  "libnanocache_core.a"
+  "libnanocache_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nanocache_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nanocache_energy.dir/memory_system.cc.o"
+  "CMakeFiles/nanocache_energy.dir/memory_system.cc.o.d"
+  "CMakeFiles/nanocache_energy.dir/split_system.cc.o"
+  "CMakeFiles/nanocache_energy.dir/split_system.cc.o.d"
+  "libnanocache_energy.a"
+  "libnanocache_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nanocache_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnanocache_energy.a"
+)

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/anneal.cc" "src/opt/CMakeFiles/nanocache_opt.dir/anneal.cc.o" "gcc" "src/opt/CMakeFiles/nanocache_opt.dir/anneal.cc.o.d"
+  "/root/repo/src/opt/continuous.cc" "src/opt/CMakeFiles/nanocache_opt.dir/continuous.cc.o" "gcc" "src/opt/CMakeFiles/nanocache_opt.dir/continuous.cc.o.d"
+  "/root/repo/src/opt/grid.cc" "src/opt/CMakeFiles/nanocache_opt.dir/grid.cc.o" "gcc" "src/opt/CMakeFiles/nanocache_opt.dir/grid.cc.o.d"
+  "/root/repo/src/opt/options.cc" "src/opt/CMakeFiles/nanocache_opt.dir/options.cc.o" "gcc" "src/opt/CMakeFiles/nanocache_opt.dir/options.cc.o.d"
+  "/root/repo/src/opt/pareto.cc" "src/opt/CMakeFiles/nanocache_opt.dir/pareto.cc.o" "gcc" "src/opt/CMakeFiles/nanocache_opt.dir/pareto.cc.o.d"
+  "/root/repo/src/opt/schemes.cc" "src/opt/CMakeFiles/nanocache_opt.dir/schemes.cc.o" "gcc" "src/opt/CMakeFiles/nanocache_opt.dir/schemes.cc.o.d"
+  "/root/repo/src/opt/sensitivity.cc" "src/opt/CMakeFiles/nanocache_opt.dir/sensitivity.cc.o" "gcc" "src/opt/CMakeFiles/nanocache_opt.dir/sensitivity.cc.o.d"
+  "/root/repo/src/opt/tuple_menu.cc" "src/opt/CMakeFiles/nanocache_opt.dir/tuple_menu.cc.o" "gcc" "src/opt/CMakeFiles/nanocache_opt.dir/tuple_menu.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/energy/CMakeFiles/nanocache_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/cachemodel/CMakeFiles/nanocache_cachemodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/nanocache_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nanocache_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nanocache_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nanocache_opt.dir/anneal.cc.o"
+  "CMakeFiles/nanocache_opt.dir/anneal.cc.o.d"
+  "CMakeFiles/nanocache_opt.dir/continuous.cc.o"
+  "CMakeFiles/nanocache_opt.dir/continuous.cc.o.d"
+  "CMakeFiles/nanocache_opt.dir/grid.cc.o"
+  "CMakeFiles/nanocache_opt.dir/grid.cc.o.d"
+  "CMakeFiles/nanocache_opt.dir/options.cc.o"
+  "CMakeFiles/nanocache_opt.dir/options.cc.o.d"
+  "CMakeFiles/nanocache_opt.dir/pareto.cc.o"
+  "CMakeFiles/nanocache_opt.dir/pareto.cc.o.d"
+  "CMakeFiles/nanocache_opt.dir/schemes.cc.o"
+  "CMakeFiles/nanocache_opt.dir/schemes.cc.o.d"
+  "CMakeFiles/nanocache_opt.dir/sensitivity.cc.o"
+  "CMakeFiles/nanocache_opt.dir/sensitivity.cc.o.d"
+  "CMakeFiles/nanocache_opt.dir/tuple_menu.cc.o"
+  "CMakeFiles/nanocache_opt.dir/tuple_menu.cc.o.d"
+  "libnanocache_opt.a"
+  "libnanocache_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nanocache_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

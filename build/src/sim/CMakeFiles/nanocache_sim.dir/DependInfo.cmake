@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache.cc" "src/sim/CMakeFiles/nanocache_sim.dir/cache.cc.o" "gcc" "src/sim/CMakeFiles/nanocache_sim.dir/cache.cc.o.d"
+  "/root/repo/src/sim/generators.cc" "src/sim/CMakeFiles/nanocache_sim.dir/generators.cc.o" "gcc" "src/sim/CMakeFiles/nanocache_sim.dir/generators.cc.o.d"
+  "/root/repo/src/sim/hierarchy.cc" "src/sim/CMakeFiles/nanocache_sim.dir/hierarchy.cc.o" "gcc" "src/sim/CMakeFiles/nanocache_sim.dir/hierarchy.cc.o.d"
+  "/root/repo/src/sim/interval.cc" "src/sim/CMakeFiles/nanocache_sim.dir/interval.cc.o" "gcc" "src/sim/CMakeFiles/nanocache_sim.dir/interval.cc.o.d"
+  "/root/repo/src/sim/missmodel.cc" "src/sim/CMakeFiles/nanocache_sim.dir/missmodel.cc.o" "gcc" "src/sim/CMakeFiles/nanocache_sim.dir/missmodel.cc.o.d"
+  "/root/repo/src/sim/suite.cc" "src/sim/CMakeFiles/nanocache_sim.dir/suite.cc.o" "gcc" "src/sim/CMakeFiles/nanocache_sim.dir/suite.cc.o.d"
+  "/root/repo/src/sim/trace_io.cc" "src/sim/CMakeFiles/nanocache_sim.dir/trace_io.cc.o" "gcc" "src/sim/CMakeFiles/nanocache_sim.dir/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nanocache_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

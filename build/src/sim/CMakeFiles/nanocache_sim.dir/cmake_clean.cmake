@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nanocache_sim.dir/cache.cc.o"
+  "CMakeFiles/nanocache_sim.dir/cache.cc.o.d"
+  "CMakeFiles/nanocache_sim.dir/generators.cc.o"
+  "CMakeFiles/nanocache_sim.dir/generators.cc.o.d"
+  "CMakeFiles/nanocache_sim.dir/hierarchy.cc.o"
+  "CMakeFiles/nanocache_sim.dir/hierarchy.cc.o.d"
+  "CMakeFiles/nanocache_sim.dir/interval.cc.o"
+  "CMakeFiles/nanocache_sim.dir/interval.cc.o.d"
+  "CMakeFiles/nanocache_sim.dir/missmodel.cc.o"
+  "CMakeFiles/nanocache_sim.dir/missmodel.cc.o.d"
+  "CMakeFiles/nanocache_sim.dir/suite.cc.o"
+  "CMakeFiles/nanocache_sim.dir/suite.cc.o.d"
+  "CMakeFiles/nanocache_sim.dir/trace_io.cc.o"
+  "CMakeFiles/nanocache_sim.dir/trace_io.cc.o.d"
+  "libnanocache_sim.a"
+  "libnanocache_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nanocache_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnanocache_sim.a"
+)

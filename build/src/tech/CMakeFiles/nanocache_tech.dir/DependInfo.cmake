@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tech/characterize.cc" "src/tech/CMakeFiles/nanocache_tech.dir/characterize.cc.o" "gcc" "src/tech/CMakeFiles/nanocache_tech.dir/characterize.cc.o.d"
+  "/root/repo/src/tech/corners.cc" "src/tech/CMakeFiles/nanocache_tech.dir/corners.cc.o" "gcc" "src/tech/CMakeFiles/nanocache_tech.dir/corners.cc.o.d"
+  "/root/repo/src/tech/delay.cc" "src/tech/CMakeFiles/nanocache_tech.dir/delay.cc.o" "gcc" "src/tech/CMakeFiles/nanocache_tech.dir/delay.cc.o.d"
+  "/root/repo/src/tech/device.cc" "src/tech/CMakeFiles/nanocache_tech.dir/device.cc.o" "gcc" "src/tech/CMakeFiles/nanocache_tech.dir/device.cc.o.d"
+  "/root/repo/src/tech/fitted.cc" "src/tech/CMakeFiles/nanocache_tech.dir/fitted.cc.o" "gcc" "src/tech/CMakeFiles/nanocache_tech.dir/fitted.cc.o.d"
+  "/root/repo/src/tech/params.cc" "src/tech/CMakeFiles/nanocache_tech.dir/params.cc.o" "gcc" "src/tech/CMakeFiles/nanocache_tech.dir/params.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nanocache_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

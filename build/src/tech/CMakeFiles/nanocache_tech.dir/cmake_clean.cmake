@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nanocache_tech.dir/characterize.cc.o"
+  "CMakeFiles/nanocache_tech.dir/characterize.cc.o.d"
+  "CMakeFiles/nanocache_tech.dir/corners.cc.o"
+  "CMakeFiles/nanocache_tech.dir/corners.cc.o.d"
+  "CMakeFiles/nanocache_tech.dir/delay.cc.o"
+  "CMakeFiles/nanocache_tech.dir/delay.cc.o.d"
+  "CMakeFiles/nanocache_tech.dir/device.cc.o"
+  "CMakeFiles/nanocache_tech.dir/device.cc.o.d"
+  "CMakeFiles/nanocache_tech.dir/fitted.cc.o"
+  "CMakeFiles/nanocache_tech.dir/fitted.cc.o.d"
+  "CMakeFiles/nanocache_tech.dir/params.cc.o"
+  "CMakeFiles/nanocache_tech.dir/params.cc.o.d"
+  "libnanocache_tech.a"
+  "libnanocache_tech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nanocache_tech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nanocache_util.dir/ascii_chart.cc.o"
+  "CMakeFiles/nanocache_util.dir/ascii_chart.cc.o.d"
+  "CMakeFiles/nanocache_util.dir/error.cc.o"
+  "CMakeFiles/nanocache_util.dir/error.cc.o.d"
+  "CMakeFiles/nanocache_util.dir/interp.cc.o"
+  "CMakeFiles/nanocache_util.dir/interp.cc.o.d"
+  "CMakeFiles/nanocache_util.dir/math.cc.o"
+  "CMakeFiles/nanocache_util.dir/math.cc.o.d"
+  "CMakeFiles/nanocache_util.dir/stats.cc.o"
+  "CMakeFiles/nanocache_util.dir/stats.cc.o.d"
+  "CMakeFiles/nanocache_util.dir/table.cc.o"
+  "CMakeFiles/nanocache_util.dir/table.cc.o.d"
+  "libnanocache_util.a"
+  "libnanocache_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nanocache_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cachemodel_org.dir/test_cachemodel_org.cc.o"
+  "CMakeFiles/test_cachemodel_org.dir/test_cachemodel_org.cc.o.d"
+  "test_cachemodel_org"
+  "test_cachemodel_org.pdb"
+  "test_cachemodel_org[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cachemodel_org.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

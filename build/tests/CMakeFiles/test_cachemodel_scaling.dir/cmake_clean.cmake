@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cachemodel_scaling.dir/test_cachemodel_scaling.cc.o"
+  "CMakeFiles/test_cachemodel_scaling.dir/test_cachemodel_scaling.cc.o.d"
+  "test_cachemodel_scaling"
+  "test_cachemodel_scaling.pdb"
+  "test_cachemodel_scaling[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cachemodel_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

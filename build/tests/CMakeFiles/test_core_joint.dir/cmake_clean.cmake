@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_joint.dir/test_core_joint.cc.o"
+  "CMakeFiles/test_core_joint.dir/test_core_joint.cc.o.d"
+  "test_core_joint"
+  "test_core_joint.pdb"
+  "test_core_joint[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_joint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_feature_extensions.dir/test_feature_extensions.cc.o"
+  "CMakeFiles/test_feature_extensions.dir/test_feature_extensions.cc.o.d"
+  "test_feature_extensions"
+  "test_feature_extensions.pdb"
+  "test_feature_extensions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_feature_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_opt_anneal_variation.dir/test_opt_anneal_variation.cc.o"
+  "CMakeFiles/test_opt_anneal_variation.dir/test_opt_anneal_variation.cc.o.d"
+  "test_opt_anneal_variation"
+  "test_opt_anneal_variation.pdb"
+  "test_opt_anneal_variation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_opt_anneal_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_opt_continuous.dir/test_opt_continuous.cc.o"
+  "CMakeFiles/test_opt_continuous.dir/test_opt_continuous.cc.o.d"
+  "test_opt_continuous"
+  "test_opt_continuous.pdb"
+  "test_opt_continuous[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_opt_continuous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

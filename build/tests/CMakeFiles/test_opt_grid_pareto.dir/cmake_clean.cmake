@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_opt_grid_pareto.dir/test_opt_grid_pareto.cc.o"
+  "CMakeFiles/test_opt_grid_pareto.dir/test_opt_grid_pareto.cc.o.d"
+  "test_opt_grid_pareto"
+  "test_opt_grid_pareto.pdb"
+  "test_opt_grid_pareto[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_opt_grid_pareto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_opt_schemes.dir/test_opt_schemes.cc.o"
+  "CMakeFiles/test_opt_schemes.dir/test_opt_schemes.cc.o.d"
+  "test_opt_schemes"
+  "test_opt_schemes.pdb"
+  "test_opt_schemes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_opt_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

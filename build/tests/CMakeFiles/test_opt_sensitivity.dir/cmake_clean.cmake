@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_opt_sensitivity.dir/test_opt_sensitivity.cc.o"
+  "CMakeFiles/test_opt_sensitivity.dir/test_opt_sensitivity.cc.o.d"
+  "test_opt_sensitivity"
+  "test_opt_sensitivity.pdb"
+  "test_opt_sensitivity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_opt_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_opt_tuple.dir/test_opt_tuple.cc.o"
+  "CMakeFiles/test_opt_tuple.dir/test_opt_tuple.cc.o.d"
+  "test_opt_tuple"
+  "test_opt_tuple.pdb"
+  "test_opt_tuple[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_opt_tuple.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

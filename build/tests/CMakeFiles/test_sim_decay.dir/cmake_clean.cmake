@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_decay.dir/test_sim_decay.cc.o"
+  "CMakeFiles/test_sim_decay.dir/test_sim_decay.cc.o.d"
+  "test_sim_decay"
+  "test_sim_decay.pdb"
+  "test_sim_decay[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_decay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_generators.dir/test_sim_generators.cc.o"
+  "CMakeFiles/test_sim_generators.dir/test_sim_generators.cc.o.d"
+  "test_sim_generators"
+  "test_sim_generators.pdb"
+  "test_sim_generators[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_generators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

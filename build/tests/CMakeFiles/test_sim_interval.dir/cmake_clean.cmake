@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_interval.dir/test_sim_interval.cc.o"
+  "CMakeFiles/test_sim_interval.dir/test_sim_interval.cc.o.d"
+  "test_sim_interval"
+  "test_sim_interval.pdb"
+  "test_sim_interval[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_prefetch.dir/test_sim_prefetch.cc.o"
+  "CMakeFiles/test_sim_prefetch.dir/test_sim_prefetch.cc.o.d"
+  "test_sim_prefetch"
+  "test_sim_prefetch.pdb"
+  "test_sim_prefetch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_sim_split.cc" "tests/CMakeFiles/test_sim_split.dir/test_sim_split.cc.o" "gcc" "tests/CMakeFiles/test_sim_split.dir/test_sim_split.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/nanocache_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/nanocache_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/nanocache_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nanocache_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cachemodel/CMakeFiles/nanocache_cachemodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/nanocache_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nanocache_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_split.dir/test_sim_split.cc.o"
+  "CMakeFiles/test_sim_split.dir/test_sim_split.cc.o.d"
+  "test_sim_split"
+  "test_sim_split.pdb"
+  "test_sim_split[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_suite.dir/test_sim_suite.cc.o"
+  "CMakeFiles/test_sim_suite.dir/test_sim_suite.cc.o.d"
+  "test_sim_suite"
+  "test_sim_suite.pdb"
+  "test_sim_suite[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

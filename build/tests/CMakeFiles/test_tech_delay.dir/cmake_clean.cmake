@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tech_delay.dir/test_tech_delay.cc.o"
+  "CMakeFiles/test_tech_delay.dir/test_tech_delay.cc.o.d"
+  "test_tech_delay"
+  "test_tech_delay.pdb"
+  "test_tech_delay[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tech_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tech_fitted.dir/test_tech_fitted.cc.o"
+  "CMakeFiles/test_tech_fitted.dir/test_tech_fitted.cc.o.d"
+  "test_tech_fitted"
+  "test_tech_fitted.pdb"
+  "test_tech_fitted[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tech_fitted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

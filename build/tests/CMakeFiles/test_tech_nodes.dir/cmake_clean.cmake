@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tech_nodes.dir/test_tech_nodes.cc.o"
+  "CMakeFiles/test_tech_nodes.dir/test_tech_nodes.cc.o.d"
+  "test_tech_nodes"
+  "test_tech_nodes.pdb"
+  "test_tech_nodes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tech_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_chart.dir/test_util_chart.cc.o"
+  "CMakeFiles/test_util_chart.dir/test_util_chart.cc.o.d"
+  "test_util_chart"
+  "test_util_chart.pdb"
+  "test_util_chart[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_chart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

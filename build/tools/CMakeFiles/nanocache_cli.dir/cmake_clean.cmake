@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nanocache_cli.dir/nanocache_cli.cc.o"
+  "CMakeFiles/nanocache_cli.dir/nanocache_cli.cc.o.d"
+  "nanocache_cli"
+  "nanocache_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nanocache_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
