@@ -12,7 +12,7 @@
 using namespace nanocache;
 
 namespace {
-std::string cell(const std::optional<opt::SchemeResult>& r) {
+std::string cell(const opt::OptOutcome<opt::SchemeResult>& r) {
   return r ? fmt_fixed(units::watts_to_mw(r->leakage_w), 3) : "infeasible";
 }
 }  // namespace

@@ -23,7 +23,7 @@ std::string knobs_str(const tech::DeviceKnobs& k) {
   return os.str();
 }
 
-std::string leak_cell(const std::optional<opt::SchemeResult>& r) {
+std::string leak_cell(const opt::OptOutcome<opt::SchemeResult>& r) {
   if (!r) return "infeasible";
   return fmt_fixed(units::watts_to_mw(r->leakage_w), 3);
 }

@@ -1,6 +1,7 @@
 #include "cachemodel/cache_model.h"
 
 #include "util/error.h"
+#include "util/numeric_guard.h"
 
 namespace nanocache::cachemodel {
 
@@ -39,6 +40,10 @@ BusDriverModel CacheModel::make_data_drivers(double bus_length_um) const {
 
 ComponentMetrics CacheModel::component(ComponentKind kind,
                                        const tech::DeviceKnobs& knobs) const {
+  // NaN knobs would otherwise trip range checks deeper in the device model
+  // and masquerade as configuration errors.
+  num::ensure_finite(knobs.vth_v, "component knob Vth");
+  num::ensure_finite(knobs.tox_a, "component knob Tox");
   switch (kind) {
     case ComponentKind::kCellArray:
       return array_.evaluate(knobs);
@@ -63,6 +68,8 @@ CacheMetrics CacheModel::evaluate(const ComponentAssignment& assignment,
   CacheMetrics total;
   for (ComponentKind kind : kAllComponents) {
     const auto& knobs = assignment.get(kind);
+    num::ensure_finite(knobs.vth_v, "assignment knob Vth");
+    num::ensure_finite(knobs.tox_a, "assignment knob Tox");
     ComponentMetrics m;
     switch (kind) {
       case ComponentKind::kCellArray:

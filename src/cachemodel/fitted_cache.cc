@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "tech/characterize.h"
+#include "util/numeric_guard.h"
 
 namespace nanocache::cachemodel {
 
@@ -24,6 +25,9 @@ FittedCacheModel FittedCacheModel::fit(const CacheModel& model, int vth_steps,
     out.leakage_[idx] = tech::FittedLeakageModel::fit(leak_samples);
     out.delay_[idx] = tech::FittedDelayModel::fit(delay_samples);
   }
+  out.domain_ =
+      out.leakage_[static_cast<std::size_t>(ComponentKind::kCellArray)]
+          .domain();
   return out;
 }
 
@@ -37,12 +41,22 @@ double FittedCacheModel::component_delay_s(
   return delay_[static_cast<std::size_t>(kind)](knobs);
 }
 
+double FittedCacheModel::component_leakage_checked_w(
+    ComponentKind kind, const tech::DeviceKnobs& knobs) const {
+  return leakage_[static_cast<std::size_t>(kind)].evaluate_checked(knobs);
+}
+
+double FittedCacheModel::component_delay_checked_s(
+    ComponentKind kind, const tech::DeviceKnobs& knobs) const {
+  return delay_[static_cast<std::size_t>(kind)].evaluate_checked(knobs);
+}
+
 double FittedCacheModel::leakage_w(const ComponentAssignment& a) const {
   double sum = 0.0;
   for (ComponentKind kind : kAllComponents) {
     sum += component_leakage_w(kind, a.get(kind));
   }
-  return sum;
+  return num::ensure_finite(sum, "fitted cache leakage");
 }
 
 double FittedCacheModel::access_time_s(const ComponentAssignment& a) const {
@@ -50,7 +64,7 @@ double FittedCacheModel::access_time_s(const ComponentAssignment& a) const {
   for (ComponentKind kind : kAllComponents) {
     sum += component_delay_s(kind, a.get(kind));
   }
-  return sum;
+  return num::ensure_finite(sum, "fitted cache access time");
 }
 
 double FittedCacheModel::worst_r2() const {

@@ -2,6 +2,11 @@
 // organization, fit Eq. (1)/(2) per component over a characterization grid
 // and expose fast evaluators.  This is what the paper's optimizer actually
 // consumes; the structural model plays the role of HSPICE.
+//
+// The fit records its characterization rectangle and per-fit R^2 so
+// callers can detect (rather than silently extrapolate through) two
+// failure modes: knobs outside the fitted domain, and poorly-conditioned
+// fits whose closed forms no longer track the structural model.
 #pragma once
 
 #include <array>
@@ -24,6 +29,14 @@ class FittedCacheModel {
   double component_delay_s(ComponentKind kind,
                            const tech::DeviceKnobs& knobs) const;
 
+  /// Checked variants: validate the knobs are finite and inside the
+  /// characterization rectangle and the result is finite; throw
+  /// nanocache::Error(kNumericDomain) otherwise.
+  double component_leakage_checked_w(ComponentKind kind,
+                                     const tech::DeviceKnobs& knobs) const;
+  double component_delay_checked_s(ComponentKind kind,
+                                   const tech::DeviceKnobs& knobs) const;
+
   /// Whole-cache evaluation by summation (paper Section 3).
   double leakage_w(const ComponentAssignment& a) const;
   double access_time_s(const ComponentAssignment& a) const;
@@ -33,6 +46,15 @@ class FittedCacheModel {
   }
   const tech::FittedDelayModel& delay_fit(ComponentKind kind) const {
     return delay_[static_cast<std::size_t>(kind)];
+  }
+
+  /// The (Vth, Tox) rectangle all eight component fits were characterized
+  /// over (one grid covers every component).
+  const tech::FitDomain& domain() const { return domain_; }
+
+  /// True when the knobs lie inside the characterization rectangle.
+  bool in_domain(const tech::DeviceKnobs& knobs) const {
+    return domain_.contains(knobs);
   }
 
   /// Worst R^2 across all eight fits — a single number summarizing how well
@@ -47,6 +69,7 @@ class FittedCacheModel {
   std::array<tech::FittedDelayModel, kNumComponents> delay_{
       tech::FittedDelayModel{}, tech::FittedDelayModel{},
       tech::FittedDelayModel{}, tech::FittedDelayModel{}};
+  tech::FitDomain domain_;
 };
 
 }  // namespace nanocache::cachemodel

@@ -18,6 +18,8 @@ void ExperimentConfig::validate() const {
   NC_REQUIRE(!l1_size_sweep.empty() && !l2_size_sweep.empty(),
              "size sweeps must be non-empty");
   NC_REQUIRE(amat_target_s > 0.0, "AMAT target must be positive");
+  NC_REQUIRE(fitted_r2_floor >= 0.0 && fitted_r2_floor <= 1.0,
+             "fitted R^2 floor must be in [0,1]");
   grid.validate();
   technology.validate();
 }

@@ -13,6 +13,14 @@
 
 namespace nanocache::core {
 
+/// What the Explorer does when its fitted path degrades — the fit's R^2
+/// drops below the configured floor, or an evaluation asks for knobs
+/// outside the fitted (Vth, Tox) domain.
+enum class DegradationPolicy {
+  kFallbackToStructural,  ///< use the structural model and record the event
+  kStrict,                ///< throw nanocache::Error(kNumericDomain)
+};
+
 struct ExperimentConfig {
   // Cache sizes.
   std::uint64_t l1_size_bytes = 16 * 1024;
@@ -40,6 +48,16 @@ struct ExperimentConfig {
   /// model, which is strictly more accurate; the integration tests assert
   /// that the headline claims hold on both paths.
   bool use_fitted_models = false;
+
+  /// Minimum acceptable worst-case R^2 across a cache's eight component
+  /// fits.  Below the floor, the closed forms no longer track the
+  /// structural model and the fitted path degrades per
+  /// `degradation_policy`.  The healthy 65 nm fits score well above this.
+  double fitted_r2_floor = 0.80;
+
+  /// Policy for fitted-path degradation events (see DegradationPolicy).
+  DegradationPolicy degradation_policy =
+      DegradationPolicy::kFallbackToStructural;
 
   /// AMAT targets for the Figure 2 sweep, seconds (paper x-axis:
   /// 1300-2100 pS).

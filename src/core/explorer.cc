@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "util/error.h"
+#include "util/numeric_guard.h"
 
 namespace nanocache::core {
 
@@ -32,6 +33,16 @@ const CacheModel& Explorer::model(std::uint64_t size_bytes, bool is_l2) const {
   return *it->second;
 }
 
+void Explorer::record_degradation(const cachemodel::CacheModel& model,
+                                  const std::string& key,
+                                  const std::string& reason) const {
+  std::ostringstream k;
+  k << &model << ':' << key;
+  if (!degradation_keys_.insert(k.str()).second) return;
+  degradation_log_.push_back(
+      DegradationEvent{model.organization().describe(), reason});
+}
+
 opt::ComponentEvaluator Explorer::evaluator(
     const cachemodel::CacheModel& model) const {
   if (!config_.use_fitted_models) {
@@ -45,7 +56,51 @@ opt::ComponentEvaluator Explorer::evaluator(
                           cachemodel::FittedCacheModel::fit(model)))
              .first;
   }
-  return opt::fitted_evaluator(*it->second, model);
+  const cachemodel::FittedCacheModel& fits = *it->second;
+  const bool strict =
+      config_.degradation_policy == DegradationPolicy::kStrict;
+
+  // Whole-model degradation: a poorly-conditioned fit is unusable at every
+  // knob point, so the cache drops to the structural path outright.
+  if (fits.worst_r2() < config_.fitted_r2_floor) {
+    std::ostringstream os;
+    os << "fitted closed forms rejected: worst R^2 " << fits.worst_r2()
+       << " below floor " << config_.fitted_r2_floor;
+    if (strict) {
+      throw Error(ErrorCategory::kNumericDomain,
+                  os.str() + " (strict degradation policy)");
+    }
+    record_degradation(model, "r2-floor", os.str() + "; structural model used");
+    return opt::structural_evaluator(model);
+  }
+
+  // Per-evaluation degradation: knobs outside the characterization
+  // rectangle would extrapolate the exponentials — answer from the
+  // structural model instead (or throw under the strict policy).
+  const cachemodel::CacheModel* structural = &model;
+  const cachemodel::FittedCacheModel* f = &fits;
+  return [this, structural, f, strict](cachemodel::ComponentKind kind,
+                                       const tech::DeviceKnobs& knobs) {
+    num::ensure_finite(knobs.vth_v, "evaluator knob Vth");
+    num::ensure_finite(knobs.tox_a, "evaluator knob Tox");
+    if (!f->in_domain(knobs)) {
+      std::ostringstream os;
+      os << "knobs outside fitted domain (Vth=" << knobs.vth_v
+         << " V, Tox=" << knobs.tox_a << " A, domain "
+         << f->domain().describe() << ")";
+      if (strict) {
+        throw Error(ErrorCategory::kNumericDomain,
+                    os.str() + " (strict degradation policy)");
+      }
+      record_degradation(*structural, "out-of-domain",
+                         os.str() + "; structural value used");
+      return structural->component(kind, knobs);
+    }
+    cachemodel::ComponentMetrics m = structural->component(kind, knobs);
+    m.leakage_w = f->component_leakage_w(kind, knobs);
+    m.delay_s = f->component_delay_s(kind, knobs);
+    return m;
+  };
 }
 
 const CacheModel& Explorer::l1_model(std::uint64_t size_bytes) const {
@@ -190,6 +245,8 @@ std::vector<SizeSweepRow> Explorer::l2_size_sweep(Scheme scheme,
     const double budget =
         (amat_target_s - l1_metrics.access_time_s) / ml1 - ml2 * tmem;
     if (budget <= 0.0) {
+      row.infeasible_reason =
+          "AMAT target leaves no L2 time budget at this size";
       rows.push_back(row);
       continue;
     }
@@ -197,6 +254,7 @@ std::vector<SizeSweepRow> Explorer::l2_size_sweep(Scheme scheme,
     const auto eval = evaluator(l2);
     auto best = opt::optimize_single_cache(eval, config_.grid, scheme, budget);
     if (!best) {
+      row.infeasible_reason = best.why().describe();
       rows.push_back(row);
       continue;
     }
@@ -225,8 +283,9 @@ std::vector<SizeSweepRow> Explorer::l1_size_sweep(double amat_target_s) const {
       (amat_target_s - l1_time_default) / ml1_default - ml2 * tmem;
   auto l2_fixed = opt::optimize_single_cache(
       l2_eval, config_.grid, Scheme::kArrayPeriphery, l2_budget);
-  NC_REQUIRE(l2_fixed.has_value(),
-             "AMAT target infeasible for the fixed L2 configuration");
+  NC_REQUIRE_FEASIBLE(l2_fixed.has_value(),
+                      "AMAT target infeasible for the fixed L2 configuration: " +
+                          (l2_fixed ? std::string() : l2_fixed.why().describe()));
 
   std::vector<SizeSweepRow> rows;
   for (std::uint64_t size : config_.l1_size_sweep) {
@@ -237,6 +296,8 @@ std::vector<SizeSweepRow> Explorer::l1_size_sweep(double amat_target_s) const {
     const double budget =
         amat_target_s - ml1 * (l2_fixed->access_time_s + ml2 * tmem);
     if (budget <= 0.0) {
+      row.infeasible_reason =
+          "AMAT target leaves no L1 time budget at this size";
       rows.push_back(row);
       continue;
     }
@@ -245,6 +306,7 @@ std::vector<SizeSweepRow> Explorer::l1_size_sweep(double amat_target_s) const {
     auto best = opt::optimize_single_cache(eval, config_.grid,
                                            Scheme::kArrayPeriphery, budget);
     if (!best) {
+      row.infeasible_reason = best.why().describe();
       rows.push_back(row);
       continue;
     }

@@ -7,10 +7,12 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "core/config.h"
+#include "opt/outcome.h"
 #include "opt/schemes.h"
 #include "opt/tuple_menu.h"
 
@@ -30,12 +32,20 @@ struct Fig1Series {
   std::vector<Fig1Point> points;
 };
 
-/// One row of the Section 4 scheme comparison.
+/// One row of the Section 4 scheme comparison.  Infeasible cells carry the
+/// violated constraint instead of being silently empty.
 struct SchemeComparisonRow {
   double delay_target_s = 0.0;
-  std::optional<opt::SchemeResult> scheme1;
-  std::optional<opt::SchemeResult> scheme2;
-  std::optional<opt::SchemeResult> scheme3;
+  opt::OptOutcome<opt::SchemeResult> scheme1;
+  opt::OptOutcome<opt::SchemeResult> scheme2;
+  opt::OptOutcome<opt::SchemeResult> scheme3;
+};
+
+/// One recorded fitted->structural degradation (see
+/// DegradationPolicy::kFallbackToStructural).
+struct DegradationEvent {
+  std::string model;   ///< organization description of the affected cache
+  std::string reason;  ///< why the fitted path was abandoned
 };
 
 /// One row of the Section 5 L2 (or L1) size sweeps.
@@ -47,6 +57,9 @@ struct SizeSweepRow {
   double level_leakage_w = 0.0;   ///< leakage of the swept level
   double total_leakage_w = 0.0;   ///< both cache levels
   opt::SchemeResult result;    ///< swept level's optimized assignment
+  /// Why the row is infeasible (empty when feasible): the violated
+  /// constraint, so a sweep never emits an unexplained hole.
+  std::string infeasible_reason;
 };
 
 /// One Figure-2 series: energy/AMAT frontier for a menu cardinality.
@@ -132,7 +145,24 @@ class Explorer {
   /// The component evaluator the experiments optimize over: structural by
   /// default, or the cached per-cache fitted closed forms when
   /// `config().use_fitted_models` is set.
+  ///
+  /// The fitted path degrades gracefully per config().degradation_policy:
+  /// a fit whose worst R^2 is below config().fitted_r2_floor, or an
+  /// evaluation outside the fitted (Vth, Tox) domain, falls back to the
+  /// structural model and records a DegradationEvent (or throws
+  /// kNumericDomain under the strict policy) — garbage extrapolations
+  /// never propagate silently.
   opt::ComponentEvaluator evaluator(const cachemodel::CacheModel& model) const;
+
+  /// Fitted->structural fallbacks recorded so far (deduplicated per cache
+  /// and cause).  Empty on the pure structural path.
+  const std::vector<DegradationEvent>& degradation_events() const {
+    return degradation_log_;
+  }
+  void clear_degradation_events() {
+    degradation_log_.clear();
+    degradation_keys_.clear();
+  }
 
   /// Memory-system model for the configured default sizes.
   energy::MemorySystemModel default_system() const;
@@ -141,7 +171,15 @@ class Explorer {
   const cachemodel::CacheModel& model(std::uint64_t size_bytes,
                                       bool is_l2) const;
 
+  /// Record one degradation event, deduplicated by `key` so a sweep that
+  /// leaves the fitted domain thousands of times logs it once per cause.
+  void record_degradation(const cachemodel::CacheModel& model,
+                          const std::string& key,
+                          const std::string& reason) const;
+
   ExperimentConfig config_;
+  mutable std::vector<DegradationEvent> degradation_log_;
+  mutable std::set<std::string> degradation_keys_;
   mutable std::map<std::pair<bool, std::uint64_t>,
                    std::unique_ptr<cachemodel::CacheModel>>
       models_;

@@ -25,14 +25,15 @@ TextTable fig1_long_table(const std::vector<Fig1Series>& series) {
 
 TextTable scheme_long_table(const std::vector<SchemeComparisonRow>& rows) {
   TextTable t("scheme_comparison");
-  t.set_header({"target_ps", "scheme", "leakage_mw", "achieved_ps"});
+  t.set_header({"target_ps", "scheme", "leakage_mw", "achieved_ps", "note"});
   auto emit = [&t](double target, const char* name,
-                   const std::optional<opt::SchemeResult>& r) {
+                   const opt::OptOutcome<opt::SchemeResult>& r) {
     t.add_row({fmt_fixed(units::seconds_to_ps(target), 1), name,
                r ? fmt_fixed(units::watts_to_mw(r->leakage_w), 4)
                  : "infeasible",
                r ? fmt_fixed(units::seconds_to_ps(r->access_time_s), 1)
-                 : "-"});
+                 : "-",
+               r ? "" : r.why().describe()});
   };
   for (const auto& row : rows) {
     emit(row.delay_target_s, "I", row.scheme1);
@@ -46,7 +47,7 @@ TextTable size_sweep_table(const std::vector<SizeSweepRow>& rows,
                            const std::string& level_name) {
   TextTable t(level_name + "_size_sweep");
   t.set_header({"size_bytes", "miss_rate", "feasible", "level_leakage_mw",
-                "total_leakage_mw", "amat_ps"});
+                "total_leakage_mw", "amat_ps", "note"});
   for (const auto& r : rows) {
     t.add_row({std::to_string(r.size_bytes), fmt_fixed(r.miss_rate, 5),
                r.feasible ? "1" : "0",
@@ -55,7 +56,17 @@ TextTable size_sweep_table(const std::vector<SizeSweepRow>& rows,
                r.feasible ? fmt_fixed(units::watts_to_mw(r.total_leakage_w), 4)
                           : "-",
                r.feasible ? fmt_fixed(units::seconds_to_ps(r.amat_s), 1)
-                          : "-"});
+                          : "-",
+               r.infeasible_reason});
+  }
+  return t;
+}
+
+TextTable degradation_table(const Explorer& explorer) {
+  TextTable t("degradation_events");
+  t.set_header({"model", "reason"});
+  for (const auto& e : explorer.degradation_events()) {
+    t.add_row({e.model, e.reason});
   }
   return t;
 }
@@ -77,16 +88,19 @@ namespace {
 
 void write_csv(const std::filesystem::path& path, const TextTable& table) {
   std::ofstream out(path);
-  NC_REQUIRE(out.good(), "cannot open CSV for writing: " + path.string());
+  NC_REQUIRE_IO(out.good(), "cannot open CSV for writing: " + path.string());
   out << table.to_csv();
-  NC_REQUIRE(out.good(), "failed writing CSV: " + path.string());
+  NC_REQUIRE_IO(out.good(), "failed writing CSV: " + path.string());
 }
 
 }  // namespace
 
 int export_all_csv(const Explorer& explorer, const std::string& directory) {
   const std::filesystem::path dir(directory);
-  std::filesystem::create_directories(dir);
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  NC_REQUIRE_IO(!ec, "cannot create CSV directory " + dir.string() + ": " +
+                         ec.message());
 
   int written = 0;
   write_csv(dir / "fig1.csv",
@@ -120,6 +134,12 @@ int export_all_csv(const Explorer& explorer, const std::string& directory) {
 
   write_csv(dir / "fig2.csv",
             fig2_long_table(explorer.fig2_tuple_frontiers()));
+  ++written;
+
+  // Fitted->structural fallbacks recorded while the experiments above ran.
+  // Empty on the structural path, but always written so consumers can rely
+  // on the file's presence.
+  write_csv(dir / "degradation.csv", degradation_table(explorer));
   ++written;
   return written;
 }

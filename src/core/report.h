@@ -25,10 +25,15 @@ TextTable size_sweep_table(const std::vector<SizeSweepRow>& rows,
 /// FIG2 long format: menu, AMAT [pS], energy [pJ], leakage [mW].
 TextTable fig2_long_table(const std::vector<Fig2Series>& series);
 
+/// Fitted->structural degradation events recorded by the explorer so far:
+/// model, reason.  Empty on the pure structural path.
+TextTable degradation_table(const Explorer& explorer);
+
 /// Run every experiment at default settings and write one CSV per
 /// experiment into `directory` (created if absent).  Returns the number of
 /// files written.  File names: fig1.csv, scheme_comparison.csv,
-/// l2_sweep_uniform.csv, l2_sweep_split.csv, l1_sweep.csv, fig2.csv.
+/// l2_sweep_uniform.csv, l2_sweep_split.csv, l1_sweep.csv, fig2.csv,
+/// degradation.csv.
 int export_all_csv(const Explorer& explorer, const std::string& directory);
 
 }  // namespace nanocache::core

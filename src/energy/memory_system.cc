@@ -1,6 +1,7 @@
 #include "energy/memory_system.h"
 
 #include "util/error.h"
+#include "util/numeric_guard.h"
 
 namespace nanocache::energy {
 
@@ -8,6 +9,9 @@ MemorySystemModel::MemorySystemModel(const cachemodel::CacheModel& l1,
                                      const cachemodel::CacheModel& l2,
                                      MissRates miss, MainMemoryParams memory)
     : l1_(l1), l2_(l2), miss_(miss), memory_(memory) {
+  num::ensure_finite(miss_.l1, "L1 miss rate");
+  num::ensure_finite(miss_.l2_local, "L2 miss rate");
+  num::ensure_finite(memory_.access_latency_s, "memory latency");
   NC_REQUIRE(miss_.l1 >= 0.0 && miss_.l1 <= 1.0, "L1 miss rate out of range");
   NC_REQUIRE(miss_.l2_local >= 0.0 && miss_.l2_local <= 1.0,
              "L2 miss rate out of range");
@@ -54,6 +58,11 @@ SystemMetrics MemorySystemModel::evaluate(
   out.dynamic_energy_j = e1 + miss_.l1 * e2 + memory_dynamic_energy_j();
   out.leakage_energy_j = out.leakage_w * out.amat_s;
   out.total_energy_j = out.dynamic_energy_j + out.leakage_energy_j;
+  // A NaN here means a cache model was fed garbage knobs; stop it before
+  // it contaminates a frontier.
+  num::ensure_finite(out.amat_s, "system AMAT");
+  num::ensure_finite(out.leakage_w, "system leakage");
+  num::ensure_finite(out.total_energy_j, "system total energy");
   return out;
 }
 

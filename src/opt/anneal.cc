@@ -1,10 +1,13 @@
 #include "opt/anneal.h"
 
+#include <algorithm>
 #include <array>
 #include <cmath>
+#include <optional>
 #include <vector>
 
 #include "util/error.h"
+#include "util/numeric_guard.h"
 #include "util/rng.h"
 
 namespace nanocache::opt {
@@ -42,7 +45,7 @@ std::vector<std::vector<ComponentKind>> blocks_for(Scheme scheme) {
 
 }  // namespace
 
-std::optional<SchemeResult> anneal_single_cache(
+OptOutcome<SchemeResult> anneal_single_cache(
     const ComponentEvaluator& eval, const KnobGrid& grid, Scheme scheme,
     double delay_constraint_s, const AnnealConfig& config) {
   NC_REQUIRE(delay_constraint_s > 0.0, "delay constraint must be positive");
@@ -66,8 +69,9 @@ std::optional<SchemeResult> anneal_single_cache(
       BlockOption o{0.0, 0.0};
       for (ComponentKind kind : blocks[b]) {
         const auto m = eval(kind, pair);
-        o.delay_s += m.delay_s;
-        o.leakage_w += m.leakage_w;
+        o.delay_s += num::ensure_finite(m.delay_s, "annealer option delay");
+        o.leakage_w +=
+            num::ensure_finite(m.leakage_w, "annealer option leakage");
       }
       options[b].push_back(o);
       leak_scale = std::max(leak_scale, o.leakage_w);
@@ -149,7 +153,21 @@ std::optional<SchemeResult> anneal_single_cache(
     }
     temperature *= config.cooling;
   }
-  return best;
+  if (!best) {
+    double fastest = 0.0;
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+      double block_fastest = options[b].front().delay_s;
+      for (const auto& o : options[b]) {
+        block_fastest = std::min(block_fastest, o.delay_s);
+      }
+      fastest += block_fastest;
+    }
+    return OptOutcome<SchemeResult>::infeasible(InfeasibleInfo{
+        "access time <= delay constraint [s]", delay_constraint_s, fastest,
+        "annealing never reached a feasible state in " +
+            std::to_string(config.iterations) + " iterations"});
+  }
+  return *best;
 }
 
 }  // namespace nanocache::opt

@@ -6,8 +6,8 @@
 #pragma once
 
 #include <cstdint>
-#include <optional>
 
+#include "opt/outcome.h"
 #include "opt/schemes.h"
 
 namespace nanocache::opt {
@@ -23,10 +23,11 @@ struct AnnealConfig {
 };
 
 /// Minimize leakage subject to the access-time constraint under the given
-/// scheme by annealing over the discrete grid.  Returns nullopt when no
+/// scheme by annealing over the discrete grid.  Infeasible when no
 /// feasible assignment was found (the run never left the infeasible
-/// region).  Deterministic for a given config.
-std::optional<SchemeResult> anneal_single_cache(
+/// region); the outcome records the violated constraint and the fastest
+/// state visited.  Deterministic for a given config.
+OptOutcome<SchemeResult> anneal_single_cache(
     const ComponentEvaluator& eval, const KnobGrid& grid, Scheme scheme,
     double delay_constraint_s, const AnnealConfig& config = {});
 

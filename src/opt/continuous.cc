@@ -1,11 +1,13 @@
 #include "opt/continuous.h"
 
+#include <algorithm>
 #include <array>
 #include <cmath>
 #include <limits>
 #include <vector>
 
 #include "util/error.h"
+#include "util/numeric_guard.h"
 
 namespace nanocache::opt {
 
@@ -41,14 +43,14 @@ double block_leakage(const FittedCacheModel& fits, const Block& block,
                      const tech::DeviceKnobs& k) {
   double sum = 0.0;
   for (ComponentKind kind : block) sum += fits.component_leakage_w(kind, k);
-  return sum;
+  return num::ensure_finite(sum, "continuous-optimizer block leakage");
 }
 
 double block_delay(const FittedCacheModel& fits, const Block& block,
                    const tech::DeviceKnobs& k) {
   double sum = 0.0;
   for (ComponentKind kind : block) sum += fits.component_delay_s(kind, k);
-  return sum;
+  return num::ensure_finite(sum, "continuous-optimizer block delay");
 }
 
 /// Golden-section minimization of a unimodal 1-D function on [lo, hi].
@@ -119,10 +121,14 @@ InnerSolution solve_inner(const FittedCacheModel& fits,
 
 }  // namespace
 
-std::optional<ContinuousResult> optimize_continuous(
+OptOutcome<ContinuousResult> optimize_continuous(
     const FittedCacheModel& fits, const tech::KnobRange& range, Scheme scheme,
     double delay_constraint_s) {
   NC_REQUIRE(delay_constraint_s > 0.0, "delay constraint must be positive");
+  num::ensure_positive(range.vth_max_v - range.vth_min_v,
+                       "continuous-optimizer Vth box span");
+  num::ensure_positive(range.tox_max_a - range.tox_min_a,
+                       "continuous-optimizer Tox box span");
   const auto blocks = blocks_for(scheme);
 
   // Feasibility: the fastest corner of the box.
@@ -132,11 +138,17 @@ std::optional<ContinuousResult> optimize_continuous(
                            tech::DeviceKnobs{range.vth_min_v,
                                              range.tox_min_a});
   }
-  if (fastest > delay_constraint_s) return std::nullopt;
+  if (fastest > delay_constraint_s) {
+    return OptOutcome<ContinuousResult>::infeasible(InfeasibleInfo{
+        "access time <= delay constraint [s]", delay_constraint_s, fastest,
+        "even the fastest corner of the knob box misses the constraint"});
+  }
 
   ContinuousResult best;
   best.leakage_w = std::numeric_limits<double>::infinity();
+  double best_delay_seen = std::numeric_limits<double>::infinity();
   auto consider = [&](const InnerSolution& s, double lambda, int iters) {
+    best_delay_seen = std::min(best_delay_seen, s.delay_s);
     if (s.delay_s <= delay_constraint_s && s.leakage_w < best.leakage_w) {
       best.assignment = s.assignment;
       best.leakage_w = s.leakage_w;
@@ -180,7 +192,16 @@ std::optional<ContinuousResult> optimize_continuous(
     }
   }
 
-  if (!std::isfinite(best.leakage_w)) return std::nullopt;
+  if (!std::isfinite(best.leakage_w)) {
+    // The box corner was feasible but the Lagrangian search never landed a
+    // feasible inner solution — report it as a typed infeasibility rather
+    // than an empty result mid-sweep.
+    return OptOutcome<ContinuousResult>::infeasible(InfeasibleInfo{
+        "access time <= delay constraint [s]", delay_constraint_s,
+        best_delay_seen,
+        "Lagrangian search produced no feasible inner solution after " +
+            std::to_string(iters) + " outer iterations"});
+  }
   return best;
 }
 

@@ -14,9 +14,8 @@
 // total delay to the constraint.
 #pragma once
 
-#include <optional>
-
 #include "cachemodel/fitted_cache.h"
+#include "opt/outcome.h"
 #include "opt/schemes.h"
 
 namespace nanocache::opt {
@@ -31,9 +30,10 @@ struct ContinuousResult {
 
 /// Minimize fitted leakage subject to fitted access time <= the constraint,
 /// under the given scheme's sharing structure, with knobs continuous in the
-/// box `range`.  Returns nullopt when even the fastest corner misses the
-/// constraint.
-std::optional<ContinuousResult> optimize_continuous(
+/// box `range`.  Infeasible outcomes name the violated delay constraint and
+/// the fastest corner of the box (when even that corner misses the
+/// constraint) or the Lagrangian search's best delay.
+OptOutcome<ContinuousResult> optimize_continuous(
     const cachemodel::FittedCacheModel& fits, const tech::KnobRange& range,
     Scheme scheme, double delay_constraint_s);
 

@@ -1,6 +1,7 @@
 #include "opt/grid.h"
 
 #include "util/error.h"
+#include "util/numeric_guard.h"
 
 namespace nanocache::opt {
 
@@ -45,6 +46,8 @@ std::vector<tech::DeviceKnobs> KnobGrid::pairs() const {
 void KnobGrid::validate() const {
   NC_REQUIRE(!vth_values.empty() && !tox_values.empty(),
              "knob grid axes must be non-empty");
+  for (double v : vth_values) num::ensure_positive(v, "knob grid Vth value");
+  for (double t : tox_values) num::ensure_positive(t, "knob grid Tox value");
   for (std::size_t i = 1; i < vth_values.size(); ++i) {
     NC_REQUIRE(vth_values[i] > vth_values[i - 1],
                "vth grid must strictly increase");

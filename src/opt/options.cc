@@ -1,6 +1,7 @@
 #include "opt/options.h"
 
 #include "util/error.h"
+#include "util/numeric_guard.h"
 
 namespace nanocache::opt {
 
@@ -35,8 +36,11 @@ std::vector<ComponentOption> component_options(
   out.reserve(pairs.size());
   for (const auto& k : pairs) {
     const auto m = eval(kind, k);
-    out.push_back(ComponentOption{k, m.delay_s, m.leakage_w,
-                                  m.dynamic_energy_j});
+    out.push_back(ComponentOption{
+        k, num::ensure_finite(m.delay_s, "component option delay"),
+        num::ensure_finite(m.leakage_w, "component option leakage"),
+        num::ensure_finite(m.dynamic_energy_j,
+                           "component option dynamic energy")});
   }
   return out;
 }
@@ -54,9 +58,11 @@ std::vector<ComponentOption> periphery_options(
          {ComponentKind::kDecoder, ComponentKind::kAddressDrivers,
           ComponentKind::kDataDrivers}) {
       const auto m = eval(kind, k);
-      opt.delay_s += m.delay_s;
-      opt.leakage_w += m.leakage_w;
-      opt.dynamic_j += m.dynamic_energy_j;
+      opt.delay_s += num::ensure_finite(m.delay_s, "periphery option delay");
+      opt.leakage_w +=
+          num::ensure_finite(m.leakage_w, "periphery option leakage");
+      opt.dynamic_j += num::ensure_finite(m.dynamic_energy_j,
+                                          "periphery option dynamic energy");
     }
     out.push_back(opt);
   }
@@ -74,9 +80,11 @@ std::vector<ComponentOption> uniform_options(
     opt.knobs = k;
     for (ComponentKind kind : kAllComponents) {
       const auto m = eval(kind, k);
-      opt.delay_s += m.delay_s;
-      opt.leakage_w += m.leakage_w;
-      opt.dynamic_j += m.dynamic_energy_j;
+      opt.delay_s += num::ensure_finite(m.delay_s, "uniform option delay");
+      opt.leakage_w +=
+          num::ensure_finite(m.leakage_w, "uniform option leakage");
+      opt.dynamic_j += num::ensure_finite(m.dynamic_energy_j,
+                                          "uniform option dynamic energy");
     }
     out.push_back(opt);
   }

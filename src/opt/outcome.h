@@ -1,0 +1,80 @@
+// Typed optimizer outcomes.  An infeasible constraint is a first-class,
+// diagnosable result — not an empty optional: OptOutcome either holds the
+// optimum or an InfeasibleInfo naming the violated constraint and the best
+// the search could achieve.  The interface is deliberately optional-like
+// (has_value / operator bool / * / ->) so call sites read the same either
+// way, but dereferencing an infeasible outcome throws a categorized
+// nanocache::Error(kInfeasible) instead of being undefined behaviour.
+#pragma once
+
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "util/error.h"
+
+namespace nanocache::opt {
+
+/// Why an optimization returned no solution.
+struct InfeasibleInfo {
+  std::string constraint;   ///< the violated constraint, human-readable
+  double required = 0.0;    ///< the bound the caller asked for
+  double achievable = 0.0;  ///< best value the search could reach (0 = n/a)
+  std::string detail;       ///< optional extra context
+
+  std::string describe() const {
+    std::ostringstream os;
+    os << "infeasible: " << constraint;
+    if (required > 0.0) os << " (required " << required;
+    if (required > 0.0 && achievable > 0.0) {
+      os << ", best achievable " << achievable;
+    }
+    if (required > 0.0) os << ")";
+    if (!detail.empty()) os << "; " << detail;
+    return os.str();
+  }
+};
+
+/// Result-or-typed-infeasibility.  Feasible outcomes construct implicitly
+/// from T; infeasible ones via OptOutcome<T>::infeasible(info).
+template <typename T>
+class OptOutcome {
+ public:
+  /// Default-constructed outcomes are infeasible placeholders (sweep rows
+  /// start in this state until an optimizer fills them in).
+  OptOutcome() : info_{InfeasibleInfo{"not solved", 0.0, 0.0, {}}} {}
+
+  OptOutcome(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  static OptOutcome infeasible(InfeasibleInfo info) {
+    OptOutcome o;
+    o.info_ = std::move(info);
+    return o;
+  }
+
+  bool has_value() const { return value_.has_value(); }
+  explicit operator bool() const { return value_.has_value(); }
+
+  /// Access the optimum; throws nanocache::Error(kInfeasible) carrying the
+  /// violated constraint when there is none.
+  const T& value() const {
+    if (!value_) throw Error(ErrorCategory::kInfeasible, info_->describe());
+    return *value_;
+  }
+  const T& operator*() const { return value(); }
+  const T* operator->() const { return &value(); }
+
+  /// The infeasibility diagnosis; only meaningful when !has_value().
+  const InfeasibleInfo& why() const {
+    NC_REQUIRE_INTERNAL(!value_.has_value(),
+                        "why() queried on a feasible outcome");
+    return *info_;
+  }
+
+ private:
+  std::optional<T> value_;
+  std::optional<InfeasibleInfo> info_;
+};
+
+}  // namespace nanocache::opt

@@ -1,7 +1,9 @@
 #include "opt/schemes.h"
 
+#include <algorithm>
 #include <array>
 #include <limits>
+#include <optional>
 
 #include "opt/pareto.h"
 #include "util/error.h"
@@ -58,16 +60,28 @@ std::vector<Combo> combine(const std::vector<Combo>& partial,
       [](const Combo& c) { return c.leakage_w; });
 }
 
-std::optional<SchemeResult> pick_best(
+/// Infeasibility diagnosis shared by every scheme branch.
+OptOutcome<SchemeResult> infeasible_delay(double delay_constraint_s,
+                                          double fastest_s, Scheme scheme) {
+  return OptOutcome<SchemeResult>::infeasible(InfeasibleInfo{
+      "access time <= delay constraint [s]", delay_constraint_s, fastest_s,
+      "scheme " + scheme_name(scheme)});
+}
+
+OptOutcome<SchemeResult> pick_best(
     const std::vector<Combo>& combos,
     const std::array<std::vector<ComponentOption>, kNumComponents>& options,
-    double delay_constraint_s) {
+    double delay_constraint_s, Scheme scheme) {
   const Combo* best = nullptr;
+  double fastest = std::numeric_limits<double>::infinity();
   for (const auto& c : combos) {
+    fastest = std::min(fastest, c.delay_s);
     if (c.delay_s > delay_constraint_s) continue;
     if (best == nullptr || c.leakage_w < best->leakage_w) best = &c;
   }
-  if (best == nullptr) return std::nullopt;
+  if (best == nullptr) {
+    return infeasible_delay(delay_constraint_s, fastest, scheme);
+  }
   SchemeResult r;
   r.leakage_w = best->leakage_w;
   r.access_time_s = best->delay_s;
@@ -101,7 +115,7 @@ std::array<std::vector<ComponentOption>, kNumComponents> all_options(
 
 }  // namespace
 
-std::optional<SchemeResult> optimize_single_cache(
+OptOutcome<SchemeResult> optimize_single_cache(
     const ComponentEvaluator& eval, const KnobGrid& grid, Scheme scheme,
     double delay_constraint_s) {
   NC_REQUIRE(delay_constraint_s > 0.0, "delay constraint must be positive");
@@ -110,7 +124,8 @@ std::optional<SchemeResult> optimize_single_cache(
   switch (scheme) {
     case Scheme::kPerComponent: {
       const auto options = all_options(eval, pairs);
-      return pick_best(scheme1_combos(options), options, delay_constraint_s);
+      return pick_best(scheme1_combos(options), options, delay_constraint_s,
+                       scheme);
     }
 
     case Scheme::kArrayPeriphery: {
@@ -118,9 +133,11 @@ std::optional<SchemeResult> optimize_single_cache(
           eval, ComponentKind::kCellArray, pairs);
       const auto periph_opts = periphery_options(eval, pairs);
       std::optional<SchemeResult> best;
+      double fastest = std::numeric_limits<double>::infinity();
       for (const auto& a : array_opts) {
         for (const auto& p : periph_opts) {
           const double delay = a.delay_s + p.delay_s;
+          fastest = std::min(fastest, delay);
           if (delay > delay_constraint_s) continue;
           const double leak = a.leakage_w + p.leakage_w;
           if (!best || leak < best->leakage_w) {
@@ -133,13 +150,16 @@ std::optional<SchemeResult> optimize_single_cache(
           }
         }
       }
-      return best;
+      if (!best) return infeasible_delay(delay_constraint_s, fastest, scheme);
+      return *best;
     }
 
     case Scheme::kUniform: {
       const auto opts = uniform_options(eval, pairs);
       std::optional<SchemeResult> best;
+      double fastest = std::numeric_limits<double>::infinity();
       for (const auto& o : opts) {
+        fastest = std::min(fastest, o.delay_s);
         if (o.delay_s > delay_constraint_s) continue;
         if (!best || o.leakage_w < best->leakage_w) {
           SchemeResult r;
@@ -150,7 +170,8 @@ std::optional<SchemeResult> optimize_single_cache(
           best = r;
         }
       }
-      return best;
+      if (!best) return infeasible_delay(delay_constraint_s, fastest, scheme);
+      return *best;
     }
   }
   throw Error("unknown scheme");

@@ -5,10 +5,10 @@
 // equivalent for monotone objectives).
 #pragma once
 
-#include <optional>
 #include <string>
 
 #include "opt/options.h"
+#include "opt/outcome.h"
 
 namespace nanocache::opt {
 
@@ -29,8 +29,9 @@ struct SchemeResult {
 };
 
 /// Minimize leakage subject to access_time <= delay_constraint_s.
-/// Returns nullopt when no grid assignment meets the constraint.
-std::optional<SchemeResult> optimize_single_cache(
+/// When no grid assignment meets the constraint the outcome is infeasible
+/// and carries the violated constraint plus the fastest achievable time.
+OptOutcome<SchemeResult> optimize_single_cache(
     const ComponentEvaluator& eval, const KnobGrid& grid, Scheme scheme,
     double delay_constraint_s);
 

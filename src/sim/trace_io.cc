@@ -10,31 +10,38 @@ namespace nanocache::sim {
 void save_trace(TraceSource& source, std::uint64_t count,
                 const std::string& path) {
   std::ofstream out(path);
-  NC_REQUIRE(out.good(), "cannot open trace file for writing: " + path);
+  NC_REQUIRE_IO(out.good(), "cannot open trace file for writing: " + path);
   out << "# nanocache trace v1\n" << std::hex;
   for (std::uint64_t i = 0; i < count; ++i) {
     const Access a = source.next();
     out << (a.is_write ? 'W' : 'R') << ' ' << a.address << '\n';
   }
-  NC_REQUIRE(out.good(), "failed writing trace file: " + path);
+  NC_REQUIRE_IO(out.good(), "failed writing trace file: " + path);
 }
 
-VectorTrace load_trace(const std::string& path) {
+VectorTrace load_trace(const std::string& path,
+                       const TraceLoadOptions& options) {
+  NC_REQUIRE_CONFIG(options.max_accesses > 0,
+                    "trace load limit must be positive");
   std::ifstream in(path);
-  NC_REQUIRE(in.good(), "cannot open trace file: " + path);
+  NC_REQUIRE_IO(in.good(), "cannot open trace file: " + path);
   std::vector<Access> accesses;
   std::string line;
   std::uint64_t line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
+    // Tolerate CRLF files from Windows-side capture tools.
+    if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty() || line[0] == '#') continue;
     std::istringstream is(line);
     char kind = 0;
     std::string addr_hex;
     is >> kind >> addr_hex;
-    NC_REQUIRE(!is.fail() && (kind == 'R' || kind == 'W'),
-               "malformed trace line " + std::to_string(line_no) + ": " +
-                   line);
+    if (kind == 'r') kind = 'R';
+    if (kind == 'w') kind = 'W';
+    NC_REQUIRE_IO(!is.fail() && (kind == 'R' || kind == 'W'),
+                  "malformed trace line " + std::to_string(line_no) + ": " +
+                      line);
     std::uint64_t address = 0;
     std::size_t consumed = 0;
     try {
@@ -42,12 +49,16 @@ VectorTrace load_trace(const std::string& path) {
     } catch (const std::exception&) {
       consumed = 0;
     }
-    NC_REQUIRE(consumed == addr_hex.size() && !addr_hex.empty(),
-               "bad address on trace line " + std::to_string(line_no) + ": " +
-                   line);
+    NC_REQUIRE_IO(consumed == addr_hex.size() && !addr_hex.empty(),
+                  "bad address on trace line " + std::to_string(line_no) +
+                      ": " + line);
+    NC_REQUIRE_IO(accesses.size() < options.max_accesses,
+                  "trace file exceeds the configured limit of " +
+                      std::to_string(options.max_accesses) +
+                      " accesses: " + path);
     accesses.push_back(Access{address, kind == 'W'});
   }
-  NC_REQUIRE(!accesses.empty(), "trace file contains no accesses: " + path);
+  NC_REQUIRE_IO(!accesses.empty(), "trace file contains no accesses: " + path);
   return VectorTrace(std::move(accesses));
 }
 

@@ -4,24 +4,36 @@
 //   R 1a2b3c
 //   W 40
 //
-// ('R'/'W', one hexadecimal address, '#'-prefixed comment lines ignored).
-// This is the interchange point for driving the simulator with externally
-// captured traces.
+// ('R'/'W' case-insensitive, one hexadecimal address, '#'-prefixed comment
+// lines ignored, LF or CRLF line endings).  This is the interchange point
+// for driving the simulator with externally captured traces.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "sim/trace.h"
 
 namespace nanocache::sim {
 
+/// Knobs for load_trace.  Defaults accept any well-formed trace that fits
+/// comfortably in memory.
+struct TraceLoadOptions {
+  /// Upper bound on accepted accesses; a longer file throws
+  /// Error(kIo) instead of silently exhausting memory.  16 bytes per
+  /// access puts the default around 1.6 GB.
+  std::uint64_t max_accesses = 100'000'000;
+};
+
 /// Write the next `count` accesses of `source` to `path`.
-/// Throws nanocache::Error on I/O failure.
+/// Throws nanocache::Error(kIo) on I/O failure.
 void save_trace(TraceSource& source, std::uint64_t count,
                 const std::string& path);
 
 /// Load a trace file into a replayable VectorTrace.
-/// Throws nanocache::Error on I/O failure or malformed lines.
-VectorTrace load_trace(const std::string& path);
+/// Throws nanocache::Error(kIo) on I/O failure, malformed lines, or a
+/// trace longer than options.max_accesses.
+VectorTrace load_trace(const std::string& path,
+                       const TraceLoadOptions& options = {});
 
 }  // namespace nanocache::sim

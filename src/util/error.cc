@@ -2,14 +2,39 @@
 
 #include <sstream>
 
-namespace nanocache::detail {
+namespace nanocache {
 
-void throw_require_failure(const char* condition, const char* file, int line,
+const char* category_name(ErrorCategory category) {
+  switch (category) {
+    case ErrorCategory::kConfig:
+      return "config";
+    case ErrorCategory::kNumericDomain:
+      return "numeric-domain";
+    case ErrorCategory::kIo:
+      return "io";
+    case ErrorCategory::kInfeasible:
+      return "infeasible";
+    case ErrorCategory::kInternal:
+      return "internal";
+  }
+  return "internal";
+}
+
+Error::Error(ErrorCategory category, const std::string& what)
+    : std::runtime_error("[" + std::string(category_name(category)) + "] " +
+                         what),
+      category_(category) {}
+
+namespace detail {
+
+void throw_require_failure(ErrorCategory category, const char* condition,
+                           const char* file, int line,
                            const std::string& message) {
   std::ostringstream os;
   os << "nanocache precondition failed: " << message << " [" << condition
      << "] at " << file << ":" << line;
-  throw Error(os.str());
+  throw Error(category, os.str());
 }
 
-}  // namespace nanocache::detail
+}  // namespace detail
+}  // namespace nanocache

@@ -1,0 +1,80 @@
+// Numeric domain guards for model-evaluation boundaries.
+//
+// The fitted closed forms and the structural model are algebra over exp()
+// and division; fed a NaN, an infinity or an out-of-domain knob they
+// silently produce garbage that poisons every downstream Pareto front.
+// These helpers turn that into a detected, categorized event: each check
+// throws nanocache::Error with ErrorCategory::kNumericDomain and names the
+// offending quantity, so a NaN can never cross a guarded boundary
+// unnoticed.  All helpers return the validated value so they compose
+// inline: `return ensure_finite(model(k), "fitted leakage");`.
+#pragma once
+
+#include <cmath>
+#include <string>
+
+#include "util/error.h"
+
+namespace nanocache::num {
+
+/// Largest exponent argument accepted by checked_exp: exp(709.8) is the
+/// edge of double range, so anything this size is already a modelling
+/// failure, not a physical quantity.
+inline constexpr double kMaxExpArg = 700.0;
+
+[[noreturn]] inline void throw_domain(const std::string& what,
+                                      const char* context, double value) {
+  throw Error(ErrorCategory::kNumericDomain,
+              what + " in " + context + " (value " + std::to_string(value) +
+                  ")");
+}
+
+/// Value must be neither NaN nor infinite.
+inline double ensure_finite(double value, const char* context) {
+  if (!std::isfinite(value)) throw_domain("non-finite value", context, value);
+  return value;
+}
+
+/// Value must be finite and strictly positive.
+inline double ensure_positive(double value, const char* context) {
+  ensure_finite(value, context);
+  if (!(value > 0.0)) throw_domain("non-positive value", context, value);
+  return value;
+}
+
+/// Value must be finite and >= 0.
+inline double ensure_nonnegative(double value, const char* context) {
+  ensure_finite(value, context);
+  if (value < 0.0) throw_domain("negative value", context, value);
+  return value;
+}
+
+/// Value must be finite and inside [lo, hi].
+inline double ensure_in_range(double value, double lo, double hi,
+                              const char* context) {
+  ensure_finite(value, context);
+  if (value < lo || value > hi) {
+    throw Error(ErrorCategory::kNumericDomain,
+                std::string("value out of range in ") + context + " (" +
+                    std::to_string(value) + " not in [" + std::to_string(lo) +
+                    ", " + std::to_string(hi) + "])");
+  }
+  return value;
+}
+
+/// exp() that refuses non-finite or overflowing arguments instead of
+/// returning Inf.
+inline double checked_exp(double x, const char* context) {
+  ensure_finite(x, context);
+  if (x > kMaxExpArg) throw_domain("exp overflow", context, x);
+  return std::exp(x);
+}
+
+/// log() that refuses non-positive or non-finite arguments instead of
+/// returning NaN/-Inf.
+inline double checked_log(double x, const char* context) {
+  ensure_positive(x, context);
+  return std::log(x);
+}
+
+}  // namespace nanocache::num

@@ -1,0 +1,46 @@
+// Fault-injection harness: a registry of deliberately-broken inputs for
+// every public entry point (model fitting, cache construction, trace I/O,
+// optimizers, experiment configs) plus a driver that checks each fault
+// dies with a correctly-categorized nanocache::Error — no crash, no hang,
+// no silent NaN, no miscategorized exception.
+//
+// The registry is a plain data structure so the GoogleTest suite, the
+// sanitizer presets and any future fuzz driver can share it.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+
+namespace nanocache::testing {
+
+/// One injected fault: a closure poking a broken input into a public API,
+/// and the error category the library contract promises for it.
+struct FaultCase {
+  std::string name;              ///< unique slug, e.g. "trace-bad-hex"
+  ErrorCategory expected;        ///< category the Error must carry
+  std::function<void()> inject;  ///< must throw nanocache::Error(expected)
+};
+
+/// What actually happened when a fault ran.
+struct FaultOutcome {
+  std::string name;
+  bool ok = false;           ///< threw nanocache::Error with the right category
+  std::string detail;        ///< what() on success; diagnosis on failure
+  ErrorCategory expected{};  ///< from the case
+  ErrorCategory actual{};    ///< only meaningful when a nanocache::Error threw
+};
+
+/// Run one fault, classifying the outcome (never lets the exception
+/// escape).
+FaultOutcome run_fault(const FaultCase& fault);
+
+/// Run every fault in order.
+std::vector<FaultOutcome> run_all(const std::vector<FaultCase>& cases);
+
+/// The standard registry covering the library surface (>= 30 faults).
+std::vector<FaultCase> build_standard_faults();
+
+}  // namespace nanocache::testing

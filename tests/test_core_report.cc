@@ -66,12 +66,12 @@ TEST(Report, Fig2LongTableLabelsMenus) {
   EXPECT_NE(csv.find("2 Tox + 2 Vth,1500.0,150.00,80.00"), std::string::npos);
 }
 
-TEST(Report, ExportAllCsvWritesSixFiles) {
+TEST(Report, ExportAllCsvWritesSevenFiles) {
   const auto dir =
       std::filesystem::temp_directory_path() / "nanocache_report_test";
   std::filesystem::remove_all(dir);
   const int n = export_all_csv(explorer(), dir.string());
-  EXPECT_EQ(n, 6);
+  EXPECT_EQ(n, 7);
   for (const char* name :
        {"fig1.csv", "scheme_comparison.csv", "l2_sweep_uniform.csv",
         "l2_sweep_split.csv", "l1_sweep.csv", "fig2.csv"}) {
@@ -85,6 +85,9 @@ TEST(Report, ExportAllCsvWritesSixFiles) {
     while (std::getline(in, line)) ++lines;
     EXPECT_GE(lines, 2) << name;
   }
+  // The degradation log is always exported; on the structural path it is
+  // header-only.
+  EXPECT_TRUE(std::filesystem::exists(dir / "degradation.csv"));
   std::filesystem::remove_all(dir);
 }
 

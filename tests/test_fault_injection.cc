@@ -1,0 +1,51 @@
+// Drives the fault-injection registry (fault_injection.h) through
+// GoogleTest: every injected fault must die with a nanocache::Error of the
+// promised category — never a crash, an untyped exception, or silence.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fault_injection.h"
+
+namespace nanocache::testing {
+namespace {
+
+TEST(FaultInjection, RegistryCoversTheSurface) {
+  const auto cases = build_standard_faults();
+  EXPECT_GE(cases.size(), 30u);
+  std::set<std::string> names;
+  for (const auto& c : cases) {
+    EXPECT_TRUE(names.insert(c.name).second) << "duplicate fault: " << c.name;
+  }
+}
+
+TEST(FaultInjection, EveryFaultFailsWithItsPromisedCategory) {
+  for (const auto& outcome : run_all(build_standard_faults())) {
+    EXPECT_TRUE(outcome.ok)
+        << "fault '" << outcome.name << "' (expecting "
+        << category_name(outcome.expected) << "): " << outcome.detail;
+  }
+}
+
+TEST(FaultInjection, RegistrySpansAllCategories) {
+  std::set<ErrorCategory> covered;
+  for (const auto& c : build_standard_faults()) covered.insert(c.expected);
+  EXPECT_TRUE(covered.count(ErrorCategory::kConfig));
+  EXPECT_TRUE(covered.count(ErrorCategory::kNumericDomain));
+  EXPECT_TRUE(covered.count(ErrorCategory::kIo));
+  EXPECT_TRUE(covered.count(ErrorCategory::kInfeasible));
+  EXPECT_TRUE(covered.count(ErrorCategory::kInternal));
+}
+
+TEST(FaultInjection, MessagesCarryTheCategoryPrefix) {
+  for (const auto& outcome : run_all(build_standard_faults())) {
+    if (!outcome.ok) continue;  // the previous test reports these
+    const std::string prefix =
+        std::string("[") + category_name(outcome.expected) + "] ";
+    EXPECT_EQ(outcome.detail.rfind(prefix, 0), 0u)
+        << "fault '" << outcome.name << "' message: " << outcome.detail;
+  }
+}
+
+}  // namespace
+}  // namespace nanocache::testing

@@ -1,0 +1,127 @@
+// Trace serialization round-trips and tolerance for externally captured
+// files (CRLF endings, lowercase access kinds), plus the corrupt-file and
+// oversize rejection paths.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "sim/trace_io.h"
+#include "util/error.h"
+
+namespace nanocache::sim {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::string write_file(const std::string& name, const std::string& content) {
+  const auto path = temp_path(name);
+  std::ofstream out(path, std::ios::binary);
+  out << content;
+  return path;
+}
+
+void expect_category(const std::string& path, ErrorCategory expected,
+                     const TraceLoadOptions& options = {}) {
+  try {
+    load_trace(path, options);
+    FAIL() << "expected load_trace to throw for " << path;
+  } catch (const Error& e) {
+    EXPECT_EQ(e.category(), expected) << e.what();
+  }
+}
+
+TEST(TraceIo, SaveLoadRoundTrip) {
+  VectorTrace source({{0x1a2b, false}, {0x40, true}, {0xdeadbeef, false}});
+  const auto path = temp_path("nanocache_trace_roundtrip.trc");
+  save_trace(source, 3, path);
+  auto loaded = load_trace(path);
+  ASSERT_EQ(loaded.size(), 3u);
+  Access a = loaded.next();
+  EXPECT_EQ(a.address, 0x1a2bu);
+  EXPECT_FALSE(a.is_write);
+  a = loaded.next();
+  EXPECT_EQ(a.address, 0x40u);
+  EXPECT_TRUE(a.is_write);
+  a = loaded.next();
+  EXPECT_EQ(a.address, 0xdeadbeefu);
+  std::filesystem::remove(path);
+}
+
+TEST(TraceIo, AcceptsCrlfLineEndings) {
+  const auto path = write_file("nanocache_trace_crlf.trc",
+                               "# captured on Windows\r\nR 10\r\nW ff\r\n");
+  auto loaded = load_trace(path);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded.next().address, 0x10u);
+  EXPECT_TRUE(loaded.next().is_write);
+  std::filesystem::remove(path);
+}
+
+TEST(TraceIo, AcceptsLowercaseAccessKinds) {
+  const auto path =
+      write_file("nanocache_trace_lower.trc", "r 10\nw 20\nR 30\n");
+  auto loaded = load_trace(path);
+  ASSERT_EQ(loaded.size(), 3u);
+  EXPECT_FALSE(loaded.next().is_write);
+  EXPECT_TRUE(loaded.next().is_write);
+  EXPECT_FALSE(loaded.next().is_write);
+  std::filesystem::remove(path);
+}
+
+TEST(TraceIo, MissingFileIsIoError) {
+  expect_category("/nonexistent_nanocache_dir/x.trc", ErrorCategory::kIo);
+}
+
+TEST(TraceIo, CommentOnlyFileIsIoError) {
+  const auto path =
+      write_file("nanocache_trace_empty.trc", "# header\n\n# trailer\n");
+  expect_category(path, ErrorCategory::kIo);
+  std::filesystem::remove(path);
+}
+
+TEST(TraceIo, GarbageKindIsIoError) {
+  const auto path = write_file("nanocache_trace_kind.trc", "R 10\nZ 20\n");
+  expect_category(path, ErrorCategory::kIo);
+  std::filesystem::remove(path);
+}
+
+TEST(TraceIo, BadHexAddressIsIoError) {
+  const auto path = write_file("nanocache_trace_hex.trc", "R 12xq\n");
+  expect_category(path, ErrorCategory::kIo);
+  std::filesystem::remove(path);
+}
+
+TEST(TraceIo, OverLimitIsIoError) {
+  const auto path =
+      write_file("nanocache_trace_limit.trc", "R 1\nR 2\nR 3\nR 4\n");
+  TraceLoadOptions options;
+  options.max_accesses = 3;
+  expect_category(path, ErrorCategory::kIo, options);
+  options.max_accesses = 4;  // exactly at the limit loads fine
+  EXPECT_EQ(load_trace(path, options).size(), 4u);
+  std::filesystem::remove(path);
+}
+
+TEST(TraceIo, ZeroLimitIsConfigError) {
+  const auto path = write_file("nanocache_trace_zero.trc", "R 1\n");
+  TraceLoadOptions options;
+  options.max_accesses = 0;
+  expect_category(path, ErrorCategory::kConfig, options);
+  std::filesystem::remove(path);
+}
+
+TEST(TraceIo, SaveToUnwritablePathIsIoError) {
+  VectorTrace source({{0x1, false}});
+  try {
+    save_trace(source, 1, "/nonexistent_nanocache_dir/out.trc");
+    FAIL() << "expected save_trace to throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.category(), ErrorCategory::kIo) << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace nanocache::sim

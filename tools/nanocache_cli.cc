@@ -67,14 +67,40 @@ int usage() {
       "  nanocache_cli cache --size <bytes> [--l2] [--vth V] [--tox A]\n"
       "  nanocache_cli optimize --size <bytes> --scheme I|II|III "
       "--delay-ps <ps>\n"
-      "  nanocache_cli run fig1|schemes|l2|l2split|l1|fig2\n"
+      "  nanocache_cli run fig1|schemes|l2|l2split|l1|fig2 "
+      "[--fitted] [--strict]\n"
       "  nanocache_cli frontier --size <bytes> [--l2] --scheme I|II|III\n"
       "  nanocache_cli sensitivity --size <bytes> [--l2] [--vth V] "
       "[--tox A]\n"
       "  nanocache_cli variation --size <bytes> [--l2] [--vth V] [--tox A] "
       "[--samples N]\n"
-      "  nanocache_cli export [--dir <directory>]\n";
+      "  nanocache_cli export [--dir <directory>] [--fitted] [--strict]\n"
+      "flags:\n"
+      "  --fitted  drive experiments from the paper's fitted closed forms\n"
+      "  --strict  treat fitted-model degradation as a hard error\n"
+      "exit codes: 0 ok, 1 internal, 2 config, 3 io, 4 numeric/infeasible\n";
   return 2;
+}
+
+/// Explorer honoring the shared --fitted / --strict flags.
+core::Explorer make_explorer(const Args& args) {
+  core::ExperimentConfig config;
+  if (args.flags.count("fitted") > 0) config.use_fitted_models = true;
+  if (args.flags.count("strict") > 0) {
+    config.degradation_policy = core::DegradationPolicy::kStrict;
+  }
+  return core::Explorer(config);
+}
+
+/// Surface recorded fitted->structural fallbacks after a run; silent when
+/// nothing degraded.
+void print_degradations(const core::Explorer& explorer) {
+  if (explorer.degradation_events().empty()) return;
+  std::cerr << "note: fitted model degraded "
+            << explorer.degradation_events().size() << " time(s):\n";
+  for (const auto& e : explorer.degradation_events()) {
+    std::cerr << "  " << e.model << ": " << e.reason << "\n";
+  }
 }
 
 int cmd_list() {
@@ -144,12 +170,8 @@ int cmd_optimize(const Args& args) {
   const auto result = opt::optimize_single_cache(
       eval, grid, scheme, units::ps_to_seconds(delay_ps));
   if (!result) {
-    std::cout << "infeasible: minimum achievable is "
-              << fmt_fixed(units::seconds_to_ps(opt::min_access_time(
-                               eval, grid, scheme)),
-                           1)
-              << " pS under scheme " << opt::scheme_name(scheme) << "\n";
-    return 1;
+    std::cerr << "error: " << result.why().describe() << "\n";
+    return 4;
   }
   std::cout << "scheme " << opt::scheme_name(scheme) << " optimum under "
             << fmt_fixed(delay_ps, 0) << " pS:\n";
@@ -169,7 +191,7 @@ int cmd_optimize(const Args& args) {
 }
 
 int cmd_run(const Args& args) {
-  core::Explorer explorer;
+  core::Explorer explorer = make_explorer(args);
   const std::string& which = args.positional;
   if (which == "fig1") {
     std::cout << core::fig1_long_table(
@@ -198,6 +220,7 @@ int cmd_run(const Args& args) {
     std::cerr << "unknown experiment: '" << which << "'\n";
     return usage();
   }
+  print_degradations(explorer);
   return 0;
 }
 
@@ -284,10 +307,28 @@ int cmd_variation(const Args& args) {
 int cmd_export(const Args& args) {
   const auto it = args.flags.find("dir");
   const std::string dir = it == args.flags.end() ? "nanocache_csv" : it->second;
-  core::Explorer explorer;
+  core::Explorer explorer = make_explorer(args);
   const int n = core::export_all_csv(explorer, dir);
   std::cout << "wrote " << n << " CSV files to " << dir << "/\n";
+  print_degradations(explorer);
   return 0;
+}
+
+/// Error-taxonomy to process-exit-code mapping.  Scripts branch on these
+/// without parsing stderr.
+int exit_code_for(ErrorCategory category) {
+  switch (category) {
+    case ErrorCategory::kConfig:
+      return 2;
+    case ErrorCategory::kIo:
+      return 3;
+    case ErrorCategory::kNumericDomain:
+    case ErrorCategory::kInfeasible:
+      return 4;
+    case ErrorCategory::kInternal:
+      return 1;
+  }
+  return 1;
 }
 
 }  // namespace
@@ -304,6 +345,9 @@ int main(int argc, char** argv) {
     if (args.command == "variation") return cmd_variation(args);
     if (args.command == "export") return cmd_export(args);
     return usage();
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return exit_code_for(e.category());
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Build and run the full test suite under ASan and UBSan (the `asan` and
+# `ubsan` CMake presets).  The fault-injection suite in particular is meant
+# to run under both: an injected fault that corrupts memory instead of
+# throwing a typed error fails here even if the plain build happens to pass.
+#
+# Usage: tools/run_sanitizers.sh [asan|ubsan]   (default: both)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+presets=("${@:-asan ubsan}")
+# shellcheck disable=SC2128,SC2086
+read -r -a presets <<< "${presets[*]}"
+
+for preset in "${presets[@]}"; do
+  echo "=== configuring ${preset} ==="
+  cmake --preset "${preset}"
+  echo "=== building ${preset} ==="
+  cmake --build --preset "${preset}" -j "$(nproc)"
+  echo "=== testing ${preset} ==="
+  ctest --preset "${preset}" -j "$(nproc)"
+done
+echo "=== all sanitizer suites passed ==="
