@@ -1,14 +1,31 @@
 // PERF — google-benchmark microbenchmarks of the library itself: model
 // evaluation, fitting, simulation throughput, and optimizer latency.
+//
+// Also the parallel-sweep timing harness:
+//   perf_library --emit-json [path]
+// runs the scheme-comparison and tuple-menu sweeps at 1/2/4/8 threads,
+// checks the results are identical at every thread count, and writes wall
+// time + speedup as JSON (default path: BENCH_parallel_sweep.json).
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "cachemodel/fitted_cache.h"
 #include "core/explorer.h"
+#include "core/report.h"
 #include "opt/continuous.h"
 #include "opt/schemes.h"
 #include "opt/sensitivity.h"
 #include "sim/generators.h"
 #include "sim/hierarchy.h"
+#include "util/parallel.h"
 
 using namespace nanocache;
 
@@ -143,6 +160,120 @@ void BM_DecaySimulation(benchmark::State& state) {
 }
 BENCHMARK(BM_DecaySimulation)->Arg(0)->Arg(1024);
 
+// --- parallel-sweep timing harness ------------------------------------------
+
+/// One timed sweep: returns wall seconds and a result fingerprint (the
+/// rendered report, so "identical output" means byte-identical text).
+struct SweepSample {
+  double wall_s = 0.0;
+  std::string fingerprint;
+};
+
+template <typename Fn>
+SweepSample time_sweep(Fn&& render) {
+  // Min of three runs: wall-clock minimum is the standard noise-resistant
+  // estimator for a deterministic workload.
+  SweepSample s;
+  s.wall_s = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    s.fingerprint = render();
+    s.wall_s = std::min(
+        s.wall_s, std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count());
+  }
+  return s;
+}
+
+int emit_parallel_sweep_json(const std::string& path) {
+  core::Explorer explorer;
+  // Warm the model caches so every thread count times pure sweep work.
+  const auto l1_size = explorer.config().l1_size_bytes;
+  explorer.l1_model(l1_size);
+  explorer.l2_model(explorer.config().l2_size_bytes);
+  const auto ladder = explorer.delay_ladder(l1_size, 9);
+
+  const auto render_schemes = [&] {
+    std::ostringstream os;
+    os << core::scheme_long_table(explorer.scheme_comparison(l1_size, ladder));
+    return os.str();
+  };
+  const auto render_tuples = [&] {
+    std::ostringstream os;
+    os << core::fig2_long_table(explorer.fig2_tuple_frontiers());
+    return os.str();
+  };
+
+  // Untimed warmup: first-run lazy initialization (allocator arenas, model
+  // caches) must not inflate the threads=1 baseline.
+  render_schemes();
+  render_tuples();
+
+  struct Row {
+    std::string name;
+    int threads;
+    SweepSample sample;
+  };
+  std::vector<Row> rows;
+  bool deterministic = true;
+  std::string baseline_schemes, baseline_tuples;
+  for (int threads : {1, 2, 4, 8}) {
+    par::set_default_threads(threads);
+    const auto s = time_sweep(render_schemes);
+    const auto t = time_sweep(render_tuples);
+    if (threads == 1) {
+      baseline_schemes = s.fingerprint;
+      baseline_tuples = t.fingerprint;
+    } else if (s.fingerprint != baseline_schemes ||
+               t.fingerprint != baseline_tuples) {
+      deterministic = false;
+    }
+    rows.push_back({"scheme_comparison", threads, s});
+    rows.push_back({"tuple_menu", threads, t});
+  }
+  par::set_default_threads(0);
+
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write " << path << "\n";
+    return 1;
+  }
+  out << "{\n"
+      << "  \"hardware_threads\": " << par::hardware_threads() << ",\n"
+      << "  \"deterministic_across_thread_counts\": "
+      << (deterministic ? "true" : "false") << ",\n"
+      << "  \"sweeps\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    double base = 0.0;
+    for (const auto& b : rows) {
+      if (b.name == r.name && b.threads == 1) base = b.sample.wall_s;
+    }
+    out << "    {\"name\": \"" << r.name << "\", \"threads\": " << r.threads
+        << ", \"wall_s\": " << r.sample.wall_s << ", \"speedup\": "
+        << (r.sample.wall_s > 0.0 ? base / r.sample.wall_s : 0.0) << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "wrote " << path << " (deterministic="
+            << (deterministic ? "true" : "false") << ")\n";
+  return deterministic ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--emit-json") {
+      const std::string path =
+          i + 1 < argc ? argv[i + 1] : "BENCH_parallel_sweep.json";
+      return emit_parallel_sweep_json(path);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -6,6 +6,7 @@
 
 #include "util/error.h"
 #include "util/numeric_guard.h"
+#include "util/parallel.h"
 
 namespace nanocache::core {
 
@@ -14,12 +15,39 @@ using cachemodel::l1_organization;
 using cachemodel::l2_organization;
 using opt::Scheme;
 
+namespace {
+
+/// Same type as Explorer::PendingDegradations (a private alias).
+using PendingVec = std::vector<std::pair<std::string, DegradationEvent>>;
+
+/// Active degradation buffer of the current sweep task (if any).  Workers
+/// run exactly one task body at a time and nested parallel calls stay on
+/// the same thread, so a thread-local pointer is task-scoped.
+thread_local PendingVec* tl_degradation_buffer = nullptr;
+
+/// RAII installer for the task-local degradation buffer.
+class DegradationBufferScope {
+ public:
+  explicit DegradationBufferScope(PendingVec* buffer)
+      : previous_(tl_degradation_buffer) {
+    tl_degradation_buffer = buffer;
+  }
+  ~DegradationBufferScope() { tl_degradation_buffer = previous_; }
+  DegradationBufferScope(const DegradationBufferScope&) = delete;
+  DegradationBufferScope& operator=(const DegradationBufferScope&) = delete;
+
+ private:
+  PendingVec* previous_;
+};
+}  // namespace
+
 Explorer::Explorer(ExperimentConfig config) : config_(std::move(config)) {
   config_.validate();
 }
 
 const CacheModel& Explorer::model(std::uint64_t size_bytes, bool is_l2) const {
   const auto key = std::make_pair(is_l2, size_bytes);
+  std::lock_guard<std::mutex> lock(cache_mutex_);
   auto it = models_.find(key);
   if (it == models_.end()) {
     tech::DeviceModel dev(config_.technology);
@@ -36,11 +64,43 @@ const CacheModel& Explorer::model(std::uint64_t size_bytes, bool is_l2) const {
 void Explorer::record_degradation(const cachemodel::CacheModel& model,
                                   const std::string& key,
                                   const std::string& reason) const {
-  std::ostringstream k;
-  k << &model << ':' << key;
-  if (!degradation_keys_.insert(k.str()).second) return;
-  degradation_log_.push_back(
-      DegradationEvent{model.organization().describe(), reason});
+  // The dedup key is derived from the cache organization (not the model's
+  // address) so logs and CSV exports are reproducible across processes.
+  const std::string dedup_key = model.organization().describe() + ':' + key;
+  DegradationEvent event{model.organization().describe(), reason};
+  if (tl_degradation_buffer != nullptr) {
+    tl_degradation_buffer->emplace_back(dedup_key, std::move(event));
+    return;
+  }
+  std::lock_guard<std::mutex> lock(degradation_mutex_);
+  if (!degradation_keys_.insert(dedup_key).second) return;
+  degradation_log_.push_back(std::move(event));
+}
+
+void Explorer::merge_pending(
+    std::vector<PendingDegradations>&& buffers) const {
+  std::lock_guard<std::mutex> lock(degradation_mutex_);
+  for (auto& buffer : buffers) {
+    for (auto& [key, event] : buffer) {
+      if (!degradation_keys_.insert(key).second) continue;
+      degradation_log_.push_back(std::move(event));
+    }
+  }
+}
+
+void Explorer::run_parallel_sweep(
+    std::size_t n, const std::function<void(std::size_t)>& body) const {
+  std::vector<PendingDegradations> buffers(n);
+  try {
+    par::parallel_for(n, [&](std::size_t i) {
+      DegradationBufferScope scope(&buffers[i]);
+      body(i);
+    });
+  } catch (...) {
+    merge_pending(std::move(buffers));  // keep events from completed tasks
+    throw;
+  }
+  merge_pending(std::move(buffers));
 }
 
 opt::ComponentEvaluator Explorer::evaluator(
@@ -48,15 +108,20 @@ opt::ComponentEvaluator Explorer::evaluator(
   if (!config_.use_fitted_models) {
     return opt::structural_evaluator(model);
   }
-  auto it = fits_.find(&model);
-  if (it == fits_.end()) {
-    it = fits_
-             .emplace(&model,
-                      std::make_unique<cachemodel::FittedCacheModel>(
-                          cachemodel::FittedCacheModel::fit(model)))
-             .first;
+  const cachemodel::FittedCacheModel* fitted = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    auto it = fits_.find(&model);
+    if (it == fits_.end()) {
+      it = fits_
+               .emplace(&model,
+                        std::make_unique<cachemodel::FittedCacheModel>(
+                            cachemodel::FittedCacheModel::fit(model)))
+               .first;
+    }
+    fitted = it->second.get();
   }
-  const cachemodel::FittedCacheModel& fits = *it->second;
+  const cachemodel::FittedCacheModel& fits = *fitted;
   const bool strict =
       config_.degradation_policy == DegradationPolicy::kStrict;
 
@@ -76,7 +141,9 @@ opt::ComponentEvaluator Explorer::evaluator(
 
   // Per-evaluation degradation: knobs outside the characterization
   // rectangle would extrapolate the exponentials — answer from the
-  // structural model instead (or throw under the strict policy).
+  // structural model instead (or throw under the strict policy).  The
+  // returned callable is invoked concurrently from sweep workers:
+  // evaluations are pure const and record_degradation is thread-safe.
   const cachemodel::CacheModel* structural = &model;
   const cachemodel::FittedCacheModel* f = &fits;
   return [this, structural, f, strict](cachemodel::ComponentKind kind,
@@ -128,7 +195,6 @@ std::vector<Fig1Series> Explorer::fig1_fixed_knob(
   const auto& m = l1_model(cache_size_bytes);
   const auto& knobs = m.device().params().knobs;
 
-  std::vector<Fig1Series> series;
   auto sweep = [&](bool vth_fixed, double fixed_value) {
     Fig1Series s;
     s.vth_fixed = vth_fixed;
@@ -159,10 +225,14 @@ std::vector<Fig1Series> Explorer::fig1_fixed_knob(
 
   // The paper's four curves: Tox fixed at the range ends (Vth swept), and
   // Vth fixed at 0.2 / 0.4 V (Tox swept).
-  series.push_back(sweep(/*vth_fixed=*/false, knobs.tox_min_a));
-  series.push_back(sweep(/*vth_fixed=*/false, knobs.tox_max_a));
-  series.push_back(sweep(/*vth_fixed=*/true, 0.2));
-  series.push_back(sweep(/*vth_fixed=*/true, 0.4));
+  const std::pair<bool, double> curves[] = {{false, knobs.tox_min_a},
+                                            {false, knobs.tox_max_a},
+                                            {true, 0.2},
+                                            {true, 0.4}};
+  std::vector<Fig1Series> series(std::size(curves));
+  run_parallel_sweep(series.size(), [&](std::size_t i) {
+    series[i] = sweep(curves[i].first, curves[i].second);
+  });
   return series;
 }
 
@@ -172,9 +242,12 @@ std::vector<SchemeComparisonRow> Explorer::scheme_comparison(
     std::uint64_t cache_size_bytes,
     const std::vector<double>& delay_targets_s) const {
   const auto& m = l1_model(cache_size_bytes);
+  // Build the evaluator once, serially: fitting (and any r2-floor event)
+  // happens before the fan-out.
   const auto eval = evaluator(m);
-  std::vector<SchemeComparisonRow> rows;
-  for (double target : delay_targets_s) {
+  std::vector<SchemeComparisonRow> rows(delay_targets_s.size());
+  run_parallel_sweep(rows.size(), [&](std::size_t i) {
+    const double target = delay_targets_s[i];
     SchemeComparisonRow row;
     row.delay_target_s = target;
     row.scheme1 = opt::optimize_single_cache(eval, config_.grid,
@@ -183,8 +256,8 @@ std::vector<SchemeComparisonRow> Explorer::scheme_comparison(
                                              Scheme::kArrayPeriphery, target);
     row.scheme3 = opt::optimize_single_cache(eval, config_.grid,
                                              Scheme::kUniform, target);
-    rows.push_back(std::move(row));
-  }
+    rows[i] = std::move(row);
+  });
   return rows;
 }
 
@@ -192,6 +265,9 @@ std::vector<double> Explorer::delay_ladder(std::uint64_t cache_size_bytes,
                                            int steps) const {
   NC_REQUIRE(steps >= 2, "ladder needs >= 2 steps");
   const auto& m = l1_model(cache_size_bytes);
+  // Serial on purpose: this is a handful of evaluations, and direct
+  // (unbuffered) degradation recording stays in deterministic order.
+  par::SerialRegionGuard serial;
   const auto eval = evaluator(m);
   const double lo =
       opt::min_access_time(eval, config_.grid, Scheme::kUniform) * 1.001;
@@ -216,6 +292,8 @@ double Explorer::l2_squeeze_target_s(double headroom_factor,
     reference_l2_bytes = *std::min_element(config_.l2_size_sweep.begin(),
                                            config_.l2_size_sweep.end());
   }
+  // Serial on purpose — see delay_ladder.
+  par::SerialRegionGuard serial;
   const auto& l1 = l1_model(config_.l1_size_bytes);
   const double t_l1 =
       l1.evaluate_uniform(config_.default_knobs).access_time_s;
@@ -235,8 +313,16 @@ std::vector<SizeSweepRow> Explorer::l2_size_sweep(Scheme scheme,
   const double ml1 = config_.miss_curves.l1(config_.l1_size_bytes);
   const double tmem = config_.memory.access_latency_s;
 
-  std::vector<SizeSweepRow> rows;
-  for (std::uint64_t size : config_.l2_size_sweep) {
+  // Pre-warm the per-size models and evaluators serially: construction and
+  // fitting mutate the caches once, after which workers only read.
+  const auto& sizes = config_.l2_size_sweep;
+  std::vector<opt::ComponentEvaluator> evals;
+  evals.reserve(sizes.size());
+  for (std::uint64_t size : sizes) evals.push_back(evaluator(l2_model(size)));
+
+  std::vector<SizeSweepRow> rows(sizes.size());
+  run_parallel_sweep(rows.size(), [&](std::size_t i) {
+    const std::uint64_t size = sizes[i];
     SizeSweepRow row;
     row.size_bytes = size;
     const double ml2 = config_.miss_curves.l2(size);
@@ -247,16 +333,15 @@ std::vector<SizeSweepRow> Explorer::l2_size_sweep(Scheme scheme,
     if (budget <= 0.0) {
       row.infeasible_reason =
           "AMAT target leaves no L2 time budget at this size";
-      rows.push_back(row);
-      continue;
+      rows[i] = std::move(row);
+      return;
     }
-    const auto& l2 = l2_model(size);
-    const auto eval = evaluator(l2);
-    auto best = opt::optimize_single_cache(eval, config_.grid, scheme, budget);
+    auto best = opt::optimize_single_cache(evals[i], config_.grid, scheme,
+                                           budget);
     if (!best) {
       row.infeasible_reason = best.why().describe();
-      rows.push_back(row);
-      continue;
+      rows[i] = std::move(row);
+      return;
     }
     row.feasible = true;
     row.result = *best;
@@ -264,8 +349,8 @@ std::vector<SizeSweepRow> Explorer::l2_size_sweep(Scheme scheme,
     row.total_leakage_w = best->leakage_w + l1_metrics.leakage_w;
     row.amat_s = l1_metrics.access_time_s +
                  ml1 * (best->access_time_s + ml2 * tmem);
-    rows.push_back(row);
-  }
+    rows[i] = std::move(row);
+  });
   return rows;
 }
 
@@ -287,8 +372,14 @@ std::vector<SizeSweepRow> Explorer::l1_size_sweep(double amat_target_s) const {
                       "AMAT target infeasible for the fixed L2 configuration: " +
                           (l2_fixed ? std::string() : l2_fixed.why().describe()));
 
-  std::vector<SizeSweepRow> rows;
-  for (std::uint64_t size : config_.l1_size_sweep) {
+  const auto& sizes = config_.l1_size_sweep;
+  std::vector<opt::ComponentEvaluator> evals;
+  evals.reserve(sizes.size());
+  for (std::uint64_t size : sizes) evals.push_back(evaluator(l1_model(size)));
+
+  std::vector<SizeSweepRow> rows(sizes.size());
+  run_parallel_sweep(rows.size(), [&](std::size_t i) {
+    const std::uint64_t size = sizes[i];
     SizeSweepRow row;
     row.size_bytes = size;
     const double ml1 = config_.miss_curves.l1(size);
@@ -298,17 +389,15 @@ std::vector<SizeSweepRow> Explorer::l1_size_sweep(double amat_target_s) const {
     if (budget <= 0.0) {
       row.infeasible_reason =
           "AMAT target leaves no L1 time budget at this size";
-      rows.push_back(row);
-      continue;
+      rows[i] = std::move(row);
+      return;
     }
-    const auto& l1 = l1_model(size);
-    const auto eval = evaluator(l1);
-    auto best = opt::optimize_single_cache(eval, config_.grid,
+    auto best = opt::optimize_single_cache(evals[i], config_.grid,
                                            Scheme::kArrayPeriphery, budget);
     if (!best) {
       row.infeasible_reason = best.why().describe();
-      rows.push_back(row);
-      continue;
+      rows[i] = std::move(row);
+      return;
     }
     row.feasible = true;
     row.result = *best;
@@ -316,8 +405,8 @@ std::vector<SizeSweepRow> Explorer::l1_size_sweep(double amat_target_s) const {
     row.total_leakage_w = best->leakage_w + l2_fixed->leakage_w;
     row.amat_s = best->access_time_s +
                  ml1 * (l2_fixed->access_time_s + ml2 * tmem);
-    rows.push_back(row);
-  }
+    rows[i] = std::move(row);
+  });
   return rows;
 }
 
@@ -325,49 +414,66 @@ std::vector<Explorer::JointSizingRow> Explorer::joint_size_study(
     double amat_target_s) const {
   NC_REQUIRE(amat_target_s > 0.0, "AMAT target must be positive");
   const double tmem = config_.memory.access_latency_s;
+  const auto& l1_sizes = config_.l1_size_sweep;
+  const auto& l2_sizes = config_.l2_size_sweep;
 
-  std::vector<JointSizingRow> rows;
-  for (std::uint64_t l1_size : config_.l1_size_sweep) {
-    const double ml1 = config_.miss_curves.l1(l1_size);
-    const auto l1_front = opt::scheme_frontier(
-        evaluator(l1_model(l1_size)), config_.grid,
-        opt::Scheme::kArrayPeriphery);
-    for (std::uint64_t l2_size : config_.l2_size_sweep) {
-      JointSizingRow row;
-      row.l1_size_bytes = l1_size;
-      row.l2_size_bytes = l2_size;
-      const double ml2 = config_.miss_curves.l2(l2_size);
-      const auto l2_front = opt::scheme_frontier(
-          evaluator(l2_model(l2_size)), config_.grid,
-          opt::Scheme::kArrayPeriphery);
+  // Pre-warm models/evaluators, then build the per-size fronts in
+  // parallel (each front is itself a full grid enumeration).
+  std::vector<opt::ComponentEvaluator> l1_evals, l2_evals;
+  for (std::uint64_t s : l1_sizes) l1_evals.push_back(evaluator(l1_model(s)));
+  for (std::uint64_t s : l2_sizes) l2_evals.push_back(evaluator(l2_model(s)));
 
-      // Both fronts are sorted by delay ascending / leakage descending.
-      // Sweep L1 points; for each, the L2 budget follows from the AMAT
-      // identity, and the best L2 choice is the slowest front point that
-      // still fits (leakage falls with delay along the front).
-      for (const auto& p1 : l1_front) {
-        const double l2_budget =
-            (amat_target_s - p1.access_time_s) / ml1 - ml2 * tmem;
-        if (l2_budget <= 0.0) continue;
-        const opt::SchemeResult* best_l2 = nullptr;
-        for (const auto& p2 : l2_front) {
-          if (p2.access_time_s > l2_budget) break;
-          best_l2 = &p2;  // later points are slower and less leaky
-        }
-        if (best_l2 == nullptr) continue;
-        const double total = p1.leakage_w + best_l2->leakage_w;
-        if (!row.feasible || total < row.total_leakage_w) {
-          row.feasible = true;
-          row.total_leakage_w = total;
-          row.l1 = p1;
-          row.l2 = *best_l2;
-          row.amat_s = p1.access_time_s +
-                       ml1 * (best_l2->access_time_s + ml2 * tmem);
-        }
-      }
-      rows.push_back(std::move(row));
+  std::vector<std::vector<opt::SchemeResult>> l1_fronts(l1_sizes.size());
+  std::vector<std::vector<opt::SchemeResult>> l2_fronts(l2_sizes.size());
+  run_parallel_sweep(l1_sizes.size() + l2_sizes.size(), [&](std::size_t i) {
+    if (i < l1_sizes.size()) {
+      l1_fronts[i] = opt::scheme_frontier(l1_evals[i], config_.grid,
+                                          opt::Scheme::kArrayPeriphery);
+    } else {
+      const std::size_t j = i - l1_sizes.size();
+      l2_fronts[j] = opt::scheme_frontier(l2_evals[j], config_.grid,
+                                          opt::Scheme::kArrayPeriphery);
     }
-  }
+  });
+
+  // The (L1, L2) matching pass is cheap per pair; still fanned out so big
+  // configured sweeps scale.  Row order matches the serial loops (L1-major).
+  std::vector<JointSizingRow> rows(l1_sizes.size() * l2_sizes.size());
+  run_parallel_sweep(rows.size(), [&](std::size_t idx) {
+    const std::size_t i1 = idx / l2_sizes.size();
+    const std::size_t i2 = idx % l2_sizes.size();
+    const double ml1 = config_.miss_curves.l1(l1_sizes[i1]);
+    const double ml2 = config_.miss_curves.l2(l2_sizes[i2]);
+    JointSizingRow row;
+    row.l1_size_bytes = l1_sizes[i1];
+    row.l2_size_bytes = l2_sizes[i2];
+
+    // Both fronts are sorted by delay ascending / leakage descending.
+    // Sweep L1 points; for each, the L2 budget follows from the AMAT
+    // identity, and the best L2 choice is the slowest front point that
+    // still fits (leakage falls with delay along the front).
+    for (const auto& p1 : l1_fronts[i1]) {
+      const double l2_budget =
+          (amat_target_s - p1.access_time_s) / ml1 - ml2 * tmem;
+      if (l2_budget <= 0.0) continue;
+      const opt::SchemeResult* best_l2 = nullptr;
+      for (const auto& p2 : l2_fronts[i2]) {
+        if (p2.access_time_s > l2_budget) break;
+        best_l2 = &p2;  // later points are slower and less leaky
+      }
+      if (best_l2 == nullptr) continue;
+      const double total = p1.leakage_w + best_l2->leakage_w;
+      if (!row.feasible || total < row.total_leakage_w) {
+        row.feasible = true;
+        row.total_leakage_w = total;
+        row.l1 = p1;
+        row.l2 = *best_l2;
+        row.amat_s = p1.access_time_s +
+                     ml1 * (best_l2->access_time_s + ml2 * tmem);
+      }
+    }
+    rows[idx] = std::move(row);
+  });
   return rows;
 }
 
@@ -387,6 +493,8 @@ std::vector<Fig2Series> Explorer::fig2_tuple_frontiers(
     const std::vector<opt::MenuSpec>& specs) const {
   const auto system = default_system();
   const opt::TupleMenuSolver solver(system, config_.grid);
+  // Specs run serially; each frontier fans its menu enumeration out over
+  // the pool (parallelizing both layers would just collapse the inner one).
   std::vector<Fig2Series> out;
   for (const auto& spec : specs) {
     Fig2Series s;

@@ -2,12 +2,28 @@
 
 #include "util/error.h"
 #include "util/numeric_guard.h"
+#include "util/parallel.h"
 
 namespace nanocache::opt {
 
 using cachemodel::ComponentKind;
 using cachemodel::ComponentMetrics;
 using cachemodel::kAllComponents;
+
+namespace {
+
+/// Grids smaller than this are evaluated serially: one structural
+/// evaluation is microseconds, so pool dispatch only pays off once the
+/// pair count clears the fork-join overhead.  Outer sweep loops (targets,
+/// sizes, menus) are the primary parallel axis; when one of those is
+/// already running, nested calls here collapse to serial anyway.
+constexpr std::size_t kMinParallelPairs = 64;
+
+int option_threads(std::size_t n) {
+  return n < kMinParallelPairs ? 1 : 0;  // 0 = pool default
+}
+
+}  // namespace
 
 ComponentEvaluator structural_evaluator(const cachemodel::CacheModel& model) {
   return [&model](ComponentKind kind, const tech::DeviceKnobs& knobs) {
@@ -32,63 +48,68 @@ std::vector<ComponentOption> component_options(
     const ComponentEvaluator& eval, ComponentKind kind,
     const std::vector<tech::DeviceKnobs>& pairs) {
   NC_REQUIRE(!pairs.empty(), "option table needs at least one pair");
-  std::vector<ComponentOption> out;
-  out.reserve(pairs.size());
-  for (const auto& k : pairs) {
-    const auto m = eval(kind, k);
-    out.push_back(ComponentOption{
-        k, num::ensure_finite(m.delay_s, "component option delay"),
-        num::ensure_finite(m.leakage_w, "component option leakage"),
-        num::ensure_finite(m.dynamic_energy_j,
-                           "component option dynamic energy")});
-  }
-  return out;
+  return par::parallel_map(
+      pairs.size(),
+      [&](std::size_t i) {
+        const auto& k = pairs[i];
+        const auto m = eval(kind, k);
+        return ComponentOption{
+            k, num::ensure_finite(m.delay_s, "component option delay"),
+            num::ensure_finite(m.leakage_w, "component option leakage"),
+            num::ensure_finite(m.dynamic_energy_j,
+                               "component option dynamic energy")};
+      },
+      option_threads(pairs.size()));
 }
 
 std::vector<ComponentOption> periphery_options(
     const ComponentEvaluator& eval,
     const std::vector<tech::DeviceKnobs>& pairs) {
   NC_REQUIRE(!pairs.empty(), "option table needs at least one pair");
-  std::vector<ComponentOption> out;
-  out.reserve(pairs.size());
-  for (const auto& k : pairs) {
-    ComponentOption opt;
-    opt.knobs = k;
-    for (ComponentKind kind :
-         {ComponentKind::kDecoder, ComponentKind::kAddressDrivers,
-          ComponentKind::kDataDrivers}) {
-      const auto m = eval(kind, k);
-      opt.delay_s += num::ensure_finite(m.delay_s, "periphery option delay");
-      opt.leakage_w +=
-          num::ensure_finite(m.leakage_w, "periphery option leakage");
-      opt.dynamic_j += num::ensure_finite(m.dynamic_energy_j,
-                                          "periphery option dynamic energy");
-    }
-    out.push_back(opt);
-  }
-  return out;
+  return par::parallel_map(
+      pairs.size(),
+      [&](std::size_t i) {
+        const auto& k = pairs[i];
+        ComponentOption opt;
+        opt.knobs = k;
+        for (ComponentKind kind :
+             {ComponentKind::kDecoder, ComponentKind::kAddressDrivers,
+              ComponentKind::kDataDrivers}) {
+          const auto m = eval(kind, k);
+          opt.delay_s +=
+              num::ensure_finite(m.delay_s, "periphery option delay");
+          opt.leakage_w +=
+              num::ensure_finite(m.leakage_w, "periphery option leakage");
+          opt.dynamic_j += num::ensure_finite(
+              m.dynamic_energy_j, "periphery option dynamic energy");
+        }
+        return opt;
+      },
+      option_threads(pairs.size()));
 }
 
 std::vector<ComponentOption> uniform_options(
     const ComponentEvaluator& eval,
     const std::vector<tech::DeviceKnobs>& pairs) {
   NC_REQUIRE(!pairs.empty(), "option table needs at least one pair");
-  std::vector<ComponentOption> out;
-  out.reserve(pairs.size());
-  for (const auto& k : pairs) {
-    ComponentOption opt;
-    opt.knobs = k;
-    for (ComponentKind kind : kAllComponents) {
-      const auto m = eval(kind, k);
-      opt.delay_s += num::ensure_finite(m.delay_s, "uniform option delay");
-      opt.leakage_w +=
-          num::ensure_finite(m.leakage_w, "uniform option leakage");
-      opt.dynamic_j += num::ensure_finite(m.dynamic_energy_j,
-                                          "uniform option dynamic energy");
-    }
-    out.push_back(opt);
-  }
-  return out;
+  return par::parallel_map(
+      pairs.size(),
+      [&](std::size_t i) {
+        const auto& k = pairs[i];
+        ComponentOption opt;
+        opt.knobs = k;
+        for (ComponentKind kind : kAllComponents) {
+          const auto m = eval(kind, k);
+          opt.delay_s +=
+              num::ensure_finite(m.delay_s, "uniform option delay");
+          opt.leakage_w +=
+              num::ensure_finite(m.leakage_w, "uniform option leakage");
+          opt.dynamic_j += num::ensure_finite(
+              m.dynamic_energy_j, "uniform option dynamic energy");
+        }
+        return opt;
+      },
+      option_threads(pairs.size()));
 }
 
 }  // namespace nanocache::opt

@@ -7,6 +7,7 @@
 
 #include "opt/pareto.h"
 #include "util/error.h"
+#include "util/parallel.h"
 
 namespace nanocache::opt {
 
@@ -37,6 +38,17 @@ struct Combo {
   double dynamic_j = 0.0;
   std::array<std::uint16_t, kNumComponents> choice{};
 };
+
+/// Argmin order for feasible candidates: lowest leakage, then lowest
+/// delay, then lowest grid index (the per-component option-index tuple,
+/// compared lexicographically).  A total order, so any reduction —
+/// sequential or merged from parallel partials — selects the same winner
+/// regardless of iteration or arrival order.
+bool better_combo(const Combo& a, const Combo& b) {
+  if (a.leakage_w != b.leakage_w) return a.leakage_w < b.leakage_w;
+  if (a.delay_s != b.delay_s) return a.delay_s < b.delay_s;
+  return a.choice < b.choice;
+}
 
 std::vector<Combo> combine(const std::vector<Combo>& partial,
                            const std::vector<ComponentOption>& options,
@@ -72,23 +84,35 @@ OptOutcome<SchemeResult> pick_best(
     const std::vector<Combo>& combos,
     const std::array<std::vector<ComponentOption>, kNumComponents>& options,
     double delay_constraint_s, Scheme scheme) {
-  const Combo* best = nullptr;
-  double fastest = std::numeric_limits<double>::infinity();
-  for (const auto& c : combos) {
-    fastest = std::min(fastest, c.delay_s);
-    if (c.delay_s > delay_constraint_s) continue;
-    if (best == nullptr || c.leakage_w < best->leakage_w) best = &c;
-  }
-  if (best == nullptr) {
-    return infeasible_delay(delay_constraint_s, fastest, scheme);
+  struct Acc {
+    const Combo* best = nullptr;
+    double fastest = std::numeric_limits<double>::infinity();
+  };
+  const Acc acc = par::parallel_reduce(
+      combos.size(), Acc{},
+      [&](Acc& a, std::size_t i) {
+        const Combo& c = combos[i];
+        a.fastest = std::min(a.fastest, c.delay_s);
+        if (c.delay_s > delay_constraint_s) return;
+        if (a.best == nullptr || better_combo(c, *a.best)) a.best = &c;
+      },
+      [](Acc& into, Acc&& from) {
+        into.fastest = std::min(into.fastest, from.fastest);
+        if (from.best != nullptr &&
+            (into.best == nullptr || better_combo(*from.best, *into.best))) {
+          into.best = from.best;
+        }
+      });
+  if (acc.best == nullptr) {
+    return infeasible_delay(delay_constraint_s, acc.fastest, scheme);
   }
   SchemeResult r;
-  r.leakage_w = best->leakage_w;
-  r.access_time_s = best->delay_s;
-  r.dynamic_energy_j = best->dynamic_j;
+  r.leakage_w = acc.best->leakage_w;
+  r.access_time_s = acc.best->delay_s;
+  r.dynamic_energy_j = acc.best->dynamic_j;
   for (std::size_t i = 0; i < kNumComponents; ++i) {
     r.assignment.set(static_cast<ComponentKind>(i),
-                     options[i][best->choice[i]].knobs);
+                     options[i][acc.best->choice[i]].knobs);
   }
   return r;
 }
@@ -113,6 +137,38 @@ std::array<std::vector<ComponentOption>, kNumComponents> all_options(
   return out;
 }
 
+/// Feasible-argmin accumulator for the scheme II/III flat searches.
+/// Candidates are ordered by (leakage, delay, grid index) — see
+/// better_combo for why the index tie-break makes the reduction
+/// deterministic under any chunking.
+struct FlatBest {
+  bool has = false;
+  double leakage_w = 0.0;
+  double delay_s = 0.0;
+  double dynamic_j = 0.0;
+  std::size_t index = 0;  ///< flattened grid index of the candidate
+  double fastest = std::numeric_limits<double>::infinity();
+
+  bool candidate_better(double leak, double delay, std::size_t idx) const {
+    if (!has) return true;
+    if (leak != leakage_w) return leak < leakage_w;
+    if (delay != delay_s) return delay < delay_s;
+    return idx < index;
+  }
+
+  void merge(const FlatBest& other) {
+    fastest = std::min(fastest, other.fastest);
+    if (other.has &&
+        candidate_better(other.leakage_w, other.delay_s, other.index)) {
+      has = true;
+      leakage_w = other.leakage_w;
+      delay_s = other.delay_s;
+      dynamic_j = other.dynamic_j;
+      index = other.index;
+    }
+  }
+};
+
 }  // namespace
 
 OptOutcome<SchemeResult> optimize_single_cache(
@@ -132,46 +188,63 @@ OptOutcome<SchemeResult> optimize_single_cache(
       const auto array_opts = component_options(
           eval, ComponentKind::kCellArray, pairs);
       const auto periph_opts = periphery_options(eval, pairs);
-      std::optional<SchemeResult> best;
-      double fastest = std::numeric_limits<double>::infinity();
-      for (const auto& a : array_opts) {
-        for (const auto& p : periph_opts) {
-          const double delay = a.delay_s + p.delay_s;
-          fastest = std::min(fastest, delay);
-          if (delay > delay_constraint_s) continue;
-          const double leak = a.leakage_w + p.leakage_w;
-          if (!best || leak < best->leakage_w) {
-            SchemeResult r;
-            r.assignment = ComponentAssignment::split(a.knobs, p.knobs);
-            r.leakage_w = leak;
-            r.access_time_s = delay;
-            r.dynamic_energy_j = a.dynamic_j + p.dynamic_j;
-            best = r;
-          }
-        }
+      const std::size_t np = periph_opts.size();
+      const FlatBest best = par::parallel_reduce(
+          array_opts.size() * np, FlatBest{},
+          [&](FlatBest& acc, std::size_t i) {
+            const auto& a = array_opts[i / np];
+            const auto& p = periph_opts[i % np];
+            const double delay = a.delay_s + p.delay_s;
+            acc.fastest = std::min(acc.fastest, delay);
+            if (delay > delay_constraint_s) return;
+            const double leak = a.leakage_w + p.leakage_w;
+            if (acc.candidate_better(leak, delay, i)) {
+              acc.has = true;
+              acc.leakage_w = leak;
+              acc.delay_s = delay;
+              acc.dynamic_j = a.dynamic_j + p.dynamic_j;
+              acc.index = i;
+            }
+          },
+          [](FlatBest& into, FlatBest&& from) { into.merge(from); });
+      if (!best.has) {
+        return infeasible_delay(delay_constraint_s, best.fastest, scheme);
       }
-      if (!best) return infeasible_delay(delay_constraint_s, fastest, scheme);
-      return *best;
+      SchemeResult r;
+      r.assignment = ComponentAssignment::split(
+          array_opts[best.index / np].knobs, periph_opts[best.index % np].knobs);
+      r.leakage_w = best.leakage_w;
+      r.access_time_s = best.delay_s;
+      r.dynamic_energy_j = best.dynamic_j;
+      return r;
     }
 
     case Scheme::kUniform: {
       const auto opts = uniform_options(eval, pairs);
-      std::optional<SchemeResult> best;
-      double fastest = std::numeric_limits<double>::infinity();
-      for (const auto& o : opts) {
-        fastest = std::min(fastest, o.delay_s);
-        if (o.delay_s > delay_constraint_s) continue;
-        if (!best || o.leakage_w < best->leakage_w) {
-          SchemeResult r;
-          r.assignment = ComponentAssignment(o.knobs);
-          r.leakage_w = o.leakage_w;
-          r.access_time_s = o.delay_s;
-          r.dynamic_energy_j = o.dynamic_j;
-          best = r;
-        }
+      const FlatBest best = par::parallel_reduce(
+          opts.size(), FlatBest{},
+          [&](FlatBest& acc, std::size_t i) {
+            const auto& o = opts[i];
+            acc.fastest = std::min(acc.fastest, o.delay_s);
+            if (o.delay_s > delay_constraint_s) return;
+            if (acc.candidate_better(o.leakage_w, o.delay_s, i)) {
+              acc.has = true;
+              acc.leakage_w = o.leakage_w;
+              acc.delay_s = o.delay_s;
+              acc.dynamic_j = o.dynamic_j;
+              acc.index = i;
+            }
+          },
+          [](FlatBest& into, FlatBest&& from) { into.merge(from); });
+      if (!best.has) {
+        return infeasible_delay(delay_constraint_s, best.fastest, scheme);
       }
-      if (!best) return infeasible_delay(delay_constraint_s, fastest, scheme);
-      return *best;
+      SchemeResult r;
+      r.assignment = ComponentAssignment(opts[best.index].knobs);
+      r.leakage_w = best.leakage_w;
+      r.access_time_s = best.delay_s;
+      r.dynamic_energy_j = best.dynamic_j;
+      return r;
     }
   }
   throw Error("unknown scheme");
@@ -242,6 +315,7 @@ std::vector<SchemeResult> scheme_frontier(const ComponentEvaluator& eval,
       const auto array_opts =
           component_options(eval, ComponentKind::kCellArray, pairs);
       const auto periph_opts = periphery_options(eval, pairs);
+      all.reserve(array_opts.size() * periph_opts.size());
       for (const auto& a : array_opts) {
         for (const auto& p : periph_opts) {
           SchemeResult r;
@@ -275,11 +349,19 @@ std::vector<SchemeResult> scheme_frontier(const ComponentEvaluator& eval,
 std::vector<TradeoffPoint> leakage_delay_curve(
     const ComponentEvaluator& eval, const KnobGrid& grid, Scheme scheme,
     const std::vector<double>& delay_targets_s) {
+  // One optimization per target, fanned out over the pool; infeasible
+  // targets are dropped after the sweep so output order is target order.
+  const auto per_target = par::parallel_map(
+      delay_targets_s.size(), [&](std::size_t i) {
+        auto r = optimize_single_cache(eval, grid, scheme,
+                                       delay_targets_s[i]);
+        std::optional<TradeoffPoint> point;
+        if (r) point = TradeoffPoint{delay_targets_s[i], *r};
+        return point;
+      });
   std::vector<TradeoffPoint> out;
-  for (double target : delay_targets_s) {
-    auto r = optimize_single_cache(eval, grid, scheme, target);
-    if (!r) continue;
-    out.push_back(TradeoffPoint{target, *r});
+  for (const auto& p : per_target) {
+    if (p) out.push_back(*p);
   }
   return out;
 }

@@ -5,6 +5,7 @@
 
 #include "opt/pareto.h"
 #include "util/error.h"
+#include "util/parallel.h"
 
 namespace nanocache::opt {
 
@@ -112,13 +113,19 @@ std::vector<SystemDesignPoint> TupleMenuSolver::all_designs(
              "menu cardinalities must be >= 1");
   const auto tox_menus = choose_subsets(grid_.tox_values, spec.num_tox);
   const auto vth_menus = choose_subsets(grid_.vth_values, spec.num_vth);
+  // The menu enumeration is the hot axis of the Figure 2 sweep: every menu
+  // runs an independent Pareto-DP, so fan the (tox, vth) menu cross
+  // product over the pool and concatenate per-menu results in enumeration
+  // order — identical output at any thread count.
+  const std::size_t nv = vth_menus.size();
+  auto per_menu = par::parallel_map(
+      tox_menus.size() * nv, [&](std::size_t i) {
+        return designs_for_menu(vth_menus[i % nv], tox_menus[i / nv]);
+      });
   std::vector<SystemDesignPoint> all;
-  for (const auto& toxes : tox_menus) {
-    for (const auto& vths : vth_menus) {
-      auto designs = designs_for_menu(vths, toxes);
-      all.insert(all.end(), std::make_move_iterator(designs.begin()),
-                 std::make_move_iterator(designs.end()));
-    }
+  for (auto& designs : per_menu) {
+    all.insert(all.end(), std::make_move_iterator(designs.begin()),
+               std::make_move_iterator(designs.end()));
   }
   return all;
 }

@@ -1,0 +1,218 @@
+#include "util/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <thread>
+
+#include "util/error.h"
+
+namespace nanocache::par {
+
+namespace {
+
+std::atomic<int> g_default_threads{0};  // 0 = unset, fall through to env/hw
+thread_local int tl_region_depth = 0;
+
+int env_threads() {
+  const char* s = std::getenv("NANOCACHE_THREADS");
+  if (s == nullptr || *s == '\0') return 0;
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0' || v < 1 || v > 1024) return 0;
+  return static_cast<int>(v);
+}
+
+/// One fork-join region: workers claim chunks from `next` until the range
+/// drains or a chunk fails.
+struct Region {
+  std::size_t n = 0;
+  std::size_t chunk = 1;
+  std::size_t num_chunks = 0;
+  const std::function<void(std::size_t)>* body = nullptr;
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+  std::size_t error_index = std::numeric_limits<std::size_t>::max();
+
+  void run_chunks() {
+    while (!failed.load(std::memory_order_relaxed)) {
+      const std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) return;
+      const std::size_t lo = c * chunk;
+      const std::size_t hi = lo + chunk < n ? lo + chunk : n;
+      for (std::size_t i = lo; i < hi; ++i) {
+        try {
+          (*body)(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (i < error_index) {
+            error_index = i;
+            error = std::current_exception();
+          }
+          failed.store(true, std::memory_order_relaxed);
+          return;
+        }
+      }
+    }
+  }
+};
+
+/// Persistent worker pool.  Workers sleep on a condition variable and join
+/// the active region when one is published; the spawning thread always
+/// participates and waits for every joined worker to leave before the
+/// region object (stack-allocated in parallel_for) dies.
+class Pool {
+ public:
+  static Pool& instance() {
+    static Pool pool;
+    return pool;
+  }
+
+  void run(Region& region, int threads) {
+    // One region at a time: concurrent top-level calls from distinct user
+    // threads serialize here instead of clobbering region_.
+    std::lock_guard<std::mutex> run_lock(run_mutex_);
+    ensure_workers(threads - 1);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      region_ = &region;
+      active_ = 0;
+      ++generation_;
+    }
+    work_cv_.notify_all();
+    ++tl_region_depth;
+    region.run_chunks();
+    --tl_region_depth;
+    std::unique_lock<std::mutex> lock(mutex_);
+    region_ = nullptr;  // late wakers must not join a drained region
+    done_cv_.wait(lock, [&] { return active_ == 0; });
+  }
+
+  ~Pool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      shutdown_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+ private:
+  Pool() = default;
+
+  void ensure_workers(int needed) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    while (static_cast<int>(workers_.size()) < needed) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      Region* region = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        work_cv_.wait(lock,
+                      [&] { return shutdown_ || generation_ != seen; });
+        if (shutdown_) return;
+        seen = generation_;
+        if (region_ == nullptr) continue;  // region already drained
+        region = region_;
+        ++active_;
+      }
+      ++tl_region_depth;
+      region->run_chunks();
+      --tl_region_depth;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        --active_;
+      }
+      done_cv_.notify_all();
+    }
+  }
+
+  std::mutex run_mutex_;  // serializes top-level regions
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> workers_;
+  Region* region_ = nullptr;  // guarded by mutex_
+  int active_ = 0;            // workers currently inside region_
+  std::uint64_t generation_ = 0;
+  bool shutdown_ = false;
+};
+
+constexpr int kMaxThreads = 64;
+
+}  // namespace
+
+int hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void set_default_threads(int n) {
+  NC_REQUIRE(n >= 0, "thread count must be >= 0 (0 restores the default)");
+  g_default_threads.store(n > kMaxThreads ? kMaxThreads : n,
+                          std::memory_order_relaxed);
+}
+
+int default_threads() {
+  const int n = g_default_threads.load(std::memory_order_relaxed);
+  if (n > 0) return n;
+  const int e = env_threads();
+  if (e > 0) return e > kMaxThreads ? kMaxThreads : e;
+  return hardware_threads();
+}
+
+bool in_parallel_region() { return tl_region_depth > 0; }
+
+SerialRegionGuard::SerialRegionGuard() { ++tl_region_depth; }
+SerialRegionGuard::~SerialRegionGuard() { --tl_region_depth; }
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  int threads, std::size_t chunk_size) {
+  if (n == 0) return;
+  if (threads == 0) threads = default_threads();
+  NC_REQUIRE(threads >= 1, "parallel_for thread count must be >= 1");
+  if (threads > kMaxThreads) threads = kMaxThreads;
+
+  // Serial paths: single thread requested, a degenerate range, or a nested
+  // call from inside a worker (rejected from parallelism, run inline).
+  if (threads == 1 || n == 1 || tl_region_depth > 0) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  Region region;
+  region.n = n;
+  if (chunk_size == 0) {
+    // ~4 chunks per thread for balance without excessive claim traffic.
+    chunk_size = n / (static_cast<std::size_t>(threads) * 4);
+    if (chunk_size == 0) chunk_size = 1;
+  }
+  region.chunk = chunk_size;
+  region.num_chunks = (n + chunk_size - 1) / chunk_size;
+  region.body = &body;
+
+  if (region.num_chunks < 2) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  const int workers =
+      region.num_chunks < static_cast<std::size_t>(threads)
+          ? static_cast<int>(region.num_chunks)
+          : threads;
+  Pool::instance().run(region, workers);
+  if (region.error) std::rethrow_exception(region.error);
+}
+
+}  // namespace nanocache::par

@@ -1,0 +1,122 @@
+// Parallel execution engine for the exploration sweeps.
+//
+// The paper's experiments are embarrassingly parallel enumerations
+// (Section 4 scheme grids, Section 5 size sweeps and menu tuples), so the
+// engine is a chunked fork-join pool: `parallel_for` splits an index range
+// into contiguous chunks which persistent worker threads claim from an
+// atomic counter (chunked self-scheduling, the cheap cousin of work
+// stealing).  The calling thread always participates, so `threads == 1`
+// degrades to a plain serial loop with zero pool traffic.
+//
+// Determinism contract (what the reduction helpers guarantee):
+//  * `parallel_map` writes result i from task i — output order is index
+//    order regardless of thread count or chunk schedule.
+//  * `parallel_reduce` chunks the range as a function of the range size
+//    ONLY (never the thread count) and merges per-chunk partials in chunk
+//    index order, so even non-associative merges (floating-point sums,
+//    first-wins argmin) produce bit-identical results at any thread count.
+//  * Nested calls are rejected: a `parallel_for` issued from inside a
+//    worker runs inline and serially on that worker (no oversubscription,
+//    no deadlock, and the task keeps exclusive use of any thread-local
+//    state its caller installed).
+//
+// Error contract: the first exception (by lowest failing index among
+// chunks that ran) is captured via std::exception_ptr and rethrown on the
+// calling thread after the region drains, so typed nanocache::Error values
+// cross the pool with their ErrorCategory intact.  Remaining chunks are
+// cancelled best-effort.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace nanocache::par {
+
+/// Hardware concurrency, never less than 1.
+int hardware_threads();
+
+/// Set the process-wide default thread count used when a call site passes
+/// `threads == 0`.  `n == 0` restores the built-in default (the
+/// NANOCACHE_THREADS environment variable if set, else hardware
+/// concurrency).  Throws Error(kConfig) for negative counts.
+void set_default_threads(int n);
+
+/// The resolved process-wide default thread count (>= 1).
+int default_threads();
+
+/// True while the calling thread is executing inside a parallel region
+/// (its own or one it joined as a worker).  Nested parallel calls made in
+/// this state run serially inline.
+bool in_parallel_region();
+
+/// RAII guard forcing every parallel call issued from the current thread
+/// to run serially for the guard's lifetime.  Used by code that needs a
+/// deterministic single-threaded evaluation order (for example
+/// degradation-event recording outside a buffered sweep).
+class SerialRegionGuard {
+ public:
+  SerialRegionGuard();
+  ~SerialRegionGuard();
+  SerialRegionGuard(const SerialRegionGuard&) = delete;
+  SerialRegionGuard& operator=(const SerialRegionGuard&) = delete;
+};
+
+/// Run `body(i)` for every i in [0, n), distributing contiguous chunks
+/// over `threads` threads (0 = default_threads()).  `chunk_size == 0`
+/// picks a balanced chunk automatically.  Runs serially when n < 2,
+/// threads == 1, or the caller is already inside a parallel region.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  int threads = 0, std::size_t chunk_size = 0);
+
+/// Map [0, n) through `fn`, returning results in index order.  The result
+/// type must be default-constructible.
+template <typename Fn>
+auto parallel_map(std::size_t n, Fn&& fn, int threads = 0,
+                  std::size_t chunk_size = 0)
+    -> std::vector<decltype(fn(std::size_t{}))> {
+  std::vector<decltype(fn(std::size_t{}))> out(n);
+  parallel_for(
+      n, [&](std::size_t i) { out[i] = fn(i); }, threads, chunk_size);
+  return out;
+}
+
+namespace detail {
+/// Chunk size for parallel_reduce: a function of the range size only, so
+/// partial-result boundaries (and therefore merged results) are identical
+/// at every thread count.
+inline std::size_t reduce_chunk(std::size_t n) {
+  const std::size_t chunk = (n + 255) / 256;  // at most 256 chunks
+  return chunk == 0 ? 1 : chunk;
+}
+}  // namespace detail
+
+/// Deterministic reduction: accumulate indices into per-chunk copies of
+/// `identity` via `accumulate(acc, i)`, then fold the per-chunk partials
+/// with `merge(into, from)` in chunk index order.  Chunk boundaries depend
+/// only on `n`, so the result is bit-identical at any thread count even
+/// for non-associative merges.
+template <typename T, typename Accumulate, typename Merge>
+T parallel_reduce(std::size_t n, T identity, Accumulate&& accumulate,
+                  Merge&& merge, int threads = 0) {
+  if (n == 0) return identity;
+  const std::size_t chunk = detail::reduce_chunk(n);
+  const std::size_t num_chunks = (n + chunk - 1) / chunk;
+  std::vector<T> partials(num_chunks, identity);
+  parallel_for(
+      num_chunks,
+      [&](std::size_t c) {
+        const std::size_t lo = c * chunk;
+        const std::size_t hi = lo + chunk < n ? lo + chunk : n;
+        T& acc = partials[c];
+        for (std::size_t i = lo; i < hi; ++i) accumulate(acc, i);
+      },
+      threads, /*chunk_size=*/1);
+  T result = std::move(partials[0]);
+  for (std::size_t c = 1; c < num_chunks; ++c) {
+    merge(result, std::move(partials[c]));
+  }
+  return result;
+}
+
+}  // namespace nanocache::par

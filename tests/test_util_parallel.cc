@@ -1,0 +1,205 @@
+// The parallel engine's contracts: index coverage, deterministic
+// reductions, typed-error propagation, degenerate ranges, and nested-call
+// rejection.
+#include "util/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "util/error.h"
+
+namespace nanocache {
+namespace {
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 4, 8}) {
+    std::vector<std::atomic<int>> hits(1000);
+    par::parallel_for(
+        hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); }, threads);
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelFor, EmptyRangeIsANoOp) {
+  bool called = false;
+  par::parallel_for(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, ChunkLargerThanRangeRunsSerially) {
+  std::vector<int> hits(5, 0);  // plain ints: serial path, no races
+  par::parallel_for(
+      hits.size(), [&](std::size_t i) { hits[i] += 1; },
+      /*threads=*/8, /*chunk_size=*/100);
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelFor, SingleThreadRunsInCallingThread) {
+  const auto caller = std::this_thread::get_id();
+  par::parallel_for(
+      100, [&](std::size_t) { EXPECT_EQ(std::this_thread::get_id(), caller); },
+      /*threads=*/1);
+}
+
+TEST(ParallelFor, PropagatesTypedErrorWithCategory) {
+  const auto run = [] {
+    par::parallel_for(
+        500,
+        [](std::size_t i) {
+          if (i == 137) {
+            throw Error(ErrorCategory::kNumericDomain, "poisoned index");
+          }
+        },
+        /*threads=*/4);
+  };
+  try {
+    run();
+    FAIL() << "expected Error to cross the pool";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.category(), ErrorCategory::kNumericDomain);
+    EXPECT_NE(std::string(e.what()).find("poisoned index"), std::string::npos);
+  }
+}
+
+TEST(ParallelFor, LowestFailingIndexWinsWhenChunksRace) {
+  // Two failing indices; the reported error must be the lower one whenever
+  // both chunks ran.  With chunk_size=1 and the failure at index 0, chunk 0
+  // always runs (some thread claims it first), so index 0 must win.
+  try {
+    par::parallel_for(
+        64,
+        [](std::size_t i) {
+          if (i == 0) throw Error(ErrorCategory::kConfig, "first");
+          if (i == 63) throw Error(ErrorCategory::kInternal, "last");
+        },
+        /*threads=*/4, /*chunk_size=*/1);
+    FAIL() << "expected an error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.category(), ErrorCategory::kConfig);
+  }
+}
+
+TEST(ParallelFor, NestedCallsCollapseToSerialInline) {
+  std::atomic<int> nested_parallel{0};
+  std::atomic<int> total{0};
+  par::parallel_for(
+      8,
+      [&](std::size_t) {
+        EXPECT_TRUE(par::in_parallel_region());
+        const auto worker = std::this_thread::get_id();
+        par::parallel_for(
+            16,
+            [&](std::size_t) {
+              total.fetch_add(1);
+              // Inner work must stay on the worker that issued it.
+              if (std::this_thread::get_id() != worker) {
+                nested_parallel.fetch_add(1);
+              }
+            },
+            /*threads=*/8);
+      },
+      /*threads=*/4);
+  EXPECT_EQ(nested_parallel.load(), 0);
+  EXPECT_EQ(total.load(), 8 * 16);
+}
+
+TEST(SerialRegionGuard, ForcesInlineExecution) {
+  EXPECT_FALSE(par::in_parallel_region());
+  {
+    par::SerialRegionGuard serial;
+    EXPECT_TRUE(par::in_parallel_region());
+    const auto caller = std::this_thread::get_id();
+    par::parallel_for(100, [&](std::size_t) {
+      EXPECT_EQ(std::this_thread::get_id(), caller);
+    });
+  }
+  EXPECT_FALSE(par::in_parallel_region());
+}
+
+TEST(ParallelMap, ResultsInIndexOrder) {
+  for (int threads : {1, 3, 8}) {
+    const auto out = par::parallel_map(
+        257, [](std::size_t i) { return i * i; }, threads);
+    ASSERT_EQ(out.size(), 257u);
+    for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+  }
+}
+
+TEST(ParallelReduce, FloatingPointSumIsBitIdenticalAcrossThreadCounts) {
+  // A sum whose value depends on association order: harmonic-ish terms of
+  // wildly varying magnitude.  Identical bits at every thread count is the
+  // determinism contract, not just approximate equality.
+  const std::size_t n = 10'000;
+  const auto sum_at = [&](int threads) {
+    return par::parallel_reduce(
+        n, 0.0,
+        [](double& acc, std::size_t i) {
+          acc += std::exp2(static_cast<double>(i % 64)) /
+                 (static_cast<double>(i) + 1.0);
+        },
+        [](double& into, double from) { into += from; }, threads);
+  };
+  const double base = sum_at(1);
+  for (int threads : {2, 4, 8}) {
+    EXPECT_EQ(base, sum_at(threads)) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelReduce, FirstWinsArgminMatchesSerialScan) {
+  // Many duplicate minima; first-wins is order-sensitive, so this passes
+  // only if partials merge in chunk index order.
+  const std::size_t n = 5'000;
+  const auto value = [](std::size_t i) {
+    return static_cast<double>((i * 7919) % 100);
+  };
+  struct Best {
+    double v = 1e300;
+    std::size_t idx = 0;
+  };
+  const auto argmin_at = [&](int threads) {
+    return par::parallel_reduce(
+        n, Best{},
+        [&](Best& acc, std::size_t i) {
+          if (value(i) < acc.v) acc = Best{value(i), i};
+        },
+        [](Best& into, Best from) {
+          if (from.v < into.v) into = from;  // strict: earlier chunk wins ties
+        },
+        threads);
+  };
+  Best serial;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (value(i) < serial.v) serial = Best{value(i), i};
+  }
+  for (int threads : {1, 2, 4, 8}) {
+    const auto b = argmin_at(threads);
+    EXPECT_EQ(b.idx, serial.idx) << "threads=" << threads;
+    EXPECT_EQ(b.v, serial.v) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelReduce, EmptyRangeReturnsIdentity) {
+  const int r = par::parallel_reduce(
+      0, 42, [](int&, std::size_t) { FAIL(); }, [](int&, int) { FAIL(); });
+  EXPECT_EQ(r, 42);
+}
+
+TEST(Defaults, SetDefaultThreadsRoundTrips) {
+  par::set_default_threads(3);
+  EXPECT_EQ(par::default_threads(), 3);
+  par::set_default_threads(0);  // restore
+  EXPECT_GE(par::default_threads(), 1);
+  EXPECT_THROW(par::set_default_threads(-1), Error);
+}
+
+TEST(Defaults, HardwareThreadsIsPositive) {
+  EXPECT_GE(par::hardware_threads(), 1);
+}
+
+}  // namespace
+}  // namespace nanocache

@@ -16,6 +16,7 @@
 #include "cachemodel/variation.h"
 #include "opt/sensitivity.h"
 #include "util/error.h"
+#include "util/parallel.h"
 #include "util/table.h"
 #include "util/units.h"
 
@@ -76,8 +77,11 @@ int usage() {
       "[--samples N]\n"
       "  nanocache_cli export [--dir <directory>] [--fitted] [--strict]\n"
       "flags:\n"
-      "  --fitted  drive experiments from the paper's fitted closed forms\n"
-      "  --strict  treat fitted-model degradation as a hard error\n"
+      "  --fitted     drive experiments from the paper's fitted closed forms\n"
+      "  --strict     treat fitted-model degradation as a hard error\n"
+      "  --threads N  worker threads for sweeps (default: hardware "
+      "concurrency;\n"
+      "               results are identical at any thread count)\n"
       "exit codes: 0 ok, 1 internal, 2 config, 3 io, 4 numeric/infeasible\n";
   return 2;
 }
@@ -333,9 +337,27 @@ int exit_code_for(ErrorCategory category) {
 
 }  // namespace
 
+/// Apply the global --threads flag before any command runs.  0 or a
+/// missing flag keeps the pool default (hardware concurrency, or the
+/// NANOCACHE_THREADS environment variable when set).
+void apply_threads_flag(const Args& args) {
+  const auto it = args.flags.find("threads");
+  if (it == args.flags.end()) return;
+  int threads = 0;
+  try {
+    threads = std::stoi(it->second);
+  } catch (const std::exception&) {
+    throw Error(ErrorCategory::kConfig,
+                "--threads expects an integer, got '" + it->second + "'");
+  }
+  NC_REQUIRE(threads >= 0, "--threads must be >= 0");
+  par::set_default_threads(threads);
+}
+
 int main(int argc, char** argv) {
   try {
     const Args args = parse(argc, argv);
+    apply_threads_flag(args);
     if (args.command == "list") return cmd_list();
     if (args.command == "cache") return cmd_cache(args);
     if (args.command == "optimize") return cmd_optimize(args);

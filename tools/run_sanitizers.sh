@@ -1,16 +1,23 @@
 #!/usr/bin/env bash
-# Build and run the full test suite under ASan and UBSan (the `asan` and
-# `ubsan` CMake presets).  The fault-injection suite in particular is meant
-# to run under both: an injected fault that corrupts memory instead of
-# throwing a typed error fails here even if the plain build happens to pass.
+# Build and run the full test suite under sanitizers (the `asan`, `ubsan`
+# and `tsan` CMake presets).  The fault-injection suite in particular is
+# meant to run under asan/ubsan: an injected fault that corrupts memory
+# instead of throwing a typed error fails here even if the plain build
+# happens to pass.  The tsan preset targets the parallel sweep engine:
+# NANOCACHE_THREADS=4 forces multi-threaded sweeps even on small CI boxes,
+# so data races in the pool or the explorer caches surface as hard errors.
 #
-# Usage: tools/run_sanitizers.sh [asan|ubsan]   (default: both)
+# Usage: tools/run_sanitizers.sh [asan|ubsan|tsan ...]   (default: asan ubsan)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 presets=("${@:-asan ubsan}")
 # shellcheck disable=SC2128,SC2086
 read -r -a presets <<< "${presets[*]}"
+
+# Exercise the thread pool under the sanitizers regardless of the host's
+# core count (results are identical at any thread count by contract).
+export NANOCACHE_THREADS=4
 
 for preset in "${presets[@]}"; do
   echo "=== configuring ${preset} ==="
