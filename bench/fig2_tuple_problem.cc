@@ -4,31 +4,56 @@
 // shape (paper): 2Tox+3Vth best but nearly tied with 2Tox+2Vth (so dual/dual
 // suffices), and a single-Tox/dual-Vth process beats dual-Tox/single-Vth
 // (Vth is the more effective knob) over the main AMAT range.
+//
+// Runs through the public nanocache::api facade: one tuple_menu request per
+// menu cardinality, frontier included — the same work a batch JSONL line
+// {"kind":"tuple_menu","include_frontier":true,...} performs.
+#include <algorithm>
+#include <cmath>
 #include <iostream>
+#include <vector>
 
-#include "core/explorer.h"
+#include "nanocache/api.h"
 #include "util/ascii_chart.h"
 #include "util/table.h"
-#include "util/units.h"
 
 using namespace nanocache;
 
 int main() {
-  core::Explorer explorer;
-  const auto specs = core::Explorer::default_fig2_specs();
+  const auto service = api::Service::create({});
+  if (!service) {
+    std::cerr << "service: " << service.error().message << "\n";
+    return 1;
+  }
+
+  // The figure's five menu cardinalities, solved through the facade with
+  // the paper's default AMAT targets and the energy/AMAT frontier attached.
+  const std::vector<std::pair<int, int>> specs{
+      {2, 2}, {2, 3}, {3, 2}, {2, 1}, {1, 2}};
+  std::vector<api::TupleMenuResponse> menus;
+  for (const auto& [num_tox, num_vth] : specs) {
+    api::TupleMenuRequest request;
+    request.num_tox = num_tox;
+    request.num_vth = num_vth;
+    request.include_frontier = true;
+    const auto response = (*service)->tuple_menu(request);
+    if (!response) {
+      std::cerr << "tuple_menu: " << response.error().message << "\n";
+      return 1;
+    }
+    menus.push_back(*response);
+  }
 
   // Frontier series (the figure's five curves).
-  const auto series = explorer.fig2_tuple_frontiers(specs);
-  for (const auto& s : series) {
-    TextTable t("Figure 2 frontier: " + s.label);
+  for (const auto& m : menus) {
+    TextTable t("Figure 2 frontier: " + m.label);
     t.set_header({"AMAT [pS]", "total energy [pJ]", "leakage [mW]"});
     // Thin the print to ~12 rows; the full frontier backs the table below.
-    const std::size_t stride = std::max<std::size_t>(1, s.points.size() / 12);
-    for (std::size_t i = 0; i < s.points.size(); i += stride) {
-      const auto& p = s.points[i];
-      t.add_row({fmt_fixed(units::seconds_to_ps(p.amat_s), 1),
-                 fmt_fixed(units::joules_to_pj(p.energy_j), 2),
-                 fmt_fixed(units::watts_to_mw(p.leakage_w), 1)});
+    const std::size_t stride = std::max<std::size_t>(1, m.frontier.size() / 12);
+    for (std::size_t i = 0; i < m.frontier.size(); i += stride) {
+      const auto& p = m.frontier[i];
+      t.add_row({fmt_fixed(p.amat_ps, 1), fmt_fixed(p.energy_pj, 2),
+                 fmt_fixed(p.leakage_mw, 1)});
     }
     std::cout << t << "\n";
   }
@@ -39,68 +64,73 @@ int main() {
   chart.set_x_label("AMAT [pS]");
   chart.set_y_label("total energy [pJ]");
   chart.set_log_y(true);
-  for (const auto& s : series) {
+  for (const auto& m : menus) {
     std::vector<double> xs;
     std::vector<double> ys;
-    for (const auto& p : s.points) {
-      xs.push_back(units::seconds_to_ps(p.amat_s));
-      ys.push_back(units::joules_to_pj(p.energy_j));
+    for (const auto& p : m.frontier) {
+      xs.push_back(p.amat_ps);
+      ys.push_back(p.energy_pj);
     }
-    chart.add_series(s.label, std::move(xs), std::move(ys));
+    chart.add_series(m.label, std::move(xs), std::move(ys));
   }
   std::cout << chart.render() << "\n";
 
-  // Tabular view: best energy per menu at the paper's AMAT targets.
-  const auto targets = explorer.config().amat_targets_s();
-  const auto table = explorer.fig2_tuple_table(specs, targets);
+  // Tabular view: best energy per menu at the paper's AMAT targets.  Every
+  // response carries the same target list, one MenuDesign per target.
+  const auto& targets = menus.front().targets;
   TextTable t("Figure 2 table: best total energy [pJ] per menu at each AMAT "
               "target [pS]");
   std::vector<std::string> header{"AMAT target"};
-  for (const auto& spec : specs) {
-    header.push_back(core::Explorer::menu_label(spec));
+  for (const auto& m : menus) {
+    header.push_back(m.label);
   }
   t.set_header(header);
   for (std::size_t ti = 0; ti < targets.size(); ++ti) {
-    std::vector<std::string> row{
-        fmt_fixed(units::seconds_to_ps(targets[ti]), 0)};
-    for (std::size_t si = 0; si < specs.size(); ++si) {
-      const auto& cell = table[si][ti];
-      row.push_back(cell ? fmt_fixed(units::joules_to_pj(cell->energy_j), 1)
-                         : "infeasible");
+    std::vector<std::string> row{fmt_fixed(targets[ti].amat_target_ps, 0)};
+    for (const auto& m : menus) {
+      const auto& cell = m.targets[ti];
+      row.push_back(cell.feasible ? fmt_fixed(cell.energy_pj, 1)
+                                  : "infeasible");
     }
     t.add_row(std::move(row));
   }
   std::cout << t << "\n";
 
-  // Which process menus actually win, and how the components use them.
+  // Which process menus actually win, and how the components use them.  The
+  // facade lists components in the paper's fixed order, cell array first.
+  std::size_t mid = 0;
+  for (std::size_t ti = 0; ti < targets.size(); ++ti) {
+    if (std::abs(targets[ti].amat_target_ps - 1700.0) <
+        std::abs(targets[mid].amat_target_ps - 1700.0)) {
+      mid = ti;
+    }
+  }
   {
-    const double mid_target = 1.7e-9;
-    TextTable w("winning menus and assignments at 1700 pS");
+    TextTable w("winning menus and assignments at " +
+                fmt_fixed(targets[mid].amat_target_ps, 0) + " pS");
     w.set_header({"menu", "Tox values [A]", "Vth values [V]",
                   "L1 array", "L2 array", "L2 periph"});
-    auto pair_str = [](const tech::DeviceKnobs& k) {
+    auto pair_str = [](const api::Knobs& k) {
       return fmt_fixed(k.vth_v, 2) + "V/" + fmt_fixed(k.tox_a, 0) + "A";
     };
-    for (std::size_t si = 0; si < specs.size(); ++si) {
-      // Reuse the table computed above (index 4 == 1700 pS).
-      const auto& cell = table[si][4];
-      if (!cell) {
-        w.add_row({core::Explorer::menu_label(specs[si]), "-", "-", "-",
-                   "-", "-"});
+    for (const auto& m : menus) {
+      const auto& cell = m.targets[mid];
+      if (!cell.feasible) {
+        w.add_row({m.label, "-", "-", "-", "-", "-"});
         continue;
       }
       std::string toxes;
-      for (double v : cell->tox_menu) {
+      for (double v : cell.tox_menu_a) {
         toxes += (toxes.empty() ? "" : ", ") + fmt_fixed(v, 0);
       }
       std::string vths;
-      for (double v : cell->vth_menu) {
+      for (double v : cell.vth_menu_v) {
         vths += (vths.empty() ? "" : ", ") + fmt_fixed(v, 2);
       }
-      w.add_row({core::Explorer::menu_label(specs[si]), toxes, vths,
-                 pair_str(cell->l1.get(cachemodel::ComponentKind::kCellArray)),
-                 pair_str(cell->l2.get(cachemodel::ComponentKind::kCellArray)),
-                 pair_str(cell->l2.get(cachemodel::ComponentKind::kDecoder))});
+      w.add_row({m.label, toxes, vths,
+                 pair_str(cell.l1_assignment.front().knobs),   // L1 array
+                 pair_str(cell.l2_assignment.front().knobs),   // L2 array
+                 pair_str(cell.l2_assignment[1].knobs)});      // L2 decoder
     }
     std::cout << w << "\n";
   }
@@ -108,7 +138,8 @@ int main() {
   // Headline checks, evaluated at the loosest common target.
   const std::size_t last = targets.size() - 1;
   auto energy_of = [&](std::size_t spec_idx) {
-    return table[spec_idx][last] ? table[spec_idx][last]->energy_j : 1e9;
+    const auto& cell = menus[spec_idx].targets[last];
+    return cell.feasible ? cell.energy_pj : 1e9;
   };
   const double e22 = energy_of(0);
   const double e23 = energy_of(1);
@@ -129,9 +160,10 @@ int main() {
   // single (necessarily thin) Tox pays the full gate-leakage floor, so
   // 2Tox+1Vth can win there; the paper's plotted range sits above that
   // regime.  See EXPERIMENTS.md.
-  const double tight12 = table[4][0] ? table[4][0]->energy_j : 1e9;
-  const double tight21 = table[3][0] ? table[3][0]->energy_j : 1e9;
-  if (tight12 > tight21) {
+  const auto& tight12 = menus[4].targets[0];
+  const auto& tight21 = menus[3].targets[0];
+  if ((tight12.feasible ? tight12.energy_pj : 1e9) >
+      (tight21.feasible ? tight21.energy_pj : 1e9)) {
     std::cout << "note: at the tightest target the order inverts "
                  "(gate-leakage floor of a single thin Tox) - documented "
                  "deviation\n";

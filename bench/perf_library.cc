@@ -3,9 +3,11 @@
 //
 // Also the parallel-sweep timing harness:
 //   perf_library --emit-json [path]
-// runs the scheme-comparison and tuple-menu sweeps at 1/2/4/8 threads,
-// checks the results are identical at every thread count, and writes wall
-// time + speedup as JSON (default path: BENCH_parallel_sweep.json).
+// runs the scheme-comparison and tuple-menu sweeps plus a 100-request
+// batched-service workload at 1/2/4/8 threads through the public
+// nanocache::api facade, checks the serialized results are byte-identical
+// at every thread count, and writes wall time, speedup, batch throughput
+// and memoization hit rate as JSON (default: BENCH_parallel_sweep.json).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -17,9 +19,11 @@
 #include <string>
 #include <vector>
 
+#include "api/batch_io.h"
 #include "cachemodel/fitted_cache.h"
 #include "core/explorer.h"
 #include "core/report.h"
+#include "nanocache/api.h"
 #include "opt/continuous.h"
 #include "opt/schemes.h"
 #include "opt/sensitivity.h"
@@ -186,27 +190,96 @@ SweepSample time_sweep(Fn&& render) {
   return s;
 }
 
+/// Fresh facade service (its memo cache starts empty, so every timed run
+/// does the same work).
+std::shared_ptr<api::Service> fresh_service() {
+  auto service = api::Service::create({});
+  if (!service) {
+    std::cerr << "service: " << service.error().message << "\n";
+    std::exit(1);
+  }
+  return service.value();
+}
+
+/// The batch workload: 100 requests mixing duplicated evaluations (request-
+/// level dedup), per-target optimizations, and a scheme sweep over the SAME
+/// delay targets (sub-evaluation memo hits: the sweep's cells land on the
+/// optimize requests' "opt|" entries), plus two overlapping tuple-menu
+/// queries (shared "menu|" entries).
+std::vector<api::Request> batch_workload() {
+  std::vector<api::Request> requests;
+  int next_id = 0;
+  const auto push = [&](api::Request r) {
+    r.id = "r" + std::to_string(next_id++);
+    requests.push_back(std::move(r));
+  };
+
+  // 70 evals: the paper grid twice (every second one is a pure duplicate).
+  for (const double vth : {0.20, 0.25, 0.30, 0.35, 0.40, 0.45, 0.50}) {
+    for (const double tox : {10.0, 11.0, 12.0, 13.0, 14.0}) {
+      for (int dup = 0; dup < 2; ++dup) {
+        api::Request r;
+        r.kind = api::RequestKind::kEval;
+        r.eval.knobs = api::Knobs{vth, tox};
+        push(std::move(r));
+      }
+    }
+  }
+
+  // 27 single-cache optimizations: 9 delay targets x 3 schemes...
+  std::vector<double> targets_ps;
+  for (int i = 0; i < 9; ++i) targets_ps.push_back(1000.0 + 100.0 * i);
+  for (const double ps : targets_ps) {
+    for (const auto scheme :
+         {api::SchemeId::kI, api::SchemeId::kII, api::SchemeId::kIII}) {
+      api::Request r;
+      r.kind = api::RequestKind::kOptimize;
+      r.optimize.scheme = scheme;
+      r.optimize.delay_ps = ps;
+      push(std::move(r));
+    }
+  }
+  // ...plus one scheme sweep over the same targets (27 memo hits).
+  {
+    api::Request r;
+    r.kind = api::RequestKind::kSweep;
+    r.sweep.kind = api::SweepKind::kSchemes;
+    r.sweep.delay_targets_ps = targets_ps;
+    push(std::move(r));
+  }
+
+  // 2 tuple-menu queries sharing the 1700 pS design ("menu|" memo hit).
+  {
+    api::Request r;
+    r.kind = api::RequestKind::kTupleMenu;
+    r.tuple_menu.amat_targets_ps = {1700.0};
+    push(std::move(r));
+    api::Request r2;
+    r2.kind = api::RequestKind::kTupleMenu;
+    r2.tuple_menu.amat_targets_ps = {1700.0, 1900.0};
+    push(std::move(r2));
+  }
+  return requests;
+}
+
 int emit_parallel_sweep_json(const std::string& path) {
-  core::Explorer explorer;
-  // Warm the model caches so every thread count times pure sweep work.
-  const auto l1_size = explorer.config().l1_size_bytes;
-  explorer.l1_model(l1_size);
-  explorer.l2_model(explorer.config().l2_size_bytes);
-  const auto ladder = explorer.delay_ladder(l1_size, 9);
-
+  // Sweep requests served through the facade; fingerprints are the
+  // serialized response bytes, so "identical" means byte-identical JSONL.
+  api::Request schemes_request;
+  schemes_request.kind = api::RequestKind::kSweep;
+  schemes_request.sweep.kind = api::SweepKind::kSchemes;
   const auto render_schemes = [&] {
-    std::ostringstream os;
-    os << core::scheme_long_table(explorer.scheme_comparison(l1_size, ladder));
-    return os.str();
+    return api::response_to_json(fresh_service()->serve(schemes_request));
   };
+  api::Request tuple_request;
+  tuple_request.kind = api::RequestKind::kTupleMenu;
+  tuple_request.tuple_menu.include_frontier = true;
   const auto render_tuples = [&] {
-    std::ostringstream os;
-    os << core::fig2_long_table(explorer.fig2_tuple_frontiers());
-    return os.str();
+    return api::response_to_json(fresh_service()->serve(tuple_request));
   };
 
-  // Untimed warmup: first-run lazy initialization (allocator arenas, model
-  // caches) must not inflate the threads=1 baseline.
+  // Untimed warmup: first-run lazy initialization (allocator arenas) must
+  // not inflate the threads=1 baseline.
   render_schemes();
   render_tuples();
 
@@ -232,6 +305,39 @@ int emit_parallel_sweep_json(const std::string& path) {
     rows.push_back({"scheme_comparison", threads, s});
     rows.push_back({"tuple_menu", threads, t});
   }
+
+  // Batched-service workload: throughput per thread count, byte-identity
+  // across thread counts, and the t=1 dedup/memoization accounting (the
+  // hit/miss split can shift under concurrency; responses cannot).
+  const auto workload = batch_workload();
+  struct BatchRun {
+    int threads;
+    double wall_s;
+  };
+  std::vector<BatchRun> batch_runs;
+  api::BatchStats batch_stats;
+  std::string batch_baseline;
+  for (int threads : {1, 2, 4, 8}) {
+    par::set_default_threads(threads);
+    const auto service = fresh_service();
+    const auto start = std::chrono::steady_clock::now();
+    const auto result = service->run_batch(workload);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    std::string bytes;
+    for (const auto& response : result.responses) {
+      bytes += api::response_to_json(response);
+      bytes += '\n';
+    }
+    if (threads == 1) {
+      batch_baseline = bytes;
+      batch_stats = result.stats;
+    } else if (bytes != batch_baseline) {
+      deterministic = false;
+    }
+    batch_runs.push_back({threads, wall});
+  }
   par::set_default_threads(0);
 
   std::ofstream out(path);
@@ -255,10 +361,30 @@ int emit_parallel_sweep_json(const std::string& path) {
         << (r.sample.wall_s > 0.0 ? base / r.sample.wall_s : 0.0) << "}"
         << (i + 1 < rows.size() ? "," : "") << "\n";
   }
-  out << "  ]\n}\n";
+  out << "  ],\n"
+      << "  \"batch\": {\n"
+      << "    \"requests\": " << batch_stats.requests << ",\n"
+      << "    \"unique_requests\": " << batch_stats.unique_requests << ",\n"
+      << "    \"request_hits\": " << batch_stats.request_hits << ",\n"
+      << "    \"memo_hits\": " << batch_stats.memo_hits << ",\n"
+      << "    \"memo_misses\": " << batch_stats.memo_misses << ",\n"
+      << "    \"hit_rate\": " << batch_stats.hit_rate() << ",\n"
+      << "    \"runs\": [\n";
+  for (std::size_t i = 0; i < batch_runs.size(); ++i) {
+    const auto& r = batch_runs[i];
+    out << "      {\"threads\": " << r.threads << ", \"wall_s\": " << r.wall_s
+        << ", \"requests_per_s\": "
+        << (r.wall_s > 0.0
+                ? static_cast<double>(batch_stats.requests) / r.wall_s
+                : 0.0)
+        << "}" << (i + 1 < batch_runs.size() ? "," : "") << "\n";
+  }
+  out << "    ]\n  }\n}\n";
+  const bool memoized = batch_stats.memo_hits > 0 && batch_stats.hit_rate() > 0;
   std::cout << "wrote " << path << " (deterministic="
-            << (deterministic ? "true" : "false") << ")\n";
-  return deterministic ? 0 : 1;
+            << (deterministic ? "true" : "false")
+            << ", memo_hit_rate=" << batch_stats.hit_rate() << ")\n";
+  return deterministic && memoized ? 0 : 1;
 }
 
 }  // namespace

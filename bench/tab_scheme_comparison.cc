@@ -4,37 +4,52 @@
 // (per-component) best, Scheme II (array/periphery) within a few percent of
 // Scheme I — and the optimizer always gives the cell array high Vth and
 // thick Tox while the periphery gets fast values.
+//
+// Runs through the public nanocache::api facade: the same scheme sweep a
+// batch request would execute.
 #include <iomanip>
 #include <iostream>
 #include <sstream>
 
 #include "core/explorer.h"
+#include "nanocache/api.h"
 #include "util/table.h"
-#include "util/units.h"
 
 using namespace nanocache;
 
 namespace {
 
-std::string knobs_str(const tech::DeviceKnobs& k) {
+std::string knobs_str(const api::Knobs& k) {
   std::ostringstream os;
   os << std::fixed << std::setprecision(2) << k.vth_v << "V/"
      << std::setprecision(0) << k.tox_a << "A";
   return os.str();
 }
 
-std::string leak_cell(const opt::OptOutcome<opt::SchemeResult>& r) {
-  if (!r) return "infeasible";
-  return fmt_fixed(units::watts_to_mw(r->leakage_w), 3);
+std::string leak_cell(const api::OptimizedCache& r) {
+  if (!r.feasible) return "infeasible";
+  return fmt_fixed(r.leakage_mw, 3);
 }
 
 }  // namespace
 
 int main() {
-  core::Explorer explorer;
-  const std::uint64_t cache_size = 16 * 1024;
-  const auto ladder = explorer.delay_ladder(cache_size, 9);
-  const auto rows = explorer.scheme_comparison(cache_size, ladder);
+  const auto service = api::Service::create({});
+  if (!service) {
+    std::cerr << "service: " << service.error().message << "\n";
+    return 1;
+  }
+
+  api::SweepRequest request;
+  request.kind = api::SweepKind::kSchemes;
+  request.cache_size_bytes = 16 * 1024;
+  request.ladder_steps = 9;
+  const auto sweep = (*service)->sweep(request);
+  if (!sweep) {
+    std::cerr << "sweep: " << sweep.error().message << "\n";
+    return 1;
+  }
+  const auto& rows = sweep->schemes;
 
   TextTable t("Section 4: optimal leakage [mW] by scheme, 16KB cache");
   t.set_header({"delay target [pS]", "scheme I", "scheme II", "scheme III",
@@ -43,37 +58,33 @@ int main() {
   for (const auto& row : rows) {
     std::string r21 = "-";
     std::string r31 = "-";
-    if (row.scheme1 && row.scheme2 && row.scheme3) {
-      r21 = fmt_fixed(row.scheme2->leakage_w / row.scheme1->leakage_w, 3);
-      r31 = fmt_fixed(row.scheme3->leakage_w / row.scheme1->leakage_w, 3);
+    if (row.scheme1.feasible && row.scheme2.feasible && row.scheme3.feasible) {
+      r21 = fmt_fixed(row.scheme2.leakage_mw / row.scheme1.leakage_mw, 3);
+      r31 = fmt_fixed(row.scheme3.leakage_mw / row.scheme1.leakage_mw, 3);
       // Allow floating-point slack; II and III can only be >= I.
-      if (row.scheme2->leakage_w < row.scheme1->leakage_w * 0.999 ||
-          row.scheme3->leakage_w < row.scheme2->leakage_w * 0.999) {
+      if (row.scheme2.leakage_mw < row.scheme1.leakage_mw * 0.999 ||
+          row.scheme3.leakage_mw < row.scheme2.leakage_mw * 0.999) {
         ordering_holds = false;
       }
     }
-    t.add_row({fmt_fixed(units::seconds_to_ps(row.delay_target_s), 0),
-               leak_cell(row.scheme1), leak_cell(row.scheme2),
-               leak_cell(row.scheme3), r21, r31});
+    t.add_row({fmt_fixed(row.delay_target_ps, 0), leak_cell(row.scheme1),
+               leak_cell(row.scheme2), leak_cell(row.scheme3), r21, r31});
   }
   std::cout << t << "\n";
 
-  // Show the chosen assignments at a mid-ladder target.
+  // Show the chosen assignments at a mid-ladder target.  The facade lists
+  // components in the paper's fixed order, cell array first.
   const auto& mid = rows[rows.size() / 2];
-  if (mid.scheme1) {
-    TextTable a("Scheme I assignment at " +
-                fmt_fixed(units::seconds_to_ps(mid.delay_target_s), 0) +
+  if (mid.scheme1.feasible) {
+    TextTable a("Scheme I assignment at " + fmt_fixed(mid.delay_target_ps, 0) +
                 " pS target");
     a.set_header({"component", "Vth/Tox"});
-    for (auto kind : cachemodel::kAllComponents) {
-      a.add_row({std::string(cachemodel::component_name(kind)),
-                 knobs_str(mid.scheme1->assignment.get(kind))});
+    for (const auto& c : mid.scheme1.assignment) {
+      a.add_row({c.component, knobs_str(c.knobs)});
     }
     std::cout << a << "\n";
-    const auto& arr =
-        mid.scheme1->assignment.get(cachemodel::ComponentKind::kCellArray);
-    const auto& dec =
-        mid.scheme1->assignment.get(cachemodel::ComponentKind::kDecoder);
+    const auto& arr = mid.scheme1.assignment.front().knobs;  // cell array
+    const auto& dec = mid.scheme1.assignment[1].knobs;       // decoder
     std::cout << "array gets conservative knobs vs periphery: "
               << ((arr.vth_v >= dec.vth_v && arr.tox_a >= dec.tox_a)
                       ? "REPRODUCED"
@@ -86,15 +97,14 @@ int main() {
   // Ablation: the paper's insight that Tox should sit at its conservative
   // (thick) end with Vth trimming delay.  Count how often the scheme-II
   // optimizer picks the thickest Tox for the array.
+  const double thickest =
+      (*service)->explorer().config().grid.tox_values.back();
   int thick = 0;
   int total = 0;
   for (const auto& row : rows) {
-    if (!row.scheme2) continue;
+    if (!row.scheme2.feasible) continue;
     ++total;
-    const auto& arr =
-        row.scheme2->assignment.get(cachemodel::ComponentKind::kCellArray);
-    if (arr.tox_a >=
-        explorer.config().grid.tox_values.back() - 1e-9) {
+    if (row.scheme2.assignment.front().knobs.tox_a >= thickest - 1e-9) {
       ++thick;
     }
   }

@@ -1,0 +1,8 @@
+// Umbrella header for the nanocache public API.
+#pragma once
+
+#include "nanocache/requests.h"   // IWYU pragma: export
+#include "nanocache/responses.h"  // IWYU pragma: export
+#include "nanocache/service.h"    // IWYU pragma: export
+#include "nanocache/types.h"      // IWYU pragma: export
+#include "nanocache/version.h"    // IWYU pragma: export

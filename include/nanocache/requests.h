@@ -1,0 +1,115 @@
+// Versioned plain-struct requests of the nanocache public API.
+//
+// One Request wraps exactly one of the four operation payloads, selected by
+// `kind`.  All numeric fields use the paper's reporting units (pS, mW, pJ,
+// Angstrom); the facade converts to the library's SI-internal units at the
+// boundary.  The JSONL wire encoding of these structs is documented in
+// docs/API.md and implemented by src/api/batch_io.{h,cc}.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nanocache/types.h"
+#include "nanocache/version.h"
+
+namespace nanocache::api {
+
+/// Which operation a Request carries.
+enum class RequestKind {
+  kEval,       ///< evaluate one cache at one uniform knob pair
+  kOptimize,   ///< Section 4: minimize leakage under a delay constraint
+  kSweep,      ///< Section 4/5 sweeps (scheme ladder, L1/L2 size sweeps)
+  kTupleMenu,  ///< Section 5 / Figure 2: the (Tox, Vth) tuple problem
+};
+
+inline const char* request_kind_name(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kEval: return "eval";
+    case RequestKind::kOptimize: return "optimize";
+    case RequestKind::kSweep: return "sweep";
+    case RequestKind::kTupleMenu: return "tuple_menu";
+  }
+  return "eval";
+}
+
+/// Evaluate one cache model at a uniform (Vth, Tox) assignment and report
+/// per-component and total delay/leakage/dynamic-energy.
+struct EvalRequest {
+  Level level = Level::kL1;
+  std::uint64_t size_bytes = 16 * 1024;
+  Knobs knobs{};
+};
+
+/// Minimize a single cache's leakage under an access-time constraint with
+/// one of the paper's three assignment schemes.
+struct OptimizeRequest {
+  Level level = Level::kL1;
+  std::uint64_t size_bytes = 16 * 1024;
+  SchemeId scheme = SchemeId::kII;
+  double delay_ps = 1400.0;
+};
+
+/// Which sweep a SweepRequest runs.
+enum class SweepKind {
+  kSchemes,  ///< scheme I/II/III comparison across a delay-target ladder
+  kL1Sizes,  ///< Section 5 L1 size sweep (scheme II per size)
+  kL2Sizes,  ///< Section 5 L2 size sweep (scheme per `l2_scheme`)
+};
+
+inline const char* sweep_kind_name(SweepKind kind) {
+  switch (kind) {
+    case SweepKind::kSchemes: return "schemes";
+    case SweepKind::kL1Sizes: return "l1_sizes";
+    case SweepKind::kL2Sizes: return "l2_sizes";
+  }
+  return "schemes";
+}
+
+struct SweepRequest {
+  SweepKind kind = SweepKind::kL2Sizes;
+
+  /// kSchemes only: the cache size being compared (0 = the service's
+  /// configured L1 size) and the delay ladder.  When `delay_targets_ps` is
+  /// non-empty it overrides the generated ladder.
+  std::uint64_t cache_size_bytes = 0;
+  int ladder_steps = 9;
+  std::vector<double> delay_targets_ps;
+
+  /// Size sweeps only: the AMAT constraint in pS (0 = the "squeeze"
+  /// default derived from the configuration, as the paper's Section 5
+  /// tables use) and, for the L2 sweep, the per-size assignment scheme
+  /// (the paper studies III = one pair and II = array/periphery split).
+  double amat_ps = 0.0;
+  SchemeId l2_scheme = SchemeId::kIII;
+};
+
+/// The (Tox, Vth) tuple problem for one menu cardinality: best system
+/// design per AMAT target, optionally with the energy/AMAT frontier.
+struct TupleMenuRequest {
+  int num_tox = 2;
+  int num_vth = 2;
+  /// AMAT targets in pS; empty = the paper's Figure 2 targets.
+  std::vector<double> amat_targets_ps;
+  bool include_frontier = false;
+  int frontier_max_points = 96;
+};
+
+/// One versioned request.  Exactly one payload (selected by `kind`) is
+/// meaningful; the others stay default-constructed.
+struct Request {
+  int schema_version = kSchemaVersion;
+  /// Caller-chosen correlation id, echoed verbatim on the response.  Not
+  /// part of the request's structural identity: requests differing only in
+  /// id deduplicate to one evaluation in a batch.
+  std::string id;
+  RequestKind kind = RequestKind::kEval;
+
+  EvalRequest eval{};
+  OptimizeRequest optimize{};
+  SweepRequest sweep{};
+  TupleMenuRequest tuple_menu{};
+};
+
+}  // namespace nanocache::api

@@ -1,0 +1,25 @@
+// Public API versioning.
+//
+// Two independent version numbers govern the facade:
+//
+//  * kSchemaVersion — the wire schema of the request/response structs and
+//    their JSONL encoding.  Every request carries its schema_version; the
+//    service rejects versions it does not understand with a typed config
+//    error instead of guessing.  Bumped only on incompatible changes
+//    (renamed/retyped fields); additive optional fields do NOT bump it.
+//  * kApiVersion* — the compiled C++ surface under include/nanocache/.
+//    Follows the project version.
+//
+// See docs/API.md for the full versioning policy.
+#pragma once
+
+namespace nanocache::api {
+
+/// Wire-schema version of the request/response types in requests.h /
+/// responses.h and their JSONL encoding.
+inline constexpr int kSchemaVersion = 1;
+
+inline constexpr int kApiVersionMajor = 1;
+inline constexpr int kApiVersionMinor = 0;
+
+}  // namespace nanocache::api

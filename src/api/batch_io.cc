@@ -1,0 +1,541 @@
+#include "api/batch_io.h"
+
+#include <bit>
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "api/json.h"
+#include "util/error.h"
+
+namespace nanocache::api {
+
+namespace {
+
+using json::ValuePtr;
+
+// --- parsing helpers --------------------------------------------------------
+
+Level parse_level(const std::string& s) {
+  if (s == "l1") return Level::kL1;
+  if (s == "l2") return Level::kL2;
+  throw Error(ErrorCategory::kConfig, "unknown level '" + s + "'");
+}
+
+SchemeId parse_scheme(const std::string& s) {
+  if (s == "I") return SchemeId::kI;
+  if (s == "II") return SchemeId::kII;
+  if (s == "III") return SchemeId::kIII;
+  throw Error(ErrorCategory::kConfig, "unknown scheme '" + s + "'");
+}
+
+RequestKind parse_kind(const std::string& s) {
+  if (s == "eval") return RequestKind::kEval;
+  if (s == "optimize") return RequestKind::kOptimize;
+  if (s == "sweep") return RequestKind::kSweep;
+  if (s == "tuple_menu") return RequestKind::kTupleMenu;
+  throw Error(ErrorCategory::kConfig, "unknown request kind '" + s + "'");
+}
+
+SweepKind parse_sweep_kind(const std::string& s) {
+  if (s == "schemes") return SweepKind::kSchemes;
+  if (s == "l1_sizes") return SweepKind::kL1Sizes;
+  if (s == "l2_sizes") return SweepKind::kL2Sizes;
+  throw Error(ErrorCategory::kConfig, "unknown sweep kind '" + s + "'");
+}
+
+double get_double(const ValuePtr& obj, const char* key, double fallback) {
+  const auto v = obj->get(key);
+  return v ? v->as_double() : fallback;
+}
+
+std::uint64_t get_uint(const ValuePtr& obj, const char* key,
+                       std::uint64_t fallback) {
+  const auto v = obj->get(key);
+  return v ? v->as_uint() : fallback;
+}
+
+int get_int(const ValuePtr& obj, const char* key, int fallback) {
+  const auto v = obj->get(key);
+  return v ? static_cast<int>(v->as_int()) : fallback;
+}
+
+bool get_bool(const ValuePtr& obj, const char* key, bool fallback) {
+  const auto v = obj->get(key);
+  return v ? v->as_bool() : fallback;
+}
+
+std::vector<double> get_double_array(const ValuePtr& obj, const char* key) {
+  std::vector<double> out;
+  const auto v = obj->get(key);
+  if (!v) return out;
+  for (const auto& item : v->as_array()) out.push_back(item->as_double());
+  return out;
+}
+
+Request request_from_value(const ValuePtr& root) {
+  NC_REQUIRE(root->is_object(), "request must be a JSON object");
+  Request r;
+  const auto version = root->get("schema_version");
+  NC_REQUIRE(version != nullptr, "request is missing schema_version");
+  const auto v = static_cast<int>(version->as_int());
+  NC_REQUIRE(v == kSchemaVersion,
+             "unsupported schema_version " + std::to_string(v) +
+                 " (this build speaks " + std::to_string(kSchemaVersion) +
+                 ")");
+  r.schema_version = v;
+  if (const auto id = root->get("id")) r.id = id->as_string();
+  const auto kind = root->get("kind");
+  NC_REQUIRE(kind != nullptr, "request is missing kind");
+  r.kind = parse_kind(kind->as_string());
+  switch (r.kind) {
+    case RequestKind::kEval: {
+      auto& e = r.eval;
+      if (const auto level = root->get("level")) {
+        e.level = parse_level(level->as_string());
+      }
+      e.size_bytes = get_uint(root, "size_bytes", e.size_bytes);
+      e.knobs.vth_v = get_double(root, "vth_v", e.knobs.vth_v);
+      e.knobs.tox_a = get_double(root, "tox_a", e.knobs.tox_a);
+      break;
+    }
+    case RequestKind::kOptimize: {
+      auto& o = r.optimize;
+      if (const auto level = root->get("level")) {
+        o.level = parse_level(level->as_string());
+      }
+      o.size_bytes = get_uint(root, "size_bytes", o.size_bytes);
+      if (const auto scheme = root->get("scheme")) {
+        o.scheme = parse_scheme(scheme->as_string());
+      }
+      o.delay_ps = get_double(root, "delay_ps", o.delay_ps);
+      break;
+    }
+    case RequestKind::kSweep: {
+      auto& s = r.sweep;
+      if (const auto kindv = root->get("sweep")) {
+        s.kind = parse_sweep_kind(kindv->as_string());
+      }
+      s.cache_size_bytes =
+          get_uint(root, "cache_size_bytes", s.cache_size_bytes);
+      s.ladder_steps = get_int(root, "ladder_steps", s.ladder_steps);
+      s.delay_targets_ps = get_double_array(root, "delay_targets_ps");
+      s.amat_ps = get_double(root, "amat_ps", s.amat_ps);
+      if (const auto scheme = root->get("scheme")) {
+        s.l2_scheme = parse_scheme(scheme->as_string());
+      }
+      break;
+    }
+    case RequestKind::kTupleMenu: {
+      auto& t = r.tuple_menu;
+      t.num_tox = get_int(root, "num_tox", t.num_tox);
+      t.num_vth = get_int(root, "num_vth", t.num_vth);
+      t.amat_targets_ps = get_double_array(root, "amat_targets_ps");
+      t.include_frontier =
+          get_bool(root, "include_frontier", t.include_frontier);
+      t.frontier_max_points =
+          get_int(root, "frontier_max_points", t.frontier_max_points);
+      break;
+    }
+  }
+  return r;
+}
+
+// --- writing helpers --------------------------------------------------------
+
+/// Tiny ordered-object writer: fields appear exactly in append order.
+class ObjectWriter {
+ public:
+  void field(const char* key, const std::string& raw) {
+    if (!out_.empty()) out_ += ',';
+    out_ += json::quote(key);
+    out_ += ':';
+    out_ += raw;
+  }
+  void string_field(const char* key, const std::string& s) {
+    field(key, json::quote(s));
+  }
+  void double_field(const char* key, double d) {
+    field(key, json::format_double(d));
+  }
+  void uint_field(const char* key, std::uint64_t u) {
+    field(key, std::to_string(u));
+  }
+  void int_field(const char* key, int i) { field(key, std::to_string(i)); }
+  void bool_field(const char* key, bool b) { field(key, b ? "true" : "false"); }
+
+  std::string str() const { return "{" + out_ + "}"; }
+
+ private:
+  std::string out_;
+};
+
+std::string double_array_json(const std::vector<double>& values) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ',';
+    out += json::format_double(values[i]);
+  }
+  return out + "]";
+}
+
+std::string assignment_json(const std::vector<ComponentKnobs>& assignment) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    if (i > 0) out += ',';
+    ObjectWriter w;
+    w.string_field("component", assignment[i].component);
+    w.double_field("vth_v", assignment[i].knobs.vth_v);
+    w.double_field("tox_a", assignment[i].knobs.tox_a);
+    out += w.str();
+  }
+  return out + "]";
+}
+
+std::string optimized_cache_json(const OptimizedCache& c) {
+  ObjectWriter w;
+  w.bool_field("feasible", c.feasible);
+  if (!c.feasible) {
+    w.string_field("infeasible_reason", c.infeasible_reason);
+    return w.str();
+  }
+  w.double_field("leakage_mw", c.leakage_mw);
+  w.double_field("access_time_ps", c.access_time_ps);
+  w.double_field("dynamic_pj", c.dynamic_pj);
+  w.field("assignment", assignment_json(c.assignment));
+  return w.str();
+}
+
+std::string eval_json(const EvalResponse& e) {
+  ObjectWriter w;
+  w.string_field("organization", e.organization);
+  w.double_field("access_time_ps", e.access_time_ps);
+  w.double_field("leakage_mw", e.leakage_mw);
+  w.double_field("leakage_sub_mw", e.leakage_sub_mw);
+  w.double_field("leakage_gate_mw", e.leakage_gate_mw);
+  w.double_field("dynamic_pj", e.dynamic_pj);
+  w.double_field("area_um2", e.area_um2);
+  std::string components = "[";
+  for (std::size_t i = 0; i < e.components.size(); ++i) {
+    if (i > 0) components += ',';
+    ObjectWriter c;
+    c.string_field("component", e.components[i].component);
+    c.double_field("vth_v", e.components[i].knobs.vth_v);
+    c.double_field("tox_a", e.components[i].knobs.tox_a);
+    c.double_field("delay_ps", e.components[i].delay_ps);
+    c.double_field("leakage_mw", e.components[i].leakage_mw);
+    c.double_field("dynamic_pj", e.components[i].dynamic_pj);
+    components += c.str();
+  }
+  w.field("components", components + "]");
+  return w.str();
+}
+
+std::string schemes_row_json(const SchemesRow& row) {
+  ObjectWriter w;
+  w.double_field("delay_target_ps", row.delay_target_ps);
+  w.field("scheme_I", optimized_cache_json(row.scheme1));
+  w.field("scheme_II", optimized_cache_json(row.scheme2));
+  w.field("scheme_III", optimized_cache_json(row.scheme3));
+  return w.str();
+}
+
+std::string size_row_json(const SizeRow& row) {
+  ObjectWriter w;
+  w.uint_field("size_bytes", row.size_bytes);
+  w.bool_field("feasible", row.feasible);
+  if (!row.feasible) {
+    w.string_field("infeasible_reason", row.infeasible_reason);
+    w.double_field("miss_rate", row.miss_rate);
+    return w.str();
+  }
+  w.double_field("miss_rate", row.miss_rate);
+  w.double_field("amat_ps", row.amat_ps);
+  w.double_field("level_leakage_mw", row.level_leakage_mw);
+  w.double_field("total_leakage_mw", row.total_leakage_mw);
+  w.field("result", optimized_cache_json(row.result));
+  return w.str();
+}
+
+std::string sweep_json(const SweepResponse& s) {
+  ObjectWriter w;
+  w.string_field("sweep", sweep_kind_name(s.kind));
+  if (s.kind == SweepKind::kSchemes) {
+    std::string rows = "[";
+    for (std::size_t i = 0; i < s.schemes.size(); ++i) {
+      if (i > 0) rows += ',';
+      rows += schemes_row_json(s.schemes[i]);
+    }
+    w.field("rows", rows + "]");
+  } else {
+    w.double_field("amat_target_ps", s.amat_target_ps);
+    std::string rows = "[";
+    for (std::size_t i = 0; i < s.sizes.size(); ++i) {
+      if (i > 0) rows += ',';
+      rows += size_row_json(s.sizes[i]);
+    }
+    w.field("rows", rows + "]");
+  }
+  return w.str();
+}
+
+std::string menu_design_json(const MenuDesign& d) {
+  ObjectWriter w;
+  if (d.amat_target_ps > 0.0) w.double_field("amat_target_ps", d.amat_target_ps);
+  w.bool_field("feasible", d.feasible);
+  if (!d.feasible) return w.str();
+  w.double_field("amat_ps", d.amat_ps);
+  w.double_field("energy_pj", d.energy_pj);
+  w.double_field("leakage_mw", d.leakage_mw);
+  w.field("tox_menu_a", double_array_json(d.tox_menu_a));
+  w.field("vth_menu_v", double_array_json(d.vth_menu_v));
+  w.field("l1_assignment", assignment_json(d.l1_assignment));
+  w.field("l2_assignment", assignment_json(d.l2_assignment));
+  return w.str();
+}
+
+std::string tuple_menu_json(const TupleMenuResponse& t) {
+  ObjectWriter w;
+  w.int_field("num_tox", t.num_tox);
+  w.int_field("num_vth", t.num_vth);
+  w.string_field("label", t.label);
+  w.double_field("min_amat_ps", t.min_amat_ps);
+  std::string targets = "[";
+  for (std::size_t i = 0; i < t.targets.size(); ++i) {
+    if (i > 0) targets += ',';
+    targets += menu_design_json(t.targets[i]);
+  }
+  w.field("targets", targets + "]");
+  if (!t.frontier.empty()) {
+    std::string frontier = "[";
+    for (std::size_t i = 0; i < t.frontier.size(); ++i) {
+      if (i > 0) frontier += ',';
+      frontier += menu_design_json(t.frontier[i]);
+    }
+    w.field("frontier", frontier + "]");
+  }
+  return w.str();
+}
+
+/// Bit-pattern key of a double: structural identity, not decimal identity.
+std::string key_double(double d) {
+  const auto bits = std::bit_cast<std::uint64_t>(d);
+  char buf[17];
+  static const char* hex = "0123456789abcdef";
+  for (int i = 15; i >= 0; --i) {
+    buf[15 - i] = hex[(bits >> (i * 4)) & 0xF];
+  }
+  buf[16] = '\0';
+  return std::string(buf);
+}
+
+void key_doubles(std::string& key, const std::vector<double>& values) {
+  key += '[';
+  for (const double v : values) {
+    key += key_double(v);
+    key += ',';
+  }
+  key += ']';
+}
+
+}  // namespace
+
+Outcome<Request> parse_request_json(const std::string& line) {
+  try {
+    return request_from_value(json::parse(line));
+  } catch (const Error& e) {
+    const ErrorCode code = e.category() == ErrorCategory::kConfig
+                               ? ErrorCode::kConfig
+                               : ErrorCode::kInternal;
+    return Outcome<Request>::failure(code, e.what());
+  } catch (const std::exception& e) {
+    return Outcome<Request>::failure(ErrorCode::kInternal, e.what());
+  }
+}
+
+std::string request_to_json(const Request& request) {
+  ObjectWriter w;
+  w.int_field("schema_version", request.schema_version);
+  if (!request.id.empty()) w.string_field("id", request.id);
+  w.string_field("kind", request_kind_name(request.kind));
+  switch (request.kind) {
+    case RequestKind::kEval: {
+      const auto& e = request.eval;
+      w.string_field("level", level_name(e.level));
+      w.uint_field("size_bytes", e.size_bytes);
+      w.double_field("vth_v", e.knobs.vth_v);
+      w.double_field("tox_a", e.knobs.tox_a);
+      break;
+    }
+    case RequestKind::kOptimize: {
+      const auto& o = request.optimize;
+      w.string_field("level", level_name(o.level));
+      w.uint_field("size_bytes", o.size_bytes);
+      w.string_field("scheme", scheme_id_name(o.scheme));
+      w.double_field("delay_ps", o.delay_ps);
+      break;
+    }
+    case RequestKind::kSweep: {
+      const auto& s = request.sweep;
+      w.string_field("sweep", sweep_kind_name(s.kind));
+      w.uint_field("cache_size_bytes", s.cache_size_bytes);
+      w.int_field("ladder_steps", s.ladder_steps);
+      w.field("delay_targets_ps", double_array_json(s.delay_targets_ps));
+      w.double_field("amat_ps", s.amat_ps);
+      w.string_field("scheme", scheme_id_name(s.l2_scheme));
+      break;
+    }
+    case RequestKind::kTupleMenu: {
+      const auto& t = request.tuple_menu;
+      w.int_field("num_tox", t.num_tox);
+      w.int_field("num_vth", t.num_vth);
+      w.field("amat_targets_ps", double_array_json(t.amat_targets_ps));
+      w.bool_field("include_frontier", t.include_frontier);
+      w.int_field("frontier_max_points", t.frontier_max_points);
+      break;
+    }
+  }
+  return w.str();
+}
+
+std::string response_to_json(const Response& response) {
+  ObjectWriter w;
+  w.int_field("schema_version", response.schema_version);
+  if (!response.id.empty()) w.string_field("id", response.id);
+  if (!response.ok) {
+    ObjectWriter err;
+    err.string_field("code", error_code_name(response.error.code));
+    err.string_field("message", response.error.message);
+    w.bool_field("ok", false);
+    w.field("error", err.str());
+    return w.str();
+  }
+  w.string_field("kind", request_kind_name(response.kind));
+  w.bool_field("ok", true);
+  switch (response.kind) {
+    case RequestKind::kEval:
+      w.field("result", eval_json(response.eval));
+      break;
+    case RequestKind::kOptimize:
+      w.field("result", optimized_cache_json(response.optimize.result));
+      break;
+    case RequestKind::kSweep:
+      w.field("result", sweep_json(response.sweep));
+      break;
+    case RequestKind::kTupleMenu:
+      w.field("result", tuple_menu_json(response.tuple_menu));
+      break;
+  }
+  return w.str();
+}
+
+std::string request_canonical_key(const Request& request) {
+  std::string key = "v" + std::to_string(request.schema_version) + "|";
+  key += request_kind_name(request.kind);
+  key += '|';
+  switch (request.kind) {
+    case RequestKind::kEval: {
+      const auto& e = request.eval;
+      key += level_name(e.level);
+      key += '|';
+      key += std::to_string(e.size_bytes);
+      key += '|';
+      key += key_double(e.knobs.vth_v);
+      key += '|';
+      key += key_double(e.knobs.tox_a);
+      break;
+    }
+    case RequestKind::kOptimize: {
+      const auto& o = request.optimize;
+      key += level_name(o.level);
+      key += '|';
+      key += std::to_string(o.size_bytes);
+      key += '|';
+      key += scheme_id_name(o.scheme);
+      key += '|';
+      key += key_double(o.delay_ps);
+      break;
+    }
+    case RequestKind::kSweep: {
+      const auto& s = request.sweep;
+      key += sweep_kind_name(s.kind);
+      key += '|';
+      key += std::to_string(s.cache_size_bytes);
+      key += '|';
+      key += std::to_string(s.ladder_steps);
+      key += '|';
+      key_doubles(key, s.delay_targets_ps);
+      key += '|';
+      key += key_double(s.amat_ps);
+      key += '|';
+      key += scheme_id_name(s.l2_scheme);
+      break;
+    }
+    case RequestKind::kTupleMenu: {
+      const auto& t = request.tuple_menu;
+      key += std::to_string(t.num_tox);
+      key += '|';
+      key += std::to_string(t.num_vth);
+      key += '|';
+      key_doubles(key, t.amat_targets_ps);
+      key += '|';
+      key += t.include_frontier ? "f1" : "f0";
+      key += '|';
+      key += std::to_string(t.frontier_max_points);
+      break;
+    }
+  }
+  return key;
+}
+
+BatchStats run_batch_jsonl(const Service& service, std::istream& in,
+                           std::ostream& out) {
+  // Slot per non-empty input line: either a parsed request (index into the
+  // batch) or a ready-made parse-error response.
+  struct Slot {
+    bool parsed = false;
+    std::size_t batch_index = 0;
+    Response error_response{};
+  };
+  std::vector<Slot> slots;
+  std::vector<Request> requests;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    // Skip blank lines so hand-edited files with trailing newlines work.
+    if (line.find_first_not_of(" \t") == std::string::npos) continue;
+    Slot slot;
+    auto parsed = parse_request_json(line);
+    if (parsed.ok()) {
+      slot.parsed = true;
+      slot.batch_index = requests.size();
+      requests.push_back(std::move(parsed.value()));
+    } else {
+      Response r;
+      r.ok = false;
+      r.error = parsed.error();
+      r.error.message =
+          "line " + std::to_string(line_number) + ": " + r.error.message;
+      slot.error_response = std::move(r);
+    }
+    slots.push_back(std::move(slot));
+  }
+
+  BatchResult batch = service.run_batch(requests);
+  BatchStats stats = batch.stats;
+  stats.requests += slots.size() - requests.size();  // count failed lines
+
+  for (const auto& slot : slots) {
+    const Response& r = slot.parsed ? batch.responses[slot.batch_index]
+                                    : slot.error_response;
+    out << response_to_json(r) << '\n';
+  }
+  return stats;
+}
+
+}  // namespace nanocache::api

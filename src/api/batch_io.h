@@ -1,0 +1,47 @@
+// JSONL wire format of the batch API (schema v1, see docs/API.md).
+//
+// One JSON object per line.  Requests carry their payload fields at top
+// level, discriminated by "kind"; unknown keys are ignored (additive schema
+// evolution without a version bump).  Responses serialize with a fixed key
+// order and shortest-round-trip number formatting, so equal response
+// structs always produce equal bytes — the batch determinism contract.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "nanocache/requests.h"
+#include "nanocache/responses.h"
+#include "nanocache/service.h"
+#include "nanocache/types.h"
+
+namespace nanocache::api {
+
+/// Parse one JSONL request line.  Malformed JSON, a wrong schema_version,
+/// an unknown kind, or a type-mismatched field yield a typed kConfig
+/// failure (kIo for stream-level problems is the caller's business).
+Outcome<Request> parse_request_json(const std::string& line);
+
+/// Canonical JSON encoding of a request (round-trips through
+/// parse_request_json).  All payload fields of the active kind are written
+/// explicitly, defaults included; `id` is written only when non-empty.
+std::string request_to_json(const Request& request);
+
+/// Deterministic JSON encoding of a response (single line, no trailing
+/// newline).  Key order is fixed; `id` is written only when non-empty;
+/// `kind` + payload appear on ok responses, `error` on failed ones.
+std::string response_to_json(const Response& response);
+
+/// The request's structural identity: equal keys <=> the service would run
+/// the identical computation.  Ignores `id`.  Doubles are keyed by bit
+/// pattern, so two spellings of the same number collide (as they must).
+std::string request_canonical_key(const Request& request);
+
+/// Drive a whole JSONL stream through Service::run_batch: every non-empty
+/// input line produces exactly one output line in input order (parse
+/// failures become error responses in place).  Returns the batch stats
+/// (parse-failed lines count as requests but never as hits).
+BatchStats run_batch_jsonl(const Service& service, std::istream& in,
+                           std::ostream& out);
+
+}  // namespace nanocache::api

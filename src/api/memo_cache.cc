@@ -1,0 +1,30 @@
+#include "api/memo_cache.h"
+
+namespace nanocache::api {
+
+std::size_t MemoCache::entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::shared_ptr<const void> MemoCache::lookup(const std::string& key) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return nullptr;
+}
+
+std::shared_ptr<const void> MemoCache::publish(
+    const std::string& key, std::shared_ptr<const void> value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto [it, inserted] = entries_.emplace(key, std::move(value));
+  return it->second;
+}
+
+}  // namespace nanocache::api

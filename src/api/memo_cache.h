@@ -1,0 +1,68 @@
+// Content-keyed memoization cache for the batched evaluation service.
+//
+// Keys are canonical strings describing a sub-evaluation's full structural
+// identity (model identity + knobs + grid fingerprint + scheme + target
+// bits), so two requests that would run the same computation share one
+// result.  Values are immutable shared_ptrs: a hit hands back the exact
+// object the miss path stored, which makes the "hit is bitwise-equal to
+// miss" guarantee trivial.
+//
+// Concurrency: lookups/inserts take a mutex; the compute callback runs
+// OUTSIDE the lock so slow model evaluations don't serialize the pool.  Two
+// threads racing on the same key may both compute; the first insert wins
+// and both receive the winning (deterministic, bitwise-identical) value.
+// Hit/miss counters are therefore timing-dependent — they feed reporting,
+// never results.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace nanocache::api {
+
+class MemoCache {
+ public:
+  /// Return the cached value for `key`, or run `compute`, publish its
+  /// result, and return it.  `T` must match the type stored under `key`;
+  /// callers namespace keys with a type tag prefix ("eval|", "opt|", ...)
+  /// so a collision across types is impossible by construction.
+  template <typename T>
+  std::shared_ptr<const T> get_or_compute(
+      const std::string& key,
+      const std::function<std::shared_ptr<const T>()>& compute) {
+    if (auto hit = lookup(key)) {
+      return std::static_pointer_cast<const T>(hit);
+    }
+    std::shared_ptr<const T> fresh = compute();
+    const auto winner = publish(key, fresh);
+    return std::static_pointer_cast<const T>(winner);
+  }
+
+  std::size_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::size_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  std::size_t entries() const;
+
+ private:
+  /// nullptr on miss (miss counter bumped); the stored value on hit.
+  std::shared_ptr<const void> lookup(const std::string& key);
+
+  /// Insert `value` unless another thread won the race; returns the entry
+  /// that ended up (or already was) in the cache.
+  std::shared_ptr<const void> publish(const std::string& key,
+                                      std::shared_ptr<const void> value);
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::shared_ptr<const void>> entries_;
+  std::atomic<std::size_t> hits_{0};
+  std::atomic<std::size_t> misses_{0};
+};
+
+}  // namespace nanocache::api

@@ -1,0 +1,155 @@
+#include "api/request_args.h"
+
+#include <cstring>
+#include <exception>
+
+#include "util/error.h"
+
+namespace nanocache::api {
+
+namespace {
+
+SchemeId parse_scheme_flag(const std::string& s) {
+  if (s == "I") return SchemeId::kI;
+  if (s == "II") return SchemeId::kII;
+  if (s == "III") return SchemeId::kIII;
+  throw Error(ErrorCategory::kConfig, "unknown scheme '" + s + "'");
+}
+
+}  // namespace
+
+CliArgs parse_cli_args(int argc, const char* const* argv) {
+  CliArgs a;
+  if (argc < 2) return a;
+  a.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const std::string key = arg.substr(2);
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        a.flags[key] = argv[++i];
+      } else {
+        a.flags[key] = "true";
+      }
+    } else if (a.positional.empty()) {
+      a.positional = arg;
+    }
+  }
+  return a;
+}
+
+double flag_double(const CliArgs& args, const std::string& key,
+                   double fallback) {
+  const auto it = args.flags.find(key);
+  if (it == args.flags.end()) return fallback;
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    throw Error(ErrorCategory::kConfig,
+                "--" + key + " expects a number, got '" + it->second + "'");
+  }
+}
+
+std::uint64_t flag_uint(const CliArgs& args, const std::string& key,
+                        std::uint64_t fallback) {
+  const auto it = args.flags.find(key);
+  if (it == args.flags.end()) return fallback;
+  try {
+    return std::stoull(it->second);
+  } catch (const std::exception&) {
+    throw Error(ErrorCategory::kConfig, "--" + key +
+                    " expects a non-negative integer, got '" + it->second +
+                    "'");
+  }
+}
+
+bool flag_present(const CliArgs& args, const std::string& key) {
+  return args.flags.count(key) > 0;
+}
+
+ServiceConfig service_config_from_args(const CliArgs& args) {
+  ServiceConfig config;
+  config.use_fitted_models = flag_present(args, "fitted");
+  config.strict_degradation = flag_present(args, "strict");
+  return config;
+}
+
+int threads_from_args(const CliArgs& args) {
+  const auto it = args.flags.find("threads");
+  if (it == args.flags.end()) return 0;
+  int threads = 0;
+  try {
+    threads = std::stoi(it->second);
+  } catch (const std::exception&) {
+    throw Error(ErrorCategory::kConfig,
+                "--threads expects an integer, got '" + it->second + "'");
+  }
+  NC_REQUIRE(threads >= 0, "--threads must be >= 0");
+  return threads;
+}
+
+Outcome<Request> request_from_args(const CliArgs& args) {
+  try {
+    Request r;
+    if (args.command == "cache") {
+      r.kind = RequestKind::kEval;
+      r.eval.level = flag_present(args, "l2") ? Level::kL2 : Level::kL1;
+      r.eval.size_bytes = flag_uint(args, "size", r.eval.size_bytes);
+      r.eval.knobs.vth_v = flag_double(args, "vth", r.eval.knobs.vth_v);
+      r.eval.knobs.tox_a = flag_double(args, "tox", r.eval.knobs.tox_a);
+      return r;
+    }
+    if (args.command == "optimize") {
+      r.kind = RequestKind::kOptimize;
+      r.optimize.level = flag_present(args, "l2") ? Level::kL2 : Level::kL1;
+      r.optimize.size_bytes = flag_uint(args, "size", r.optimize.size_bytes);
+      const auto it = args.flags.find("scheme");
+      if (it != args.flags.end()) r.optimize.scheme = parse_scheme_flag(it->second);
+      r.optimize.delay_ps = flag_double(args, "delay-ps", r.optimize.delay_ps);
+      return r;
+    }
+    if (args.command == "run") {
+      r.kind = RequestKind::kSweep;
+      if (args.positional == "schemes") {
+        r.sweep.kind = SweepKind::kSchemes;
+        r.sweep.cache_size_bytes = flag_uint(args, "size", 0);
+        r.sweep.ladder_steps =
+            static_cast<int>(flag_uint(args, "steps", 9));
+      } else if (args.positional == "l2" || args.positional == "l2split") {
+        r.sweep.kind = SweepKind::kL2Sizes;
+        r.sweep.l2_scheme =
+            args.positional == "l2split" ? SchemeId::kII : SchemeId::kIII;
+        r.sweep.amat_ps = flag_double(args, "amat-ps", 0.0);
+      } else if (args.positional == "l1") {
+        r.sweep.kind = SweepKind::kL1Sizes;
+        r.sweep.amat_ps = flag_double(args, "amat-ps", 0.0);
+      } else {
+        throw Error(ErrorCategory::kConfig,
+                    "experiment '" + args.positional +
+                        "' is not request-shaped (expected schemes, l2, "
+                        "l2split or l1)");
+      }
+      return r;
+    }
+    throw Error(ErrorCategory::kConfig,
+                "command '" + args.command + "' has no request translation");
+  } catch (const Error& e) {
+    const ErrorCode code = e.category() == ErrorCategory::kConfig
+                               ? ErrorCode::kConfig
+                               : ErrorCode::kInternal;
+    return Outcome<Request>::failure(code, e.what());
+  }
+}
+
+int exit_code_for(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kConfig: return 2;
+    case ErrorCode::kIo: return 3;
+    case ErrorCode::kNumericDomain:
+    case ErrorCode::kInfeasible: return 4;
+    case ErrorCode::kInternal: return 1;
+  }
+  return 1;
+}
+
+}  // namespace nanocache::api

@@ -1,0 +1,563 @@
+#include "nanocache/service.h"
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "api/batch_io.h"
+#include "api/memo_cache.h"
+#include "cachemodel/cache_model.h"
+#include "core/explorer.h"
+#include "opt/schemes.h"
+#include "opt/tuple_menu.h"
+#include "util/error.h"
+#include "util/parallel.h"
+#include "util/units.h"
+
+namespace nanocache::api {
+
+namespace {
+
+ErrorCode to_error_code(ErrorCategory category) {
+  switch (category) {
+    case ErrorCategory::kConfig: return ErrorCode::kConfig;
+    case ErrorCategory::kNumericDomain: return ErrorCode::kNumericDomain;
+    case ErrorCategory::kIo: return ErrorCode::kIo;
+    case ErrorCategory::kInfeasible: return ErrorCode::kInfeasible;
+    case ErrorCategory::kInternal: return ErrorCode::kInternal;
+  }
+  return ErrorCode::kInternal;
+}
+
+opt::Scheme to_scheme(SchemeId id) {
+  switch (id) {
+    case SchemeId::kI: return opt::Scheme::kPerComponent;
+    case SchemeId::kII: return opt::Scheme::kArrayPeriphery;
+    case SchemeId::kIII: return opt::Scheme::kUniform;
+  }
+  return opt::Scheme::kArrayPeriphery;
+}
+
+/// Run `fn`, folding thrown nanocache::Errors (and anything else) into a
+/// typed failure.  Every facade entry point funnels through here so no
+/// internal exception type ever crosses the public boundary.
+template <typename Fn>
+auto guarded(Fn&& fn) -> Outcome<decltype(fn())> {
+  using R = decltype(fn());
+  try {
+    return Outcome<R>(fn());
+  } catch (const Error& e) {
+    return Outcome<R>::failure(to_error_code(e.category()), e.what());
+  } catch (const std::exception& e) {
+    return Outcome<R>::failure(ErrorCode::kInternal, e.what());
+  }
+}
+
+/// Bit-pattern key of a double (same convention as batch_io's canonical
+/// request keys): memo entries match on structural identity.
+std::string key_double(double d) {
+  const auto bits = std::bit_cast<std::uint64_t>(d);
+  char buf[17];
+  static const char* hex = "0123456789abcdef";
+  for (int i = 15; i >= 0; --i) {
+    buf[15 - i] = hex[(bits >> (i * 4)) & 0xF];
+  }
+  buf[16] = '\0';
+  return std::string(buf);
+}
+
+std::vector<ComponentKnobs> assignment_out(
+    const cachemodel::ComponentAssignment& assignment) {
+  std::vector<ComponentKnobs> out;
+  out.reserve(cachemodel::kNumComponents);
+  for (const auto kind : cachemodel::kAllComponents) {
+    const auto& knobs = assignment.get(kind);
+    out.push_back(ComponentKnobs{
+        std::string(cachemodel::component_name(kind)),
+        Knobs{knobs.vth_v, knobs.tox_a}});
+  }
+  return out;
+}
+
+OptimizedCache to_optimized(const opt::SchemeResult& result) {
+  OptimizedCache c;
+  c.feasible = true;
+  c.leakage_mw = units::watts_to_mw(result.leakage_w);
+  c.access_time_ps = units::seconds_to_ps(result.access_time_s);
+  c.dynamic_pj = units::joules_to_pj(result.dynamic_energy_j);
+  c.assignment = assignment_out(result.assignment);
+  return c;
+}
+
+OptimizedCache to_optimized(const opt::OptOutcome<opt::SchemeResult>& outcome) {
+  if (!outcome) {
+    OptimizedCache c;
+    c.infeasible_reason = outcome.why().describe();
+    return c;
+  }
+  return to_optimized(*outcome);
+}
+
+SizeRow to_size_row(const core::SizeSweepRow& row) {
+  SizeRow out;
+  out.size_bytes = row.size_bytes;
+  out.feasible = row.feasible;
+  out.infeasible_reason = row.infeasible_reason;
+  out.miss_rate = row.miss_rate;
+  if (row.feasible) {
+    out.amat_ps = units::seconds_to_ps(row.amat_s);
+    out.level_leakage_mw = units::watts_to_mw(row.level_leakage_w);
+    out.total_leakage_mw = units::watts_to_mw(row.total_leakage_w);
+    out.result = to_optimized(row.result);
+  }
+  return out;
+}
+
+MenuDesign to_menu_design(const opt::SystemDesignPoint& point,
+                          double amat_target_ps) {
+  MenuDesign d;
+  d.amat_target_ps = amat_target_ps;
+  d.feasible = true;
+  d.amat_ps = units::seconds_to_ps(point.amat_s);
+  d.energy_pj = units::joules_to_pj(point.energy_j);
+  d.leakage_mw = units::watts_to_mw(point.leakage_w);
+  d.tox_menu_a = point.tox_menu;
+  d.vth_menu_v = point.vth_menu;
+  d.l1_assignment = assignment_out(point.l1);
+  d.l2_assignment = assignment_out(point.l2);
+  return d;
+}
+
+/// Satellite check: a grid override must stay inside the paper's knob
+/// ranges (the fitted forms and the BPTM device model are calibrated for
+/// them).  Out-of-range values are a typed kConfig error — never clamped.
+void validate_grid_axis(const char* axis, const std::vector<double>& values,
+                        double min, double max) {
+  NC_REQUIRE(!values.empty(),
+             std::string(axis) + " grid override must be non-empty");
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    NC_REQUIRE(values[i] >= min && values[i] <= max,
+               std::string(axis) + " grid value " + std::to_string(values[i]) +
+                   " outside the paper's knob range [" + std::to_string(min) +
+                   ", " + std::to_string(max) + "]");
+    NC_REQUIRE(i == 0 || values[i - 1] < values[i],
+               std::string(axis) +
+                   " grid values must be strictly increasing");
+  }
+}
+
+}  // namespace
+
+struct Service::Impl {
+  ServiceConfig api_config;
+  core::ExperimentConfig config;
+  std::unique_ptr<core::Explorer> explorer;
+  /// Sub-evaluation memo.  Per-service, and a Service's model/grid/mode
+  /// configuration is immutable, so keys only carry the per-request fields.
+  mutable MemoCache memo;
+
+  const cachemodel::CacheModel& model(Level level,
+                                      std::uint64_t size_bytes) const {
+    return level == Level::kL2 ? explorer->l2_model(size_bytes)
+                               : explorer->l1_model(size_bytes);
+  }
+
+  /// Memoized uniform-knob cache evaluation ("eval|" entries).
+  std::shared_ptr<const cachemodel::CacheMetrics> eval_memo(
+      Level level, std::uint64_t size_bytes, const Knobs& knobs) const {
+    std::string key = "eval|";
+    key += level_name(level);
+    key += '|';
+    key += std::to_string(size_bytes);
+    key += '|';
+    key += key_double(knobs.vth_v);
+    key += '|';
+    key += key_double(knobs.tox_a);
+    return memo.get_or_compute<cachemodel::CacheMetrics>(key, [&] {
+      const auto& m = model(level, size_bytes);
+      const auto eval = explorer->evaluator(m);
+      const tech::DeviceKnobs device{knobs.vth_v, knobs.tox_a};
+      auto metrics = std::make_shared<cachemodel::CacheMetrics>();
+      for (const auto kind : cachemodel::kAllComponents) {
+        const auto cm = eval(kind, device);
+        metrics->per_component[static_cast<std::size_t>(kind)] = cm;
+        metrics->access_time_s += cm.delay_s;
+        metrics->leakage_w += cm.leakage_w;
+        metrics->leakage_sub_w += cm.leakage_sub_w;
+        metrics->leakage_gate_w += cm.leakage_gate_w;
+        metrics->dynamic_energy_j += cm.dynamic_energy_j;
+        metrics->dynamic_write_energy_j += cm.dynamic_write_energy_j;
+        metrics->area_um2 += cm.area_um2;
+      }
+      return metrics;
+    });
+  }
+
+  /// Memoized single-cache scheme optimization ("opt|" entries).  Shared
+  /// between optimize requests and the scheme-comparison sweep, so a batch
+  /// that asks for both computes each (cache, scheme, target) cell once.
+  std::shared_ptr<const opt::OptOutcome<opt::SchemeResult>> optimize_memo(
+      Level level, std::uint64_t size_bytes, SchemeId scheme,
+      double delay_s) const {
+    std::string key = "opt|";
+    key += level_name(level);
+    key += '|';
+    key += std::to_string(size_bytes);
+    key += '|';
+    key += scheme_id_name(scheme);
+    key += '|';
+    key += key_double(delay_s);
+    return memo.get_or_compute<opt::OptOutcome<opt::SchemeResult>>(key, [&] {
+      const auto& m = model(level, size_bytes);
+      const auto eval = explorer->evaluator(m);
+      return std::make_shared<const opt::OptOutcome<opt::SchemeResult>>(
+          opt::optimize_single_cache(eval, config.grid, to_scheme(scheme),
+                                     delay_s));
+    });
+  }
+
+  /// Memoized Section 5 size sweeps, keyed by the *resolved* AMAT target so
+  /// an explicit `amat_ps` and the squeeze default it equals share a slot.
+  std::shared_ptr<const std::vector<core::SizeSweepRow>> size_sweep_memo(
+      SweepKind kind, SchemeId l2_scheme, double amat_s) const {
+    std::string key = "sweep|";
+    key += sweep_kind_name(kind);
+    key += '|';
+    key += scheme_id_name(l2_scheme);
+    key += '|';
+    key += key_double(amat_s);
+    return memo.get_or_compute<std::vector<core::SizeSweepRow>>(key, [&] {
+      auto rows = kind == SweepKind::kL1Sizes
+                      ? explorer->l1_size_sweep(amat_s)
+                      : explorer->l2_size_sweep(to_scheme(l2_scheme), amat_s);
+      return std::make_shared<const std::vector<core::SizeSweepRow>>(
+          std::move(rows));
+    });
+  }
+
+  /// Memoized tuple-problem solutions ("menu*|" entries).
+  std::shared_ptr<const std::optional<opt::SystemDesignPoint>> menu_best_memo(
+      const opt::TupleMenuSolver& solver, const opt::MenuSpec& spec,
+      double target_s) const {
+    std::string key = "menu|";
+    key += std::to_string(spec.num_tox);
+    key += '|';
+    key += std::to_string(spec.num_vth);
+    key += '|';
+    key += key_double(target_s);
+    return memo.get_or_compute<std::optional<opt::SystemDesignPoint>>(
+        key, [&] {
+          return std::make_shared<const std::optional<opt::SystemDesignPoint>>(
+              solver.best_at(spec, target_s));
+        });
+  }
+};
+
+Service::Service() = default;
+Service::~Service() = default;
+
+Outcome<std::shared_ptr<Service>> Service::create(ServiceConfig config) {
+  return guarded([&config] {
+    const tech::KnobRange ranges{};  // the paper's knob ranges (bptm65)
+    if (!config.grid_vth_v.empty()) {
+      validate_grid_axis("Vth", config.grid_vth_v, ranges.vth_min_v,
+                         ranges.vth_max_v);
+    }
+    if (!config.grid_tox_a.empty()) {
+      validate_grid_axis("Tox", config.grid_tox_a, ranges.tox_min_a,
+                         ranges.tox_max_a);
+    }
+
+    core::ExperimentConfig experiment;
+    experiment.use_fitted_models = config.use_fitted_models;
+    experiment.degradation_policy =
+        config.strict_degradation ? core::DegradationPolicy::kStrict
+                                  : core::DegradationPolicy::kFallbackToStructural;
+    if (config.l1_size_bytes != 0) {
+      experiment.l1_size_bytes = config.l1_size_bytes;
+    }
+    if (config.l2_size_bytes != 0) {
+      experiment.l2_size_bytes = config.l2_size_bytes;
+    }
+    if (!config.grid_vth_v.empty()) {
+      experiment.grid.vth_values = config.grid_vth_v;
+    }
+    if (!config.grid_tox_a.empty()) {
+      experiment.grid.tox_values = config.grid_tox_a;
+    }
+
+    auto service = std::shared_ptr<Service>(new Service());
+    service->impl_ = std::make_unique<Impl>();
+    service->impl_->api_config = std::move(config);
+    service->impl_->config = std::move(experiment);
+    service->impl_->explorer =
+        std::make_unique<core::Explorer>(service->impl_->config);
+    return service;
+  });
+}
+
+const ServiceConfig& Service::config() const { return impl_->api_config; }
+
+const core::Explorer& Service::explorer() const { return *impl_->explorer; }
+
+MemoStats Service::memo_stats() const {
+  return MemoStats{impl_->memo.hits(), impl_->memo.misses(),
+                   impl_->memo.entries()};
+}
+
+Outcome<EvalResponse> Service::evaluate(const EvalRequest& request) const {
+  return guarded([&] {
+    const auto metrics =
+        impl_->eval_memo(request.level, request.size_bytes, request.knobs);
+    EvalResponse r;
+    r.organization =
+        impl_->model(request.level, request.size_bytes).organization().describe();
+    r.access_time_ps = units::seconds_to_ps(metrics->access_time_s);
+    r.leakage_mw = units::watts_to_mw(metrics->leakage_w);
+    r.leakage_sub_mw = units::watts_to_mw(metrics->leakage_sub_w);
+    r.leakage_gate_mw = units::watts_to_mw(metrics->leakage_gate_w);
+    r.dynamic_pj = units::joules_to_pj(metrics->dynamic_energy_j);
+    r.area_um2 = metrics->area_um2;
+    for (const auto kind : cachemodel::kAllComponents) {
+      const auto& cm = metrics->per_component[static_cast<std::size_t>(kind)];
+      ComponentEval c;
+      c.component = std::string(cachemodel::component_name(kind));
+      c.knobs = request.knobs;
+      c.delay_ps = units::seconds_to_ps(cm.delay_s);
+      c.leakage_mw = units::watts_to_mw(cm.leakage_w);
+      c.dynamic_pj = units::joules_to_pj(cm.dynamic_energy_j);
+      r.components.push_back(std::move(c));
+    }
+    return r;
+  });
+}
+
+Outcome<OptimizeResponse> Service::optimize(const OptimizeRequest& request) const {
+  return guarded([&] {
+    NC_REQUIRE(request.delay_ps > 0.0, "delay_ps must be positive");
+    const auto outcome = impl_->optimize_memo(
+        request.level, request.size_bytes, request.scheme,
+        units::ps_to_seconds(request.delay_ps));
+    return OptimizeResponse{to_optimized(*outcome)};
+  });
+}
+
+Outcome<SweepResponse> Service::sweep(const SweepRequest& request) const {
+  return guarded([&] {
+    SweepResponse r;
+    r.kind = request.kind;
+    if (request.kind == SweepKind::kSchemes) {
+      const std::uint64_t size = request.cache_size_bytes != 0
+                                     ? request.cache_size_bytes
+                                     : impl_->config.l1_size_bytes;
+      std::vector<double> targets_s;
+      if (!request.delay_targets_ps.empty()) {
+        for (const double ps : request.delay_targets_ps) {
+          NC_REQUIRE(ps > 0.0, "delay_targets_ps must be positive");
+          targets_s.push_back(units::ps_to_seconds(ps));
+        }
+      } else {
+        targets_s = impl_->explorer->delay_ladder(size, request.ladder_steps);
+      }
+      // Computed here (not via Explorer::scheme_comparison) so the cells
+      // share "opt|" memo entries with single optimize requests.
+      r.schemes = par::parallel_map(targets_s.size(), [&](std::size_t i) {
+        SchemesRow row;
+        row.delay_target_ps = units::seconds_to_ps(targets_s[i]);
+        row.scheme1 = to_optimized(
+            *impl_->optimize_memo(Level::kL1, size, SchemeId::kI, targets_s[i]));
+        row.scheme2 = to_optimized(
+            *impl_->optimize_memo(Level::kL1, size, SchemeId::kII, targets_s[i]));
+        row.scheme3 = to_optimized(*impl_->optimize_memo(
+            Level::kL1, size, SchemeId::kIII, targets_s[i]));
+        return row;
+      });
+      return r;
+    }
+
+    NC_REQUIRE(request.amat_ps >= 0.0, "amat_ps must be non-negative");
+    const double amat_s =
+        request.amat_ps > 0.0
+            ? units::ps_to_seconds(request.amat_ps)
+            : (request.kind == SweepKind::kL1Sizes
+                   ? impl_->explorer->l2_squeeze_target_s(1.25)
+                   : impl_->explorer->l2_squeeze_target_s());
+    r.amat_target_ps = units::seconds_to_ps(amat_s);
+    const auto rows =
+        impl_->size_sweep_memo(request.kind, request.l2_scheme, amat_s);
+    r.sizes.reserve(rows->size());
+    for (const auto& row : *rows) r.sizes.push_back(to_size_row(row));
+    return r;
+  });
+}
+
+Outcome<TupleMenuResponse> Service::tuple_menu(
+    const TupleMenuRequest& request) const {
+  return guarded([&] {
+    const auto& grid = impl_->config.grid;
+    NC_REQUIRE(request.num_tox >= 1 &&
+                   request.num_tox <= static_cast<int>(grid.tox_values.size()),
+               "num_tox must be between 1 and the grid's Tox count");
+    NC_REQUIRE(request.num_vth >= 1 &&
+                   request.num_vth <= static_cast<int>(grid.vth_values.size()),
+               "num_vth must be between 1 and the grid's Vth count");
+    NC_REQUIRE(!request.include_frontier || request.frontier_max_points > 0,
+               "frontier_max_points must be positive");
+
+    const opt::MenuSpec spec{request.num_tox, request.num_vth};
+    const auto system = impl_->explorer->default_system();
+    const opt::TupleMenuSolver solver(system, grid);
+
+    TupleMenuResponse r;
+    r.num_tox = spec.num_tox;
+    r.num_vth = spec.num_vth;
+    r.label = core::Explorer::menu_label(spec);
+
+    std::vector<double> targets_s;
+    if (!request.amat_targets_ps.empty()) {
+      for (const double ps : request.amat_targets_ps) {
+        NC_REQUIRE(ps > 0.0, "amat_targets_ps must be positive");
+        targets_s.push_back(units::ps_to_seconds(ps));
+      }
+    } else {
+      targets_s = impl_->config.amat_targets_s();
+    }
+
+    const auto min_amat = impl_->memo.get_or_compute<double>(
+        "menumin|" + std::to_string(spec.num_tox) + "|" +
+            std::to_string(spec.num_vth),
+        [&] { return std::make_shared<const double>(solver.min_amat_s(spec)); });
+    r.min_amat_ps = units::seconds_to_ps(*min_amat);
+
+    // Targets run serially: best_at fans its menu enumeration out over the
+    // pool already (parallelizing both layers would collapse the inner one).
+    for (const double target_s : targets_s) {
+      const auto best = impl_->menu_best_memo(solver, spec, target_s);
+      if (*best) {
+        r.targets.push_back(
+            to_menu_design(**best, units::seconds_to_ps(target_s)));
+      } else {
+        MenuDesign d;
+        d.amat_target_ps = units::seconds_to_ps(target_s);
+        r.targets.push_back(std::move(d));
+      }
+    }
+
+    if (request.include_frontier) {
+      std::string key = "menufront|" + std::to_string(spec.num_tox) + "|" +
+                        std::to_string(spec.num_vth) + "|" +
+                        std::to_string(request.frontier_max_points);
+      const auto frontier =
+          impl_->memo.get_or_compute<std::vector<opt::SystemDesignPoint>>(
+              key, [&] {
+                return std::make_shared<
+                    const std::vector<opt::SystemDesignPoint>>(solver.frontier(
+                    spec,
+                    static_cast<std::size_t>(request.frontier_max_points)));
+              });
+      for (const auto& point : *frontier) {
+        r.frontier.push_back(to_menu_design(point, 0.0));
+      }
+    }
+    return r;
+  });
+}
+
+Response Service::serve(const Request& request) const {
+  Response response;
+  response.id = request.id;
+  response.kind = request.kind;
+  if (request.schema_version != kSchemaVersion) {
+    response.error = ErrorInfo{
+        ErrorCode::kConfig,
+        "unsupported schema_version " + std::to_string(request.schema_version) +
+            " (this build speaks " + std::to_string(kSchemaVersion) + ")"};
+    return response;
+  }
+  switch (request.kind) {
+    case RequestKind::kEval: {
+      auto out = evaluate(request.eval);
+      if (out) {
+        response.ok = true;
+        response.eval = std::move(out.value());
+      } else {
+        response.error = out.error();
+      }
+      break;
+    }
+    case RequestKind::kOptimize: {
+      auto out = optimize(request.optimize);
+      if (out) {
+        response.ok = true;
+        response.optimize = std::move(out.value());
+      } else {
+        response.error = out.error();
+      }
+      break;
+    }
+    case RequestKind::kSweep: {
+      auto out = sweep(request.sweep);
+      if (out) {
+        response.ok = true;
+        response.sweep = std::move(out.value());
+      } else {
+        response.error = out.error();
+      }
+      break;
+    }
+    case RequestKind::kTupleMenu: {
+      auto out = tuple_menu(request.tuple_menu);
+      if (out) {
+        response.ok = true;
+        response.tuple_menu = std::move(out.value());
+      } else {
+        response.error = out.error();
+      }
+      break;
+    }
+  }
+  return response;
+}
+
+BatchResult Service::run_batch(const std::vector<Request>& requests) const {
+  BatchResult batch;
+  batch.stats.requests = requests.size();
+  const std::size_t memo_hits_before = impl_->memo.hits();
+  const std::size_t memo_misses_before = impl_->memo.misses();
+
+  // Request-level dedup: structurally identical requests (ids ignored)
+  // collapse to one evaluation.  Unique requests keep first-occurrence
+  // order, so the fan-out below is deterministic at any thread count.
+  std::unordered_map<std::string, std::size_t> seen;
+  std::vector<std::size_t> first_occurrence;
+  std::vector<std::size_t> unique_of(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const auto [it, inserted] =
+        seen.emplace(request_canonical_key(requests[i]), first_occurrence.size());
+    if (inserted) first_occurrence.push_back(i);
+    unique_of[i] = it->second;
+  }
+  batch.stats.unique_requests = first_occurrence.size();
+  batch.stats.request_hits = requests.size() - first_occurrence.size();
+
+  const auto unique_responses =
+      par::parallel_map(first_occurrence.size(), [&](std::size_t u) {
+        return serve(requests[first_occurrence[u]]);
+      });
+
+  batch.responses.resize(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    Response r = unique_responses[unique_of[i]];
+    r.id = requests[i].id;  // a copied response answers to the copy's id
+    batch.responses[i] = std::move(r);
+  }
+
+  batch.stats.memo_hits = impl_->memo.hits() - memo_hits_before;
+  batch.stats.memo_misses = impl_->memo.misses() - memo_misses_before;
+  return batch;
+}
+
+}  // namespace nanocache::api

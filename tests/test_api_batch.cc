@@ -1,0 +1,201 @@
+// Batch evaluation contract: JSONL round-trips, canonical request keys,
+// request-level dedup accounting, and the headline determinism guarantee —
+// run_batch produces byte-identical responses to sequential serve() calls
+// at any thread count.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/batch_io.h"
+#include "nanocache/api.h"
+#include "util/parallel.h"
+
+namespace nanocache::api {
+namespace {
+
+/// Restores the process-wide default thread count on scope exit.
+struct ThreadCountGuard {
+  ~ThreadCountGuard() { par::set_default_threads(0); }
+};
+
+std::shared_ptr<Service> make_service() {
+  auto service = Service::create({});
+  EXPECT_TRUE(service.ok()) << service.error().message;
+  return service.value();
+}
+
+/// A small mixed workload with deliberate overlap: duplicate requests
+/// (ids differ), an optimize whose delay target reappears inside a schemes
+/// sweep, and an eval repeated at the same knobs.
+std::vector<Request> mixed_workload() {
+  std::vector<Request> requests;
+
+  for (int i = 0; i < 3; ++i) {
+    Request r;
+    r.id = "eval-" + std::to_string(i);
+    r.kind = RequestKind::kEval;
+    r.eval.knobs = Knobs{0.25 + 0.05 * (i % 2), 12.0};  // i==2 repeats i==0
+    requests.push_back(std::move(r));
+  }
+
+  for (int i = 0; i < 2; ++i) {
+    Request r;
+    r.id = "opt-" + std::to_string(i);
+    r.kind = RequestKind::kOptimize;
+    r.optimize.scheme = i == 0 ? SchemeId::kII : SchemeId::kIII;
+    r.optimize.delay_ps = 1500.0;
+    requests.push_back(std::move(r));
+  }
+
+  Request sweep;
+  sweep.id = "sweep-0";
+  sweep.kind = RequestKind::kSweep;
+  sweep.sweep.kind = SweepKind::kSchemes;
+  sweep.sweep.delay_targets_ps = {1500.0};  // shares "opt|" memo entries
+  requests.push_back(std::move(sweep));
+
+  return requests;
+}
+
+TEST(ApiBatch, RequestJsonRoundTrips) {
+  for (const auto& request : mixed_workload()) {
+    const std::string encoded = request_to_json(request);
+    const auto parsed = parse_request_json(encoded);
+    ASSERT_TRUE(parsed.ok()) << parsed.error().message << " for " << encoded;
+    EXPECT_EQ(request_to_json(parsed.value()), encoded);
+    EXPECT_EQ(request_canonical_key(parsed.value()),
+              request_canonical_key(request));
+  }
+}
+
+TEST(ApiBatch, ParseRejectsMalformedRequests) {
+  const auto expect_config_error = [](const std::string& line) {
+    const auto parsed = parse_request_json(line);
+    ASSERT_FALSE(parsed.ok()) << line;
+    EXPECT_EQ(parsed.error().code, ErrorCode::kConfig) << line;
+  };
+  expect_config_error("not json at all");
+  expect_config_error("{\"kind\":\"eval\"}");  // missing schema_version
+  expect_config_error("{\"schema_version\":99,\"kind\":\"eval\"}");
+  expect_config_error("{\"schema_version\":1}");  // missing kind
+  expect_config_error("{\"schema_version\":1,\"kind\":\"bogus\"}");
+  expect_config_error(
+      "{\"schema_version\":1,\"kind\":\"eval\",\"level\":\"l3\"}");
+
+  // Unknown keys are ignored (additive schema evolution).
+  const auto parsed = parse_request_json(
+      "{\"schema_version\":1,\"kind\":\"eval\",\"future_field\":42}");
+  EXPECT_TRUE(parsed.ok());
+}
+
+TEST(ApiBatch, CanonicalKeyIgnoresIdOnly) {
+  Request a;
+  a.id = "a";
+  a.kind = RequestKind::kOptimize;
+  Request b = a;
+  b.id = "b";
+  EXPECT_EQ(request_canonical_key(a), request_canonical_key(b));
+
+  b.optimize.delay_ps += 1.0;
+  EXPECT_NE(request_canonical_key(a), request_canonical_key(b));
+}
+
+TEST(ApiBatch, DedupStatsAndIdEcho) {
+  const auto service = make_service();
+  const auto requests = mixed_workload();
+  const auto batch = service->run_batch(requests);
+
+  ASSERT_EQ(batch.responses.size(), requests.size());
+  // eval-2 repeats eval-0's payload: one request-level hit.
+  EXPECT_EQ(batch.stats.requests, requests.size());
+  EXPECT_EQ(batch.stats.unique_requests, requests.size() - 1);
+  EXPECT_EQ(batch.stats.request_hits, 1u);
+  // The schemes sweep reuses the optimize requests' "opt|" entries.
+  EXPECT_GT(batch.stats.memo_hits, 0u);
+  EXPECT_GT(batch.stats.hit_rate(), 0.0);
+
+  // Every response answers to its own request's id, duplicates included.
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(batch.responses[i].id, requests[i].id);
+    EXPECT_TRUE(batch.responses[i].ok) << batch.responses[i].error.message;
+  }
+  // The duplicate's payload bytes equal the original's.
+  Response copy = batch.responses[2];
+  copy.id = batch.responses[0].id;
+  EXPECT_EQ(response_to_json(copy), response_to_json(batch.responses[0]));
+}
+
+TEST(ApiBatch, BatchMatchesSequentialAtAnyThreadCount) {
+  ThreadCountGuard guard;
+  const auto requests = mixed_workload();
+
+  // Sequential baseline: one warm service, serve() in input order.
+  par::set_default_threads(1);
+  std::vector<std::string> baseline;
+  {
+    const auto service = make_service();
+    for (const auto& request : requests) {
+      baseline.push_back(response_to_json(service->serve(request)));
+    }
+  }
+
+  for (const int threads : {1, 8}) {
+    par::set_default_threads(threads);
+    const auto service = make_service();
+    const auto batch = service->run_batch(requests);
+    ASSERT_EQ(batch.responses.size(), baseline.size());
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+      EXPECT_EQ(response_to_json(batch.responses[i]), baseline[i])
+          << "request " << i << " at " << threads << " thread(s)";
+    }
+  }
+}
+
+TEST(ApiBatch, JsonlStreamKeepsLineOrderAndReportsParseFailures) {
+  ThreadCountGuard guard;
+  par::set_default_threads(2);
+  const auto service = make_service();
+
+  std::istringstream in(
+      "{\"schema_version\":1,\"id\":\"e1\",\"kind\":\"eval\"}\n"
+      "\n"
+      "this line is not json\n"
+      "{\"schema_version\":1,\"id\":\"o1\",\"kind\":\"optimize\","
+      "\"delay_ps\":1500}\r\n"
+      "{\"schema_version\":1,\"id\":\"e2\",\"kind\":\"eval\"}\n");
+  std::ostringstream out;
+  const auto stats = run_batch_jsonl(*service, in, out);
+
+  // Blank line skipped; the parse failure still occupies its slot.
+  EXPECT_EQ(stats.requests, 4u);
+  EXPECT_EQ(stats.unique_requests, 2u);  // e1 == e2 structurally
+  EXPECT_EQ(stats.request_hits, 1u);
+
+  std::vector<std::string> lines;
+  std::string line;
+  std::istringstream rendered(out.str());
+  while (std::getline(rendered, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_NE(lines[0].find("\"id\":\"e1\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"ok\":true"), std::string::npos);
+  // The bad line reports its input line number (3: after e1 and the blank).
+  EXPECT_NE(lines[1].find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(lines[1].find("line 3"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"id\":\"o1\""), std::string::npos);
+  EXPECT_NE(lines[3].find("\"id\":\"e2\""), std::string::npos);
+
+  // e1 and e2 received byte-identical payloads (ids aside).
+  const auto strip_id = [](std::string s, const std::string& id) {
+    const auto pos = s.find("\"id\":\"" + id + "\",");
+    EXPECT_NE(pos, std::string::npos);
+    s.erase(pos, id.size() + 8);
+    return s;
+  };
+  EXPECT_EQ(strip_id(lines[0], "e1"), strip_id(lines[3], "e2"));
+}
+
+}  // namespace
+}  // namespace nanocache::api

@@ -1,19 +1,29 @@
 // nanocache command-line driver: ad-hoc model queries, single
-// optimizations, experiment runs and CSV export without writing C++.
+// optimizations, experiment runs, batched JSONL serving and CSV export
+// without writing C++.
 //
 //   nanocache_cli list
 //   nanocache_cli cache --size 16384 [--l2] [--vth 0.35] [--tox 12]
 //   nanocache_cli optimize --size 16384 --scheme II --delay-ps 1400
 //   nanocache_cli run fig1|schemes|l2|l2split|l1|fig2
+//   nanocache_cli batch requests.jsonl
 //   nanocache_cli export --dir out_csv
-#include <cstring>
+//
+// Request-shaped commands (cache, optimize, run schemes/l2/l2split/l1,
+// batch) go through the public nanocache::api::Service facade — the same
+// code path library consumers use; figure rendering and diagnostics use the
+// documented Explorer escape hatch.
+#include <fstream>
 #include <iostream>
-#include <map>
+#include <memory>
 #include <string>
 
+#include "api/batch_io.h"
+#include "api/request_args.h"
+#include "cachemodel/variation.h"
 #include "core/explorer.h"
 #include "core/report.h"
-#include "cachemodel/variation.h"
+#include "nanocache/api.h"
 #include "opt/sensitivity.h"
 #include "util/error.h"
 #include "util/parallel.h"
@@ -21,45 +31,9 @@
 #include "util/units.h"
 
 using namespace nanocache;
+using api::CliArgs;
 
 namespace {
-
-struct Args {
-  std::string command;
-  std::string positional;
-  std::map<std::string, std::string> flags;
-};
-
-Args parse(int argc, char** argv) {
-  Args a;
-  if (argc < 2) return a;
-  a.command = argv[1];
-  for (int i = 2; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg.rfind("--", 0) == 0) {
-      const std::string key = arg.substr(2);
-      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
-        a.flags[key] = argv[++i];
-      } else {
-        a.flags[key] = "true";
-      }
-    } else if (a.positional.empty()) {
-      a.positional = arg;
-    }
-  }
-  return a;
-}
-
-double flag_d(const Args& a, const std::string& key, double fallback) {
-  const auto it = a.flags.find(key);
-  return it == a.flags.end() ? fallback : std::stod(it->second);
-}
-
-std::uint64_t flag_u(const Args& a, const std::string& key,
-                     std::uint64_t fallback) {
-  const auto it = a.flags.find(key);
-  return it == a.flags.end() ? fallback : std::stoull(it->second);
-}
 
 int usage() {
   std::cout <<
@@ -70,6 +44,9 @@ int usage() {
       "--delay-ps <ps>\n"
       "  nanocache_cli run fig1|schemes|l2|l2split|l1|fig2 "
       "[--fitted] [--strict]\n"
+      "  nanocache_cli run schemes [--size <bytes>] [--steps N]\n"
+      "  nanocache_cli run l2|l2split|l1 [--amat-ps <ps>]\n"
+      "  nanocache_cli batch <requests.jsonl | -> \n"
       "  nanocache_cli frontier --size <bytes> [--l2] --scheme I|II|III\n"
       "  nanocache_cli sensitivity --size <bytes> [--l2] [--vth V] "
       "[--tox A]\n"
@@ -82,27 +59,35 @@ int usage() {
       "  --threads N  worker threads for sweeps (default: hardware "
       "concurrency;\n"
       "               results are identical at any thread count)\n"
-      "exit codes: 0 ok, 1 internal, 2 config, 3 io, 4 numeric/infeasible\n";
+      "batch: one JSON request per line (docs/API.md); one response line per\n"
+      "  request, in input order.  Per-request failures stay in-band as\n"
+      "  error responses; the process exits 0 unless the stream itself is\n"
+      "  unreadable.  Dedup/memoization stats go to stderr.\n"
+      "exit codes (from the error taxonomy; scripts branch on these):\n"
+      "  0 ok    1 internal     2 config (malformed request/flags)\n"
+      "  3 io    4 numeric-domain or infeasible\n";
   return 2;
 }
 
-/// Explorer honoring the shared --fitted / --strict flags.
-core::Explorer make_explorer(const Args& args) {
-  core::ExperimentConfig config;
-  if (args.flags.count("fitted") > 0) config.use_fitted_models = true;
-  if (args.flags.count("strict") > 0) {
-    config.degradation_policy = core::DegradationPolicy::kStrict;
+/// Build the facade service honoring the shared --fitted/--strict flags;
+/// prints the typed error and exits via the documented code on failure.
+std::shared_ptr<api::Service> make_service(const CliArgs& args) {
+  auto service = api::Service::create(api::service_config_from_args(args));
+  if (!service) {
+    std::cerr << "error: " << service.error().message << "\n";
+    std::exit(api::exit_code_for(service.error().code));
   }
-  return core::Explorer(config);
+  return service.value();
 }
 
 /// Surface recorded fitted->structural fallbacks after a run; silent when
-/// nothing degraded.
-void print_degradations(const core::Explorer& explorer) {
-  if (explorer.degradation_events().empty()) return;
-  std::cerr << "note: fitted model degraded "
-            << explorer.degradation_events().size() << " time(s):\n";
-  for (const auto& e : explorer.degradation_events()) {
+/// nothing degraded.  Goes to stderr so stdout stays machine-comparable.
+void print_degradations(const api::Service& service) {
+  const auto& events = service.explorer().degradation_events();
+  if (events.empty()) return;
+  std::cerr << "note: fitted model degraded " << events.size()
+            << " time(s):\n";
+  for (const auto& e : events) {
     std::cerr << "  " << e.model << ": " << e.reason << "\n";
   }
 }
@@ -120,129 +105,160 @@ int cmd_list() {
   return 0;
 }
 
-int cmd_cache(const Args& args) {
-  const auto size = flag_u(args, "size", 16 * 1024);
-  const bool is_l2 = args.flags.count("l2") > 0;
-  const tech::DeviceKnobs knobs{flag_d(args, "vth", 0.35),
-                                flag_d(args, "tox", 12.0)};
-  core::Explorer explorer;
-  const auto& model =
-      is_l2 ? explorer.l2_model(size) : explorer.l1_model(size);
-  const auto m = model.evaluate_uniform(knobs);
-  std::cout << model.organization().describe() << " at Vth="
-            << fmt_fixed(knobs.vth_v, 2) << "V Tox="
-            << fmt_fixed(knobs.tox_a, 1) << "A\n";
+int cmd_cache(const api::Service& service, const api::Request& request) {
+  const auto out = service.evaluate(request.eval);
+  if (!out) {
+    std::cerr << "error: " << out.error().message << "\n";
+    return api::exit_code_for(out.error().code);
+  }
+  const auto& e = *out;
+  std::cout << e.organization << " at Vth="
+            << fmt_fixed(request.eval.knobs.vth_v, 2) << "V Tox="
+            << fmt_fixed(request.eval.knobs.tox_a, 1) << "A\n";
   TextTable t;
   t.set_header({"component", "delay [pS]", "leakage [mW]", "dynamic [pJ]"});
-  for (auto kind : cachemodel::kAllComponents) {
-    const auto& c = m.per_component[static_cast<std::size_t>(kind)];
-    t.add_row({std::string(cachemodel::component_name(kind)),
-               fmt_fixed(units::seconds_to_ps(c.delay_s), 1),
-               fmt_fixed(units::watts_to_mw(c.leakage_w), 4),
-               fmt_fixed(units::joules_to_pj(c.dynamic_energy_j), 3)});
+  for (const auto& c : e.components) {
+    t.add_row({c.component, fmt_fixed(c.delay_ps, 1),
+               fmt_fixed(c.leakage_mw, 4), fmt_fixed(c.dynamic_pj, 3)});
   }
-  t.add_row({"TOTAL", fmt_fixed(units::seconds_to_ps(m.access_time_s), 1),
-             fmt_fixed(units::watts_to_mw(m.leakage_w), 4),
-             fmt_fixed(units::joules_to_pj(m.dynamic_energy_j), 3)});
+  t.add_row({"TOTAL", fmt_fixed(e.access_time_ps, 1),
+             fmt_fixed(e.leakage_mw, 4), fmt_fixed(e.dynamic_pj, 3)});
   std::cout << t;
+  print_degradations(service);
   return 0;
 }
 
-int cmd_optimize(const Args& args) {
-  const auto size = flag_u(args, "size", 16 * 1024);
-  const bool is_l2 = args.flags.count("l2") > 0;
-  const double delay_ps = flag_d(args, "delay-ps", 1400.0);
-  const auto scheme_it = args.flags.find("scheme");
-  opt::Scheme scheme = opt::Scheme::kArrayPeriphery;
-  if (scheme_it != args.flags.end()) {
-    if (scheme_it->second == "I") {
-      scheme = opt::Scheme::kPerComponent;
-    } else if (scheme_it->second == "II") {
-      scheme = opt::Scheme::kArrayPeriphery;
-    } else if (scheme_it->second == "III") {
-      scheme = opt::Scheme::kUniform;
-    } else {
-      std::cerr << "unknown scheme: " << scheme_it->second << "\n";
-      return 2;
-    }
+int cmd_optimize(const api::Service& service, const api::Request& request) {
+  const auto out = service.optimize(request.optimize);
+  if (!out) {
+    std::cerr << "error: " << out.error().message << "\n";
+    return api::exit_code_for(out.error().code);
   }
-  core::Explorer explorer;
-  const auto& model =
-      is_l2 ? explorer.l2_model(size) : explorer.l1_model(size);
-  const auto eval = opt::structural_evaluator(model);
-  const auto grid = opt::KnobGrid::paper_default();
-  const auto result = opt::optimize_single_cache(
-      eval, grid, scheme, units::ps_to_seconds(delay_ps));
-  if (!result) {
-    std::cerr << "error: " << result.why().describe() << "\n";
+  const auto& r = out->result;
+  if (!r.feasible) {
+    std::cerr << "error: " << r.infeasible_reason << "\n";
     return 4;
   }
-  std::cout << "scheme " << opt::scheme_name(scheme) << " optimum under "
-            << fmt_fixed(delay_ps, 0) << " pS:\n";
+  std::cout << "scheme " << api::scheme_id_name(request.optimize.scheme)
+            << " optimum under " << fmt_fixed(request.optimize.delay_ps, 0)
+            << " pS:\n";
   TextTable t;
   t.set_header({"component", "Vth [V]", "Tox [A]"});
-  for (auto kind : cachemodel::kAllComponents) {
-    const auto& k = result->assignment.get(kind);
-    t.add_row({std::string(cachemodel::component_name(kind)),
-               fmt_fixed(k.vth_v, 2), fmt_fixed(k.tox_a, 0)});
+  for (const auto& c : r.assignment) {
+    t.add_row({c.component, fmt_fixed(c.knobs.vth_v, 2),
+               fmt_fixed(c.knobs.tox_a, 0)});
   }
-  std::cout << t << "leakage "
-            << fmt_fixed(units::watts_to_mw(result->leakage_w), 4)
-            << " mW at "
-            << fmt_fixed(units::seconds_to_ps(result->access_time_s), 1)
-            << " pS\n";
+  std::cout << t << "leakage " << fmt_fixed(r.leakage_mw, 4) << " mW at "
+            << fmt_fixed(r.access_time_ps, 1) << " pS\n";
+  print_degradations(service);
   return 0;
 }
 
-int cmd_run(const Args& args) {
-  core::Explorer explorer = make_explorer(args);
+TextTable schemes_table(const api::SweepResponse& sweep) {
+  TextTable t("scheme_comparison");
+  t.set_header({"target_ps", "scheme", "leakage_mw", "achieved_ps", "note"});
+  const auto emit = [&t](double target_ps, const char* name,
+                         const api::OptimizedCache& r) {
+    t.add_row({fmt_fixed(target_ps, 1), name,
+               r.feasible ? fmt_fixed(r.leakage_mw, 4) : "infeasible",
+               r.feasible ? fmt_fixed(r.access_time_ps, 1) : "-",
+               r.feasible ? "" : r.infeasible_reason});
+  };
+  for (const auto& row : sweep.schemes) {
+    emit(row.delay_target_ps, "I", row.scheme1);
+    emit(row.delay_target_ps, "II", row.scheme2);
+    emit(row.delay_target_ps, "III", row.scheme3);
+  }
+  return t;
+}
+
+TextTable sizes_table(const api::SweepResponse& sweep,
+                      const std::string& level_name) {
+  TextTable t(level_name + "_size_sweep");
+  t.set_header({"size_bytes", "miss_rate", "feasible", "level_leakage_mw",
+                "total_leakage_mw", "amat_ps", "note"});
+  for (const auto& r : sweep.sizes) {
+    t.add_row({std::to_string(r.size_bytes), fmt_fixed(r.miss_rate, 5),
+               r.feasible ? "1" : "0",
+               r.feasible ? fmt_fixed(r.level_leakage_mw, 4) : "-",
+               r.feasible ? fmt_fixed(r.total_leakage_mw, 4) : "-",
+               r.feasible ? fmt_fixed(r.amat_ps, 1) : "-",
+               r.infeasible_reason});
+  }
+  return t;
+}
+
+int cmd_run(const api::Service& service, const CliArgs& args) {
   const std::string& which = args.positional;
+  // Figure rendering is not request-shaped; it uses the escape hatch.
   if (which == "fig1") {
+    const auto& explorer = service.explorer();
     std::cout << core::fig1_long_table(
         explorer.fig1_fixed_knob(explorer.config().l1_size_bytes));
-  } else if (which == "schemes") {
-    const auto ladder =
-        explorer.delay_ladder(explorer.config().l1_size_bytes, 9);
-    std::cout << core::scheme_long_table(explorer.scheme_comparison(
-        explorer.config().l1_size_bytes, ladder));
-  } else if (which == "l2") {
-    std::cout << core::size_sweep_table(
-        explorer.l2_size_sweep(opt::Scheme::kUniform,
-                               explorer.l2_squeeze_target_s()),
-        "l2_uniform");
-  } else if (which == "l2split") {
-    std::cout << core::size_sweep_table(
-        explorer.l2_size_sweep(opt::Scheme::kArrayPeriphery,
-                               explorer.l2_squeeze_target_s()),
-        "l2_split");
-  } else if (which == "l1") {
-    std::cout << core::size_sweep_table(
-        explorer.l1_size_sweep(explorer.l2_squeeze_target_s(1.25)), "l1");
-  } else if (which == "fig2") {
-    std::cout << core::fig2_long_table(explorer.fig2_tuple_frontiers());
-  } else {
-    std::cerr << "unknown experiment: '" << which << "'\n";
+    print_degradations(service);
+    return 0;
+  }
+  if (which == "fig2") {
+    std::cout << core::fig2_long_table(service.explorer().fig2_tuple_frontiers());
+    print_degradations(service);
+    return 0;
+  }
+  auto request = api::request_from_args(args);
+  if (!request) {
+    std::cerr << "error: " << request.error().message << "\n";
     return usage();
   }
-  print_degradations(explorer);
+  const auto out = service.sweep(request->sweep);
+  if (!out) {
+    std::cerr << "error: " << out.error().message << "\n";
+    return api::exit_code_for(out.error().code);
+  }
+  if (out->kind == api::SweepKind::kSchemes) {
+    std::cout << schemes_table(*out);
+  } else if (which == "l2") {
+    std::cout << sizes_table(*out, "l2_uniform");
+  } else if (which == "l2split") {
+    std::cout << sizes_table(*out, "l2_split");
+  } else {
+    std::cout << sizes_table(*out, "l1");
+  }
+  print_degradations(service);
   return 0;
 }
 
-int cmd_frontier(const Args& args) {
-  const auto size = flag_u(args, "size", 16 * 1024);
-  const bool is_l2 = args.flags.count("l2") > 0;
+int cmd_batch(const api::Service& service, const CliArgs& args) {
+  std::ifstream file;
+  std::istream* in = &std::cin;
+  if (!args.positional.empty() && args.positional != "-") {
+    file.open(args.positional);
+    NC_REQUIRE_IO(file.good(),
+                  "cannot open batch request file: " + args.positional);
+    in = &file;
+  }
+  const auto stats = api::run_batch_jsonl(service, *in, std::cout);
+  std::cerr << "batch: " << stats.requests << " request(s), "
+            << stats.unique_requests << " unique; request hits "
+            << stats.request_hits << ", memo hits " << stats.memo_hits
+            << ", memo misses " << stats.memo_misses << ", hit rate "
+            << fmt_fixed(stats.hit_rate(), 3) << "\n";
+  print_degradations(service);
+  return 0;
+}
+
+int cmd_frontier(const api::Service& service, const CliArgs& args) {
+  const auto size = api::flag_uint(args, "size", 16 * 1024);
+  const bool is_l2 = api::flag_present(args, "l2");
   opt::Scheme scheme = opt::Scheme::kArrayPeriphery;
   const auto it = args.flags.find("scheme");
   if (it != args.flags.end()) {
     if (it->second == "I") scheme = opt::Scheme::kPerComponent;
     else if (it->second == "III") scheme = opt::Scheme::kUniform;
   }
-  core::Explorer explorer;
+  const auto& explorer = service.explorer();
   const auto& model =
       is_l2 ? explorer.l2_model(size) : explorer.l1_model(size);
-  const auto front = opt::scheme_frontier(opt::structural_evaluator(model),
-                                          opt::KnobGrid::paper_default(),
-                                          scheme);
+  const auto front = opt::scheme_frontier(explorer.evaluator(model),
+                                          explorer.config().grid, scheme);
   TextTable t("leakage/delay frontier, scheme " + opt::scheme_name(scheme));
   t.set_header({"access time [pS]", "leakage [mW]"});
   for (const auto& p : front) {
@@ -250,20 +266,20 @@ int cmd_frontier(const Args& args) {
                fmt_fixed(units::watts_to_mw(p.leakage_w), 4)});
   }
   std::cout << t;
+  print_degradations(service);
   return 0;
 }
 
-int cmd_sensitivity(const Args& args) {
-  const auto size = flag_u(args, "size", 16 * 1024);
-  const bool is_l2 = args.flags.count("l2") > 0;
-  const tech::DeviceKnobs at{flag_d(args, "vth", 0.35),
-                             flag_d(args, "tox", 12.0)};
-  core::Explorer explorer;
+int cmd_sensitivity(const api::Service& service, const CliArgs& args) {
+  const auto size = api::flag_uint(args, "size", 16 * 1024);
+  const bool is_l2 = api::flag_present(args, "l2");
+  const tech::DeviceKnobs at{api::flag_double(args, "vth", 0.35),
+                             api::flag_double(args, "tox", 12.0)};
+  const auto& explorer = service.explorer();
   const auto& model =
       is_l2 ? explorer.l2_model(size) : explorer.l1_model(size);
-  const auto s = opt::cache_sensitivity(
-      opt::structural_evaluator(model), at,
-      explorer.config().technology.knobs);
+  const auto s = opt::cache_sensitivity(opt::structural_evaluator(model), at,
+                                        explorer.config().technology.knobs);
   TextTable t("knob sensitivities at Vth=" + fmt_fixed(at.vth_v, 2) +
               "V, Tox=" + fmt_fixed(at.tox_a, 1) + "A");
   t.set_header({"metric", "vs Vth", "vs Tox"});
@@ -278,16 +294,17 @@ int cmd_sensitivity(const Args& args) {
   return 0;
 }
 
-int cmd_variation(const Args& args) {
-  const auto size = flag_u(args, "size", 16 * 1024);
-  const bool is_l2 = args.flags.count("l2") > 0;
+int cmd_variation(const api::Service& service, const CliArgs& args) {
+  const auto size = api::flag_uint(args, "size", 16 * 1024);
+  const bool is_l2 = api::flag_present(args, "l2");
   const cachemodel::ComponentAssignment knobs(
-      tech::DeviceKnobs{flag_d(args, "vth", 0.35), flag_d(args, "tox", 12.0)});
-  core::Explorer explorer;
+      tech::DeviceKnobs{api::flag_double(args, "vth", 0.35),
+                        api::flag_double(args, "tox", 12.0)});
+  const auto& explorer = service.explorer();
   const auto& model =
       is_l2 ? explorer.l2_model(size) : explorer.l1_model(size);
   cachemodel::VariationParams p;
-  p.samples = static_cast<int>(flag_u(args, "samples", 500));
+  p.samples = static_cast<int>(api::flag_uint(args, "samples", 500));
   const auto nominal = model.evaluate(knobs);
   const auto r = cachemodel::monte_carlo(model, knobs, p,
                                          nominal.access_time_s);
@@ -308,68 +325,61 @@ int cmd_variation(const Args& args) {
   return 0;
 }
 
-int cmd_export(const Args& args) {
+int cmd_export(const api::Service& service, const CliArgs& args) {
   const auto it = args.flags.find("dir");
   const std::string dir = it == args.flags.end() ? "nanocache_csv" : it->second;
-  core::Explorer explorer = make_explorer(args);
-  const int n = core::export_all_csv(explorer, dir);
+  const int n = core::export_all_csv(service.explorer(), dir);
   std::cout << "wrote " << n << " CSV files to " << dir << "/\n";
-  print_degradations(explorer);
+  print_degradations(service);
   return 0;
 }
 
-/// Error-taxonomy to process-exit-code mapping.  Scripts branch on these
-/// without parsing stderr.
-int exit_code_for(ErrorCategory category) {
-  switch (category) {
-    case ErrorCategory::kConfig:
-      return 2;
-    case ErrorCategory::kIo:
-      return 3;
-    case ErrorCategory::kNumericDomain:
-    case ErrorCategory::kInfeasible:
-      return 4;
-    case ErrorCategory::kInternal:
-      return 1;
+int dispatch(const CliArgs& args) {
+  if (args.command == "list") return cmd_list();
+  if (args.command == "cache" || args.command == "optimize") {
+    auto request = api::request_from_args(args);
+    if (!request) {
+      std::cerr << "error: " << request.error().message << "\n";
+      return api::exit_code_for(request.error().code);
+    }
+    const auto service = make_service(args);
+    return args.command == "cache" ? cmd_cache(*service, *request)
+                                   : cmd_optimize(*service, *request);
   }
-  return 1;
+  if (args.command == "run") return cmd_run(*make_service(args), args);
+  if (args.command == "batch") return cmd_batch(*make_service(args), args);
+  if (args.command == "frontier") return cmd_frontier(*make_service(args), args);
+  if (args.command == "sensitivity") {
+    return cmd_sensitivity(*make_service(args), args);
+  }
+  if (args.command == "variation") {
+    return cmd_variation(*make_service(args), args);
+  }
+  if (args.command == "export") return cmd_export(*make_service(args), args);
+  return usage();
 }
 
 }  // namespace
 
-/// Apply the global --threads flag before any command runs.  0 or a
-/// missing flag keeps the pool default (hardware concurrency, or the
-/// NANOCACHE_THREADS environment variable when set).
-void apply_threads_flag(const Args& args) {
-  const auto it = args.flags.find("threads");
-  if (it == args.flags.end()) return;
-  int threads = 0;
-  try {
-    threads = std::stoi(it->second);
-  } catch (const std::exception&) {
-    throw Error(ErrorCategory::kConfig,
-                "--threads expects an integer, got '" + it->second + "'");
-  }
-  NC_REQUIRE(threads >= 0, "--threads must be >= 0");
-  par::set_default_threads(threads);
-}
-
 int main(int argc, char** argv) {
   try {
-    const Args args = parse(argc, argv);
-    apply_threads_flag(args);
-    if (args.command == "list") return cmd_list();
-    if (args.command == "cache") return cmd_cache(args);
-    if (args.command == "optimize") return cmd_optimize(args);
-    if (args.command == "run") return cmd_run(args);
-    if (args.command == "frontier") return cmd_frontier(args);
-    if (args.command == "sensitivity") return cmd_sensitivity(args);
-    if (args.command == "variation") return cmd_variation(args);
-    if (args.command == "export") return cmd_export(args);
-    return usage();
+    const CliArgs args = api::parse_cli_args(argc, argv);
+    // 0 or a missing flag keeps the pool default (hardware concurrency, or
+    // the NANOCACHE_THREADS environment variable when set).
+    if (const int threads = api::threads_from_args(args); threads > 0) {
+      par::set_default_threads(threads);
+    }
+    return dispatch(args);
   } catch (const Error& e) {
     std::cerr << "error: " << e.what() << "\n";
-    return exit_code_for(e.category());
+    switch (e.category()) {
+      case ErrorCategory::kConfig: return 2;
+      case ErrorCategory::kIo: return 3;
+      case ErrorCategory::kNumericDomain:
+      case ErrorCategory::kInfeasible: return 4;
+      case ErrorCategory::kInternal: return 1;
+    }
+    return 1;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
