@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "api/batch_io.h"
+#include "api/metrics_json.h"
 #include "cachemodel/fitted_cache.h"
 #include "core/explorer.h"
 #include "core/report.h"
@@ -379,7 +380,9 @@ int emit_parallel_sweep_json(const std::string& path) {
                 : 0.0)
         << "}" << (i + 1 < batch_runs.size() ? "," : "") << "\n";
   }
-  out << "    ]\n  }\n}\n";
+  out << "    ]\n  },\n"
+      << "  \"metrics\": " << api::current_metrics_json(&batch_stats) << "\n"
+      << "}\n";
   const bool memoized = batch_stats.memo_hits > 0 && batch_stats.hit_rate() > 0;
   std::cout << "wrote " << path << " (deterministic="
             << (deterministic ? "true" : "false")

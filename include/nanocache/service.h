@@ -101,6 +101,8 @@ class Service {
 
  private:
   Service();
+  /// serve() minus the observability wrapper (span + latency histogram).
+  Response serve_impl(const Request& request) const;
   struct Impl;
   std::unique_ptr<Impl> impl_;
 };

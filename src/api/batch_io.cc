@@ -10,6 +10,7 @@
 
 #include "api/json.h"
 #include "util/error.h"
+#include "util/metrics.h"
 
 namespace nanocache::api {
 
@@ -491,6 +492,27 @@ std::string request_canonical_key(const Request& request) {
   return key;
 }
 
+std::string response_line(const Response& response) {
+  try {
+    return response_to_json(response);
+  } catch (const Error& e) {
+    static auto& serialize_errors = metrics::Registry::instance().counter(
+        "api.batch.serialize_errors");
+    serialize_errors.add(1);
+    Response fallback;
+    fallback.schema_version = response.schema_version;
+    fallback.id = response.id;
+    fallback.kind = response.kind;
+    fallback.ok = false;
+    fallback.error.code = e.category() == ErrorCategory::kNumericDomain
+                              ? ErrorCode::kNumericDomain
+                              : ErrorCode::kInternal;
+    fallback.error.message =
+        std::string("response serialization failed: ") + e.what();
+    return response_to_json(fallback);
+  }
+}
+
 BatchStats run_batch_jsonl(const Service& service, std::istream& in,
                            std::ostream& out) {
   // Slot per non-empty input line: either a parsed request (index into the
@@ -530,10 +552,19 @@ BatchStats run_batch_jsonl(const Service& service, std::istream& in,
   BatchStats stats = batch.stats;
   stats.requests += slots.size() - requests.size();  // count failed lines
 
+  {
+    auto& registry = metrics::Registry::instance();
+    static auto& lines = registry.counter("api.batch.lines");
+    static auto& parse_errors = registry.counter("api.batch.parse_errors");
+    lines.add(slots.size());
+    parse_errors.add(slots.size() - requests.size());
+  }
   for (const auto& slot : slots) {
     const Response& r = slot.parsed ? batch.responses[slot.batch_index]
                                     : slot.error_response;
-    out << response_to_json(r) << '\n';
+    // response_line (not response_to_json): a response field that cannot be
+    // serialized degrades to an error line in place, preserving line order.
+    out << response_line(r) << '\n';
   }
   return stats;
 }

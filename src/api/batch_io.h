@@ -37,6 +37,14 @@ std::string response_to_json(const Response& response);
 /// pattern, so two spellings of the same number collide (as they must).
 std::string request_canonical_key(const Request& request);
 
+/// `response_to_json`, hardened for the per-line batch path: when the
+/// response itself cannot be serialized (a non-finite double in a payload
+/// field — NaN/Inf are not JSON and format_double refuses them), the
+/// failure is folded into an error response IN PLACE carrying the same id,
+/// instead of aborting the whole stream.  Error responses contain no
+/// doubles, so the fallback line always serializes.
+std::string response_line(const Response& response);
+
 /// Drive a whole JSONL stream through Service::run_batch: every non-empty
 /// input line produces exactly one output line in input order (parse
 /// failures become error responses in place).  Returns the batch stats

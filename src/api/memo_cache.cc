@@ -1,5 +1,7 @@
 #include "api/memo_cache.h"
 
+#include "util/metrics.h"
+
 namespace nanocache::api {
 
 std::size_t MemoCache::entries() const {
@@ -8,15 +10,23 @@ std::size_t MemoCache::entries() const {
 }
 
 std::shared_ptr<const void> MemoCache::lookup(const std::string& key) {
+  // Process-wide observability counters aggregate across every MemoCache
+  // instance; the per-instance atomics below stay the source of MemoStats.
+  static auto& memo_hits =
+      metrics::Registry::instance().counter("api.memo.hits");
+  static auto& memo_misses =
+      metrics::Registry::instance().counter("api.memo.misses");
   {
     std::lock_guard<std::mutex> lock(mutex_);
     const auto it = entries_.find(key);
     if (it != entries_.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
+      memo_hits.add(1);
       return it->second;
     }
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
+  memo_misses.add(1);
   return nullptr;
 }
 

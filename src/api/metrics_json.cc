@@ -1,0 +1,142 @@
+#include "api/metrics_json.h"
+
+#include <cstdint>
+#include <string>
+
+#include "api/json.h"
+
+namespace nanocache::api {
+
+namespace {
+
+double ns_to_ms(std::uint64_t ns) { return static_cast<double>(ns) / 1e6; }
+
+std::string histogram_json(const metrics::HistogramSnapshot& h) {
+  std::string out = "{";
+  out += json::quote("count") + ":" + std::to_string(h.count);
+  out += "," + json::quote("sum") + ":" + std::to_string(h.sum);
+  out += "," + json::quote("buckets") + ":[";
+  bool first = true;
+  for (std::size_t b = 0; b < metrics::Histogram::kBuckets; ++b) {
+    if (h.buckets[b] == 0) continue;  // omit empty buckets
+    if (!first) out += ',';
+    first = false;
+    out += "{" + json::quote("le") + ":";
+    out += b + 1 < metrics::Histogram::kBuckets
+               ? std::to_string(metrics::Histogram::bucket_bound(b))
+               : json::quote("+inf");
+    out += "," + json::quote("count") + ":" + std::to_string(h.buckets[b]);
+    out += "}";
+  }
+  return out + "]}";
+}
+
+std::string phase_json(const metrics::PhaseSnapshot& p) {
+  std::string out = "{";
+  out += json::quote("count") + ":" + std::to_string(p.count);
+  out += "," + json::quote("total_ms") + ":" +
+         json::format_double(ns_to_ms(p.total_ns));
+  out += "," + json::quote("max_ms") + ":" +
+         json::format_double(ns_to_ms(p.max_ns));
+  return out + "}";
+}
+
+std::string span_json(const metrics::SpanRecord& s) {
+  std::string out = "{";
+  out += json::quote("name") + ":" + json::quote(s.name);
+  out += "," + json::quote("parent") + ":" + json::quote(s.parent);
+  out += "," + json::quote("depth") + ":" + std::to_string(s.depth);
+  out += "," + json::quote("thread") + ":" + std::to_string(s.thread_id);
+  out += "," + json::quote("start_ms") + ":" +
+         json::format_double(ns_to_ms(s.start_ns));
+  out += "," + json::quote("duration_ms") + ":" +
+         json::format_double(ns_to_ms(s.duration_ns));
+  return out + "}";
+}
+
+std::string batch_json(const BatchStats& stats) {
+  std::string out = "{";
+  out += json::quote("requests") + ":" + std::to_string(stats.requests);
+  out += "," + json::quote("unique_requests") + ":" +
+         std::to_string(stats.unique_requests);
+  out += "," + json::quote("request_hits") + ":" +
+         std::to_string(stats.request_hits);
+  out += "," + json::quote("memo_hits") + ":" +
+         std::to_string(stats.memo_hits);
+  out += "," + json::quote("memo_misses") + ":" +
+         std::to_string(stats.memo_misses);
+  const double dedup_ratio =
+      stats.requests == 0
+          ? 0.0
+          : static_cast<double>(stats.request_hits) /
+                static_cast<double>(stats.requests);
+  out += "," + json::quote("dedup_ratio") + ":" +
+         json::format_double(dedup_ratio);
+  out += "," + json::quote("hit_rate") + ":" +
+         json::format_double(stats.hit_rate());
+  return out + "}";
+}
+
+}  // namespace
+
+std::string metrics_to_json(const metrics::MetricsSnapshot& snapshot,
+                            const std::vector<metrics::SpanRecord>& spans,
+                            const BatchStats* batch) {
+  std::string out = "{";
+  out += json::quote("schema_version") + ":1";
+
+  out += "," + json::quote("counters") + ":{";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (!first) out += ',';
+    first = false;
+    out += json::quote(name) + ":" + std::to_string(value);
+  }
+  out += "}";
+
+  out += "," + json::quote("gauges") + ":{";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += json::quote(name) + ":" + std::to_string(value);
+  }
+  out += "}";
+
+  out += "," + json::quote("histograms") + ":{";
+  first = true;
+  for (const auto& [name, h] : snapshot.histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += json::quote(name) + ":" + histogram_json(h);
+  }
+  out += "}";
+
+  out += "," + json::quote("phases") + ":{";
+  first = true;
+  for (const auto& [name, p] : snapshot.phases) {
+    if (!first) out += ',';
+    first = false;
+    out += json::quote(name) + ":" + phase_json(p);
+  }
+  out += "}";
+
+  out += "," + json::quote("spans") + ":[";
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    if (i > 0) out += ',';
+    out += span_json(spans[i]);
+  }
+  out += "]";
+
+  if (batch != nullptr) {
+    out += "," + json::quote("batch") + ":" + batch_json(*batch);
+  }
+  return out + "}";
+}
+
+std::string current_metrics_json(const BatchStats* batch) {
+  return metrics_to_json(metrics::Registry::instance().snapshot(),
+                         metrics::recent_spans(), batch);
+}
+
+}  // namespace nanocache::api

@@ -1,0 +1,31 @@
+// JSON export of the process-wide observability state (util/metrics.h +
+// util/trace_span.h), reusing the batch API's deterministic serializer.
+//
+// Keys appear in a deterministic order (snapshot maps are sorted, struct
+// fields are written in a fixed sequence); VALUES are wall-clock and
+// scheduling dependent.  Metrics therefore go to their own sink
+// (`nanocache_cli --metrics <file|->`, the bench harness's "metrics"
+// section) and are explicitly excluded from the batch response
+// byte-identity contract — see docs/API.md.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nanocache/responses.h"
+#include "util/metrics.h"
+#include "util/trace_span.h"
+
+namespace nanocache::api {
+
+/// Serialize one snapshot (+ finished spans, + an optional batch `stats`
+/// block) as a single JSON object.  Histogram buckets with zero counts are
+/// omitted; phase times are reported in milliseconds.
+std::string metrics_to_json(const metrics::MetricsSnapshot& snapshot,
+                            const std::vector<metrics::SpanRecord>& spans,
+                            const BatchStats* batch = nullptr);
+
+/// Convenience: snapshot the registry and span buffer right now.
+std::string current_metrics_json(const BatchStats* batch = nullptr);
+
+}  // namespace nanocache::api

@@ -1,6 +1,7 @@
 #include "nanocache/service.h"
 
 #include <bit>
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
@@ -14,7 +15,9 @@
 #include "opt/schemes.h"
 #include "opt/tuple_menu.h"
 #include "util/error.h"
+#include "util/metrics.h"
 #include "util/parallel.h"
+#include "util/trace_span.h"
 #include "util/units.h"
 
 namespace nanocache::api {
@@ -261,6 +264,10 @@ Service::~Service() = default;
 
 Outcome<std::shared_ptr<Service>> Service::create(ServiceConfig config) {
   return guarded([&config] {
+    // Surface a malformed NANOCACHE_THREADS here as a typed kConfig outcome
+    // rather than mid-sweep: default_threads() validates the variable.
+    (void)par::default_threads();
+
     const tech::KnobRange ranges{};  // the paper's knob ranges (bptm65)
     if (!config.grid_vth_v.empty()) {
       validate_grid_axis("Vth", config.grid_vth_v, ranges.vth_min_v,
@@ -364,6 +371,7 @@ Outcome<SweepResponse> Service::sweep(const SweepRequest& request) const {
       }
       // Computed here (not via Explorer::scheme_comparison) so the cells
       // share "opt|" memo entries with single optimize requests.
+      metrics::TraceSpan span("api.sweep.schemes");
       r.schemes = par::parallel_map(targets_s.size(), [&](std::size_t i) {
         SchemesRow row;
         row.delay_target_ps = units::seconds_to_ps(targets_s[i]);
@@ -407,6 +415,7 @@ Outcome<TupleMenuResponse> Service::tuple_menu(
     NC_REQUIRE(!request.include_frontier || request.frontier_max_points > 0,
                "frontier_max_points must be positive");
 
+    metrics::TraceSpan span("api.tuple_menu");
     const opt::MenuSpec spec{request.num_tox, request.num_vth};
     const auto system = impl_->explorer->default_system();
     const opt::TupleMenuSolver solver(system, grid);
@@ -467,6 +476,25 @@ Outcome<TupleMenuResponse> Service::tuple_menu(
 }
 
 Response Service::serve(const Request& request) const {
+  metrics::TraceSpan span("api.serve");
+  const auto start = std::chrono::steady_clock::now();
+  Response response = serve_impl(request);
+  {
+    auto& registry = metrics::Registry::instance();
+    static auto& latency = registry.histogram("api.request.latency_us");
+    static auto& requests = registry.counter("api.requests");
+    static auto& errors = registry.counter("api.request_errors");
+    latency.observe(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count()));
+    requests.add(1);
+    if (!response.ok) errors.add(1);
+  }
+  return response;
+}
+
+Response Service::serve_impl(const Request& request) const {
   Response response;
   response.id = request.id;
   response.kind = request.kind;
@@ -523,6 +551,7 @@ Response Service::serve(const Request& request) const {
 }
 
 BatchResult Service::run_batch(const std::vector<Request>& requests) const {
+  metrics::TraceSpan span("api.batch");
   BatchResult batch;
   batch.stats.requests = requests.size();
   const std::size_t memo_hits_before = impl_->memo.hits();
@@ -543,6 +572,21 @@ BatchResult Service::run_batch(const std::vector<Request>& requests) const {
   batch.stats.unique_requests = first_occurrence.size();
   batch.stats.request_hits = requests.size() - first_occurrence.size();
 
+  {
+    auto& registry = metrics::Registry::instance();
+    static auto& batch_requests = registry.counter("api.batch.requests");
+    static auto& unique_requests =
+        registry.counter("api.batch.unique_requests");
+    static auto& request_hits = registry.counter("api.batch.request_hits");
+    static auto& queue_depth = registry.gauge("api.batch.queue_depth");
+    static auto& peak_queue = registry.gauge("api.batch.peak_queue_depth");
+    batch_requests.add(batch.stats.requests);
+    unique_requests.add(batch.stats.unique_requests);
+    request_hits.add(batch.stats.request_hits);
+    queue_depth.set(static_cast<std::int64_t>(first_occurrence.size()));
+    peak_queue.record_max(static_cast<std::int64_t>(first_occurrence.size()));
+  }
+
   const auto unique_responses =
       par::parallel_map(first_occurrence.size(), [&](std::size_t u) {
         return serve(requests[first_occurrence[u]]);
@@ -557,6 +601,7 @@ BatchResult Service::run_batch(const std::vector<Request>& requests) const {
 
   batch.stats.memo_hits = impl_->memo.hits() - memo_hits_before;
   batch.stats.memo_misses = impl_->memo.misses() - memo_misses_before;
+  metrics::Registry::instance().gauge("api.batch.queue_depth").set(0);
   return batch;
 }
 

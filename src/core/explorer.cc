@@ -5,8 +5,10 @@
 #include <sstream>
 
 #include "util/error.h"
+#include "util/metrics.h"
 #include "util/numeric_guard.h"
 #include "util/parallel.h"
+#include "util/trace_span.h"
 
 namespace nanocache::core {
 
@@ -67,6 +69,9 @@ void Explorer::record_degradation(const cachemodel::CacheModel& model,
   // The dedup key is derived from the cache organization (not the model's
   // address) so logs and CSV exports are reproducible across processes.
   const std::string dedup_key = model.organization().describe() + ':' + key;
+  static auto& degradations =
+      metrics::Registry::instance().counter("explorer.degradation_events");
+  degradations.add(1);
   DegradationEvent event{model.organization().describe(), reason};
   if (tl_degradation_buffer != nullptr) {
     tl_degradation_buffer->emplace_back(dedup_key, std::move(event));
@@ -90,6 +95,9 @@ void Explorer::merge_pending(
 
 void Explorer::run_parallel_sweep(
     std::size_t n, const std::function<void(std::size_t)>& body) const {
+  static auto& sweep_tasks =
+      metrics::Registry::instance().counter("explorer.sweep_tasks");
+  sweep_tasks.add(n);
   std::vector<PendingDegradations> buffers(n);
   try {
     par::parallel_for(n, [&](std::size_t i) {
@@ -191,6 +199,7 @@ energy::MemorySystemModel Explorer::default_system() const {
 
 std::vector<Fig1Series> Explorer::fig1_fixed_knob(
     std::uint64_t cache_size_bytes, int sweep_steps) const {
+  metrics::TraceSpan span("explorer.fig1_fixed_knob");
   NC_REQUIRE(sweep_steps >= 2, "sweep needs >= 2 steps");
   const auto& m = l1_model(cache_size_bytes);
   const auto& knobs = m.device().params().knobs;
@@ -241,6 +250,7 @@ std::vector<Fig1Series> Explorer::fig1_fixed_knob(
 std::vector<SchemeComparisonRow> Explorer::scheme_comparison(
     std::uint64_t cache_size_bytes,
     const std::vector<double>& delay_targets_s) const {
+  metrics::TraceSpan span("explorer.scheme_comparison");
   const auto& m = l1_model(cache_size_bytes);
   // Build the evaluator once, serially: fitting (and any r2-floor event)
   // happens before the fan-out.
@@ -308,6 +318,7 @@ double Explorer::l2_squeeze_target_s(double headroom_factor,
 
 std::vector<SizeSweepRow> Explorer::l2_size_sweep(Scheme scheme,
                                                   double amat_target_s) const {
+  metrics::TraceSpan span("explorer.l2_size_sweep");
   const auto& l1 = l1_model(config_.l1_size_bytes);
   const auto l1_metrics = l1.evaluate_uniform(config_.default_knobs);
   const double ml1 = config_.miss_curves.l1(config_.l1_size_bytes);
@@ -355,6 +366,7 @@ std::vector<SizeSweepRow> Explorer::l2_size_sweep(Scheme scheme,
 }
 
 std::vector<SizeSweepRow> Explorer::l1_size_sweep(double amat_target_s) const {
+  metrics::TraceSpan span("explorer.l1_size_sweep");
   // Fix the L2: scheme-II optimum for the default configuration.
   const double tmem = config_.memory.access_latency_s;
   const double ml2 = config_.miss_curves.l2(config_.l2_size_bytes);
@@ -412,6 +424,7 @@ std::vector<SizeSweepRow> Explorer::l1_size_sweep(double amat_target_s) const {
 
 std::vector<Explorer::JointSizingRow> Explorer::joint_size_study(
     double amat_target_s) const {
+  metrics::TraceSpan span("explorer.joint_size_study");
   NC_REQUIRE(amat_target_s > 0.0, "AMAT target must be positive");
   const double tmem = config_.memory.access_latency_s;
   const auto& l1_sizes = config_.l1_size_sweep;
@@ -491,6 +504,7 @@ std::string Explorer::menu_label(const opt::MenuSpec& spec) {
 
 std::vector<Fig2Series> Explorer::fig2_tuple_frontiers(
     const std::vector<opt::MenuSpec>& specs) const {
+  metrics::TraceSpan span("explorer.fig2_tuple_frontiers");
   const auto system = default_system();
   const opt::TupleMenuSolver solver(system, config_.grid);
   // Specs run serially; each frontier fans its menu enumeration out over
@@ -509,6 +523,7 @@ std::vector<Fig2Series> Explorer::fig2_tuple_frontiers(
 std::vector<std::vector<std::optional<opt::SystemDesignPoint>>>
 Explorer::fig2_tuple_table(const std::vector<opt::MenuSpec>& specs,
                            const std::vector<double>& amat_targets_s) const {
+  metrics::TraceSpan span("explorer.fig2_tuple_table");
   const auto system = default_system();
   const opt::TupleMenuSolver solver(system, config_.grid);
   std::vector<std::vector<std::optional<opt::SystemDesignPoint>>> table;

@@ -1,6 +1,7 @@
 #include "opt/options.h"
 
 #include "util/error.h"
+#include "util/metrics.h"
 #include "util/numeric_guard.h"
 #include "util/parallel.h"
 
@@ -21,6 +22,12 @@ constexpr std::size_t kMinParallelPairs = 64;
 
 int option_threads(std::size_t n) {
   return n < kMinParallelPairs ? 1 : 0;  // 0 = pool default
+}
+
+void count_grid_points(std::size_t n) {
+  static auto& grid_points =
+      metrics::Registry::instance().counter("opt.grid_points_evaluated");
+  grid_points.add(n);
 }
 
 }  // namespace
@@ -48,6 +55,7 @@ std::vector<ComponentOption> component_options(
     const ComponentEvaluator& eval, ComponentKind kind,
     const std::vector<tech::DeviceKnobs>& pairs) {
   NC_REQUIRE(!pairs.empty(), "option table needs at least one pair");
+  count_grid_points(pairs.size());
   return par::parallel_map(
       pairs.size(),
       [&](std::size_t i) {
@@ -66,6 +74,7 @@ std::vector<ComponentOption> periphery_options(
     const ComponentEvaluator& eval,
     const std::vector<tech::DeviceKnobs>& pairs) {
   NC_REQUIRE(!pairs.empty(), "option table needs at least one pair");
+  count_grid_points(pairs.size());
   return par::parallel_map(
       pairs.size(),
       [&](std::size_t i) {
@@ -92,6 +101,7 @@ std::vector<ComponentOption> uniform_options(
     const ComponentEvaluator& eval,
     const std::vector<tech::DeviceKnobs>& pairs) {
   NC_REQUIRE(!pairs.empty(), "option table needs at least one pair");
+  count_grid_points(pairs.size());
   return par::parallel_map(
       pairs.size(),
       [&](std::size_t i) {

@@ -7,6 +7,7 @@
 
 #include "opt/pareto.h"
 #include "util/error.h"
+#include "util/metrics.h"
 #include "util/parallel.h"
 
 namespace nanocache::opt {
@@ -171,17 +172,33 @@ struct FlatBest {
 
 }  // namespace
 
+namespace {
+
+/// Candidate-space observability: every (assignment, scheme) combination a
+/// single-cache optimization considers, across all three schemes.
+void count_combos(std::size_t n) {
+  static auto& combos =
+      metrics::Registry::instance().counter("opt.combos_considered");
+  combos.add(n);
+}
+
+}  // namespace
+
 OptOutcome<SchemeResult> optimize_single_cache(
     const ComponentEvaluator& eval, const KnobGrid& grid, Scheme scheme,
     double delay_constraint_s) {
+  static auto& optimize_calls =
+      metrics::Registry::instance().counter("opt.optimize_calls");
+  optimize_calls.add(1);
   NC_REQUIRE(delay_constraint_s > 0.0, "delay constraint must be positive");
   const auto pairs = grid.pairs();
 
   switch (scheme) {
     case Scheme::kPerComponent: {
       const auto options = all_options(eval, pairs);
-      return pick_best(scheme1_combos(options), options, delay_constraint_s,
-                       scheme);
+      auto combos = scheme1_combos(options);
+      count_combos(combos.size());
+      return pick_best(combos, options, delay_constraint_s, scheme);
     }
 
     case Scheme::kArrayPeriphery: {
@@ -189,6 +206,7 @@ OptOutcome<SchemeResult> optimize_single_cache(
           eval, ComponentKind::kCellArray, pairs);
       const auto periph_opts = periphery_options(eval, pairs);
       const std::size_t np = periph_opts.size();
+      count_combos(array_opts.size() * np);
       const FlatBest best = par::parallel_reduce(
           array_opts.size() * np, FlatBest{},
           [&](FlatBest& acc, std::size_t i) {
@@ -221,6 +239,7 @@ OptOutcome<SchemeResult> optimize_single_cache(
 
     case Scheme::kUniform: {
       const auto opts = uniform_options(eval, pairs);
+      count_combos(opts.size());
       const FlatBest best = par::parallel_reduce(
           opts.size(), FlatBest{},
           [&](FlatBest& acc, std::size_t i) {

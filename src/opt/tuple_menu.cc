@@ -5,7 +5,9 @@
 
 #include "opt/pareto.h"
 #include "util/error.h"
+#include "util/metrics.h"
 #include "util/parallel.h"
+#include "util/trace_span.h"
 
 namespace nanocache::opt {
 
@@ -118,6 +120,10 @@ std::vector<SystemDesignPoint> TupleMenuSolver::all_designs(
   // product over the pool and concatenate per-menu results in enumeration
   // order — identical output at any thread count.
   const std::size_t nv = vth_menus.size();
+  metrics::TraceSpan span("opt.tuple_menu.all_designs");
+  static auto& menus =
+      metrics::Registry::instance().counter("opt.menus_enumerated");
+  menus.add(tox_menus.size() * nv);
   auto per_menu = par::parallel_map(
       tox_menus.size() * nv, [&](std::size_t i) {
         return designs_for_menu(vth_menus[i % nv], tox_menus[i / nv]);
@@ -127,6 +133,9 @@ std::vector<SystemDesignPoint> TupleMenuSolver::all_designs(
     all.insert(all.end(), std::make_move_iterator(designs.begin()),
                std::make_move_iterator(designs.end()));
   }
+  static auto& designs_considered =
+      metrics::Registry::instance().counter("opt.designs_considered");
+  designs_considered.add(all.size());
   return all;
 }
 

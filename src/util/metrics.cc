@@ -1,0 +1,84 @@
+#include "util/metrics.h"
+
+namespace nanocache::metrics {
+
+std::size_t Histogram::bucket_for(std::uint64_t v) {
+  if (v <= 1) return 0;
+  // Index of the first power of two >= v.
+  std::size_t b = 0;
+  std::uint64_t bound = 1;
+  while (bound < v && b + 1 < kBuckets) {
+    bound <<= 1;
+    ++b;
+  }
+  return bound >= v ? b : kBuckets - 1;
+}
+
+void Histogram::observe(std::uint64_t v) {
+  buckets_[bucket_for(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_[name];
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return gauges_[name];
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return histograms_[name];
+}
+
+void Registry::record_phase(const std::string& name,
+                            std::uint64_t duration_ns) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& phase = phases_[name];
+  phase.count += 1;
+  phase.total_ns += duration_ns;
+  if (duration_ns > phase.max_ns) phase.max_ns = duration_ns;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, c] : counters_) out.counters[name] = c.value();
+  for (const auto& [name, g] : gauges_) out.gauges[name] = g.value();
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot s;
+    s.count = h.count();
+    s.sum = h.sum();
+    for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+      s.buckets[b] = h.bucket(b);
+    }
+    out.histograms[name] = s;
+  }
+  out.phases = phases_;
+  return out;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c.reset();
+  for (auto& [name, g] : gauges_) g.reset();
+  for (auto& [name, h] : histograms_) h.reset();
+  phases_.clear();
+}
+
+}  // namespace nanocache::metrics

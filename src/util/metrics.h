@@ -1,0 +1,148 @@
+// Process-wide metrics registry: named counters, gauges, and fixed-layout
+// histograms, plus per-phase wall-time aggregates fed by util/trace_span.h.
+//
+// Design constraints (this registry sits UNDER the fork-join pool, so sweep
+// workers hammer it concurrently):
+//  * Increments are lock-free atomics.  The registry mutex is taken only to
+//    resolve a name to a metric; hot call sites cache the returned reference
+//    in a function-local static, so steady state is one relaxed atomic op.
+//  * References returned by counter()/gauge()/histogram() stay valid for the
+//    process lifetime — metrics are registered, never erased.  reset() zeroes
+//    values in place precisely so cached references survive it.
+//  * Snapshots use std::map, so JSON export (src/api/metrics_json.cc) emits
+//    keys in a deterministic order.  The VALUES are timing- and
+//    scheduling-dependent by nature; nothing here may ever feed back into
+//    computation results.  Metrics are observability, excluded from the
+//    batch byte-identity contract (docs/API.md).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace nanocache::metrics {
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-set level (queue depths, fan-outs).  `record_max` keeps the high
+/// watermark instead of the latest value.
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  void record_max(std::int64_t v) {
+    std::int64_t cur = value_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Histogram over non-negative integer observations (latencies in µs,
+/// sizes, ...).  Every histogram shares one fixed bucket layout — powers of
+/// two: bucket b counts observations v with v <= 2^b, the last bucket is
+/// the overflow — so snapshots from different runs and different metrics
+/// are structurally comparable.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 28;  // le 1, 2, 4, ... 2^26, +inf
+
+  /// Upper bound of bucket `b` (the overflow bucket has no finite bound).
+  static std::uint64_t bucket_bound(std::size_t b) { return 1ull << b; }
+
+  /// Index of the bucket counting `v`.
+  static std::size_t bucket_for(std::uint64_t v);
+
+  void observe(std::uint64_t v);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t bucket(std::size_t b) const {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+  void reset();
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::array<std::uint64_t, Histogram::kBuckets> buckets{};
+};
+
+/// Aggregated wall time of one named phase (all spans with that name).
+struct PhaseSnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t max_ns = 0;
+};
+
+/// Point-in-time copy of every registered metric, keyed in sorted order.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+  std::map<std::string, PhaseSnapshot> phases;
+};
+
+class Registry {
+ public:
+  static Registry& instance();
+
+  /// Resolve (registering on first use) a metric by name.  The returned
+  /// reference is valid for the process lifetime; cache it in a static at
+  /// hot call sites.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Fold one finished span into the per-phase aggregates (called by
+  /// TraceSpan's destructor; spans end at phase granularity, so a mutex
+  /// here is cheap).
+  void record_phase(const std::string& name, std::uint64_t duration_ns);
+
+  MetricsSnapshot snapshot() const;
+
+  /// Zero every metric in place (names stay registered, references stay
+  /// valid) and drop the phase aggregates.  For tests and benchmarks that
+  /// want a per-run snapshot out of the process-wide registry.
+  void reset();
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mutex_;
+  // std::map: node stability guarantees the references handed out above.
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+  std::map<std::string, PhaseSnapshot> phases_;
+};
+
+}  // namespace nanocache::metrics

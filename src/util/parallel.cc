@@ -6,9 +6,11 @@
 #include <exception>
 #include <limits>
 #include <mutex>
+#include <string>
 #include <thread>
 
 #include "util/error.h"
+#include "util/metrics.h"
 
 namespace nanocache::par {
 
@@ -16,18 +18,46 @@ namespace {
 
 std::atomic<int> g_default_threads{0};  // 0 = unset, fall through to env/hw
 thread_local int tl_region_depth = 0;
+/// Pool worker index of the current thread (0 = a caller thread), for the
+/// per-worker chunk-claim counters.
+thread_local int tl_worker_id = 0;
+
+metrics::Counter& worker_chunk_counter() {
+  // One counter per worker identity.  Worker ids are dense and small
+  // (<= kMaxThreads), so the name set is bounded; the reference is cached
+  // per thread so steady state is one atomic add per claim.
+  thread_local metrics::Counter* counter =
+      &metrics::Registry::instance().counter(
+          "parallel.worker." + std::to_string(tl_worker_id) +
+          ".chunks_claimed");
+  return *counter;
+}
 
 int env_threads() {
   const char* s = std::getenv("NANOCACHE_THREADS");
   if (s == nullptr || *s == '\0') return 0;
   char* end = nullptr;
   const long v = std::strtol(s, &end, 10);
-  if (end == s || *end != '\0' || v < 1 || v > 1024) return 0;
+  NC_REQUIRE(end != s && *end == '\0',
+             "NANOCACHE_THREADS must be an integer thread count, got '" +
+                 std::string(s) + "'");
+  NC_REQUIRE(v >= 1 && v <= 1024,
+             "NANOCACHE_THREADS must be in [1, 1024], got '" + std::string(s) +
+                 "'");
   return static_cast<int>(v);
 }
 
 /// One fork-join region: workers claim chunks from `next` until the range
 /// drains or a chunk fails.
+///
+/// Error determinism: `error_bound` is the lowest failing index recorded so
+/// far (SIZE_MAX while none).  Workers stop claiming chunks that start at
+/// or above the bound and break out of a running chunk when they reach it.
+/// A chunk's indices all lie below the start of every later chunk, so a
+/// chunk can only be cancelled at indices the serial loop would never have
+/// reached — the chunk containing the globally lowest failing index always
+/// runs up to and records it, and the propagated error is byte-identical
+/// to the serial run at any thread count.
 struct Region {
   std::size_t n = 0;
   std::size_t chunk = 1;
@@ -35,27 +65,44 @@ struct Region {
   const std::function<void(std::size_t)>* body = nullptr;
 
   std::atomic<std::size_t> next{0};
-  std::atomic<bool> failed{false};
+  std::atomic<std::size_t> error_bound{
+      std::numeric_limits<std::size_t>::max()};
   std::mutex error_mutex;
   std::exception_ptr error;
   std::size_t error_index = std::numeric_limits<std::size_t>::max();
 
+  void record_failure(std::size_t i) {
+    {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      if (i < error_index) {
+        error_index = i;
+        error = std::current_exception();
+      }
+    }
+    std::size_t cur = error_bound.load(std::memory_order_relaxed);
+    while (i < cur && !error_bound.compare_exchange_weak(
+                          cur, i, std::memory_order_relaxed)) {
+    }
+  }
+
   void run_chunks() {
-    while (!failed.load(std::memory_order_relaxed)) {
+    auto& chunks_claimed = worker_chunk_counter();
+    for (;;) {
       const std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
       if (c >= num_chunks) return;
       const std::size_t lo = c * chunk;
+      // Every index of this chunk is at or above an already-recorded
+      // failure: the serial loop would have stopped before reaching it.
+      if (lo >= error_bound.load(std::memory_order_relaxed)) return;
+      chunks_claimed.add(1);
       const std::size_t hi = lo + chunk < n ? lo + chunk : n;
       for (std::size_t i = lo; i < hi; ++i) {
+        if (i >= error_bound.load(std::memory_order_relaxed)) break;
         try {
           (*body)(i);
         } catch (...) {
-          std::lock_guard<std::mutex> lock(error_mutex);
-          if (i < error_index) {
-            error_index = i;
-            error = std::current_exception();
-          }
-          failed.store(true, std::memory_order_relaxed);
+          record_failure(i);
+          // Every unclaimed chunk starts above i; nothing left to do.
           return;
         }
       }
@@ -109,7 +156,11 @@ class Pool {
   void ensure_workers(int needed) {
     std::lock_guard<std::mutex> lock(mutex_);
     while (static_cast<int>(workers_.size()) < needed) {
-      workers_.emplace_back([this] { worker_loop(); });
+      const int worker_id = static_cast<int>(workers_.size()) + 1;
+      workers_.emplace_back([this, worker_id] {
+        tl_worker_id = worker_id;
+        worker_loop();
+      });
     }
   }
 
@@ -187,6 +238,9 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
   // Serial paths: single thread requested, a degenerate range, or a nested
   // call from inside a worker (rejected from parallelism, run inline).
   if (threads == 1 || n == 1 || tl_region_depth > 0) {
+    static auto& serial_regions =
+        metrics::Registry::instance().counter("parallel.serial_regions");
+    serial_regions.add(1);
     for (std::size_t i = 0; i < n; ++i) body(i);
     return;
   }
@@ -203,6 +257,9 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
   region.body = &body;
 
   if (region.num_chunks < 2) {
+    static auto& serial_regions =
+        metrics::Registry::instance().counter("parallel.serial_regions");
+    serial_regions.add(1);
     for (std::size_t i = 0; i < n; ++i) body(i);
     return;
   }
@@ -211,6 +268,15 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
       region.num_chunks < static_cast<std::size_t>(threads)
           ? static_cast<int>(region.num_chunks)
           : threads;
+  {
+    auto& registry = metrics::Registry::instance();
+    static auto& regions = registry.counter("parallel.regions");
+    static auto& fanout = registry.histogram("parallel.region_fanout");
+    static auto& peak_fanout = registry.gauge("parallel.peak_fanout");
+    regions.add(1);
+    fanout.observe(static_cast<std::uint64_t>(workers));
+    peak_fanout.record_max(workers);
+  }
   Pool::instance().run(region, workers);
   if (region.error) std::rethrow_exception(region.error);
 }

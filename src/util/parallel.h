@@ -20,11 +20,15 @@
 //    no deadlock, and the task keeps exclusive use of any thread-local
 //    state its caller installed).
 //
-// Error contract: the first exception (by lowest failing index among
-// chunks that ran) is captured via std::exception_ptr and rethrown on the
-// calling thread after the region drains, so typed nanocache::Error values
-// cross the pool with their ErrorCategory intact.  Remaining chunks are
-// cancelled best-effort.
+// Error contract: the exception at the LOWEST failing index is captured
+// via std::exception_ptr and rethrown on the calling thread after the
+// region drains — exactly the error a serial loop would have hit first, so
+// typed nanocache::Error values cross the pool with their ErrorCategory
+// intact and the propagated error is byte-identical at any thread count.
+// Work at indices above an already-recorded failure is cancelled (the
+// serial loop would never have reached it); work below always runs to the
+// failure, which is what makes the lowest-index guarantee exact rather
+// than best-effort.
 #pragma once
 
 #include <cstddef>
@@ -42,7 +46,11 @@ int hardware_threads();
 /// concurrency).  Throws Error(kConfig) for negative counts.
 void set_default_threads(int n);
 
-/// The resolved process-wide default thread count (>= 1).
+/// The resolved process-wide default thread count (>= 1).  Throws
+/// Error(kConfig) when NANOCACHE_THREADS is set but malformed or outside
+/// [1, 1024] — a bad explicit setting is surfaced, never silently replaced
+/// by hardware concurrency.  (Counts above the pool's internal cap of 64
+/// are valid and clamp to it.)
 int default_threads();
 
 /// True while the calling thread is executing inside a parallel region

@@ -1,0 +1,91 @@
+#include "util/trace_span.h"
+
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "util/metrics.h"
+
+namespace nanocache::metrics {
+
+namespace {
+
+constexpr std::size_t kSpanBufferCapacity = 1024;
+
+thread_local TraceSpan* tl_active_span = nullptr;
+
+std::mutex& span_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::deque<SpanRecord>& span_buffer() {
+  static std::deque<SpanRecord> buffer;
+  return buffer;
+}
+
+/// Process trace epoch: the steady-clock instant of the first span, so
+/// exported start offsets are small and monotone.
+std::chrono::steady_clock::time_point trace_epoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+std::uint64_t this_thread_id() {
+  return static_cast<std::uint64_t>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()));
+}
+
+}  // namespace
+
+TraceSpan::TraceSpan(std::string name)
+    : name_(std::move(name)),
+      parent_(tl_active_span),
+      depth_(tl_active_span == nullptr ? 0 : tl_active_span->depth_ + 1) {
+  trace_epoch();  // pin the epoch no later than the first span's start
+  start_ = std::chrono::steady_clock::now();
+  tl_active_span = this;
+}
+
+TraceSpan::~TraceSpan() {
+  const auto end = std::chrono::steady_clock::now();
+  tl_active_span = parent_;
+
+  SpanRecord record;
+  record.name = name_;
+  if (parent_ != nullptr) record.parent = parent_->name_;
+  record.depth = depth_;
+  record.thread_id = this_thread_id();
+  record.start_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(start_ -
+                                                           trace_epoch())
+          .count());
+  record.duration_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start_)
+          .count());
+
+  Registry::instance().record_phase(name_, record.duration_ns);
+  std::lock_guard<std::mutex> lock(span_mutex());
+  auto& buffer = span_buffer();
+  if (buffer.size() >= kSpanBufferCapacity) buffer.pop_front();
+  buffer.push_back(std::move(record));
+}
+
+const TraceSpan* TraceSpan::current() { return tl_active_span; }
+
+std::vector<SpanRecord> recent_spans() {
+  std::lock_guard<std::mutex> lock(span_mutex());
+  const auto& buffer = span_buffer();
+  return std::vector<SpanRecord>(buffer.begin(), buffer.end());
+}
+
+std::size_t span_buffer_capacity() { return kSpanBufferCapacity; }
+
+void clear_spans() {
+  std::lock_guard<std::mutex> lock(span_mutex());
+  span_buffer().clear();
+}
+
+}  // namespace nanocache::metrics

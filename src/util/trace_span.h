@@ -1,0 +1,65 @@
+// Lightweight RAII phase tracing on top of util/metrics.h.
+//
+// A TraceSpan marks one phase of work on the current thread: construction
+// records the begin timestamp and pushes the span onto a thread-local stack
+// (so nesting gives parent-child structure for free — including across the
+// fork-join pool, where a worker's spans simply root at depth 0 on that
+// worker).  Destruction pops the stack, folds the duration into the
+// registry's per-phase aggregates under the span NAME (names are stable
+// across thread counts; paths are not, because a span issued from a pool
+// worker has no parent there), and appends a full record — name, parent,
+// depth, thread id, begin/duration — to a bounded ring buffer for export.
+//
+// Cost: two steady_clock reads plus one short mutex section per span.
+// Spans are phase-granular (a sweep, a request, a batch), never
+// per-grid-point — counters cover the hot paths.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nanocache::metrics {
+
+/// One finished span, as exported by recent_spans().
+struct SpanRecord {
+  std::string name;
+  std::string parent;  ///< enclosing span's name; empty at depth 0
+  std::uint32_t depth = 0;
+  std::uint64_t thread_id = 0;  ///< hashed std::thread::id
+  std::uint64_t start_ns = 0;   ///< since the process trace epoch
+  std::uint64_t duration_ns = 0;
+};
+
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string name);
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Innermost active span on the calling thread (nullptr outside spans).
+  static const TraceSpan* current();
+
+  const std::string& name() const { return name_; }
+  std::uint32_t depth() const { return depth_; }
+
+ private:
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+  TraceSpan* parent_;
+  std::uint32_t depth_;
+};
+
+/// Copy of the most recent finished spans (bounded ring, newest last).
+std::vector<SpanRecord> recent_spans();
+
+/// Capacity of the finished-span ring buffer.
+std::size_t span_buffer_capacity();
+
+/// Drop all buffered span records (reset() on the registry does not —
+/// spans and metrics are separate sinks).
+void clear_spans();
+
+}  // namespace nanocache::metrics

@@ -7,7 +7,10 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <numeric>
+#include <optional>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -199,6 +202,79 @@ TEST(Defaults, SetDefaultThreadsRoundTrips) {
 
 TEST(Defaults, HardwareThreadsIsPositive) {
   EXPECT_GE(par::hardware_threads(), 1);
+}
+
+TEST(ParallelFor, PropagatedErrorIsThreadCountInvariant) {
+  // Several failing indices scattered through the range: whatever the
+  // thread count or chunking, the error that surfaces must be the one the
+  // serial loop would hit first — the batch byte-identity contract depends
+  // on it.
+  const auto body = [](std::size_t i) {
+    if (i == 5 || i == 100 || i == 900) {
+      throw Error(ErrorCategory::kNumericDomain,
+                  "boom at " + std::to_string(i));
+    }
+  };
+  for (const int threads : {1, 2, 8}) {
+    for (const std::size_t chunk : {std::size_t{0}, std::size_t{1},
+                                    std::size_t{7}}) {
+      try {
+        par::parallel_for(1000, body, threads, chunk);
+        FAIL() << "expected an error";
+      } catch (const Error& e) {
+        EXPECT_STREQ(e.what(), "[numeric-domain] boom at 5")
+            << "threads=" << threads << " chunk=" << chunk;
+      }
+    }
+  }
+}
+
+/// setenv/unsetenv wrapper restoring NANOCACHE_THREADS afterwards.
+class EnvThreadsGuard {
+ public:
+  EnvThreadsGuard() {
+    const char* prev = std::getenv("NANOCACHE_THREADS");
+    if (prev != nullptr) saved_ = prev;
+  }
+  ~EnvThreadsGuard() {
+    if (saved_.has_value()) {
+      ::setenv("NANOCACHE_THREADS", saved_->c_str(), 1);
+    } else {
+      ::unsetenv("NANOCACHE_THREADS");
+    }
+  }
+
+ private:
+  std::optional<std::string> saved_;
+};
+
+TEST(Defaults, EnvThreadsStrictParsing) {
+  EnvThreadsGuard guard;
+  par::set_default_threads(0);  // make the env variable the source
+
+  // An empty variable counts as unset (shell convention), so it is absent
+  // from this list.
+  for (const char* bad : {"abc", "0", "-4", "2000", "8 ", "8x"}) {
+    ::setenv("NANOCACHE_THREADS", bad, 1);
+    try {
+      par::default_threads();
+      FAIL() << "expected Error(kConfig) for NANOCACHE_THREADS='" << bad
+             << "'";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.category(), ErrorCategory::kConfig) << bad;
+    }
+  }
+
+  ::setenv("NANOCACHE_THREADS", "8", 1);
+  EXPECT_EQ(par::default_threads(), 8);
+  // The upper bound of the accepted range is valid but capped to the
+  // pool's worker limit, never an error.
+  ::setenv("NANOCACHE_THREADS", "1024", 1);
+  EXPECT_GE(par::default_threads(), 1);
+  EXPECT_LE(par::default_threads(), 1024);
+
+  ::unsetenv("NANOCACHE_THREADS");
+  EXPECT_GE(par::default_threads(), 1);
 }
 
 }  // namespace

@@ -16,9 +16,11 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "api/batch_io.h"
+#include "api/metrics_json.h"
 #include "api/request_args.h"
 #include "cachemodel/variation.h"
 #include "core/explorer.h"
@@ -34,6 +36,10 @@ using namespace nanocache;
 using api::CliArgs;
 
 namespace {
+
+/// Batch statistics captured by cmd_batch for the --metrics snapshot; the
+/// metrics sink is written after dispatch, outside the command handlers.
+std::optional<api::BatchStats> g_batch_stats;
 
 int usage() {
   std::cout <<
@@ -58,7 +64,15 @@ int usage() {
       "  --strict     treat fitted-model degradation as a hard error\n"
       "  --threads N  worker threads for sweeps (default: hardware "
       "concurrency;\n"
-      "               results are identical at any thread count)\n"
+      "               results are identical at any thread count).  The\n"
+      "               NANOCACHE_THREADS environment variable accepts 1-1024\n"
+      "               (capped at 64 workers); anything else is a config "
+      "error.\n"
+      "  --metrics <file|->  after the command finishes, write the process\n"
+      "               metrics snapshot (counters, histograms, phase timings,\n"
+      "               spans; docs/API.md) as JSON to <file>, or to stderr\n"
+      "               for '-'.  Never touches stdout: command output stays\n"
+      "               byte-identical with or without this flag.\n"
       "batch: one JSON request per line (docs/API.md); one response line per\n"
       "  request, in input order.  Per-request failures stay in-band as\n"
       "  error responses; the process exits 0 unless the stream itself is\n"
@@ -236,6 +250,7 @@ int cmd_batch(const api::Service& service, const CliArgs& args) {
     in = &file;
   }
   const auto stats = api::run_batch_jsonl(service, *in, std::cout);
+  g_batch_stats = stats;
   std::cerr << "batch: " << stats.requests << " request(s), "
             << stats.unique_requests << " unique; request hits "
             << stats.request_hits << ", memo hits " << stats.memo_hits
@@ -359,6 +374,30 @@ int dispatch(const CliArgs& args) {
   return usage();
 }
 
+/// Honor --metrics <file|-> after the command ran.  The snapshot goes to a
+/// separate sink (a file, or stderr for "-") so stdout — the surface the
+/// byte-identity guarantees cover — is never mixed with observability data.
+void write_metrics_if_requested(const CliArgs& args) {
+  const auto it = args.flags.find("metrics");
+  if (it == args.flags.end()) return;
+  NC_REQUIRE(it->second != "true" && !it->second.empty(),
+             "--metrics expects a file path or '-'");
+  const api::BatchStats* batch =
+      g_batch_stats ? &*g_batch_stats : nullptr;
+  const std::string json = api::current_metrics_json(batch);
+  if (it->second == "-") {
+    std::cerr << json << "\n";
+    return;
+  }
+  std::ofstream out(it->second);
+  NC_REQUIRE_IO(out.good(),
+                "cannot open metrics output file: " + it->second);
+  out << json << "\n";
+  out.flush();
+  NC_REQUIRE_IO(out.good(),
+                "cannot write metrics output file: " + it->second);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -369,7 +408,12 @@ int main(int argc, char** argv) {
     if (const int threads = api::threads_from_args(args); threads > 0) {
       par::set_default_threads(threads);
     }
-    return dispatch(args);
+    // Surface a malformed NANOCACHE_THREADS as a config error (exit 2)
+    // before any command runs, instead of at first pool use.
+    (void)par::default_threads();
+    const int rc = dispatch(args);
+    write_metrics_if_requested(args);
+    return rc;
   } catch (const Error& e) {
     std::cerr << "error: " << e.what() << "\n";
     switch (e.category()) {
