@@ -8,10 +8,14 @@
 // nanocache::api facade, checks the serialized results are byte-identical
 // at every thread count, and writes wall time, speedup, batch throughput
 // and memoization hit rate as JSON (default: BENCH_parallel_sweep.json).
+// It also writes BENCH_pruned_search.json: pruned-vs-exhaustive combo
+// accounting (byte-identity + reduction ratio) and a cold/warm disk-cache
+// pass over the batch workload (persistent hit rate + byte-identity).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <limits>
@@ -21,6 +25,7 @@
 
 #include "api/batch_io.h"
 #include "api/metrics_json.h"
+#include "util/metrics.h"
 #include "cachemodel/fitted_cache.h"
 #include "core/explorer.h"
 #include "core/report.h"
@@ -236,7 +241,7 @@ std::vector<api::Request> batch_workload() {
       api::Request r;
       r.kind = api::RequestKind::kOptimize;
       r.optimize.scheme = scheme;
-      r.optimize.delay_ps = ps;
+      r.optimize.delay.target_ps = ps;
       push(std::move(r));
     }
   }
@@ -245,7 +250,7 @@ std::vector<api::Request> batch_workload() {
     api::Request r;
     r.kind = api::RequestKind::kSweep;
     r.sweep.kind = api::SweepKind::kSchemes;
-    r.sweep.delay_targets_ps = targets_ps;
+    r.sweep.delay.targets_ps = targets_ps;
     push(std::move(r));
   }
 
@@ -253,11 +258,11 @@ std::vector<api::Request> batch_workload() {
   {
     api::Request r;
     r.kind = api::RequestKind::kTupleMenu;
-    r.tuple_menu.amat_targets_ps = {1700.0};
+    r.tuple_menu.delay.targets_ps = {1700.0};
     push(std::move(r));
     api::Request r2;
     r2.kind = api::RequestKind::kTupleMenu;
-    r2.tuple_menu.amat_targets_ps = {1700.0, 1900.0};
+    r2.tuple_menu.delay.targets_ps = {1700.0, 1900.0};
     push(std::move(r2));
   }
   return requests;
@@ -390,6 +395,117 @@ int emit_parallel_sweep_json(const std::string& path) {
   return deterministic && memoized ? 0 : 1;
 }
 
+/// Pruned-search + persistent-cache accounting, written next to the
+/// parallel-sweep JSON.  Exit 0 requires byte-identical pruned/exhaustive
+/// serializations, the >= 5x scheme-I combo reduction the differential
+/// tests enforce, and a warm disk-cache pass that actually hits.
+int emit_pruned_search_json(const std::string& path) {
+  auto& registry = metrics::Registry::instance();
+  auto& evaluated = registry.counter("opt.combos_evaluated");
+  auto& skipped = registry.counter("opt.combos_skipped");
+
+  api::Request schemes_request;
+  schemes_request.kind = api::RequestKind::kSweep;
+  schemes_request.sweep.kind = api::SweepKind::kSchemes;
+
+  const auto run_mode = [&](bool exhaustive, std::uint64_t* combos,
+                            std::uint64_t* skips) {
+    api::ServiceConfig config;
+    config.exhaustive_search = exhaustive;
+    auto service = api::Service::create(config);
+    if (!service) {
+      std::cerr << "service: " << service.error().message << "\n";
+      std::exit(1);
+    }
+    const std::uint64_t evaluated_before = evaluated.value();
+    const std::uint64_t skipped_before = skipped.value();
+    const std::string bytes =
+        api::response_to_json(service.value()->serve(schemes_request));
+    *combos = evaluated.value() - evaluated_before;
+    *skips = skipped.value() - skipped_before;
+    return bytes;
+  };
+
+  std::uint64_t pruned_combos = 0, pruned_skips = 0;
+  std::uint64_t exhaustive_combos = 0, exhaustive_skips = 0;
+  const std::string pruned_bytes = run_mode(false, &pruned_combos,
+                                            &pruned_skips);
+  const std::string exhaustive_bytes = run_mode(true, &exhaustive_combos,
+                                                &exhaustive_skips);
+  const bool search_identical = pruned_bytes == exhaustive_bytes;
+  const double ratio = pruned_combos > 0
+                           ? static_cast<double>(exhaustive_combos) /
+                                 static_cast<double>(pruned_combos)
+                           : 0.0;
+
+  // Cold/warm persistent-cache pass: same workload, fresh service each
+  // time, shared on-disk segment.  The warm run must hit for every unique
+  // request and serve byte-identical responses.
+  const std::string cache_dir = path + ".cache_tmp";
+  std::filesystem::remove_all(cache_dir);
+  const auto workload = batch_workload();
+  const auto run_cached = [&] {
+    api::ServiceConfig config;
+    config.cache_dir = cache_dir;
+    auto service = api::Service::create(config);
+    if (!service) {
+      std::cerr << "service: " << service.error().message << "\n";
+      std::exit(1);
+    }
+    return service.value()->run_batch(workload);
+  };
+  const auto cold = run_cached();
+  const auto warm = run_cached();
+  bool cache_identical = cold.responses.size() == warm.responses.size();
+  if (cache_identical) {
+    for (std::size_t i = 0; i < cold.responses.size(); ++i) {
+      if (api::response_to_json(cold.responses[i]) !=
+          api::response_to_json(warm.responses[i])) {
+        cache_identical = false;
+        break;
+      }
+    }
+  }
+  std::filesystem::remove_all(cache_dir);
+  const double warm_hit_rate =
+      warm.stats.unique_requests > 0
+          ? static_cast<double>(warm.stats.disk_hits) /
+                static_cast<double>(warm.stats.unique_requests)
+          : 0.0;
+
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write " << path << "\n";
+    return 1;
+  }
+  out << "{\n"
+      << "  \"pruning\": {\n"
+      << "    \"exhaustive_combos\": " << exhaustive_combos << ",\n"
+      << "    \"pruned_combos\": " << pruned_combos << ",\n"
+      << "    \"pruned_combos_skipped\": " << pruned_skips << ",\n"
+      << "    \"reduction_ratio\": " << ratio << ",\n"
+      << "    \"byte_identical\": " << (search_identical ? "true" : "false")
+      << "\n"
+      << "  },\n"
+      << "  \"disk_cache\": {\n"
+      << "    \"requests\": " << warm.stats.requests << ",\n"
+      << "    \"unique_requests\": " << warm.stats.unique_requests << ",\n"
+      << "    \"cold_disk_hits\": " << cold.stats.disk_hits << ",\n"
+      << "    \"cold_disk_misses\": " << cold.stats.disk_misses << ",\n"
+      << "    \"warm_disk_hits\": " << warm.stats.disk_hits << ",\n"
+      << "    \"warm_disk_misses\": " << warm.stats.disk_misses << ",\n"
+      << "    \"warm_hit_rate\": " << warm_hit_rate << ",\n"
+      << "    \"byte_identical\": " << (cache_identical ? "true" : "false")
+      << "\n"
+      << "  }\n"
+      << "}\n";
+  std::cout << "wrote " << path << " (reduction_ratio=" << ratio
+            << ", warm_disk_hits=" << warm.stats.disk_hits << ")\n";
+  const bool ok = search_identical && cache_identical && ratio >= 5.0 &&
+                  warm.stats.disk_hits > 0;
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -397,7 +513,10 @@ int main(int argc, char** argv) {
     if (std::string(argv[i]) == "--emit-json") {
       const std::string path =
           i + 1 < argc ? argv[i + 1] : "BENCH_parallel_sweep.json";
-      return emit_parallel_sweep_json(path);
+      const int sweep_rc = emit_parallel_sweep_json(path);
+      const int pruned_rc =
+          emit_pruned_search_json("BENCH_pruned_search.json");
+      return sweep_rc != 0 ? sweep_rc : pruned_rc;
     }
   }
   benchmark::Initialize(&argc, argv);

@@ -42,7 +42,7 @@ int main() {
 
   api::SweepRequest request;
   request.kind = api::SweepKind::kSchemes;
-  request.cache_size_bytes = 16 * 1024;
+  request.target.size_bytes = 16 * 1024;
   request.ladder_steps = 9;
   const auto sweep = (*service)->sweep(request);
   if (!sweep) {

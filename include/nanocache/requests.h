@@ -1,9 +1,14 @@
-// Versioned plain-struct requests of the nanocache public API.
+// Versioned plain-struct requests of the nanocache public API (schema v2).
 //
-// One Request wraps exactly one of the four operation payloads, selected by
+// One Request wraps exactly one of the operation payloads, selected by
 // `kind`.  All numeric fields use the paper's reporting units (pS, mW, pJ,
 // Angstrom); the facade converts to the library's SI-internal units at the
-// boundary.  The JSONL wire encoding of these structs is documented in
+// boundary.
+//
+// Schema v2 factors the fields every operation repeated in v1 into two
+// shared structs: GridSpec (which cache: level + size) and DelayConstraint
+// (the timing target(s) an operation answers).  The JSONL wire encoding —
+// including the v1 flat-field compatibility parse — is documented in
 // docs/API.md and implemented by src/api/batch_io.{h,cc}.
 #pragma once
 
@@ -18,10 +23,11 @@ namespace nanocache::api {
 
 /// Which operation a Request carries.
 enum class RequestKind {
-  kEval,       ///< evaluate one cache at one uniform knob pair
-  kOptimize,   ///< Section 4: minimize leakage under a delay constraint
-  kSweep,      ///< Section 4/5 sweeps (scheme ladder, L1/L2 size sweeps)
-  kTupleMenu,  ///< Section 5 / Figure 2: the (Tox, Vth) tuple problem
+  kEval,          ///< evaluate one cache at one uniform knob pair
+  kOptimize,      ///< Section 4: minimize leakage under a delay constraint
+  kSweep,         ///< Section 4/5 sweeps (scheme ladder, L1/L2 size sweeps)
+  kTupleMenu,     ///< Section 5 / Figure 2: the (Tox, Vth) tuple problem
+  kCapabilities,  ///< discovery: schema versions, grid bounds, schemes
 };
 
 inline const char* request_kind_name(RequestKind kind) {
@@ -30,25 +36,44 @@ inline const char* request_kind_name(RequestKind kind) {
     case RequestKind::kOptimize: return "optimize";
     case RequestKind::kSweep: return "sweep";
     case RequestKind::kTupleMenu: return "tuple_menu";
+    case RequestKind::kCapabilities: return "capabilities";
   }
   return "eval";
 }
 
+/// Which cache model an operation targets: level + size.  Shared by every
+/// request kind that names a cache (v2 replaces the per-request
+/// level/size_bytes field pairs of v1).
+struct GridSpec {
+  Level level = Level::kL1;
+  /// 0 = the service's configured default size for `level`.
+  std::uint64_t size_bytes = 0;
+};
+
+/// A timing constraint: one target, a target ladder, or both empty for the
+/// operation's configured default.  Shared by optimize (single target),
+/// sweeps (target or ladder override) and the tuple problem (target
+/// ladder); v2 replaces v1's delay_ps / amat_ps / delay_targets_ps /
+/// amat_targets_ps spellings.
+struct DelayConstraint {
+  double target_ps = 0.0;          ///< single target (0 = default)
+  std::vector<double> targets_ps;  ///< explicit ladder (empty = default)
+};
+
 /// Evaluate one cache model at a uniform (Vth, Tox) assignment and report
 /// per-component and total delay/leakage/dynamic-energy.
 struct EvalRequest {
-  Level level = Level::kL1;
-  std::uint64_t size_bytes = 16 * 1024;
+  GridSpec target{Level::kL1, 16 * 1024};
   Knobs knobs{};
 };
 
 /// Minimize a single cache's leakage under an access-time constraint with
 /// one of the paper's three assignment schemes.
 struct OptimizeRequest {
-  Level level = Level::kL1;
-  std::uint64_t size_bytes = 16 * 1024;
+  GridSpec target{Level::kL1, 16 * 1024};
   SchemeId scheme = SchemeId::kII;
-  double delay_ps = 1400.0;
+  /// `target_ps` is the access-time constraint in pS; `targets_ps` unused.
+  DelayConstraint delay{1400.0, {}};
 };
 
 /// Which sweep a SweepRequest runs.
@@ -70,18 +95,19 @@ inline const char* sweep_kind_name(SweepKind kind) {
 struct SweepRequest {
   SweepKind kind = SweepKind::kL2Sizes;
 
-  /// kSchemes only: the cache size being compared (0 = the service's
-  /// configured L1 size) and the delay ladder.  When `delay_targets_ps` is
-  /// non-empty it overrides the generated ladder.
-  std::uint64_t cache_size_bytes = 0;
+  /// kSchemes only: the cache being compared (size 0 = the service's
+  /// configured L1 size).
+  GridSpec target{Level::kL1, 0};
   int ladder_steps = 9;
-  std::vector<double> delay_targets_ps;
 
-  /// Size sweeps only: the AMAT constraint in pS (0 = the "squeeze"
-  /// default derived from the configuration, as the paper's Section 5
-  /// tables use) and, for the L2 sweep, the per-size assignment scheme
-  /// (the paper studies III = one pair and II = array/periphery split).
-  double amat_ps = 0.0;
+  /// kSchemes: `targets_ps` overrides the generated delay ladder when
+  /// non-empty.  Size sweeps: `target_ps` is the AMAT constraint in pS
+  /// (0 = the "squeeze" default derived from the configuration, as the
+  /// paper's Section 5 tables use).
+  DelayConstraint delay{0.0, {}};
+
+  /// L2 sweep only: the per-size assignment scheme (the paper studies
+  /// III = one pair and II = array/periphery split).
   SchemeId l2_scheme = SchemeId::kIII;
 };
 
@@ -90,11 +116,17 @@ struct SweepRequest {
 struct TupleMenuRequest {
   int num_tox = 2;
   int num_vth = 2;
-  /// AMAT targets in pS; empty = the paper's Figure 2 targets.
-  std::vector<double> amat_targets_ps;
+  /// `targets_ps` are the AMAT targets in pS (empty = the paper's Figure 2
+  /// targets); `target_ps` unused.
+  DelayConstraint delay{0.0, {}};
   bool include_frontier = false;
   int frontier_max_points = 96;
 };
+
+/// Discovery request: no parameters.  The response reports what this
+/// service build and configuration can do (schema versions, knob bounds,
+/// configured grid, schemes, thread/cache configuration).
+struct CapabilitiesRequest {};
 
 /// One versioned request.  Exactly one payload (selected by `kind`) is
 /// meaningful; the others stay default-constructed.
@@ -110,6 +142,7 @@ struct Request {
   OptimizeRequest optimize{};
   SweepRequest sweep{};
   TupleMenuRequest tuple_menu{};
+  CapabilitiesRequest capabilities{};
 };
 
 }  // namespace nanocache::api

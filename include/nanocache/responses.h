@@ -104,6 +104,39 @@ struct TupleMenuResponse {
   std::vector<MenuDesign> frontier;  ///< when include_frontier was set
 };
 
+/// What this service build + configuration can do.  Everything here is
+/// configuration-derived and cheap; the payload is NOT covered by the
+/// thread-count byte-identity contract (the resolved `threads` value
+/// reflects the caller's pool configuration by design), so keep
+/// capabilities lines out of fixtures that diff across thread counts.
+struct CapabilitiesResponse {
+  std::vector<int> schema_versions;  ///< accepted request schema versions
+  int api_version_major = 0;
+  int api_version_minor = 0;
+
+  /// The paper's calibrated knob bounds: grid overrides must stay inside.
+  double vth_min_v = 0.0;
+  double vth_max_v = 0.0;
+  double tox_min_a = 0.0;
+  double tox_max_a = 0.0;
+
+  /// The configured knob grid the optimizers search.
+  std::vector<double> grid_vth_v;
+  std::vector<double> grid_tox_a;
+
+  std::vector<std::string> schemes;  ///< "I", "II", "III"
+  std::vector<std::string> sweeps;   ///< "schemes", "l1_sizes", "l2_sizes"
+
+  std::uint64_t l1_size_bytes = 0;  ///< configured default sizes
+  std::uint64_t l2_size_bytes = 0;
+
+  int threads = 0;             ///< resolved worker-pool width
+  std::string search_mode;     ///< "pruned" or "exhaustive"
+  bool fitted_models = false;  ///< optimizers use the fitted closed forms
+  bool disk_cache = false;     ///< persistent result cache enabled
+  std::string cache_dir;       ///< its directory (empty when disabled)
+};
+
 /// One versioned response.  `ok` distinguishes a served request (payload
 /// filled per `kind`) from a failed one (`error` filled).
 struct Response {
@@ -117,6 +150,7 @@ struct Response {
   OptimizeResponse optimize{};
   SweepResponse sweep{};
   TupleMenuResponse tuple_menu{};
+  CapabilitiesResponse capabilities{};
 };
 
 /// Batch accounting: how much work the dedup + memoization layers saved.
@@ -132,6 +166,12 @@ struct BatchStats {
   /// responses never depend on it.
   std::size_t memo_hits = 0;
   std::size_t memo_misses = 0;
+
+  /// Persistent cross-run disk-cache lookups during this batch (both zero
+  /// when the service has no cache directory configured).  A disk hit
+  /// returns the byte-identical response the original run serialized.
+  std::size_t disk_hits = 0;
+  std::size_t disk_misses = 0;
 
   /// Fraction of all lookups (request-level dedup + sub-evaluation memo)
   /// served from cache.

@@ -54,6 +54,20 @@ struct ServiceConfig {
   /// are never silently clamped.
   std::vector<double> grid_vth_v;
   std::vector<double> grid_tox_a;
+
+  /// Directory for the persistent cross-run result cache (the CLI's
+  /// --cache-dir / NANOCACHE_CACHE_DIR).  Empty disables persistence.
+  /// Segments are content-addressed by a fingerprint over this
+  /// configuration + schema/API version + search mode, so runs with
+  /// different configurations never share entries; an unusable directory is
+  /// a typed kIo error from Service::create.
+  std::string cache_dir;
+
+  /// Use the exhaustive reference search instead of the dominance-pruned
+  /// engine (the CLI's --search exhaustive).  Results are byte-identical
+  /// either way; the exhaustive path exists as the differential-testing
+  /// oracle and costs ~an order of magnitude more combo evaluations.
+  bool exhaustive_search = false;
 };
 
 /// Running counters of the service's sub-evaluation memoization cache.
@@ -81,6 +95,12 @@ class Service {
   Outcome<OptimizeResponse> optimize(const OptimizeRequest& request) const;
   Outcome<SweepResponse> sweep(const SweepRequest& request) const;
   Outcome<TupleMenuResponse> tuple_menu(const TupleMenuRequest& request) const;
+  /// Discovery: what this build + configuration supports (schema versions,
+  /// knob bounds, grid, schemes, thread/cache configuration).  Never
+  /// disk-cached, and exempt from the thread-count byte-identity contract
+  /// (it reports the resolved thread count).
+  Outcome<CapabilitiesResponse> capabilities(
+      const CapabilitiesRequest& request) const;
 
   /// Serve one wrapped request: validates schema_version, dispatches on
   /// kind, and folds success or failure into a Response (never throws).

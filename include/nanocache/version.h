@@ -16,8 +16,15 @@
 namespace nanocache::api {
 
 /// Wire-schema version of the request/response types in requests.h /
-/// responses.h and their JSONL encoding.
-inline constexpr int kSchemaVersion = 1;
+/// responses.h and their JSONL encoding.  v2 factored the per-request
+/// cache/constraint fields into the shared GridSpec and DelayConstraint
+/// structs; v1 requests are still accepted and normalized to v2 on parse
+/// (see docs/API.md for the field mapping).
+inline constexpr int kSchemaVersion = 2;
+
+/// Oldest wire-schema version the parser still accepts (normalizing to
+/// kSchemaVersion).
+inline constexpr int kMinSchemaVersion = 1;
 
 inline constexpr int kApiVersionMajor = 1;
 inline constexpr int kApiVersionMinor = 0;

@@ -38,7 +38,17 @@ RequestKind parse_kind(const std::string& s) {
   if (s == "optimize") return RequestKind::kOptimize;
   if (s == "sweep") return RequestKind::kSweep;
   if (s == "tuple_menu") return RequestKind::kTupleMenu;
+  if (s == "capabilities") return RequestKind::kCapabilities;
   throw Error(ErrorCategory::kConfig, "unknown request kind '" + s + "'");
+}
+
+ErrorCode parse_error_code(const std::string& s) {
+  if (s == "config") return ErrorCode::kConfig;
+  if (s == "numeric-domain") return ErrorCode::kNumericDomain;
+  if (s == "io") return ErrorCode::kIo;
+  if (s == "infeasible") return ErrorCode::kInfeasible;
+  if (s == "internal") return ErrorCode::kInternal;
+  throw Error(ErrorCategory::kConfig, "unknown error code '" + s + "'");
 }
 
 SweepKind parse_sweep_kind(const std::string& s) {
@@ -77,17 +87,40 @@ std::vector<double> get_double_array(const ValuePtr& obj, const char* key) {
   return out;
 }
 
+/// v2 nested "target" object: {"level": "l1"|"l2", "size_bytes": N}.
+void parse_grid_spec(const ValuePtr& root, GridSpec& g) {
+  const auto t = root->get("target");
+  if (!t) return;
+  NC_REQUIRE(t->is_object(), "'target' must be an object");
+  if (const auto level = t->get("level")) {
+    g.level = parse_level(level->as_string());
+  }
+  g.size_bytes = get_uint(t, "size_bytes", g.size_bytes);
+}
+
+/// v2 nested "delay" object: {"target_ps": X, "targets_ps": [...]}.
+void parse_delay(const ValuePtr& root, DelayConstraint& d) {
+  const auto v = root->get("delay");
+  if (!v) return;
+  NC_REQUIRE(v->is_object(), "'delay' must be an object");
+  d.target_ps = get_double(v, "target_ps", d.target_ps);
+  if (v->get("targets_ps")) d.targets_ps = get_double_array(v, "targets_ps");
+}
+
 Request request_from_value(const ValuePtr& root) {
   NC_REQUIRE(root->is_object(), "request must be a JSON object");
   Request r;
   const auto version = root->get("schema_version");
   NC_REQUIRE(version != nullptr, "request is missing schema_version");
   const auto v = static_cast<int>(version->as_int());
-  NC_REQUIRE(v == kSchemaVersion,
+  NC_REQUIRE(v >= kMinSchemaVersion && v <= kSchemaVersion,
              "unsupported schema_version " + std::to_string(v) +
-                 " (this build speaks " + std::to_string(kSchemaVersion) +
-                 ")");
-  r.schema_version = v;
+                 " (this build speaks " + std::to_string(kMinSchemaVersion) +
+                 ".." + std::to_string(kSchemaVersion) + ")");
+  // v1 flat fields normalize into the v2 structs below; the request carries
+  // the current schema version from here on.
+  const bool v1 = v == 1;
+  r.schema_version = kSchemaVersion;
   if (const auto id = root->get("id")) r.id = id->as_string();
   const auto kind = root->get("kind");
   NC_REQUIRE(kind != nullptr, "request is missing kind");
@@ -95,24 +128,41 @@ Request request_from_value(const ValuePtr& root) {
   switch (r.kind) {
     case RequestKind::kEval: {
       auto& e = r.eval;
-      if (const auto level = root->get("level")) {
-        e.level = parse_level(level->as_string());
+      if (v1) {
+        if (const auto level = root->get("level")) {
+          e.target.level = parse_level(level->as_string());
+        }
+        e.target.size_bytes = get_uint(root, "size_bytes", e.target.size_bytes);
+        e.knobs.vth_v = get_double(root, "vth_v", e.knobs.vth_v);
+        e.knobs.tox_a = get_double(root, "tox_a", e.knobs.tox_a);
+        break;
       }
-      e.size_bytes = get_uint(root, "size_bytes", e.size_bytes);
-      e.knobs.vth_v = get_double(root, "vth_v", e.knobs.vth_v);
-      e.knobs.tox_a = get_double(root, "tox_a", e.knobs.tox_a);
+      parse_grid_spec(root, e.target);
+      if (const auto knobs = root->get("knobs")) {
+        NC_REQUIRE(knobs->is_object(), "'knobs' must be an object");
+        e.knobs.vth_v = get_double(knobs, "vth_v", e.knobs.vth_v);
+        e.knobs.tox_a = get_double(knobs, "tox_a", e.knobs.tox_a);
+      }
       break;
     }
     case RequestKind::kOptimize: {
       auto& o = r.optimize;
-      if (const auto level = root->get("level")) {
-        o.level = parse_level(level->as_string());
+      if (v1) {
+        if (const auto level = root->get("level")) {
+          o.target.level = parse_level(level->as_string());
+        }
+        o.target.size_bytes = get_uint(root, "size_bytes", o.target.size_bytes);
+        if (const auto scheme = root->get("scheme")) {
+          o.scheme = parse_scheme(scheme->as_string());
+        }
+        o.delay.target_ps = get_double(root, "delay_ps", o.delay.target_ps);
+        break;
       }
-      o.size_bytes = get_uint(root, "size_bytes", o.size_bytes);
+      parse_grid_spec(root, o.target);
       if (const auto scheme = root->get("scheme")) {
         o.scheme = parse_scheme(scheme->as_string());
       }
-      o.delay_ps = get_double(root, "delay_ps", o.delay_ps);
+      parse_delay(root, o.delay);
       break;
     }
     case RequestKind::kSweep: {
@@ -120,27 +170,284 @@ Request request_from_value(const ValuePtr& root) {
       if (const auto kindv = root->get("sweep")) {
         s.kind = parse_sweep_kind(kindv->as_string());
       }
-      s.cache_size_bytes =
-          get_uint(root, "cache_size_bytes", s.cache_size_bytes);
       s.ladder_steps = get_int(root, "ladder_steps", s.ladder_steps);
-      s.delay_targets_ps = get_double_array(root, "delay_targets_ps");
-      s.amat_ps = get_double(root, "amat_ps", s.amat_ps);
       if (const auto scheme = root->get("scheme")) {
         s.l2_scheme = parse_scheme(scheme->as_string());
       }
+      if (v1) {
+        s.target.size_bytes =
+            get_uint(root, "cache_size_bytes", s.target.size_bytes);
+        s.delay.targets_ps = get_double_array(root, "delay_targets_ps");
+        s.delay.target_ps = get_double(root, "amat_ps", s.delay.target_ps);
+        break;
+      }
+      parse_grid_spec(root, s.target);
+      parse_delay(root, s.delay);
       break;
     }
     case RequestKind::kTupleMenu: {
       auto& t = r.tuple_menu;
       t.num_tox = get_int(root, "num_tox", t.num_tox);
       t.num_vth = get_int(root, "num_vth", t.num_vth);
-      t.amat_targets_ps = get_double_array(root, "amat_targets_ps");
+      if (v1) {
+        t.delay.targets_ps = get_double_array(root, "amat_targets_ps");
+      } else {
+        parse_delay(root, t.delay);
+      }
       t.include_frontier =
           get_bool(root, "include_frontier", t.include_frontier);
       t.frontier_max_points =
           get_int(root, "frontier_max_points", t.frontier_max_points);
       break;
     }
+    case RequestKind::kCapabilities:
+      break;  // no payload
+  }
+  return r;
+}
+
+// --- response parsing -------------------------------------------------------
+//
+// Exact inverse of the response writers below, used by the persistent disk
+// cache: parse + re-serialize must reproduce the stored line byte for byte.
+// Doubles round-trip exactly (format_double emits shortest-round-trip
+// decimals), and every conditional omission on the writer side maps to a
+// default value here so the re-serialized struct omits it again.
+
+ValuePtr req_field(const ValuePtr& obj, const char* key) {
+  auto v = obj->get(key);
+  NC_REQUIRE(v != nullptr, std::string("response is missing '") + key + "'");
+  return v;
+}
+
+double req_double(const ValuePtr& obj, const char* key) {
+  const auto v = obj->get(key);
+  NC_REQUIRE(v != nullptr, std::string("response is missing '") + key + "'");
+  return v->as_double();
+}
+
+std::uint64_t req_uint(const ValuePtr& obj, const char* key) {
+  const auto v = obj->get(key);
+  NC_REQUIRE(v != nullptr, std::string("response is missing '") + key + "'");
+  return v->as_uint();
+}
+
+int req_int(const ValuePtr& obj, const char* key) {
+  const auto v = obj->get(key);
+  NC_REQUIRE(v != nullptr, std::string("response is missing '") + key + "'");
+  return static_cast<int>(v->as_int());
+}
+
+bool req_bool(const ValuePtr& obj, const char* key) {
+  const auto v = obj->get(key);
+  NC_REQUIRE(v != nullptr, std::string("response is missing '") + key + "'");
+  return v->as_bool();
+}
+
+std::string req_string(const ValuePtr& obj, const char* key) {
+  const auto v = obj->get(key);
+  NC_REQUIRE(v != nullptr, std::string("response is missing '") + key + "'");
+  return v->as_string();
+}
+
+json::Value::Array req_array(const ValuePtr& obj, const char* key) {
+  const auto v = obj->get(key);
+  NC_REQUIRE(v != nullptr, std::string("response is missing '") + key + "'");
+  return v->as_array();
+}
+
+std::vector<ComponentKnobs> parse_assignment(const ValuePtr& obj,
+                                             const char* key) {
+  std::vector<ComponentKnobs> out;
+  for (const auto& item : req_array(obj, key)) {
+    ComponentKnobs c;
+    c.component = req_string(item, "component");
+    c.knobs.vth_v = req_double(item, "vth_v");
+    c.knobs.tox_a = req_double(item, "tox_a");
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+OptimizedCache parse_optimized_cache(const ValuePtr& v) {
+  OptimizedCache c;
+  c.feasible = req_bool(v, "feasible");
+  if (!c.feasible) {
+    c.infeasible_reason = req_string(v, "infeasible_reason");
+    return c;
+  }
+  c.leakage_mw = req_double(v, "leakage_mw");
+  c.access_time_ps = req_double(v, "access_time_ps");
+  c.dynamic_pj = req_double(v, "dynamic_pj");
+  c.assignment = parse_assignment(v, "assignment");
+  return c;
+}
+
+EvalResponse parse_eval_response(const ValuePtr& v) {
+  EvalResponse e;
+  e.organization = req_string(v, "organization");
+  e.access_time_ps = req_double(v, "access_time_ps");
+  e.leakage_mw = req_double(v, "leakage_mw");
+  e.leakage_sub_mw = req_double(v, "leakage_sub_mw");
+  e.leakage_gate_mw = req_double(v, "leakage_gate_mw");
+  e.dynamic_pj = req_double(v, "dynamic_pj");
+  e.area_um2 = req_double(v, "area_um2");
+  for (const auto& item : req_array(v, "components")) {
+    ComponentEval c;
+    c.component = req_string(item, "component");
+    c.knobs.vth_v = req_double(item, "vth_v");
+    c.knobs.tox_a = req_double(item, "tox_a");
+    c.delay_ps = req_double(item, "delay_ps");
+    c.leakage_mw = req_double(item, "leakage_mw");
+    c.dynamic_pj = req_double(item, "dynamic_pj");
+    e.components.push_back(std::move(c));
+  }
+  return e;
+}
+
+SweepResponse parse_sweep_response(const ValuePtr& v) {
+  SweepResponse s;
+  s.kind = parse_sweep_kind(req_string(v, "sweep"));
+  if (s.kind == SweepKind::kSchemes) {
+    for (const auto& item : req_array(v, "rows")) {
+      SchemesRow row;
+      row.delay_target_ps = req_double(item, "delay_target_ps");
+      row.scheme1 = parse_optimized_cache(req_field(item, "scheme_I"));
+      row.scheme2 = parse_optimized_cache(req_field(item, "scheme_II"));
+      row.scheme3 = parse_optimized_cache(req_field(item, "scheme_III"));
+      s.schemes.push_back(std::move(row));
+    }
+    return s;
+  }
+  s.amat_target_ps = req_double(v, "amat_target_ps");
+  for (const auto& item : req_array(v, "rows")) {
+    SizeRow row;
+    row.size_bytes = req_uint(item, "size_bytes");
+    row.feasible = req_bool(item, "feasible");
+    if (!row.feasible) {
+      row.infeasible_reason = req_string(item, "infeasible_reason");
+      row.miss_rate = req_double(item, "miss_rate");
+    } else {
+      row.miss_rate = req_double(item, "miss_rate");
+      row.amat_ps = req_double(item, "amat_ps");
+      row.level_leakage_mw = req_double(item, "level_leakage_mw");
+      row.total_leakage_mw = req_double(item, "total_leakage_mw");
+      row.result = parse_optimized_cache(req_field(item, "result"));
+    }
+    s.sizes.push_back(std::move(row));
+  }
+  return s;
+}
+
+std::vector<double> parse_double_array(const ValuePtr& obj, const char* key) {
+  std::vector<double> out;
+  for (const auto& item : req_array(obj, key)) out.push_back(item->as_double());
+  return out;
+}
+
+MenuDesign parse_menu_design(const ValuePtr& v) {
+  MenuDesign d;
+  // The writer omits amat_target_ps when it is not positive (frontier
+  // points); absence maps back to the 0.0 default.
+  if (const auto target = v->get("amat_target_ps")) {
+    d.amat_target_ps = target->as_double();
+  }
+  d.feasible = req_bool(v, "feasible");
+  if (!d.feasible) return d;
+  d.amat_ps = req_double(v, "amat_ps");
+  d.energy_pj = req_double(v, "energy_pj");
+  d.leakage_mw = req_double(v, "leakage_mw");
+  d.tox_menu_a = parse_double_array(v, "tox_menu_a");
+  d.vth_menu_v = parse_double_array(v, "vth_menu_v");
+  d.l1_assignment = parse_assignment(v, "l1_assignment");
+  d.l2_assignment = parse_assignment(v, "l2_assignment");
+  return d;
+}
+
+TupleMenuResponse parse_tuple_menu_response(const ValuePtr& v) {
+  TupleMenuResponse t;
+  t.num_tox = req_int(v, "num_tox");
+  t.num_vth = req_int(v, "num_vth");
+  t.label = req_string(v, "label");
+  t.min_amat_ps = req_double(v, "min_amat_ps");
+  for (const auto& item : req_array(v, "targets")) {
+    t.targets.push_back(parse_menu_design(item));
+  }
+  // Omitted when empty; an empty frontier re-serializes to omission.
+  if (v->get("frontier")) {
+    for (const auto& item : req_array(v, "frontier")) {
+      t.frontier.push_back(parse_menu_design(item));
+    }
+  }
+  return t;
+}
+
+CapabilitiesResponse parse_capabilities_response(const ValuePtr& v) {
+  CapabilitiesResponse c;
+  for (const auto& item : req_array(v, "schema_versions")) {
+    c.schema_versions.push_back(static_cast<int>(item->as_int()));
+  }
+  c.api_version_major = req_int(v, "api_version_major");
+  c.api_version_minor = req_int(v, "api_version_minor");
+  c.vth_min_v = req_double(v, "vth_min_v");
+  c.vth_max_v = req_double(v, "vth_max_v");
+  c.tox_min_a = req_double(v, "tox_min_a");
+  c.tox_max_a = req_double(v, "tox_max_a");
+  c.grid_vth_v = parse_double_array(v, "grid_vth_v");
+  c.grid_tox_a = parse_double_array(v, "grid_tox_a");
+  for (const auto& item : req_array(v, "schemes")) {
+    c.schemes.push_back(item->as_string());
+  }
+  for (const auto& item : req_array(v, "sweeps")) {
+    c.sweeps.push_back(item->as_string());
+  }
+  c.l1_size_bytes = req_uint(v, "l1_size_bytes");
+  c.l2_size_bytes = req_uint(v, "l2_size_bytes");
+  c.threads = req_int(v, "threads");
+  c.search_mode = req_string(v, "search_mode");
+  c.fitted_models = req_bool(v, "fitted_models");
+  c.disk_cache = req_bool(v, "disk_cache");
+  c.cache_dir = req_string(v, "cache_dir");
+  return c;
+}
+
+Response response_from_value(const ValuePtr& root) {
+  NC_REQUIRE(root->is_object(), "response must be a JSON object");
+  Response r;
+  const auto version = root->get("schema_version");
+  NC_REQUIRE(version != nullptr, "response is missing schema_version");
+  r.schema_version = static_cast<int>(version->as_int());
+  if (const auto id = root->get("id")) r.id = id->as_string();
+  r.ok = req_bool(root, "ok");
+  if (!r.ok) {
+    const auto err = root->get("error");
+    NC_REQUIRE(err != nullptr && err->is_object(),
+               "error response is missing 'error'");
+    r.error.code = parse_error_code(req_string(err, "code"));
+    r.error.message = req_string(err, "message");
+    // Error responses do not serialize `kind`; the default survives the
+    // round trip because re-serialization omits it too.
+    return r;
+  }
+  r.kind = parse_kind(req_string(root, "kind"));
+  const auto result = root->get("result");
+  NC_REQUIRE(result != nullptr, "response is missing 'result'");
+  switch (r.kind) {
+    case RequestKind::kEval:
+      r.eval = parse_eval_response(result);
+      break;
+    case RequestKind::kOptimize:
+      r.optimize.result = parse_optimized_cache(result);
+      break;
+    case RequestKind::kSweep:
+      r.sweep = parse_sweep_response(result);
+      break;
+    case RequestKind::kTupleMenu:
+      r.tuple_menu = parse_tuple_menu_response(result);
+      break;
+    case RequestKind::kCapabilities:
+      r.capabilities = parse_capabilities_response(result);
+      break;
   }
   return r;
 }
@@ -181,6 +488,45 @@ std::string double_array_json(const std::vector<double>& values) {
     out += json::format_double(values[i]);
   }
   return out + "]";
+}
+
+std::string int_array_json(const std::vector<int>& values) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(values[i]);
+  }
+  return out + "]";
+}
+
+std::string string_array_json(const std::vector<std::string>& values) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ',';
+    out += json::quote(values[i]);
+  }
+  return out + "]";
+}
+
+std::string grid_spec_json(const GridSpec& g) {
+  ObjectWriter w;
+  w.string_field("level", level_name(g.level));
+  w.uint_field("size_bytes", g.size_bytes);
+  return w.str();
+}
+
+std::string delay_constraint_json(const DelayConstraint& d) {
+  ObjectWriter w;
+  w.double_field("target_ps", d.target_ps);
+  w.field("targets_ps", double_array_json(d.targets_ps));
+  return w.str();
+}
+
+std::string knobs_json(const Knobs& k) {
+  ObjectWriter w;
+  w.double_field("vth_v", k.vth_v);
+  w.double_field("tox_a", k.tox_a);
+  return w.str();
 }
 
 std::string assignment_json(const std::vector<ComponentKnobs>& assignment) {
@@ -321,6 +667,29 @@ std::string tuple_menu_json(const TupleMenuResponse& t) {
   return w.str();
 }
 
+std::string capabilities_json(const CapabilitiesResponse& c) {
+  ObjectWriter w;
+  w.field("schema_versions", int_array_json(c.schema_versions));
+  w.int_field("api_version_major", c.api_version_major);
+  w.int_field("api_version_minor", c.api_version_minor);
+  w.double_field("vth_min_v", c.vth_min_v);
+  w.double_field("vth_max_v", c.vth_max_v);
+  w.double_field("tox_min_a", c.tox_min_a);
+  w.double_field("tox_max_a", c.tox_max_a);
+  w.field("grid_vth_v", double_array_json(c.grid_vth_v));
+  w.field("grid_tox_a", double_array_json(c.grid_tox_a));
+  w.field("schemes", string_array_json(c.schemes));
+  w.field("sweeps", string_array_json(c.sweeps));
+  w.uint_field("l1_size_bytes", c.l1_size_bytes);
+  w.uint_field("l2_size_bytes", c.l2_size_bytes);
+  w.int_field("threads", c.threads);
+  w.string_field("search_mode", c.search_mode);
+  w.bool_field("fitted_models", c.fitted_models);
+  w.bool_field("disk_cache", c.disk_cache);
+  w.string_field("cache_dir", c.cache_dir);
+  return w.str();
+}
+
 /// Bit-pattern key of a double: structural identity, not decimal identity.
 std::string key_double(double d) {
   const auto bits = std::bit_cast<std::uint64_t>(d);
@@ -357,35 +726,46 @@ Outcome<Request> parse_request_json(const std::string& line) {
   }
 }
 
+Outcome<Response> parse_response_json(const std::string& line) {
+  try {
+    return response_from_value(json::parse(line));
+  } catch (const Error& e) {
+    const ErrorCode code = e.category() == ErrorCategory::kConfig
+                               ? ErrorCode::kConfig
+                               : ErrorCode::kInternal;
+    return Outcome<Response>::failure(code, e.what());
+  } catch (const std::exception& e) {
+    return Outcome<Response>::failure(ErrorCode::kInternal, e.what());
+  }
+}
+
 std::string request_to_json(const Request& request) {
   ObjectWriter w;
-  w.int_field("schema_version", request.schema_version);
+  // Serialization always speaks the current schema: v1 requests were
+  // normalized into the v2 structs at parse time.
+  w.int_field("schema_version", kSchemaVersion);
   if (!request.id.empty()) w.string_field("id", request.id);
   w.string_field("kind", request_kind_name(request.kind));
   switch (request.kind) {
     case RequestKind::kEval: {
       const auto& e = request.eval;
-      w.string_field("level", level_name(e.level));
-      w.uint_field("size_bytes", e.size_bytes);
-      w.double_field("vth_v", e.knobs.vth_v);
-      w.double_field("tox_a", e.knobs.tox_a);
+      w.field("target", grid_spec_json(e.target));
+      w.field("knobs", knobs_json(e.knobs));
       break;
     }
     case RequestKind::kOptimize: {
       const auto& o = request.optimize;
-      w.string_field("level", level_name(o.level));
-      w.uint_field("size_bytes", o.size_bytes);
+      w.field("target", grid_spec_json(o.target));
       w.string_field("scheme", scheme_id_name(o.scheme));
-      w.double_field("delay_ps", o.delay_ps);
+      w.field("delay", delay_constraint_json(o.delay));
       break;
     }
     case RequestKind::kSweep: {
       const auto& s = request.sweep;
       w.string_field("sweep", sweep_kind_name(s.kind));
-      w.uint_field("cache_size_bytes", s.cache_size_bytes);
+      w.field("target", grid_spec_json(s.target));
       w.int_field("ladder_steps", s.ladder_steps);
-      w.field("delay_targets_ps", double_array_json(s.delay_targets_ps));
-      w.double_field("amat_ps", s.amat_ps);
+      w.field("delay", delay_constraint_json(s.delay));
       w.string_field("scheme", scheme_id_name(s.l2_scheme));
       break;
     }
@@ -393,11 +773,13 @@ std::string request_to_json(const Request& request) {
       const auto& t = request.tuple_menu;
       w.int_field("num_tox", t.num_tox);
       w.int_field("num_vth", t.num_vth);
-      w.field("amat_targets_ps", double_array_json(t.amat_targets_ps));
+      w.field("delay", delay_constraint_json(t.delay));
       w.bool_field("include_frontier", t.include_frontier);
       w.int_field("frontier_max_points", t.frontier_max_points);
       break;
     }
+    case RequestKind::kCapabilities:
+      break;  // no payload
   }
   return w.str();
 }
@@ -429,20 +811,33 @@ std::string response_to_json(const Response& response) {
     case RequestKind::kTupleMenu:
       w.field("result", tuple_menu_json(response.tuple_menu));
       break;
+    case RequestKind::kCapabilities:
+      w.field("result", capabilities_json(response.capabilities));
+      break;
   }
   return w.str();
 }
 
 std::string request_canonical_key(const Request& request) {
-  std::string key = "v" + std::to_string(request.schema_version) + "|";
+  // Supported schema versions mean the identical computation (v1 payloads
+  // normalize to the v2 structs), so they share keys under the current
+  // version.  Unsupported versions keep their own number: their (error)
+  // responses quote it, so they must never dedup against supported
+  // requests or each other.
+  const bool supported = request.schema_version >= kMinSchemaVersion &&
+                         request.schema_version <= kSchemaVersion;
+  std::string key =
+      "v" +
+      std::to_string(supported ? kSchemaVersion : request.schema_version) +
+      "|";
   key += request_kind_name(request.kind);
   key += '|';
   switch (request.kind) {
     case RequestKind::kEval: {
       const auto& e = request.eval;
-      key += level_name(e.level);
+      key += level_name(e.target.level);
       key += '|';
-      key += std::to_string(e.size_bytes);
+      key += std::to_string(e.target.size_bytes);
       key += '|';
       key += key_double(e.knobs.vth_v);
       key += '|';
@@ -451,26 +846,28 @@ std::string request_canonical_key(const Request& request) {
     }
     case RequestKind::kOptimize: {
       const auto& o = request.optimize;
-      key += level_name(o.level);
+      key += level_name(o.target.level);
       key += '|';
-      key += std::to_string(o.size_bytes);
+      key += std::to_string(o.target.size_bytes);
       key += '|';
       key += scheme_id_name(o.scheme);
       key += '|';
-      key += key_double(o.delay_ps);
+      key += key_double(o.delay.target_ps);
       break;
     }
     case RequestKind::kSweep: {
       const auto& s = request.sweep;
       key += sweep_kind_name(s.kind);
       key += '|';
-      key += std::to_string(s.cache_size_bytes);
+      key += level_name(s.target.level);
+      key += '|';
+      key += std::to_string(s.target.size_bytes);
       key += '|';
       key += std::to_string(s.ladder_steps);
       key += '|';
-      key_doubles(key, s.delay_targets_ps);
+      key_doubles(key, s.delay.targets_ps);
       key += '|';
-      key += key_double(s.amat_ps);
+      key += key_double(s.delay.target_ps);
       key += '|';
       key += scheme_id_name(s.l2_scheme);
       break;
@@ -481,13 +878,15 @@ std::string request_canonical_key(const Request& request) {
       key += '|';
       key += std::to_string(t.num_vth);
       key += '|';
-      key_doubles(key, t.amat_targets_ps);
+      key_doubles(key, t.delay.targets_ps);
       key += '|';
       key += t.include_frontier ? "f1" : "f0";
       key += '|';
       key += std::to_string(t.frontier_max_points);
       break;
     }
+    case RequestKind::kCapabilities:
+      break;  // no payload fields
   }
   return key;
 }

@@ -1,10 +1,13 @@
-// JSONL wire format of the batch API (schema v1, see docs/API.md).
+// JSONL wire format of the batch API (schema v2, see docs/API.md).
 //
 // One JSON object per line.  Requests carry their payload fields at top
-// level, discriminated by "kind"; unknown keys are ignored (additive schema
-// evolution without a version bump).  Responses serialize with a fixed key
-// order and shortest-round-trip number formatting, so equal response
-// structs always produce equal bytes — the batch determinism contract.
+// level, discriminated by "kind", with the shared GridSpec/DelayConstraint
+// structs as nested "target"/"delay"/"knobs" objects; schema_version 1
+// lines (flat fields) are still accepted and normalized to v2 on parse.
+// Unknown keys are ignored (additive schema evolution without a version
+// bump).  Responses serialize with a fixed key order and
+// shortest-round-trip number formatting, so equal response structs always
+// produce equal bytes — the batch determinism contract.
 #pragma once
 
 #include <iosfwd>
@@ -31,6 +34,13 @@ std::string request_to_json(const Request& request);
 /// newline).  Key order is fixed; `id` is written only when non-empty;
 /// `kind` + payload appear on ok responses, `error` on failed ones.
 std::string response_to_json(const Response& response);
+
+/// Exact inverse of response_to_json, used by the persistent disk cache:
+/// for any response R, parse_response_json(response_to_json(R)) followed by
+/// response_to_json reproduces the original bytes (doubles are
+/// shortest-round-trip, conditional omissions map back to defaults).
+/// Malformed or truncated lines yield a typed kConfig/kInternal failure.
+Outcome<Response> parse_response_json(const std::string& line);
 
 /// The request's structural identity: equal keys <=> the service would run
 /// the identical computation.  Ignores `id`.  Doubles are keyed by bit

@@ -4,14 +4,14 @@
 
 namespace nanocache::api {
 
-std::size_t MemoCache::entries() const {
+MemoCache::Stats MemoCache::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return entries_.size();
+  return Stats{hits_, misses_, entries_.size()};
 }
 
 std::shared_ptr<const void> MemoCache::lookup(const std::string& key) {
   // Process-wide observability counters aggregate across every MemoCache
-  // instance; the per-instance atomics below stay the source of MemoStats.
+  // instance; the per-instance counters below stay the source of MemoStats.
   static auto& memo_hits =
       metrics::Registry::instance().counter("api.memo.hits");
   static auto& memo_misses =
@@ -20,12 +20,15 @@ std::shared_ptr<const void> MemoCache::lookup(const std::string& key) {
     std::lock_guard<std::mutex> lock(mutex_);
     const auto it = entries_.find(key);
     if (it != entries_.end()) {
-      hits_.fetch_add(1, std::memory_order_relaxed);
+      ++hits_;
       memo_hits.add(1);
       return it->second;
     }
+    // The miss increment shares the hit path's critical section so a
+    // stats() snapshot never observes a lookup split across the two
+    // counters.
+    ++misses_;
   }
-  misses_.fetch_add(1, std::memory_order_relaxed);
   memo_misses.add(1);
   return nullptr;
 }

@@ -12,10 +12,11 @@
 // threads racing on the same key may both compute; the first insert wins
 // and both receive the winning (deterministic, bitwise-identical) value.
 // Hit/miss counters are therefore timing-dependent — they feed reporting,
-// never results.
+// never results.  The counters live under the same mutex as the entry map,
+// so a stats() snapshot is internally consistent (hits + misses covers
+// exactly the lookups that completed before the snapshot).
 #pragma once
 
-#include <atomic>
 #include <cstddef>
 #include <functional>
 #include <memory>
@@ -28,6 +29,15 @@ namespace nanocache::api {
 
 class MemoCache {
  public:
+  /// One consistent snapshot of the cache's counters, taken under a single
+  /// lock acquisition — the metrics path must never see a hits/misses pair
+  /// straddling a concurrent lookup.
+  struct Stats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t entries = 0;
+  };
+
   /// Return the cached value for `key`, or run `compute`, publish its
   /// result, and return it.  `T` must match the type stored under `key`;
   /// callers namespace keys with a type tag prefix ("eval|", "opt|", ...)
@@ -44,11 +54,10 @@ class MemoCache {
     return std::static_pointer_cast<const T>(winner);
   }
 
-  std::size_t hits() const { return hits_.load(std::memory_order_relaxed); }
-  std::size_t misses() const {
-    return misses_.load(std::memory_order_relaxed);
-  }
-  std::size_t entries() const;
+  Stats stats() const;
+  std::size_t hits() const { return stats().hits; }
+  std::size_t misses() const { return stats().misses; }
+  std::size_t entries() const { return stats().entries; }
 
  private:
   /// nullptr on miss (miss counter bumped); the stored value on hit.
@@ -61,8 +70,8 @@ class MemoCache {
 
   mutable std::mutex mutex_;
   std::unordered_map<std::string, std::shared_ptr<const void>> entries_;
-  std::atomic<std::size_t> hits_{0};
-  std::atomic<std::size_t> misses_{0};
+  std::size_t hits_ = 0;    // guarded by mutex_
+  std::size_t misses_ = 0;  // guarded by mutex_
 };
 
 }  // namespace nanocache::api

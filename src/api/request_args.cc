@@ -1,5 +1,6 @@
 #include "api/request_args.h"
 
+#include <cstdlib>
 #include <cstring>
 #include <exception>
 
@@ -71,6 +72,28 @@ ServiceConfig service_config_from_args(const CliArgs& args) {
   ServiceConfig config;
   config.use_fitted_models = flag_present(args, "fitted");
   config.strict_degradation = flag_present(args, "strict");
+
+  // Persistent result cache: --cache-dir wins, then NANOCACHE_CACHE_DIR;
+  // neither means no persistence.
+  const auto dir = args.flags.find("cache-dir");
+  if (dir != args.flags.end()) {
+    NC_REQUIRE(dir->second != "true",
+               "--cache-dir expects a directory path");
+    config.cache_dir = dir->second;
+  } else if (const char* env = std::getenv("NANOCACHE_CACHE_DIR")) {
+    config.cache_dir = env;
+  }
+
+  const auto search = args.flags.find("search");
+  if (search != args.flags.end()) {
+    if (search->second == "exhaustive") {
+      config.exhaustive_search = true;
+    } else {
+      NC_REQUIRE(search->second == "pruned",
+                 "--search expects 'pruned' or 'exhaustive', got '" +
+                     search->second + "'");
+    }
+  }
   return config;
 }
 
@@ -91,38 +114,46 @@ int threads_from_args(const CliArgs& args) {
 Outcome<Request> request_from_args(const CliArgs& args) {
   try {
     Request r;
+    if (args.command == "capabilities") {
+      r.kind = RequestKind::kCapabilities;
+      return r;
+    }
     if (args.command == "cache") {
       r.kind = RequestKind::kEval;
-      r.eval.level = flag_present(args, "l2") ? Level::kL2 : Level::kL1;
-      r.eval.size_bytes = flag_uint(args, "size", r.eval.size_bytes);
+      r.eval.target.level = flag_present(args, "l2") ? Level::kL2 : Level::kL1;
+      r.eval.target.size_bytes =
+          flag_uint(args, "size", r.eval.target.size_bytes);
       r.eval.knobs.vth_v = flag_double(args, "vth", r.eval.knobs.vth_v);
       r.eval.knobs.tox_a = flag_double(args, "tox", r.eval.knobs.tox_a);
       return r;
     }
     if (args.command == "optimize") {
       r.kind = RequestKind::kOptimize;
-      r.optimize.level = flag_present(args, "l2") ? Level::kL2 : Level::kL1;
-      r.optimize.size_bytes = flag_uint(args, "size", r.optimize.size_bytes);
+      r.optimize.target.level =
+          flag_present(args, "l2") ? Level::kL2 : Level::kL1;
+      r.optimize.target.size_bytes =
+          flag_uint(args, "size", r.optimize.target.size_bytes);
       const auto it = args.flags.find("scheme");
       if (it != args.flags.end()) r.optimize.scheme = parse_scheme_flag(it->second);
-      r.optimize.delay_ps = flag_double(args, "delay-ps", r.optimize.delay_ps);
+      r.optimize.delay.target_ps =
+          flag_double(args, "delay-ps", r.optimize.delay.target_ps);
       return r;
     }
     if (args.command == "run") {
       r.kind = RequestKind::kSweep;
       if (args.positional == "schemes") {
         r.sweep.kind = SweepKind::kSchemes;
-        r.sweep.cache_size_bytes = flag_uint(args, "size", 0);
+        r.sweep.target.size_bytes = flag_uint(args, "size", 0);
         r.sweep.ladder_steps =
             static_cast<int>(flag_uint(args, "steps", 9));
       } else if (args.positional == "l2" || args.positional == "l2split") {
         r.sweep.kind = SweepKind::kL2Sizes;
         r.sweep.l2_scheme =
             args.positional == "l2split" ? SchemeId::kII : SchemeId::kIII;
-        r.sweep.amat_ps = flag_double(args, "amat-ps", 0.0);
+        r.sweep.delay.target_ps = flag_double(args, "amat-ps", 0.0);
       } else if (args.positional == "l1") {
         r.sweep.kind = SweepKind::kL1Sizes;
-        r.sweep.amat_ps = flag_double(args, "amat-ps", 0.0);
+        r.sweep.delay.target_ps = flag_double(args, "amat-ps", 0.0);
       } else {
         throw Error(ErrorCategory::kConfig,
                     "experiment '" + args.positional +

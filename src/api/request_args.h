@@ -31,7 +31,9 @@ std::uint64_t flag_uint(const CliArgs& args, const std::string& key,
                         std::uint64_t fallback);
 bool flag_present(const CliArgs& args, const std::string& key);
 
-/// Service configuration from the shared flags (--fitted, --strict).
+/// Service configuration from the shared flags: --fitted, --strict,
+/// --cache-dir DIR (falling back to $NANOCACHE_CACHE_DIR; empty disables
+/// the persistent result cache) and --search pruned|exhaustive.
 ServiceConfig service_config_from_args(const CliArgs& args);
 
 /// The --threads flag (0 = keep the pool default).  Throws Error(kConfig)
@@ -42,6 +44,7 @@ int threads_from_args(const CliArgs& args);
 ///   cache    -> kEval      (--size, --l2, --vth, --tox)
 ///   optimize -> kOptimize  (--size, --l2, --scheme, --delay-ps)
 ///   run schemes|l2|l2split|l1 -> kSweep (--size, --steps, --amat-ps)
+///   capabilities -> kCapabilities
 /// Unknown commands/experiments yield a typed kConfig failure.  Commands
 /// that are not request-shaped (fig1/fig2 rendering, export, ...) are the
 /// caller's business via the Service escape hatch.

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "api/batch_io.h"
+#include "api/disk_cache.h"
 #include "api/memo_cache.h"
 #include "cachemodel/cache_model.h"
 #include "core/explorer.h"
@@ -70,6 +71,42 @@ std::string key_double(double d) {
   }
   buf[16] = '\0';
   return std::string(buf);
+}
+
+/// Library fingerprint for the persistent disk cache: a hash over everything
+/// that can change an answer — model selection, degradation policy, default
+/// sizes, the exact grid bit patterns, schema/API version, and the search
+/// mode (byte-identical by contract, but a fingerprint mismatch costs only a
+/// cold segment while a collision could serve stale bits).
+std::string service_fingerprint(const core::ExperimentConfig& config) {
+  std::string s = "nanocache|schema=";
+  s += std::to_string(kSchemaVersion);
+  s += "|api=";
+  s += std::to_string(kApiVersionMajor);
+  s += '.';
+  s += std::to_string(kApiVersionMinor);
+  s += "|fitted=";
+  s += config.use_fitted_models ? '1' : '0';
+  s += "|strict=";
+  s += config.degradation_policy == core::DegradationPolicy::kStrict ? '1'
+                                                                     : '0';
+  s += "|l1=";
+  s += std::to_string(config.l1_size_bytes);
+  s += "|l2=";
+  s += std::to_string(config.l2_size_bytes);
+  s += "|mode=";
+  s += opt::search_mode_name(config.search_mode);
+  s += "|vth=";
+  for (const double v : config.grid.vth_values) {
+    s += key_double(v);
+    s += ',';
+  }
+  s += "|tox=";
+  for (const double v : config.grid.tox_values) {
+    s += key_double(v);
+    s += ',';
+  }
+  return fnv1a64_hex(s);
 }
 
 std::vector<ComponentKnobs> assignment_out(
@@ -161,11 +198,20 @@ struct Service::Impl {
   /// Sub-evaluation memo.  Per-service, and a Service's model/grid/mode
   /// configuration is immutable, so keys only carry the per-request fields.
   mutable MemoCache memo;
+  /// Persistent cross-run result cache (null when cache_dir is empty).
+  std::unique_ptr<DiskCache> disk;
 
   const cachemodel::CacheModel& model(Level level,
                                       std::uint64_t size_bytes) const {
     return level == Level::kL2 ? explorer->l2_model(size_bytes)
                                : explorer->l1_model(size_bytes);
+  }
+
+  /// v2 GridSpec semantics: size_bytes 0 means the service's configured
+  /// default size for the addressed level.
+  std::uint64_t resolve_size(Level level, std::uint64_t size_bytes) const {
+    if (size_bytes != 0) return size_bytes;
+    return level == Level::kL2 ? config.l2_size_bytes : config.l1_size_bytes;
   }
 
   /// Memoized uniform-knob cache evaluation ("eval|" entries).
@@ -218,7 +264,7 @@ struct Service::Impl {
       const auto eval = explorer->evaluator(m);
       return std::make_shared<const opt::OptOutcome<opt::SchemeResult>>(
           opt::optimize_single_cache(eval, config.grid, to_scheme(scheme),
-                                     delay_s));
+                                     delay_s, config.search_mode));
     });
   }
 
@@ -295,6 +341,9 @@ Outcome<std::shared_ptr<Service>> Service::create(ServiceConfig config) {
     if (!config.grid_tox_a.empty()) {
       experiment.grid.tox_values = config.grid_tox_a;
     }
+    experiment.search_mode = config.exhaustive_search
+                                 ? opt::SearchMode::kExhaustive
+                                 : opt::SearchMode::kPruned;
 
     auto service = std::shared_ptr<Service>(new Service());
     service->impl_ = std::make_unique<Impl>();
@@ -302,6 +351,11 @@ Outcome<std::shared_ptr<Service>> Service::create(ServiceConfig config) {
     service->impl_->config = std::move(experiment);
     service->impl_->explorer =
         std::make_unique<core::Explorer>(service->impl_->config);
+    if (!service->impl_->api_config.cache_dir.empty()) {
+      service->impl_->disk =
+          DiskCache::open(service->impl_->api_config.cache_dir,
+                          service_fingerprint(service->impl_->config));
+    }
     return service;
   });
 }
@@ -311,17 +365,47 @@ const ServiceConfig& Service::config() const { return impl_->api_config; }
 const core::Explorer& Service::explorer() const { return *impl_->explorer; }
 
 MemoStats Service::memo_stats() const {
-  return MemoStats{impl_->memo.hits(), impl_->memo.misses(),
-                   impl_->memo.entries()};
+  const auto stats = impl_->memo.stats();
+  return MemoStats{stats.hits, stats.misses, stats.entries};
+}
+
+Outcome<CapabilitiesResponse> Service::capabilities(
+    const CapabilitiesRequest&) const {
+  return guarded([&] {
+    CapabilitiesResponse c;
+    for (int v = kMinSchemaVersion; v <= kSchemaVersion; ++v) {
+      c.schema_versions.push_back(v);
+    }
+    c.api_version_major = kApiVersionMajor;
+    c.api_version_minor = kApiVersionMinor;
+    const tech::KnobRange ranges{};
+    c.vth_min_v = ranges.vth_min_v;
+    c.vth_max_v = ranges.vth_max_v;
+    c.tox_min_a = ranges.tox_min_a;
+    c.tox_max_a = ranges.tox_max_a;
+    c.grid_vth_v = impl_->config.grid.vth_values;
+    c.grid_tox_a = impl_->config.grid.tox_values;
+    c.schemes = {"I", "II", "III"};
+    c.sweeps = {"schemes", "l1_sizes", "l2_sizes"};
+    c.l1_size_bytes = impl_->config.l1_size_bytes;
+    c.l2_size_bytes = impl_->config.l2_size_bytes;
+    c.threads = par::default_threads();
+    c.search_mode = opt::search_mode_name(impl_->config.search_mode);
+    c.fitted_models = impl_->config.use_fitted_models;
+    c.disk_cache = impl_->disk != nullptr;
+    c.cache_dir = impl_->api_config.cache_dir;
+    return c;
+  });
 }
 
 Outcome<EvalResponse> Service::evaluate(const EvalRequest& request) const {
   return guarded([&] {
-    const auto metrics =
-        impl_->eval_memo(request.level, request.size_bytes, request.knobs);
+    const Level level = request.target.level;
+    const std::uint64_t size =
+        impl_->resolve_size(level, request.target.size_bytes);
+    const auto metrics = impl_->eval_memo(level, size, request.knobs);
     EvalResponse r;
-    r.organization =
-        impl_->model(request.level, request.size_bytes).organization().describe();
+    r.organization = impl_->model(level, size).organization().describe();
     r.access_time_ps = units::seconds_to_ps(metrics->access_time_s);
     r.leakage_mw = units::watts_to_mw(metrics->leakage_w);
     r.leakage_sub_mw = units::watts_to_mw(metrics->leakage_sub_w);
@@ -344,10 +428,11 @@ Outcome<EvalResponse> Service::evaluate(const EvalRequest& request) const {
 
 Outcome<OptimizeResponse> Service::optimize(const OptimizeRequest& request) const {
   return guarded([&] {
-    NC_REQUIRE(request.delay_ps > 0.0, "delay_ps must be positive");
+    NC_REQUIRE(request.delay.target_ps > 0.0, "delay.target_ps must be positive");
     const auto outcome = impl_->optimize_memo(
-        request.level, request.size_bytes, request.scheme,
-        units::ps_to_seconds(request.delay_ps));
+        request.target.level,
+        impl_->resolve_size(request.target.level, request.target.size_bytes),
+        request.scheme, units::ps_to_seconds(request.delay.target_ps));
     return OptimizeResponse{to_optimized(*outcome)};
   });
 }
@@ -357,13 +442,14 @@ Outcome<SweepResponse> Service::sweep(const SweepRequest& request) const {
     SweepResponse r;
     r.kind = request.kind;
     if (request.kind == SweepKind::kSchemes) {
-      const std::uint64_t size = request.cache_size_bytes != 0
-                                     ? request.cache_size_bytes
-                                     : impl_->config.l1_size_bytes;
+      NC_REQUIRE(request.target.level == Level::kL1,
+                 "the scheme-comparison sweep targets the L1 cache");
+      const std::uint64_t size =
+          impl_->resolve_size(Level::kL1, request.target.size_bytes);
       std::vector<double> targets_s;
-      if (!request.delay_targets_ps.empty()) {
-        for (const double ps : request.delay_targets_ps) {
-          NC_REQUIRE(ps > 0.0, "delay_targets_ps must be positive");
+      if (!request.delay.targets_ps.empty()) {
+        for (const double ps : request.delay.targets_ps) {
+          NC_REQUIRE(ps > 0.0, "delay.targets_ps must be positive");
           targets_s.push_back(units::ps_to_seconds(ps));
         }
       } else {
@@ -386,10 +472,11 @@ Outcome<SweepResponse> Service::sweep(const SweepRequest& request) const {
       return r;
     }
 
-    NC_REQUIRE(request.amat_ps >= 0.0, "amat_ps must be non-negative");
+    NC_REQUIRE(request.delay.target_ps >= 0.0,
+               "delay.target_ps must be non-negative");
     const double amat_s =
-        request.amat_ps > 0.0
-            ? units::ps_to_seconds(request.amat_ps)
+        request.delay.target_ps > 0.0
+            ? units::ps_to_seconds(request.delay.target_ps)
             : (request.kind == SweepKind::kL1Sizes
                    ? impl_->explorer->l2_squeeze_target_s(1.25)
                    : impl_->explorer->l2_squeeze_target_s());
@@ -426,9 +513,9 @@ Outcome<TupleMenuResponse> Service::tuple_menu(
     r.label = core::Explorer::menu_label(spec);
 
     std::vector<double> targets_s;
-    if (!request.amat_targets_ps.empty()) {
-      for (const double ps : request.amat_targets_ps) {
-        NC_REQUIRE(ps > 0.0, "amat_targets_ps must be positive");
+    if (!request.delay.targets_ps.empty()) {
+      for (const double ps : request.delay.targets_ps) {
+        NC_REQUIRE(ps > 0.0, "delay.targets_ps must be positive");
         targets_s.push_back(units::ps_to_seconds(ps));
       }
     } else {
@@ -478,7 +565,39 @@ Outcome<TupleMenuResponse> Service::tuple_menu(
 Response Service::serve(const Request& request) const {
   metrics::TraceSpan span("api.serve");
   const auto start = std::chrono::steady_clock::now();
-  Response response = serve_impl(request);
+
+  // Persistent-cache fast path.  Capabilities answers describe the live
+  // process (thread count, cache state) and are never persisted; everything
+  // else is keyed by the same canonical bit-pattern key the batch dedup
+  // uses, which already folds in every answer-affecting request field.
+  Response response;
+  bool served_from_disk = false;
+  const bool cacheable =
+      impl_->disk != nullptr && request.kind != RequestKind::kCapabilities;
+  std::string disk_key;
+  if (cacheable) {
+    disk_key = request_canonical_key(request);
+    if (const auto stored = impl_->disk->lookup(disk_key)) {
+      // Stored lines passed the segment checksum, but stay paranoid: any
+      // parse failure falls through to recomputation — a corrupt cache may
+      // cost time, never a wrong answer.
+      if (auto parsed = parse_response_json(*stored)) {
+        response = std::move(parsed.value());
+        response.id = request.id;  // ids are per-call, stored stripped
+        served_from_disk = true;
+      }
+    }
+  }
+  if (!served_from_disk) {
+    response = serve_impl(request);
+    // Persist only successful answers: error text may mention per-run
+    // context and costs nothing to recompute.
+    if (cacheable && response.ok) {
+      Response stripped = response;
+      stripped.id.clear();
+      impl_->disk->store(disk_key, response_to_json(stripped));
+    }
+  }
   {
     auto& registry = metrics::Registry::instance();
     static auto& latency = registry.histogram("api.request.latency_us");
@@ -498,11 +617,13 @@ Response Service::serve_impl(const Request& request) const {
   Response response;
   response.id = request.id;
   response.kind = request.kind;
-  if (request.schema_version != kSchemaVersion) {
+  if (request.schema_version < kMinSchemaVersion ||
+      request.schema_version > kSchemaVersion) {
     response.error = ErrorInfo{
         ErrorCode::kConfig,
         "unsupported schema_version " + std::to_string(request.schema_version) +
-            " (this build speaks " + std::to_string(kSchemaVersion) + ")"};
+            " (this build speaks " + std::to_string(kMinSchemaVersion) + ".." +
+            std::to_string(kSchemaVersion) + ")"};
     return response;
   }
   switch (request.kind) {
@@ -546,6 +667,16 @@ Response Service::serve_impl(const Request& request) const {
       }
       break;
     }
+    case RequestKind::kCapabilities: {
+      auto out = capabilities(request.capabilities);
+      if (out) {
+        response.ok = true;
+        response.capabilities = std::move(out.value());
+      } else {
+        response.error = out.error();
+      }
+      break;
+    }
   }
   return response;
 }
@@ -554,8 +685,10 @@ BatchResult Service::run_batch(const std::vector<Request>& requests) const {
   metrics::TraceSpan span("api.batch");
   BatchResult batch;
   batch.stats.requests = requests.size();
-  const std::size_t memo_hits_before = impl_->memo.hits();
-  const std::size_t memo_misses_before = impl_->memo.misses();
+  const auto memo_before = impl_->memo.stats();
+  const std::size_t disk_hits_before = impl_->disk ? impl_->disk->hits() : 0;
+  const std::size_t disk_misses_before =
+      impl_->disk ? impl_->disk->misses() : 0;
 
   // Request-level dedup: structurally identical requests (ids ignored)
   // collapse to one evaluation.  Unique requests keep first-occurrence
@@ -599,8 +732,13 @@ BatchResult Service::run_batch(const std::vector<Request>& requests) const {
     batch.responses[i] = std::move(r);
   }
 
-  batch.stats.memo_hits = impl_->memo.hits() - memo_hits_before;
-  batch.stats.memo_misses = impl_->memo.misses() - memo_misses_before;
+  const auto memo_after = impl_->memo.stats();
+  batch.stats.memo_hits = memo_after.hits - memo_before.hits;
+  batch.stats.memo_misses = memo_after.misses - memo_before.misses;
+  if (impl_->disk) {
+    batch.stats.disk_hits = impl_->disk->hits() - disk_hits_before;
+    batch.stats.disk_misses = impl_->disk->misses() - disk_misses_before;
+  }
   metrics::Registry::instance().gauge("api.batch.queue_depth").set(0);
   return batch;
 }

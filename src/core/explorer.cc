@@ -260,12 +260,14 @@ std::vector<SchemeComparisonRow> Explorer::scheme_comparison(
     const double target = delay_targets_s[i];
     SchemeComparisonRow row;
     row.delay_target_s = target;
-    row.scheme1 = opt::optimize_single_cache(eval, config_.grid,
-                                             Scheme::kPerComponent, target);
-    row.scheme2 = opt::optimize_single_cache(eval, config_.grid,
-                                             Scheme::kArrayPeriphery, target);
-    row.scheme3 = opt::optimize_single_cache(eval, config_.grid,
-                                             Scheme::kUniform, target);
+    row.scheme1 =
+        opt::optimize_single_cache(eval, config_.grid, Scheme::kPerComponent,
+                                   target, config_.search_mode);
+    row.scheme2 =
+        opt::optimize_single_cache(eval, config_.grid, Scheme::kArrayPeriphery,
+                                   target, config_.search_mode);
+    row.scheme3 = opt::optimize_single_cache(
+        eval, config_.grid, Scheme::kUniform, target, config_.search_mode);
     rows[i] = std::move(row);
   });
   return rows;
@@ -348,7 +350,7 @@ std::vector<SizeSweepRow> Explorer::l2_size_sweep(Scheme scheme,
       return;
     }
     auto best = opt::optimize_single_cache(evals[i], config_.grid, scheme,
-                                           budget);
+                                           budget, config_.search_mode);
     if (!best) {
       row.infeasible_reason = best.why().describe();
       rows[i] = std::move(row);
@@ -378,8 +380,10 @@ std::vector<SizeSweepRow> Explorer::l1_size_sweep(double amat_target_s) const {
       l1_default.evaluate_uniform(config_.default_knobs).access_time_s;
   const double l2_budget =
       (amat_target_s - l1_time_default) / ml1_default - ml2 * tmem;
-  auto l2_fixed = opt::optimize_single_cache(
-      l2_eval, config_.grid, Scheme::kArrayPeriphery, l2_budget);
+  auto l2_fixed =
+      opt::optimize_single_cache(l2_eval, config_.grid,
+                                 Scheme::kArrayPeriphery, l2_budget,
+                                 config_.search_mode);
   NC_REQUIRE_FEASIBLE(l2_fixed.has_value(),
                       "AMAT target infeasible for the fixed L2 configuration: " +
                           (l2_fixed ? std::string() : l2_fixed.why().describe()));
@@ -404,8 +408,10 @@ std::vector<SizeSweepRow> Explorer::l1_size_sweep(double amat_target_s) const {
       rows[i] = std::move(row);
       return;
     }
-    auto best = opt::optimize_single_cache(evals[i], config_.grid,
-                                           Scheme::kArrayPeriphery, budget);
+    auto best =
+        opt::optimize_single_cache(evals[i], config_.grid,
+                                   Scheme::kArrayPeriphery, budget,
+                                   config_.search_mode);
     if (!best) {
       row.infeasible_reason = best.why().describe();
       rows[i] = std::move(row);

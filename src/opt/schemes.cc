@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "opt/pareto.h"
+#include "opt/pruned.h"
 #include "util/error.h"
 #include "util/metrics.h"
 #include "util/parallel.h"
@@ -66,6 +67,7 @@ std::vector<Combo> combine(const std::vector<Combo>& partial,
       next.push_back(c);
     }
   }
+  detail::count_combos_evaluated(next.size());
   // Pareto filter on (delay, leakage): any dominated partial state can
   // never become optimal because both objectives add monotonically.
   return pareto_min2(
@@ -186,11 +188,15 @@ void count_combos(std::size_t n) {
 
 OptOutcome<SchemeResult> optimize_single_cache(
     const ComponentEvaluator& eval, const KnobGrid& grid, Scheme scheme,
-    double delay_constraint_s) {
+    double delay_constraint_s, SearchMode mode) {
   static auto& optimize_calls =
       metrics::Registry::instance().counter("opt.optimize_calls");
   optimize_calls.add(1);
   NC_REQUIRE(delay_constraint_s > 0.0, "delay constraint must be positive");
+  if (mode == SearchMode::kPruned) {
+    return optimize_single_cache_pruned(eval, grid, scheme,
+                                        delay_constraint_s);
+  }
   const auto pairs = grid.pairs();
 
   switch (scheme) {
@@ -207,6 +213,7 @@ OptOutcome<SchemeResult> optimize_single_cache(
       const auto periph_opts = periphery_options(eval, pairs);
       const std::size_t np = periph_opts.size();
       count_combos(array_opts.size() * np);
+      detail::count_combos_evaluated(array_opts.size() * np);
       const FlatBest best = par::parallel_reduce(
           array_opts.size() * np, FlatBest{},
           [&](FlatBest& acc, std::size_t i) {
@@ -240,6 +247,7 @@ OptOutcome<SchemeResult> optimize_single_cache(
     case Scheme::kUniform: {
       const auto opts = uniform_options(eval, pairs);
       count_combos(opts.size());
+      detail::count_combos_evaluated(opts.size());
       const FlatBest best = par::parallel_reduce(
           opts.size(), FlatBest{},
           [&](FlatBest& acc, std::size_t i) {
@@ -367,13 +375,13 @@ std::vector<SchemeResult> scheme_frontier(const ComponentEvaluator& eval,
 
 std::vector<TradeoffPoint> leakage_delay_curve(
     const ComponentEvaluator& eval, const KnobGrid& grid, Scheme scheme,
-    const std::vector<double>& delay_targets_s) {
+    const std::vector<double>& delay_targets_s, SearchMode mode) {
   // One optimization per target, fanned out over the pool; infeasible
   // targets are dropped after the sweep so output order is target order.
   const auto per_target = par::parallel_map(
       delay_targets_s.size(), [&](std::size_t i) {
         auto r = optimize_single_cache(eval, grid, scheme,
-                                       delay_targets_s[i]);
+                                       delay_targets_s[i], mode);
         std::optional<TradeoffPoint> point;
         if (r) point = TradeoffPoint{delay_targets_s[i], *r};
         return point;

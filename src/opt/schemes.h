@@ -9,6 +9,7 @@
 
 #include "opt/options.h"
 #include "opt/outcome.h"
+#include "opt/search_mode.h"
 
 namespace nanocache::opt {
 
@@ -31,9 +32,11 @@ struct SchemeResult {
 /// Minimize leakage subject to access_time <= delay_constraint_s.
 /// When no grid assignment meets the constraint the outcome is infeasible
 /// and carries the violated constraint plus the fastest achievable time.
+/// Both search modes return byte-identical results (opt/pruned.h); the
+/// exhaustive mode is the differential-testing oracle.
 OptOutcome<SchemeResult> optimize_single_cache(
     const ComponentEvaluator& eval, const KnobGrid& grid, Scheme scheme,
-    double delay_constraint_s);
+    double delay_constraint_s, SearchMode mode = SearchMode::kPruned);
 
 /// Fastest achievable access time under a scheme (the feasibility bound).
 double min_access_time(const ComponentEvaluator& eval, const KnobGrid& grid,
@@ -47,7 +50,8 @@ struct TradeoffPoint {
 };
 std::vector<TradeoffPoint> leakage_delay_curve(
     const ComponentEvaluator& eval, const KnobGrid& grid, Scheme scheme,
-    const std::vector<double>& delay_targets_s);
+    const std::vector<double>& delay_targets_s,
+    SearchMode mode = SearchMode::kPruned);
 
 /// The full (access time, leakage) Pareto front of a cache under a scheme:
 /// every non-dominated assignment on the grid, sorted by access time

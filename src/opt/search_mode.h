@@ -1,0 +1,21 @@
+// Selects the single-cache assignment search engine.  Both engines return
+// byte-identical results (same argmin, same tie-breaks, same infeasibility
+// diagnostics); the exhaustive path survives as the correctness oracle the
+// pruned engine is differentially tested against.
+#pragma once
+
+namespace nanocache::opt {
+
+enum class SearchMode {
+  /// Per-component Pareto pre-filter + frontier-merge composition +
+  /// branch-and-bound delay/leakage tail cuts (the default).
+  kPruned,
+  /// Reference nested-product search over the full knob grid.
+  kExhaustive,
+};
+
+inline const char* search_mode_name(SearchMode mode) {
+  return mode == SearchMode::kPruned ? "pruned" : "exhaustive";
+}
+
+}  // namespace nanocache::opt

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "opt/pareto.h"
+#include "opt/pruned.h"
 #include "util/error.h"
 #include "util/metrics.h"
 #include "util/parallel.h"
@@ -27,6 +28,31 @@ struct SysCombo {
   double wdyn_j = 0.0;     ///< access-weighted dynamic energy
   std::array<std::uint16_t, kSystemComponents> choice{};
 };
+
+/// Strict-only weak-dominance pre-filter on one weighted option table:
+/// drop an option iff another is <= in all three objectives and strictly
+/// better in at least one.  Exact full ties are kept and survivor order is
+/// preserved, so the DP's stable first-wins representative choice — and
+/// with it every materialized design — is untouched (docs/MODELING.md §10).
+std::vector<ComponentOption> prefilter_options(
+    std::vector<ComponentOption> table) {
+  std::vector<ComponentOption> kept;
+  kept.reserve(table.size());
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < table.size() && !dominated; ++j) {
+      if (j == i) continue;
+      const auto& a = table[j];
+      const auto& b = table[i];
+      dominated = a.delay_s <= b.delay_s && a.leakage_w <= b.leakage_w &&
+                  a.dynamic_j <= b.dynamic_j &&
+                  (a.delay_s < b.delay_s || a.leakage_w < b.leakage_w ||
+                   a.dynamic_j < b.dynamic_j);
+    }
+    if (!dominated) kept.push_back(table[i]);
+  }
+  return kept;
+}
 
 }  // namespace
 
@@ -53,6 +79,7 @@ std::vector<SystemDesignPoint> TupleMenuSolver::designs_for_menu(
       [this](ComponentKind kind, const tech::DeviceKnobs& k) {
         return system_.l2().component(kind, k);
       };
+  std::array<std::size_t, kSystemComponents> full_n{};
   for (ComponentKind kind : kAllComponents) {
     const auto i = static_cast<std::size_t>(kind);
     options[i] = component_options(l1_eval, kind, pairs);
@@ -62,10 +89,18 @@ std::vector<SystemDesignPoint> TupleMenuSolver::designs_for_menu(
       o.dynamic_j *= ml1;
     }
   }
+  // Dominance-prune each weighted table before the DP forms products.
+  for (std::size_t i = 0; i < kSystemComponents; ++i) {
+    full_n[i] = options[i].size();
+    options[i] = prefilter_options(std::move(options[i]));
+  }
 
   // Pareto-DP over the eight components.
   std::vector<SysCombo> combos{SysCombo{}};
   for (std::size_t ci = 0; ci < kSystemComponents; ++ci) {
+    detail::count_combos_evaluated(combos.size() * options[ci].size());
+    detail::count_combos_skipped(combos.size() *
+                                 (full_n[ci] - options[ci].size()));
     std::vector<SysCombo> next;
     next.reserve(combos.size() * options[ci].size());
     for (const auto& c : combos) {

@@ -46,7 +46,7 @@ std::vector<Request> mixed_workload() {
     r.id = "opt-" + std::to_string(i);
     r.kind = RequestKind::kOptimize;
     r.optimize.scheme = i == 0 ? SchemeId::kII : SchemeId::kIII;
-    r.optimize.delay_ps = 1500.0;
+    r.optimize.delay.target_ps = 1500.0;
     requests.push_back(std::move(r));
   }
 
@@ -54,7 +54,7 @@ std::vector<Request> mixed_workload() {
   sweep.id = "sweep-0";
   sweep.kind = RequestKind::kSweep;
   sweep.sweep.kind = SweepKind::kSchemes;
-  sweep.sweep.delay_targets_ps = {1500.0};  // shares "opt|" memo entries
+  sweep.sweep.delay.targets_ps = {1500.0};  // shares "opt|" memo entries
   requests.push_back(std::move(sweep));
 
   return requests;
@@ -99,7 +99,7 @@ TEST(ApiBatch, CanonicalKeyIgnoresIdOnly) {
   b.id = "b";
   EXPECT_EQ(request_canonical_key(a), request_canonical_key(b));
 
-  b.optimize.delay_ps += 1.0;
+  b.optimize.delay.target_ps += 1.0;
   EXPECT_NE(request_canonical_key(a), request_canonical_key(b));
 }
 

@@ -59,20 +59,20 @@ TEST(ApiService, OptimizeGoldenAndInfeasibleIsData) {
   ASSERT_TRUE(response.ok()) << response.error().message;
   const auto& r = response.value().result;
   ASSERT_TRUE(r.feasible);
-  EXPECT_LE(r.access_time_ps, request.delay_ps * (1.0 + 1e-9));
+  EXPECT_LE(r.access_time_ps, request.delay.target_ps * (1.0 + 1e-9));
   EXPECT_GT(r.leakage_mw, 0.0);
   ASSERT_EQ(r.assignment.size(), 4u);
 
   // An unmeetable constraint is data (feasible=false + reason), not an
   // error: the Outcome is ok.
-  request.delay_ps = 1.0;
+  request.delay.target_ps = 1.0;
   const auto squeezed = service->optimize(request);
   ASSERT_TRUE(squeezed.ok()) << squeezed.error().message;
   EXPECT_FALSE(squeezed.value().result.feasible);
   EXPECT_FALSE(squeezed.value().result.infeasible_reason.empty());
 
   // A nonsensical constraint is a typed config error.
-  request.delay_ps = -5.0;
+  request.delay.target_ps = -5.0;
   const auto bad = service->optimize(request);
   ASSERT_FALSE(bad.ok());
   EXPECT_EQ(bad.error().code, ErrorCode::kConfig);
@@ -169,7 +169,7 @@ TEST(ApiService, OptimizeAndSchemesSweepShareMemoEntries) {
 
   OptimizeRequest single;
   single.scheme = SchemeId::kII;
-  single.delay_ps = 1400.0;
+  single.delay.target_ps = 1400.0;
   const auto direct = service->optimize(single);
   ASSERT_TRUE(direct.ok());
   const auto stats_before = service->memo_stats();
@@ -178,7 +178,7 @@ TEST(ApiService, OptimizeAndSchemesSweepShareMemoEntries) {
   // single optimize populated: same bits in, same memo slot.
   SweepRequest sweep;
   sweep.kind = SweepKind::kSchemes;
-  sweep.delay_targets_ps = {1400.0};
+  sweep.delay.targets_ps = {1400.0};
   const auto swept = service->sweep(sweep);
   ASSERT_TRUE(swept.ok()) << swept.error().message;
   EXPECT_GT(service->memo_stats().hits, stats_before.hits);

@@ -53,6 +53,7 @@ int usage() {
       "  nanocache_cli run schemes [--size <bytes>] [--steps N]\n"
       "  nanocache_cli run l2|l2split|l1 [--amat-ps <ps>]\n"
       "  nanocache_cli batch <requests.jsonl | -> \n"
+      "  nanocache_cli capabilities\n"
       "  nanocache_cli frontier --size <bytes> [--l2] --scheme I|II|III\n"
       "  nanocache_cli sensitivity --size <bytes> [--l2] [--vth V] "
       "[--tox A]\n"
@@ -62,6 +63,13 @@ int usage() {
       "flags:\n"
       "  --fitted     drive experiments from the paper's fitted closed forms\n"
       "  --strict     treat fitted-model degradation as a hard error\n"
+      "  --cache-dir <dir>  persist results across runs (also the\n"
+      "               NANOCACHE_CACHE_DIR environment variable; the flag\n"
+      "               wins).  Segments are fingerprinted by configuration,\n"
+      "               so differently configured runs never share entries.\n"
+      "  --search pruned|exhaustive  assignment search engine (default\n"
+      "               pruned; both return byte-identical results, the\n"
+      "               exhaustive oracle is for differential testing)\n"
       "  --threads N  worker threads for sweeps (default: hardware "
       "concurrency;\n"
       "               results are identical at any thread count).  The\n"
@@ -154,8 +162,8 @@ int cmd_optimize(const api::Service& service, const api::Request& request) {
     return 4;
   }
   std::cout << "scheme " << api::scheme_id_name(request.optimize.scheme)
-            << " optimum under " << fmt_fixed(request.optimize.delay_ps, 0)
-            << " pS:\n";
+            << " optimum under "
+            << fmt_fixed(request.optimize.delay.target_ps, 0) << " pS:\n";
   TextTable t;
   t.set_header({"component", "Vth [V]", "Tox [A]"});
   for (const auto& c : r.assignment) {
@@ -256,8 +264,20 @@ int cmd_batch(const api::Service& service, const CliArgs& args) {
             << stats.request_hits << ", memo hits " << stats.memo_hits
             << ", memo misses " << stats.memo_misses << ", hit rate "
             << fmt_fixed(stats.hit_rate(), 3) << "\n";
+  if (!service.config().cache_dir.empty()) {
+    std::cerr << "disk cache: " << stats.disk_hits << " hit(s), "
+              << stats.disk_misses << " miss(es)\n";
+  }
   print_degradations(service);
   return 0;
+}
+
+int cmd_capabilities(const api::Service& service) {
+  api::Request request;
+  request.kind = api::RequestKind::kCapabilities;
+  const api::Response response = service.serve(request);
+  std::cout << api::response_to_json(response) << "\n";
+  return response.ok ? 0 : api::exit_code_for(response.error.code);
 }
 
 int cmd_frontier(const api::Service& service, const CliArgs& args) {
@@ -363,6 +383,9 @@ int dispatch(const CliArgs& args) {
   }
   if (args.command == "run") return cmd_run(*make_service(args), args);
   if (args.command == "batch") return cmd_batch(*make_service(args), args);
+  if (args.command == "capabilities") {
+    return cmd_capabilities(*make_service(args));
+  }
   if (args.command == "frontier") return cmd_frontier(*make_service(args), args);
   if (args.command == "sensitivity") {
     return cmd_sensitivity(*make_service(args), args);
