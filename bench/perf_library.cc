@@ -10,7 +10,10 @@
 // and memoization hit rate as JSON (default: BENCH_parallel_sweep.json).
 // It also writes BENCH_pruned_search.json: pruned-vs-exhaustive combo
 // accounting (byte-identity + reduction ratio) and a cold/warm disk-cache
-// pass over the batch workload (persistent hit rate + byte-identity).
+// pass over the batch workload (persistent hit rate + byte-identity), and
+// BENCH_serve.json: server-mode throughput (requests/s over a unix socket,
+// cold service vs warm, single vs 8 concurrent clients), gated on every
+// served stream being byte-identical to batch-mode output.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -23,8 +26,12 @@
 #include <string>
 #include <vector>
 
+#include <thread>
+
 #include "api/batch_io.h"
 #include "api/metrics_json.h"
+#include "server/client.h"
+#include "server/server.h"
 #include "util/metrics.h"
 #include "cachemodel/fitted_cache.h"
 #include "core/explorer.h"
@@ -506,6 +513,99 @@ int emit_pruned_search_json(const std::string& path) {
   return ok ? 0 : 1;
 }
 
+/// Server-mode throughput: the batch workload served over a unix socket,
+/// cold service vs warm, one client vs 8 concurrent.  The wall-clock
+/// numbers are informational; the exit code gates only on byte-identity of
+/// every served stream with batch-mode output.
+int emit_serve_json(const std::string& path) {
+  const auto workload = batch_workload();
+  std::string input;
+  for (const auto& request : workload) {
+    input += api::request_to_json(request);
+    input += '\n';
+  }
+  // The batch reference from a fresh service: the determinism contract
+  // makes it byte-identical to any other service with the same config.
+  const std::string expected = [&] {
+    std::istringstream in(input);
+    std::ostringstream out;
+    api::run_batch_jsonl(*fresh_service(), in, out);
+    return out.str();
+  }();
+
+  server::ServerConfig config;
+  config.listen.kind = server::ListenKind::kUnix;
+  config.listen.path = path + ".sock";
+  std::filesystem::remove(config.listen.path);
+  server::Server srv(fresh_service(), std::move(config));
+  srv.start();
+
+  const auto drive = [&](int clients, double* wall_s) {
+    std::vector<std::string> got(clients);
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        auto client = server::Client::connect(srv.config().listen);
+        client.send(input);
+        client.shutdown_write();
+        while (auto line = client.read_line()) {
+          got[c] += *line;
+          got[c] += '\n';
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    *wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    for (const auto& stream : got) {
+      if (stream != expected) return false;
+    }
+    return true;
+  };
+
+  struct Run {
+    const char* phase;
+    int clients;
+    double wall_s = 0.0;
+  };
+  std::vector<Run> runs = {{"cold", 1}, {"warm", 1}, {"warm_concurrent", 8}};
+  bool identical = true;
+  for (auto& run : runs) {
+    identical = drive(run.clients, &run.wall_s) && identical;
+  }
+  srv.shutdown();
+  srv.wait();
+
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write " << path << "\n";
+    return 1;
+  }
+  out << "{\n"
+      << "  \"hardware_threads\": " << par::hardware_threads() << ",\n"
+      << "  \"requests_per_client\": " << workload.size() << ",\n"
+      << "  \"byte_identical_to_batch\": " << (identical ? "true" : "false")
+      << ",\n"
+      << "  \"runs\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const auto& run = runs[i];
+    const double total =
+        static_cast<double>(workload.size()) * run.clients;
+    out << "    {\"phase\": \"" << run.phase << "\", \"clients\": "
+        << run.clients << ", \"requests\": " << static_cast<int>(total)
+        << ", \"wall_s\": " << run.wall_s << ", \"requests_per_s\": "
+        << (run.wall_s > 0.0 ? total / run.wall_s : 0.0) << "}"
+        << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "wrote " << path << " (byte_identical="
+            << (identical ? "true" : "false") << ")\n";
+  return identical ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -516,7 +616,9 @@ int main(int argc, char** argv) {
       const int sweep_rc = emit_parallel_sweep_json(path);
       const int pruned_rc =
           emit_pruned_search_json("BENCH_pruned_search.json");
-      return sweep_rc != 0 ? sweep_rc : pruned_rc;
+      const int serve_rc = emit_serve_json("BENCH_serve.json");
+      if (sweep_rc != 0) return sweep_rc;
+      return pruned_rc != 0 ? pruned_rc : serve_rc;
     }
   }
   benchmark::Initialize(&argc, argv);

@@ -114,6 +114,13 @@ class Service {
   /// Cumulative sub-evaluation memoization counters (across all calls).
   MemoStats memo_stats() const;
 
+  /// Durability barrier for the persistent cross-run disk cache: fsync the
+  /// segment file (appends are flushed per entry, but only into the page
+  /// cache) and return its entry count.  No-op returning 0 when no
+  /// cache_dir is configured.  The server's graceful shutdown calls this
+  /// so results computed while serving survive to the next run.
+  std::size_t flush_disk_cache() const;
+
   /// Escape hatch to the internal exploration engine for reporting code
   /// (CSV export, figure rendering).  NOT part of the stable API surface:
   /// the returned type lives in src/core and may change between versions.

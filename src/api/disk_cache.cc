@@ -1,5 +1,8 @@
 #include "api/disk_cache.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -182,6 +185,22 @@ void DiskCache::store(const std::string& key,
     writable_ = false;
     metrics::Registry::instance().counter("api.disk.write_errors").add(1);
   }
+}
+
+std::size_t DiskCache::flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (writable_) {
+    const int fd = ::open(path_.c_str(), O_WRONLY | O_APPEND);
+    if (fd >= 0) {
+      if (::fsync(fd) != 0) {
+        metrics::Registry::instance().counter("api.disk.write_errors").add(1);
+      }
+      ::close(fd);
+    } else {
+      metrics::Registry::instance().counter("api.disk.write_errors").add(1);
+    }
+  }
+  return entries_.size();
 }
 
 std::size_t DiskCache::hits() const {

@@ -64,6 +64,13 @@ class DiskCache {
   /// mid-batch.
   void store(const std::string& key, const std::string& response_json);
 
+  /// Durability barrier: fsync the segment file.  store() flushes each
+  /// append out of the process, but only into the OS page cache; flush()
+  /// pushes the segment to stable storage (a server shutting down calls
+  /// this).  Returns the in-memory entry count.  A failed sync degrades
+  /// like a failed append: the in-memory copy keeps serving.
+  std::size_t flush();
+
   const std::string& path() const { return path_; }
 
   std::size_t hits() const;

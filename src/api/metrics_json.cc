@@ -139,4 +139,17 @@ std::string current_metrics_json(const BatchStats* batch) {
                          metrics::recent_spans(), batch);
 }
 
+std::string metrics_response_line(const std::string& id,
+                                  const BatchStats* batch) {
+  // Mirrors response_to_json's envelope key order (schema_version, id,
+  // kind, ok, result) so server clients parse one uniform shape.
+  std::string out = "{";
+  out += json::quote("schema_version") + ":" + std::to_string(kSchemaVersion);
+  if (!id.empty()) out += "," + json::quote("id") + ":" + json::quote(id);
+  out += "," + json::quote("kind") + ":" + json::quote("metrics");
+  out += "," + json::quote("ok") + ":true";
+  out += "," + json::quote("result") + ":" + current_metrics_json(batch);
+  return out + "}";
+}
+
 }  // namespace nanocache::api

@@ -28,4 +28,12 @@ std::string metrics_to_json(const metrics::MetricsSnapshot& snapshot,
 /// Convenience: snapshot the registry and span buffer right now.
 std::string current_metrics_json(const BatchStats* batch = nullptr);
 
+/// One JSONL response line for the server's {"kind":"metrics"} control
+/// request: the standard response envelope (schema_version / optional id /
+/// kind / ok) around a live current_metrics_json() snapshot.  Like every
+/// metrics sink, the values are timing-dependent and excluded from the
+/// batch byte-identity contract.
+std::string metrics_response_line(const std::string& id,
+                                  const BatchStats* batch = nullptr);
+
 }  // namespace nanocache::api

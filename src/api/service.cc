@@ -369,6 +369,10 @@ MemoStats Service::memo_stats() const {
   return MemoStats{stats.hits, stats.misses, stats.entries};
 }
 
+std::size_t Service::flush_disk_cache() const {
+  return impl_->disk ? impl_->disk->flush() : 0;
+}
+
 Outcome<CapabilitiesResponse> Service::capabilities(
     const CapabilitiesRequest&) const {
   return guarded([&] {

@@ -1,0 +1,84 @@
+// Bounded blocking MPMC queue — the server's admission-control stage.
+//
+// Connection readers push parsed request lines; worker threads pop them.
+// The bound is what keeps a fast writer from ballooning server memory: a
+// reader whose push would exceed the capacity blocks (TCP/unix-socket
+// backpressure propagates to the client) until a worker drains a slot.
+//
+// close() flips the queue into drain mode: further pushes fail, pops keep
+// returning queued items until the queue is empty and then return nullopt.
+// That ordering is the graceful-shutdown contract — every request admitted
+// before shutdown is answered, nothing admitted after.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace nanocache::server {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Block until a slot frees up, then enqueue.  Returns false (dropping
+  /// `item`) when the queue was closed before a slot appeared.
+  bool push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock,
+                   [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Block until an item is available; nullopt once the queue is closed
+  /// AND drained (items enqueued before close() are always delivered).
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Stop admitting; wake every blocked pusher (fail) and popper (drain).
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace nanocache::server

@@ -1,0 +1,114 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/error.h"
+
+namespace nanocache::server {
+
+Client Client::connect(const ListenSpec& spec) {
+  Client client;
+  if (spec.kind == ListenKind::kUnix) {
+    client.fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    NC_REQUIRE_IO(client.fd_ >= 0,
+                  std::string("socket: ") + std::strerror(errno));
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, spec.path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::connect(client.fd_, reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      const std::string why = std::strerror(errno);
+      client.close();
+      throw Error(ErrorCategory::kIo,
+                  "cannot connect to " + spec.describe() + ": " + why);
+    }
+    return client;
+  }
+  client.fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  NC_REQUIRE_IO(client.fd_ >= 0,
+                std::string("socket: ") + std::strerror(errno));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(spec.port));
+  if (spec.host == "localhost") {
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  } else {
+    ::inet_pton(AF_INET, spec.host.c_str(), &addr.sin_addr);
+  }
+  if (::connect(client.fd_, reinterpret_cast<sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const std::string why = std::strerror(errno);
+    client.close();
+    throw Error(ErrorCategory::kIo,
+                "cannot connect to " + spec.describe() + ": " + why);
+  }
+  return client;
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_), buffer_(std::move(other.buffer_)), eof_(other.eof_) {
+  other.fd_ = -1;
+}
+
+Client::~Client() { close(); }
+
+void Client::send(const std::string& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw Error(ErrorCategory::kIo,
+                  std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::optional<std::string> Client::read_line() {
+  for (;;) {
+    const auto nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      return line;
+    }
+    if (eof_) {
+      if (buffer_.empty()) return std::nullopt;
+      std::string line = std::move(buffer_);
+      buffer_.clear();
+      return line;
+    }
+    char chunk[64 * 1024];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    } else if (n == 0) {
+      eof_ = true;
+    } else if (errno != EINTR) {
+      eof_ = true;
+    }
+  }
+}
+
+void Client::shutdown_write() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace nanocache::server

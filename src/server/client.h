@@ -1,0 +1,49 @@
+// Minimal blocking JSONL client over the server's transports.
+//
+// This is the in-tree counterpart of the one-liner clients in the README
+// (socat / python): connect, write request lines, read response lines.
+// The tests and the perf harness drive the server through it; it is an
+// internal helper, not part of the stable API surface.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "server/listener.h"
+
+namespace nanocache::server {
+
+class Client {
+ public:
+  /// Connect to a listening server.  Throws Error(kIo) when the endpoint
+  /// does not accept (server down, wrong path/port).
+  static Client connect(const ListenSpec& spec);
+
+  Client(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client& operator=(Client&&) = delete;
+  ~Client();
+
+  /// Write raw bytes (the caller supplies the newlines).  Throws
+  /// Error(kIo) when the connection broke.
+  void send(const std::string& bytes);
+
+  /// Next '\n'-terminated response line (newline stripped), or nullopt at
+  /// EOF (server closed the connection).
+  std::optional<std::string> read_line();
+
+  /// Half-close: signal end of requests while still reading responses.
+  void shutdown_write();
+
+  void close();
+
+ private:
+  Client() = default;
+
+  int fd_ = -1;
+  std::string buffer_;
+  bool eof_ = false;
+};
+
+}  // namespace nanocache::server

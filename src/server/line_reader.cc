@@ -1,0 +1,74 @@
+#include "server/line_reader.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace nanocache::server {
+
+LineReader::LineReader(int fd, std::size_t max_line_bytes)
+    : fd_(fd), max_line_bytes_(max_line_bytes == 0 ? 1 : max_line_bytes) {}
+
+void LineReader::fill() {
+  char chunk[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+      return;
+    }
+    if (n == 0) {
+      eof_ = true;
+      return;
+    }
+    if (errno == EINTR) continue;
+    // A hard read error (ECONNRESET, shutdown) frames the same as EOF:
+    // finish what was buffered, then report kEof.
+    eof_ = true;
+    return;
+  }
+}
+
+LineStatus LineReader::next(std::string& line) {
+  for (;;) {
+    const auto nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      if (discarded_ > 0 || nl > max_line_bytes_) {
+        // The terminating newline of an oversized frame: consume it so the
+        // next frame parses cleanly, and report the rejection once.
+        buffer_.erase(0, nl + 1);
+        discarded_ = 0;
+        return LineStatus::kTooLong;
+      }
+      line.assign(buffer_, 0, nl);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      buffer_.erase(0, nl + 1);
+      return LineStatus::kLine;
+    }
+    // No newline buffered.  Shed oversized partial frames now so the
+    // buffer never grows past max_line_bytes + one read chunk.
+    if (discarded_ > 0) {
+      discarded_ += buffer_.size();
+      buffer_.clear();
+    } else if (buffer_.size() > max_line_bytes_) {
+      discarded_ = buffer_.size();
+      buffer_.clear();
+    }
+    if (eof_) {
+      if (discarded_ > 0) {
+        discarded_ = 0;
+        return LineStatus::kTooLong;
+      }
+      if (buffer_.empty()) return LineStatus::kEof;
+      // getline semantics: a final unterminated line still counts.
+      line = buffer_;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      buffer_.clear();
+      return LineStatus::kLine;
+    }
+    fill();
+  }
+}
+
+}  // namespace nanocache::server

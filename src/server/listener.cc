@@ -1,0 +1,208 @@
+#include "server/listener.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/error.h"
+
+namespace nanocache::server {
+
+namespace {
+
+/// Strict port parse: digits only, no sign, no trailing garbage, [1,65535].
+int parse_port(const std::string& s, const std::string& spec) {
+  NC_REQUIRE(!s.empty(), "--listen '" + spec + "': missing port");
+  long value = 0;
+  for (const char c : s) {
+    NC_REQUIRE(c >= '0' && c <= '9',
+               "--listen '" + spec + "': port '" + s +
+                   "' is not a positive integer");
+    value = value * 10 + (c - '0');
+    NC_REQUIRE(value <= 65535,
+               "--listen '" + spec + "': port '" + s +
+                   "' outside [1, 65535]");
+  }
+  NC_REQUIRE(value >= 1,
+             "--listen '" + spec + "': port '" + s + "' outside [1, 65535]");
+  return static_cast<int>(value);
+}
+
+[[noreturn]] void throw_errno(ErrorCategory category, const std::string& what,
+                              const ListenSpec& spec) {
+  throw Error(category, what + " for " + spec.describe() + ": " +
+                            std::strerror(errno));
+}
+
+}  // namespace
+
+std::string ListenSpec::describe() const {
+  if (kind == ListenKind::kUnix) return "unix:" + path;
+  return "tcp:" + host + ":" + std::to_string(port);
+}
+
+ListenSpec parse_listen_spec(const std::string& spec) {
+  ListenSpec out;
+  if (spec.rfind("unix:", 0) == 0) {
+    out.kind = ListenKind::kUnix;
+    out.path = spec.substr(5);
+    NC_REQUIRE(!out.path.empty(),
+               "--listen '" + spec + "': unix socket path is empty");
+    NC_REQUIRE(out.path.size() < sizeof(sockaddr_un{}.sun_path),
+               "--listen '" + spec + "': unix socket path longer than " +
+                   std::to_string(sizeof(sockaddr_un{}.sun_path) - 1) +
+                   " bytes");
+    return out;
+  }
+  if (spec.rfind("tcp:", 0) == 0) {
+    out.kind = ListenKind::kTcp;
+    const std::string rest = spec.substr(4);
+    const auto colon = rest.rfind(':');
+    NC_REQUIRE(colon != std::string::npos,
+               "--listen '" + spec + "': expected tcp:<host>:<port>");
+    out.host = rest.substr(0, colon);
+    NC_REQUIRE(!out.host.empty(), "--listen '" + spec + "': host is empty");
+    out.port = parse_port(rest.substr(colon + 1), spec);
+    // Validate the host now (kConfig at flag-parse time, not kIo at bind):
+    // a dotted-quad IPv4 address or the literal "localhost".
+    if (out.host != "localhost") {
+      in_addr addr{};
+      NC_REQUIRE(::inet_pton(AF_INET, out.host.c_str(), &addr) == 1,
+                 "--listen '" + spec + "': host '" + out.host +
+                     "' is not an IPv4 address or 'localhost'");
+    }
+    return out;
+  }
+  throw Error(ErrorCategory::kConfig,
+              "--listen '" + spec +
+                  "' must start with unix:<path> or tcp:<host>:<port>");
+}
+
+Listener Listener::open(const ListenSpec& spec) {
+  Listener listener;
+  listener.spec_ = spec;
+
+  if (spec.kind == ListenKind::kUnix) {
+    listener.fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listener.fd_ < 0) throw_errno(ErrorCategory::kIo, "socket", spec);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, spec.path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::bind(listener.fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      const int err = errno;
+      ::close(listener.fd_);
+      listener.fd_ = -1;
+      if (err == EADDRINUSE) {
+        throw Error(ErrorCategory::kConfig,
+                    spec.describe() +
+                        " is already in use (another server, or a stale "
+                        "socket file — remove it to rebind)");
+      }
+      errno = err;
+      throw_errno(ErrorCategory::kIo, "bind", spec);
+    }
+    listener.unlink_on_close_ = true;
+  } else {
+    listener.fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listener.fd_ < 0) throw_errno(ErrorCategory::kIo, "socket", spec);
+    // Allow immediate rebinding after a clean shutdown (TIME_WAIT); an
+    // actively listening socket still raises EADDRINUSE, so double binds
+    // stay detected.
+    const int one = 1;
+    ::setsockopt(listener.fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(spec.port));
+    if (spec.host == "localhost") {
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    } else {
+      ::inet_pton(AF_INET, spec.host.c_str(), &addr.sin_addr);
+    }
+    if (::bind(listener.fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      const int err = errno;
+      ::close(listener.fd_);
+      listener.fd_ = -1;
+      if (err == EADDRINUSE) {
+        throw Error(ErrorCategory::kConfig,
+                    spec.describe() +
+                        " is already in use (another server is listening)");
+      }
+      errno = err;
+      throw_errno(ErrorCategory::kIo, "bind", spec);
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(listener.fd_, reinterpret_cast<sockaddr*>(&bound),
+                      &len) == 0) {
+      listener.bound_port_ = ntohs(bound.sin_port);
+    }
+  }
+
+  if (::listen(listener.fd_, 64) != 0) {
+    const int err = errno;
+    listener.close();
+    errno = err;
+    throw_errno(ErrorCategory::kIo, "listen", spec);
+  }
+  return listener;
+}
+
+Listener::Listener(Listener&& other) noexcept
+    : spec_(std::move(other.spec_)),
+      fd_(other.fd_),
+      bound_port_(other.bound_port_),
+      unlink_on_close_(other.unlink_on_close_) {
+  other.fd_ = -1;
+  other.unlink_on_close_ = false;
+}
+
+Listener::~Listener() { close(); }
+
+int Listener::accept(int wake_fd) {
+  for (;;) {
+    if (fd_ < 0) return -1;
+    pollfd fds[2];
+    fds[0] = pollfd{fd_, POLLIN, 0};
+    fds[1] = pollfd{wake_fd, POLLIN, 0};
+    const int n = ::poll(fds, wake_fd >= 0 ? 2 : 1, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    // Shutdown wins over a simultaneously pending connection: the accept
+    // loop must stop admitting the moment the signal lands.
+    if (wake_fd >= 0 && (fds[1].revents & (POLLIN | POLLERR | POLLHUP))) {
+      return -1;
+    }
+    if (fds[0].revents & (POLLERR | POLLHUP | POLLNVAL)) return -1;
+    if (fds[0].revents & POLLIN) {
+      const int conn = ::accept(fd_, nullptr, nullptr);
+      if (conn >= 0) return conn;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return -1;
+    }
+  }
+}
+
+void Listener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (unlink_on_close_) {
+    ::unlink(spec_.path.c_str());
+    unlink_on_close_ = false;
+  }
+}
+
+}  // namespace nanocache::server

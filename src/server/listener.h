@@ -1,0 +1,78 @@
+// Portable (POSIX) socket listener for the JSONL server.
+//
+// Two transports, selected by the --listen spec:
+//
+//   unix:/path/to/sock    stream socket bound to a filesystem path
+//   tcp:host:port         IPv4 TCP (host is a dotted quad or "localhost")
+//
+// Parsing is strict and typed: an empty unix path, a missing/garbage/
+// out-of-range port, an empty host, or an unknown scheme is an
+// Error(kConfig) quoting the offending spec — the same taxonomy (and
+// therefore the same exit code 2) the CLI's other flag validation uses.
+// Binding an address that is already in use (a second server, a stale unix
+// socket file) is also Error(kConfig): the operator must pick another
+// address or remove the stale file; the listener never unlinks a path it
+// did not create.  Every other socket failure is Error(kIo).
+#pragma once
+
+#include <string>
+
+namespace nanocache::server {
+
+enum class ListenKind { kUnix, kTcp };
+
+struct ListenSpec {
+  ListenKind kind = ListenKind::kUnix;
+  std::string path;  ///< unix: filesystem path of the socket
+  std::string host;  ///< tcp: dotted-quad IPv4 or "localhost"
+  int port = 0;      ///< tcp: 1..65535 from the spec (0 = ephemeral, only
+                     ///< reachable by constructing the struct directly)
+
+  /// Human-readable round trip ("unix:/run/x.sock", "tcp:127.0.0.1:9100").
+  std::string describe() const;
+};
+
+/// Strict `--listen` parser.  Accepts exactly `unix:<non-empty path>` and
+/// `tcp:<host>:<port>` with port in [1, 65535]; throws Error(kConfig)
+/// otherwise (empty path, empty host, non-numeric / out-of-range / trailing
+/// garbage port, unknown scheme).  Never guesses defaults.
+ListenSpec parse_listen_spec(const std::string& spec);
+
+class Listener {
+ public:
+  /// Bind + listen on `spec`.  An address already in use (double bind,
+  /// stale unix socket file) throws Error(kConfig); other failures throw
+  /// Error(kIo).  A unix path bound here is unlinked by close().
+  static Listener open(const ListenSpec& spec);
+
+  Listener(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+  Listener& operator=(Listener&&) = delete;
+  ~Listener();
+
+  /// Wait for the next connection, or for a byte on `wake_fd`.  Returns
+  /// the accepted connection fd, or -1 once `wake_fd` became readable or
+  /// the listener was closed (the shutdown paths).
+  int accept(int wake_fd);
+
+  /// Close the listening socket and unlink a unix path this listener
+  /// bound.  Idempotent; accept() returns -1 afterwards.
+  void close();
+
+  /// The resolved TCP port (meaningful after open on a tcp spec; equals
+  /// the spec's port unless it was 0/ephemeral).
+  int bound_port() const { return bound_port_; }
+
+  const ListenSpec& spec() const { return spec_; }
+
+ private:
+  Listener() = default;
+
+  ListenSpec spec_;
+  int fd_ = -1;
+  int bound_port_ = 0;
+  bool unlink_on_close_ = false;
+};
+
+}  // namespace nanocache::server

@@ -7,6 +7,7 @@
 //   nanocache_cli optimize --size 16384 --scheme II --delay-ps 1400
 //   nanocache_cli run fig1|schemes|l2|l2split|l1|fig2
 //   nanocache_cli batch requests.jsonl
+//   nanocache_cli serve --listen unix:/run/nanocache.sock
 //   nanocache_cli export --dir out_csv
 //
 // Request-shaped commands (cache, optimize, run schemes/l2/l2split/l1,
@@ -22,6 +23,7 @@
 #include "api/batch_io.h"
 #include "api/metrics_json.h"
 #include "api/request_args.h"
+#include "server/server.h"
 #include "cachemodel/variation.h"
 #include "core/explorer.h"
 #include "core/report.h"
@@ -53,6 +55,8 @@ int usage() {
       "  nanocache_cli run schemes [--size <bytes>] [--steps N]\n"
       "  nanocache_cli run l2|l2split|l1 [--amat-ps <ps>]\n"
       "  nanocache_cli batch <requests.jsonl | -> \n"
+      "  nanocache_cli serve --listen <unix:/path/sock | tcp:host:port>\n"
+      "               [--max-line-bytes N] [--queue-capacity N]\n"
       "  nanocache_cli capabilities\n"
       "  nanocache_cli frontier --size <bytes> [--l2] --scheme I|II|III\n"
       "  nanocache_cli sensitivity --size <bytes> [--l2] [--vth V] "
@@ -85,6 +89,11 @@ int usage() {
       "  request, in input order.  Per-request failures stay in-band as\n"
       "  error responses; the process exits 0 unless the stream itself is\n"
       "  unreadable.  Dedup/memoization stats go to stderr.\n"
+      "serve: speak the batch JSONL protocol over a socket, multiplexing\n"
+      "  concurrent clients onto one warm service (docs/API.md).  Responses\n"
+      "  per connection are byte-identical to batch output for the same\n"
+      "  lines.  SIGINT/SIGTERM drain in-flight requests, flush the disk\n"
+      "  cache, and exit 0.\n"
       "exit codes (from the error taxonomy; scripts branch on these):\n"
       "  0 ok    1 internal     2 config (malformed request/flags)\n"
       "  3 io    4 numeric-domain or infeasible\n";
@@ -272,6 +281,44 @@ int cmd_batch(const api::Service& service, const CliArgs& args) {
   return 0;
 }
 
+int cmd_serve(std::shared_ptr<api::Service> service, const CliArgs& args) {
+  const auto it = args.flags.find("listen");
+  NC_REQUIRE(it != args.flags.end() && it->second != "true",
+             "serve requires --listen unix:<path> or tcp:<host>:<port>");
+  server::ServerConfig config;
+  config.listen = server::parse_listen_spec(it->second);
+  config.max_line_bytes =
+      static_cast<std::size_t>(api::flag_uint(args, "max-line-bytes",
+                                              config.max_line_bytes));
+  NC_REQUIRE(config.max_line_bytes > 0, "--max-line-bytes must be positive");
+  config.queue_capacity =
+      static_cast<std::size_t>(api::flag_uint(args, "queue-capacity",
+                                              config.queue_capacity));
+  NC_REQUIRE(config.queue_capacity > 0, "--queue-capacity must be positive");
+  // config.workers = 0: the server sizes its pool from the process default,
+  // which --threads / NANOCACHE_THREADS already configured in main().
+
+  server::Server server(std::move(service), std::move(config));
+  server.start();
+  server::Server::install_signal_handlers(server);
+  const auto& spec = server.config().listen;
+  std::cerr << "serve: listening on "
+            << (spec.kind == server::ListenKind::kTcp
+                    ? "tcp:" + spec.host + ":" +
+                          std::to_string(server.tcp_port())
+                    : spec.describe())
+            << " (SIGINT/SIGTERM to drain and exit)\n";
+  server.wait();
+  const auto stats = server.stats();
+  std::cerr << "serve: drained; " << stats.connections_accepted
+            << " connection(s), " << stats.requests_admitted
+            << " request(s), " << stats.responses_written
+            << " response(s) written, " << stats.lines_rejected_too_long
+            << " oversized line(s) rejected, " << stats.control_requests
+            << " control request(s)\n";
+  return 0;
+}
+
 int cmd_capabilities(const api::Service& service) {
   api::Request request;
   request.kind = api::RequestKind::kCapabilities;
@@ -383,6 +430,7 @@ int dispatch(const CliArgs& args) {
   }
   if (args.command == "run") return cmd_run(*make_service(args), args);
   if (args.command == "batch") return cmd_batch(*make_service(args), args);
+  if (args.command == "serve") return cmd_serve(make_service(args), args);
   if (args.command == "capabilities") {
     return cmd_capabilities(*make_service(args));
   }
