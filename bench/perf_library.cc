@@ -13,7 +13,10 @@
 // pass over the batch workload (persistent hit rate + byte-identity), and
 // BENCH_serve.json: server-mode throughput (requests/s over a unix socket,
 // cold service vs warm, single vs 8 concurrent clients), gated on every
-// served stream being byte-identical to batch-mode output.
+// served stream being byte-identical to batch-mode output, and
+// BENCH_design_space.json: the v3 design space (associativity x banks x
+// node x power gating) swept pruned-vs-exhaustive with per-point combo
+// accounting, gated on byte-identity at every point.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -513,6 +516,102 @@ int emit_pruned_search_json(const std::string& path) {
   return ok ? 0 : 1;
 }
 
+/// The v3 design space swept pruned-vs-exhaustive: one optimize request
+/// per sampled (associativity, banks, node, gating) point, served by a
+/// pruned and an exhaustive service with per-point combo-counter deltas.
+/// Exit 0 requires byte-identical responses at every point.
+int emit_design_space_json(const std::string& path) {
+  struct Point {
+    int associativity;       // 0 = default organization
+    std::uint32_t banks;     // 0 = default single bank
+    int node_nm;             // 0 = default technology
+    bool gated;
+    double target_ps;
+  };
+  // Every v3 axis covered at least once: explicit associativities, a
+  // banked point, two non-default nodes, fully associative (generous
+  // target: FA tag broadcast is slow by design), and power gating.
+  const std::vector<Point> points = {
+      {2, 0, 0, false, 3000.0},  {4, 2, 0, false, 3000.0},
+      {8, 0, 45, false, 3000.0}, {1, 4, 32, false, 3000.0},
+      {-1, 0, 0, false, 200000.0}, {0, 0, 0, true, 1400.0},
+  };
+
+  auto& registry = metrics::Registry::instance();
+  auto& evaluated = registry.counter("opt.combos_evaluated");
+
+  const auto request_for = [](const Point& p) {
+    api::Request r;
+    r.kind = api::RequestKind::kOptimize;
+    r.optimize.scheme = api::SchemeId::kI;
+    r.optimize.delay.target_ps = p.target_ps;
+    r.optimize.organization.associativity = p.associativity;
+    r.optimize.organization.banks = p.banks;
+    r.optimize.node_nm = p.node_nm;
+    r.optimize.power_gating.enabled = p.gated;
+    if (p.gated) r.optimize.power_gating.perf_loss_budget = 0.1;
+    return r;
+  };
+
+  const auto run_mode = [&](const api::Request& request, bool exhaustive,
+                            std::uint64_t* combos) {
+    api::ServiceConfig config;
+    config.exhaustive_search = exhaustive;
+    auto service = api::Service::create(config);
+    if (!service) {
+      std::cerr << "service: " << service.error().message << "\n";
+      std::exit(1);
+    }
+    const std::uint64_t before = evaluated.value();
+    const std::string bytes =
+        api::response_to_json(service.value()->serve(request));
+    *combos = evaluated.value() - before;
+    return bytes;
+  };
+
+  bool all_identical = true;
+  std::uint64_t total_pruned = 0, total_exhaustive = 0;
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write " << path << "\n";
+    return 1;
+  }
+  out << "{\n  \"design_space\": {\n    \"points\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& p = points[i];
+    const auto request = request_for(p);
+    std::uint64_t pruned_combos = 0, exhaustive_combos = 0;
+    const std::string pruned = run_mode(request, false, &pruned_combos);
+    const std::string exhaustive = run_mode(request, true, &exhaustive_combos);
+    const bool identical = pruned == exhaustive;
+    all_identical = all_identical && identical;
+    total_pruned += pruned_combos;
+    total_exhaustive += exhaustive_combos;
+    out << "      {\"associativity\": " << p.associativity
+        << ", \"banks\": " << p.banks << ", \"node_nm\": " << p.node_nm
+        << ", \"power_gating\": " << (p.gated ? "true" : "false")
+        << ", \"pruned_combos\": " << pruned_combos
+        << ", \"exhaustive_combos\": " << exhaustive_combos
+        << ", \"byte_identical\": " << (identical ? "true" : "false") << "}"
+        << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  const double ratio = total_pruned > 0
+                           ? static_cast<double>(total_exhaustive) /
+                                 static_cast<double>(total_pruned)
+                           : 0.0;
+  out << "    ],\n"
+      << "    \"total_pruned_combos\": " << total_pruned << ",\n"
+      << "    \"total_exhaustive_combos\": " << total_exhaustive << ",\n"
+      << "    \"reduction_ratio\": " << ratio << ",\n"
+      << "    \"byte_identical\": " << (all_identical ? "true" : "false")
+      << "\n  }\n}\n";
+  std::cout << "wrote " << path << " (points=" << points.size()
+            << ", reduction_ratio=" << ratio
+            << ", byte_identical=" << (all_identical ? "true" : "false")
+            << ")\n";
+  return all_identical ? 0 : 1;
+}
+
 /// Server-mode throughput: the batch workload served over a unix socket,
 /// cold service vs warm, one client vs 8 concurrent.  The wall-clock
 /// numbers are informational; the exit code gates only on byte-identity of
@@ -617,8 +716,11 @@ int main(int argc, char** argv) {
       const int pruned_rc =
           emit_pruned_search_json("BENCH_pruned_search.json");
       const int serve_rc = emit_serve_json("BENCH_serve.json");
+      const int space_rc =
+          emit_design_space_json("BENCH_design_space.json");
       if (sweep_rc != 0) return sweep_rc;
-      return pruned_rc != 0 ? pruned_rc : serve_rc;
+      if (pruned_rc != 0) return pruned_rc;
+      return serve_rc != 0 ? serve_rc : space_rc;
     }
   }
   benchmark::Initialize(&argc, argv);

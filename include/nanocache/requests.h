@@ -1,4 +1,4 @@
-// Versioned plain-struct requests of the nanocache public API (schema v2).
+// Versioned plain-struct requests of the nanocache public API (schema v3).
 //
 // One Request wraps exactly one of the operation payloads, selected by
 // `kind`.  All numeric fields use the paper's reporting units (pS, mW, pJ,
@@ -7,9 +7,13 @@
 //
 // Schema v2 factors the fields every operation repeated in v1 into two
 // shared structs: GridSpec (which cache: level + size) and DelayConstraint
-// (the timing target(s) an operation answers).  The JSONL wire encoding —
-// including the v1 flat-field compatibility parse — is documented in
-// docs/API.md and implemented by src/api/batch_io.{h,cc}.
+// (the timing target(s) an operation answers).  Schema v3 adds the
+// design-space axes: OrganizationSpec (associativity + banks),
+// PowerGatingSpec (sleep states under a performance-loss budget) and a
+// `node_nm` technology-node selector — all defaulting to the paper's fixed
+// 65 nm organization, so v1/v2 requests normalize losslessly.  The JSONL
+// wire encoding — including the v1/v2 compatibility parse — is documented
+// in docs/API.md and implemented by src/api/batch_io.{h,cc}.
 #pragma once
 
 #include <cstdint>
@@ -60,11 +64,42 @@ struct DelayConstraint {
   std::vector<double> targets_ps;  ///< explicit ladder (empty = default)
 };
 
+/// v3: explicit cache organization.  All-default (associativity 0, banks 0)
+/// selects the paper's fixed organization and routes through the exact v2
+/// code path; anything else engages the extended split-tag model with tag
+/// arrays and way comparators as additional optimizable components.
+struct OrganizationSpec {
+  /// 0 = service default; 1/2/4/8 = explicit set-associativity; -1 = fully
+  /// associative (spelled "full" on the wire).
+  int associativity = 0;
+  /// 0 = service default (single bank); otherwise a power of two <= 8.
+  /// An explicit 1 normalizes to 0 at parse (same organization).
+  std::uint32_t banks = 0;
+
+  bool is_default() const { return associativity == 0 && banks == 0; }
+};
+
+/// v3: per-domain power gating.  When enabled, every component option also
+/// exists in a sleep state (leakage scaled down, wake latency added); the
+/// optimizer may use sleep states as long as the resulting access time
+/// stays within `perf_loss_budget` of the original delay constraint.
+struct PowerGatingSpec {
+  bool enabled = false;
+  /// Relative constraint relaxation in [0, 1]: the effective delay
+  /// constraint becomes target * (1 + perf_loss_budget).
+  double perf_loss_budget = 0.0;
+};
+
 /// Evaluate one cache model at a uniform (Vth, Tox) assignment and report
 /// per-component and total delay/leakage/dynamic-energy.
 struct EvalRequest {
   GridSpec target{Level::kL1, 16 * 1024};
   Knobs knobs{};
+  /// v3: organization override (default = the paper's fixed organization).
+  OrganizationSpec organization{};
+  /// v3: technology node in nm (0 = the configured default technology;
+  /// explicit 90/65/45/32/22 select the named node menu).
+  int node_nm = 0;
 };
 
 /// Minimize a single cache's leakage under an access-time constraint with
@@ -74,6 +109,12 @@ struct OptimizeRequest {
   SchemeId scheme = SchemeId::kII;
   /// `target_ps` is the access-time constraint in pS; `targets_ps` unused.
   DelayConstraint delay{1400.0, {}};
+  /// v3: organization override (default = the paper's fixed organization).
+  OrganizationSpec organization{};
+  /// v3: sleep-state power gating under a performance-loss budget.
+  PowerGatingSpec power_gating{};
+  /// v3: technology node in nm (0 = the configured default technology).
+  int node_nm = 0;
 };
 
 /// Which sweep a SweepRequest runs.
@@ -109,6 +150,9 @@ struct SweepRequest {
   /// L2 sweep only: the per-size assignment scheme (the paper studies
   /// III = one pair and II = array/periphery split).
   SchemeId l2_scheme = SchemeId::kIII;
+
+  /// v3: technology node in nm (0 = the configured default technology).
+  int node_nm = 0;
 };
 
 /// The (Tox, Vth) tuple problem for one menu cardinality: best system

@@ -135,6 +135,22 @@ struct CapabilitiesResponse {
   bool fitted_models = false;  ///< optimizers use the fitted closed forms
   bool disk_cache = false;     ///< persistent result cache enabled
   std::string cache_dir;       ///< its directory (empty when disabled)
+
+  /// v3 design-space knobs: explicit organization overrides accepted by
+  /// eval/optimize requests.
+  std::vector<int> organization_associativities;  ///< {1, 2, 4, 8}
+  bool organization_fully_associative = false;    ///< "full" accepted
+  std::uint32_t organization_max_banks = 0;       ///< power of two <= this
+
+  /// v3 power gating: the build's sleep-state model constants and the
+  /// accepted budget range.
+  bool power_gating_supported = false;
+  double power_gating_sleep_factor = 0.0;  ///< sleep-state leakage multiplier
+  double power_gating_wake_factor = 0.0;   ///< wake delay penalty multiplier
+  double power_gating_max_budget = 0.0;    ///< max perf_loss_budget
+
+  /// v3 technology menu: selectable `node_nm` values.
+  std::vector<int> nodes_nm;
 };
 
 /// One versioned response.  `ok` distinguishes a served request (payload

@@ -128,6 +128,9 @@ struct Knobs {
 struct ComponentKnobs {
   std::string component;  ///< "cell-array", "decoder", ...
   Knobs knobs{};
+  /// v3: true when the optimizer parked this component in its power-gated
+  /// sleep state (only ever set when the request enabled power gating).
+  bool gated = false;
 };
 
 }  // namespace nanocache::api

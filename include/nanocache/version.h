@@ -18,9 +18,13 @@ namespace nanocache::api {
 /// Wire-schema version of the request/response types in requests.h /
 /// responses.h and their JSONL encoding.  v2 factored the per-request
 /// cache/constraint fields into the shared GridSpec and DelayConstraint
-/// structs; v1 requests are still accepted and normalized to v2 on parse
-/// (see docs/API.md for the field mapping).
-inline constexpr int kSchemaVersion = 2;
+/// structs; v3 added the design-space axes (nested `organization`
+/// associativity/banks, `power_gating` with a performance-loss budget, and
+/// `node_nm` technology selection).  v1/v2 requests are still accepted and
+/// normalized to v3 on parse — every new field defaults to the fixed
+/// 65 nm organization the paper studies, so old clients get byte-identical
+/// responses (see docs/API.md for the field mapping).
+inline constexpr int kSchemaVersion = 3;
 
 /// Oldest wire-schema version the parser still accepts (normalizing to
 /// kSchemaVersion).

@@ -107,6 +107,36 @@ void parse_delay(const ValuePtr& root, DelayConstraint& d) {
   if (v->get("targets_ps")) d.targets_ps = get_double_array(v, "targets_ps");
 }
 
+/// v3 nested "organization" object:
+/// {"associativity": 1|2|4|8|"full", "banks": N}.
+void parse_organization(const ValuePtr& root, OrganizationSpec& org) {
+  const auto v = root->get("organization");
+  if (!v) return;
+  NC_REQUIRE(v->is_object(), "'organization' must be an object");
+  if (const auto assoc = v->get("associativity")) {
+    if (assoc->is_string()) {
+      NC_REQUIRE(assoc->as_string() == "full",
+                 "organization.associativity must be 1, 2, 4, 8, or \"full\"");
+      org.associativity = -1;
+    } else {
+      org.associativity = static_cast<int>(assoc->as_int());
+    }
+  }
+  org.banks = static_cast<std::uint32_t>(get_uint(v, "banks", org.banks));
+  // An explicit single bank IS the default organization: normalize at parse
+  // so both spellings share one canonical key (and one cache entry).
+  if (org.banks == 1) org.banks = 0;
+}
+
+/// v3 nested "power_gating" object: {"enabled": B, "perf_loss_budget": X}.
+void parse_power_gating(const ValuePtr& root, PowerGatingSpec& g) {
+  const auto v = root->get("power_gating");
+  if (!v) return;
+  NC_REQUIRE(v->is_object(), "'power_gating' must be an object");
+  g.enabled = get_bool(v, "enabled", g.enabled);
+  g.perf_loss_budget = get_double(v, "perf_loss_budget", g.perf_loss_budget);
+}
+
 Request request_from_value(const ValuePtr& root) {
   NC_REQUIRE(root->is_object(), "request must be a JSON object");
   Request r;
@@ -117,9 +147,12 @@ Request request_from_value(const ValuePtr& root) {
              "unsupported schema_version " + std::to_string(v) +
                  " (this build speaks " + std::to_string(kMinSchemaVersion) +
                  ".." + std::to_string(kSchemaVersion) + ")");
-  // v1 flat fields normalize into the v2 structs below; the request carries
-  // the current schema version from here on.
+  // v1 flat fields normalize into the v2 structs below, and v3 design-space
+  // fields are read only from v3 requests (absent fields keep their
+  // paper-default values); the request carries the current schema version
+  // from here on.
   const bool v1 = v == 1;
+  const bool v3 = v >= 3;
   r.schema_version = kSchemaVersion;
   if (const auto id = root->get("id")) r.id = id->as_string();
   const auto kind = root->get("kind");
@@ -143,6 +176,10 @@ Request request_from_value(const ValuePtr& root) {
         e.knobs.vth_v = get_double(knobs, "vth_v", e.knobs.vth_v);
         e.knobs.tox_a = get_double(knobs, "tox_a", e.knobs.tox_a);
       }
+      if (v3) {
+        parse_organization(root, e.organization);
+        e.node_nm = get_int(root, "node_nm", e.node_nm);
+      }
       break;
     }
     case RequestKind::kOptimize: {
@@ -163,6 +200,11 @@ Request request_from_value(const ValuePtr& root) {
         o.scheme = parse_scheme(scheme->as_string());
       }
       parse_delay(root, o.delay);
+      if (v3) {
+        parse_organization(root, o.organization);
+        parse_power_gating(root, o.power_gating);
+        o.node_nm = get_int(root, "node_nm", o.node_nm);
+      }
       break;
     }
     case RequestKind::kSweep: {
@@ -183,6 +225,7 @@ Request request_from_value(const ValuePtr& root) {
       }
       parse_grid_spec(root, s.target);
       parse_delay(root, s.delay);
+      if (v3) s.node_nm = get_int(root, "node_nm", s.node_nm);
       break;
     }
     case RequestKind::kTupleMenu: {
@@ -264,6 +307,8 @@ std::vector<ComponentKnobs> parse_assignment(const ValuePtr& obj,
     c.component = req_string(item, "component");
     c.knobs.vth_v = req_double(item, "vth_v");
     c.knobs.tox_a = req_double(item, "tox_a");
+    // Omitted unless true (a power-gated sleep-state component).
+    if (const auto gated = item->get("gated")) c.gated = gated->as_bool();
     out.push_back(std::move(c));
   }
   return out;
@@ -408,6 +453,21 @@ CapabilitiesResponse parse_capabilities_response(const ValuePtr& v) {
   c.fitted_models = req_bool(v, "fitted_models");
   c.disk_cache = req_bool(v, "disk_cache");
   c.cache_dir = req_string(v, "cache_dir");
+  const auto org = req_field(v, "organization");
+  for (const auto& item : req_array(org, "associativities")) {
+    c.organization_associativities.push_back(static_cast<int>(item->as_int()));
+  }
+  c.organization_fully_associative = req_bool(org, "fully_associative");
+  c.organization_max_banks =
+      static_cast<std::uint32_t>(req_uint(org, "max_banks"));
+  const auto gating = req_field(v, "power_gating");
+  c.power_gating_supported = req_bool(gating, "supported");
+  c.power_gating_sleep_factor = req_double(gating, "sleep_leakage_factor");
+  c.power_gating_wake_factor = req_double(gating, "wake_delay_factor");
+  c.power_gating_max_budget = req_double(gating, "max_perf_loss_budget");
+  for (const auto& item : req_array(v, "nodes_nm")) {
+    c.nodes_nm.push_back(static_cast<int>(item->as_int()));
+  }
   return c;
 }
 
@@ -529,6 +589,28 @@ std::string knobs_json(const Knobs& k) {
   return w.str();
 }
 
+/// v3 "organization" object.  Only non-default members are emitted, and the
+/// whole object is omitted by callers when the spec is all-default, so
+/// serialize(parse(line)) is exact for v3 lines and byte-identical to the
+/// v2 encoding for normalized v1/v2 requests.
+std::string organization_json(const OrganizationSpec& org) {
+  ObjectWriter w;
+  if (org.associativity == -1) {
+    w.string_field("associativity", "full");
+  } else if (org.associativity != 0) {
+    w.int_field("associativity", org.associativity);
+  }
+  if (org.banks != 0) w.uint_field("banks", org.banks);
+  return w.str();
+}
+
+std::string power_gating_json(const PowerGatingSpec& g) {
+  ObjectWriter w;
+  w.bool_field("enabled", g.enabled);
+  w.double_field("perf_loss_budget", g.perf_loss_budget);
+  return w.str();
+}
+
 std::string assignment_json(const std::vector<ComponentKnobs>& assignment) {
   std::string out = "[";
   for (std::size_t i = 0; i < assignment.size(); ++i) {
@@ -537,6 +619,8 @@ std::string assignment_json(const std::vector<ComponentKnobs>& assignment) {
     w.string_field("component", assignment[i].component);
     w.double_field("vth_v", assignment[i].knobs.vth_v);
     w.double_field("tox_a", assignment[i].knobs.tox_a);
+    // v3 power gating; omitted when false so v1/v2 output is unchanged.
+    if (assignment[i].gated) w.bool_field("gated", true);
     out += w.str();
   }
   return out + "]";
@@ -687,6 +771,20 @@ std::string capabilities_json(const CapabilitiesResponse& c) {
   w.bool_field("fitted_models", c.fitted_models);
   w.bool_field("disk_cache", c.disk_cache);
   w.string_field("cache_dir", c.cache_dir);
+  // v3 design-space discovery (kept in lockstep with
+  // parse_capabilities_response above).
+  ObjectWriter org;
+  org.field("associativities", int_array_json(c.organization_associativities));
+  org.bool_field("fully_associative", c.organization_fully_associative);
+  org.uint_field("max_banks", c.organization_max_banks);
+  w.field("organization", org.str());
+  ObjectWriter gating;
+  gating.bool_field("supported", c.power_gating_supported);
+  gating.double_field("sleep_leakage_factor", c.power_gating_sleep_factor);
+  gating.double_field("wake_delay_factor", c.power_gating_wake_factor);
+  gating.double_field("max_perf_loss_budget", c.power_gating_max_budget);
+  w.field("power_gating", gating.str());
+  w.field("nodes_nm", int_array_json(c.nodes_nm));
   return w.str();
 }
 
@@ -741,8 +839,10 @@ Outcome<Response> parse_response_json(const std::string& line) {
 
 std::string request_to_json(const Request& request) {
   ObjectWriter w;
-  // Serialization always speaks the current schema: v1 requests were
-  // normalized into the v2 structs at parse time.
+  // Serialization always speaks the current schema: v1/v2 requests were
+  // normalized into the v3 structs at parse time.  The v3 design-space
+  // fields are omitted when default, so normalized old requests serialize
+  // exactly as they did under v2 (modulo schema_version).
   w.int_field("schema_version", kSchemaVersion);
   if (!request.id.empty()) w.string_field("id", request.id);
   w.string_field("kind", request_kind_name(request.kind));
@@ -751,6 +851,10 @@ std::string request_to_json(const Request& request) {
       const auto& e = request.eval;
       w.field("target", grid_spec_json(e.target));
       w.field("knobs", knobs_json(e.knobs));
+      if (!e.organization.is_default()) {
+        w.field("organization", organization_json(e.organization));
+      }
+      if (e.node_nm != 0) w.int_field("node_nm", e.node_nm);
       break;
     }
     case RequestKind::kOptimize: {
@@ -758,6 +862,13 @@ std::string request_to_json(const Request& request) {
       w.field("target", grid_spec_json(o.target));
       w.string_field("scheme", scheme_id_name(o.scheme));
       w.field("delay", delay_constraint_json(o.delay));
+      if (!o.organization.is_default()) {
+        w.field("organization", organization_json(o.organization));
+      }
+      if (o.power_gating.enabled || o.power_gating.perf_loss_budget != 0.0) {
+        w.field("power_gating", power_gating_json(o.power_gating));
+      }
+      if (o.node_nm != 0) w.int_field("node_nm", o.node_nm);
       break;
     }
     case RequestKind::kSweep: {
@@ -767,6 +878,7 @@ std::string request_to_json(const Request& request) {
       w.int_field("ladder_steps", s.ladder_steps);
       w.field("delay", delay_constraint_json(s.delay));
       w.string_field("scheme", scheme_id_name(s.l2_scheme));
+      if (s.node_nm != 0) w.int_field("node_nm", s.node_nm);
       break;
     }
     case RequestKind::kTupleMenu: {
@@ -842,6 +954,15 @@ std::string request_canonical_key(const Request& request) {
       key += key_double(e.knobs.vth_v);
       key += '|';
       key += key_double(e.knobs.tox_a);
+      // v3 design-space fields, appended UNCONDITIONALLY: a v1/v2 request
+      // and its v3-normalized form (all defaults) produce the same key, and
+      // any non-default knob gets a distinct one.
+      key += "|a";
+      key += std::to_string(e.organization.associativity);
+      key += "|b";
+      key += std::to_string(e.organization.banks);
+      key += "|n";
+      key += std::to_string(e.node_nm);
       break;
     }
     case RequestKind::kOptimize: {
@@ -853,6 +974,16 @@ std::string request_canonical_key(const Request& request) {
       key += scheme_id_name(o.scheme);
       key += '|';
       key += key_double(o.delay.target_ps);
+      key += "|a";
+      key += std::to_string(o.organization.associativity);
+      key += "|b";
+      key += std::to_string(o.organization.banks);
+      key += "|g";
+      key += o.power_gating.enabled ? '1' : '0';
+      key += "|pb";
+      key += key_double(o.power_gating.perf_loss_budget);
+      key += "|n";
+      key += std::to_string(o.node_nm);
       break;
     }
     case RequestKind::kSweep: {
@@ -870,6 +1001,8 @@ std::string request_canonical_key(const Request& request) {
       key += key_double(s.delay.target_ps);
       key += '|';
       key += scheme_id_name(s.l2_scheme);
+      key += "|n";
+      key += std::to_string(s.node_nm);
       break;
     }
     case RequestKind::kTupleMenu: {

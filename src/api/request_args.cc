@@ -17,6 +17,32 @@ SchemeId parse_scheme_flag(const std::string& s) {
   throw Error(ErrorCategory::kConfig, "unknown scheme '" + s + "'");
 }
 
+/// --assoc accepts 1/2/4/8 or "full" (fully associative), like the wire's
+/// organization.associativity.
+int parse_assoc_flag(const std::string& s) {
+  if (s == "full") return -1;
+  try {
+    return std::stoi(s);
+  } catch (const std::exception&) {
+    throw Error(ErrorCategory::kConfig,
+                "--assoc expects 1, 2, 4, 8 or 'full', got '" + s + "'");
+  }
+}
+
+/// Shared v3 design-space flags of the cache/optimize commands.
+void apply_organization_flags(const CliArgs& args, OrganizationSpec& org) {
+  const auto assoc = args.flags.find("assoc");
+  if (assoc != args.flags.end()) {
+    org.associativity = parse_assoc_flag(assoc->second);
+  }
+  org.banks = static_cast<std::uint32_t>(flag_uint(args, "banks", org.banks));
+  if (org.banks == 1) org.banks = 0;  // same normalization as the parser
+}
+
+int node_flag(const CliArgs& args) {
+  return static_cast<int>(flag_uint(args, "node", 0));
+}
+
 }  // namespace
 
 CliArgs parse_cli_args(int argc, const char* const* argv) {
@@ -125,6 +151,8 @@ Outcome<Request> request_from_args(const CliArgs& args) {
           flag_uint(args, "size", r.eval.target.size_bytes);
       r.eval.knobs.vth_v = flag_double(args, "vth", r.eval.knobs.vth_v);
       r.eval.knobs.tox_a = flag_double(args, "tox", r.eval.knobs.tox_a);
+      apply_organization_flags(args, r.eval.organization);
+      r.eval.node_nm = node_flag(args);
       return r;
     }
     if (args.command == "optimize") {
@@ -137,6 +165,13 @@ Outcome<Request> request_from_args(const CliArgs& args) {
       if (it != args.flags.end()) r.optimize.scheme = parse_scheme_flag(it->second);
       r.optimize.delay.target_ps =
           flag_double(args, "delay-ps", r.optimize.delay.target_ps);
+      apply_organization_flags(args, r.optimize.organization);
+      r.optimize.node_nm = node_flag(args);
+      if (flag_present(args, "power-gating")) {
+        r.optimize.power_gating.enabled = true;
+      }
+      r.optimize.power_gating.perf_loss_budget = flag_double(
+          args, "perf-loss-budget", r.optimize.power_gating.perf_loss_budget);
       return r;
     }
     if (args.command == "run") {
@@ -160,6 +195,7 @@ Outcome<Request> request_from_args(const CliArgs& args) {
                         "' is not request-shaped (expected schemes, l2, "
                         "l2split or l1)");
       }
+      r.sweep.node_nm = node_flag(args);
       return r;
     }
     throw Error(ErrorCategory::kConfig,

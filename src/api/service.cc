@@ -3,6 +3,9 @@
 #include <bit>
 #include <chrono>
 #include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -13,8 +16,10 @@
 #include "api/memo_cache.h"
 #include "cachemodel/cache_model.h"
 #include "core/explorer.h"
+#include "opt/options.h"
 #include "opt/schemes.h"
 #include "opt/tuple_menu.h"
+#include "tech/params.h"
 #include "util/error.h"
 #include "util/metrics.h"
 #include "util/parallel.h"
@@ -109,36 +114,47 @@ std::string service_fingerprint(const core::ExperimentConfig& config) {
   return fnv1a64_hex(s);
 }
 
+/// Wire form of a per-component assignment.  `num_components` is 4 for the
+/// paper's fixed organization and 6 for split-tag design-space variants
+/// (kExtendedComponents keeps the fixed four at indices 0-3, so the default
+/// yields exactly the v2 output).
 std::vector<ComponentKnobs> assignment_out(
-    const cachemodel::ComponentAssignment& assignment) {
+    const cachemodel::ComponentAssignment& assignment,
+    std::size_t num_components = cachemodel::kNumComponents) {
   std::vector<ComponentKnobs> out;
-  out.reserve(cachemodel::kNumComponents);
-  for (const auto kind : cachemodel::kAllComponents) {
+  out.reserve(num_components);
+  for (std::size_t i = 0; i < num_components; ++i) {
+    const auto kind = cachemodel::kExtendedComponents[i];
     const auto& knobs = assignment.get(kind);
-    out.push_back(ComponentKnobs{
-        std::string(cachemodel::component_name(kind)),
-        Knobs{knobs.vth_v, knobs.tox_a}});
+    ComponentKnobs c{std::string(cachemodel::component_name(kind)),
+                     Knobs{knobs.vth_v, knobs.tox_a}};
+    c.gated = assignment.gated(kind);
+    out.push_back(std::move(c));
   }
   return out;
 }
 
-OptimizedCache to_optimized(const opt::SchemeResult& result) {
+OptimizedCache to_optimized(
+    const opt::SchemeResult& result,
+    std::size_t num_components = cachemodel::kNumComponents) {
   OptimizedCache c;
   c.feasible = true;
   c.leakage_mw = units::watts_to_mw(result.leakage_w);
   c.access_time_ps = units::seconds_to_ps(result.access_time_s);
   c.dynamic_pj = units::joules_to_pj(result.dynamic_energy_j);
-  c.assignment = assignment_out(result.assignment);
+  c.assignment = assignment_out(result.assignment, num_components);
   return c;
 }
 
-OptimizedCache to_optimized(const opt::OptOutcome<opt::SchemeResult>& outcome) {
+OptimizedCache to_optimized(
+    const opt::OptOutcome<opt::SchemeResult>& outcome,
+    std::size_t num_components = cachemodel::kNumComponents) {
   if (!outcome) {
     OptimizedCache c;
     c.infeasible_reason = outcome.why().describe();
     return c;
   }
-  return to_optimized(*outcome);
+  return to_optimized(*outcome, num_components);
 }
 
 SizeRow to_size_row(const core::SizeSweepRow& row) {
@@ -189,6 +205,37 @@ void validate_grid_axis(const char* axis, const std::vector<double>& values,
   }
 }
 
+// --- v3 design-space validation: typed kConfig errors, never clamps -------
+
+void validate_organization(const OrganizationSpec& org) {
+  NC_REQUIRE(org.associativity == 0 || org.associativity == -1 ||
+                 org.associativity == 1 || org.associativity == 2 ||
+                 org.associativity == 4 || org.associativity == 8,
+             "organization.associativity must be 1, 2, 4, 8, or \"full\"");
+  NC_REQUIRE(
+      org.banks == 0 || (std::has_single_bit(org.banks) && org.banks <= 8),
+      "organization.banks must be a power of two <= 8");
+}
+
+void validate_node(int node_nm) {
+  // node_params throws the typed kConfig error (listing the supported
+  // menu) for anything outside {90, 65, 45, 32, 22}.
+  if (node_nm != 0) (void)tech::node_params(node_nm);
+}
+
+void validate_power_gating(const PowerGatingSpec& gating) {
+  NC_REQUIRE(gating.perf_loss_budget >= 0.0 && gating.perf_loss_budget <= 1.0,
+             "power_gating.perf_loss_budget must be in [0, 1]");
+}
+
+/// Associativity actually built when a request overrides the organization:
+/// an explicit value wins; 0 inherits the fixed organizations' defaults
+/// (2-way L1 / 8-way L2, see l1_organization / l2_organization).
+int resolve_associativity(Level level, const OrganizationSpec& org) {
+  if (org.associativity != 0) return org.associativity;
+  return level == Level::kL2 ? 8 : 2;
+}
+
 }  // namespace
 
 struct Service::Impl {
@@ -201,10 +248,64 @@ struct Service::Impl {
   /// Persistent cross-run result cache (null when cache_dir is empty).
   std::unique_ptr<DiskCache> disk;
 
+  /// Lazily-built per-node Explorers for v3 `node_nm` overrides.  Node 0 is
+  /// the main explorer (the configured default technology and grid).  Node
+  /// explorers always use the node's own default grid — the paper's Vth
+  /// ladder crossed with the node's oxide window — because a user grid
+  /// override is calibrated against the default node's ranges only.
+  mutable std::mutex node_mutex;
+  mutable std::map<int, std::unique_ptr<core::Explorer>> node_explorers;
+
+  const core::Explorer& explorer_for(int node_nm) const {
+    if (node_nm == 0) return *explorer;
+    std::lock_guard<std::mutex> lock(node_mutex);
+    auto it = node_explorers.find(node_nm);
+    if (it == node_explorers.end()) {
+      core::ExperimentConfig node_config = config;
+      node_config.technology = tech::node_params(node_nm);
+      node_config.grid = opt::KnobGrid::paper_default();
+      node_config.grid.tox_values = tech::node_tox_grid(node_config.technology);
+      // Mid-window defaults, mirroring the 65 nm (0.35 V, nominal-Tox) pair.
+      node_config.default_knobs =
+          tech::DeviceKnobs{0.35, node_config.technology.tox_nominal_a};
+      it = node_explorers
+               .emplace(node_nm, std::make_unique<core::Explorer>(
+                                     std::move(node_config)))
+               .first;
+    }
+    return *it->second;
+  }
+
   const cachemodel::CacheModel& model(Level level,
                                       std::uint64_t size_bytes) const {
     return level == Level::kL2 ? explorer->l2_model(size_bytes)
                                : explorer->l1_model(size_bytes);
+  }
+
+  /// The cache model a v3 request addresses: the fixed organization when
+  /// `org` is all-default, else the split-tag design-space variant.
+  const cachemodel::CacheModel& model_for(Level level,
+                                          std::uint64_t size_bytes,
+                                          const OrganizationSpec& org,
+                                          int node_nm) const {
+    const auto& ex = explorer_for(node_nm);
+    if (org.is_default()) {
+      return level == Level::kL2 ? ex.l2_model(size_bytes)
+                                 : ex.l1_model(size_bytes);
+    }
+    return ex.variant_model(size_bytes, level == Level::kL2,
+                            resolve_associativity(level, org),
+                            org.banks == 0 ? 1 : org.banks);
+  }
+
+  /// Evaluator for a v3 request's model.  Design-space variants always run
+  /// the structural model: the fitted closed forms are calibrated on the
+  /// fixed four-component organization only.
+  opt::ComponentEvaluator evaluator_for(const cachemodel::CacheModel& m,
+                                        const OrganizationSpec& org,
+                                        int node_nm) const {
+    if (org.is_default()) return explorer_for(node_nm).evaluator(m);
+    return opt::structural_evaluator(m);
   }
 
   /// v2 GridSpec semantics: size_bytes 0 means the service's configured
@@ -214,9 +315,23 @@ struct Service::Impl {
     return level == Level::kL2 ? config.l2_size_bytes : config.l1_size_bytes;
   }
 
+  /// v3 design-space memo-key suffix.  Appended unconditionally — all
+  /// defaults append "|a0|b0|n0", so v1/v2 requests and their v3-normalized
+  /// forms land on the same entry while any non-default knob gets its own.
+  static void append_space_key(std::string& key, const OrganizationSpec& org,
+                               int node_nm) {
+    key += "|a";
+    key += std::to_string(org.associativity);
+    key += "|b";
+    key += std::to_string(org.banks);
+    key += "|n";
+    key += std::to_string(node_nm);
+  }
+
   /// Memoized uniform-knob cache evaluation ("eval|" entries).
   std::shared_ptr<const cachemodel::CacheMetrics> eval_memo(
-      Level level, std::uint64_t size_bytes, const Knobs& knobs) const {
+      Level level, std::uint64_t size_bytes, const Knobs& knobs,
+      const OrganizationSpec& org, int node_nm) const {
     std::string key = "eval|";
     key += level_name(level);
     key += '|';
@@ -225,12 +340,14 @@ struct Service::Impl {
     key += key_double(knobs.vth_v);
     key += '|';
     key += key_double(knobs.tox_a);
+    append_space_key(key, org, node_nm);
     return memo.get_or_compute<cachemodel::CacheMetrics>(key, [&] {
-      const auto& m = model(level, size_bytes);
-      const auto eval = explorer->evaluator(m);
+      const auto& m = model_for(level, size_bytes, org, node_nm);
+      const auto eval = evaluator_for(m, org, node_nm);
       const tech::DeviceKnobs device{knobs.vth_v, knobs.tox_a};
       auto metrics = std::make_shared<cachemodel::CacheMetrics>();
-      for (const auto kind : cachemodel::kAllComponents) {
+      for (std::size_t i = 0; i < m.num_components(); ++i) {
+        const auto kind = cachemodel::kExtendedComponents[i];
         const auto cm = eval(kind, device);
         metrics->per_component[static_cast<std::size_t>(kind)] = cm;
         metrics->access_time_s += cm.delay_s;
@@ -249,8 +366,9 @@ struct Service::Impl {
   /// between optimize requests and the scheme-comparison sweep, so a batch
   /// that asks for both computes each (cache, scheme, target) cell once.
   std::shared_ptr<const opt::OptOutcome<opt::SchemeResult>> optimize_memo(
-      Level level, std::uint64_t size_bytes, SchemeId scheme,
-      double delay_s) const {
+      Level level, std::uint64_t size_bytes, SchemeId scheme, double delay_s,
+      const OrganizationSpec& org, const PowerGatingSpec& gating,
+      int node_nm) const {
     std::string key = "opt|";
     key += level_name(level);
     key += '|';
@@ -259,29 +377,47 @@ struct Service::Impl {
     key += scheme_id_name(scheme);
     key += '|';
     key += key_double(delay_s);
+    append_space_key(key, org, node_nm);
+    key += "|g";
+    key += gating.enabled ? '1' : '0';
+    key += "|pb";
+    key += key_double(gating.perf_loss_budget);
     return memo.get_or_compute<opt::OptOutcome<opt::SchemeResult>>(key, [&] {
-      const auto& m = model(level, size_bytes);
-      const auto eval = explorer->evaluator(m);
+      const auto& ex = explorer_for(node_nm);
+      const auto& m = model_for(level, size_bytes, org, node_nm);
+      const auto eval = evaluator_for(m, org, node_nm);
+      opt::OptSpace space = org.is_default() ? opt::OptSpace::base()
+                                             : opt::OptSpace::extended();
+      space.gating.enabled = gating.enabled;
+      // The performance-loss budget relaxes the delay constraint: sleep
+      // states may slow the cache by up to that fraction of the target.
+      const double effective_delay_s =
+          gating.enabled ? delay_s * (1.0 + gating.perf_loss_budget)
+                         : delay_s;
       return std::make_shared<const opt::OptOutcome<opt::SchemeResult>>(
-          opt::optimize_single_cache(eval, config.grid, to_scheme(scheme),
-                                     delay_s, config.search_mode));
+          opt::optimize_single_cache(eval, ex.config().grid, to_scheme(scheme),
+                                     effective_delay_s, config.search_mode,
+                                     space));
     });
   }
 
   /// Memoized Section 5 size sweeps, keyed by the *resolved* AMAT target so
   /// an explicit `amat_ps` and the squeeze default it equals share a slot.
   std::shared_ptr<const std::vector<core::SizeSweepRow>> size_sweep_memo(
-      SweepKind kind, SchemeId l2_scheme, double amat_s) const {
+      SweepKind kind, SchemeId l2_scheme, double amat_s, int node_nm) const {
     std::string key = "sweep|";
     key += sweep_kind_name(kind);
     key += '|';
     key += scheme_id_name(l2_scheme);
     key += '|';
     key += key_double(amat_s);
+    key += "|n";
+    key += std::to_string(node_nm);
     return memo.get_or_compute<std::vector<core::SizeSweepRow>>(key, [&] {
+      const auto& ex = explorer_for(node_nm);
       auto rows = kind == SweepKind::kL1Sizes
-                      ? explorer->l1_size_sweep(amat_s)
-                      : explorer->l2_size_sweep(to_scheme(l2_scheme), amat_s);
+                      ? ex.l1_size_sweep(amat_s)
+                      : ex.l2_size_sweep(to_scheme(l2_scheme), amat_s);
       return std::make_shared<const std::vector<core::SizeSweepRow>>(
           std::move(rows));
     });
@@ -398,25 +534,41 @@ Outcome<CapabilitiesResponse> Service::capabilities(
     c.fitted_models = impl_->config.use_fitted_models;
     c.disk_cache = impl_->disk != nullptr;
     c.cache_dir = impl_->api_config.cache_dir;
+    c.organization_associativities = {1, 2, 4, 8};
+    c.organization_fully_associative = true;
+    c.organization_max_banks = 8;
+    const opt::GatingSpec gating{};
+    c.power_gating_supported = true;
+    c.power_gating_sleep_factor = gating.sleep_leakage_factor;
+    c.power_gating_wake_factor = gating.wake_delay_factor;
+    c.power_gating_max_budget = 1.0;
+    c.nodes_nm = tech::supported_nodes();
     return c;
   });
 }
 
 Outcome<EvalResponse> Service::evaluate(const EvalRequest& request) const {
   return guarded([&] {
+    validate_organization(request.organization);
+    validate_node(request.node_nm);
     const Level level = request.target.level;
     const std::uint64_t size =
         impl_->resolve_size(level, request.target.size_bytes);
-    const auto metrics = impl_->eval_memo(level, size, request.knobs);
+    const auto metrics = impl_->eval_memo(level, size, request.knobs,
+                                          request.organization,
+                                          request.node_nm);
+    const auto& model =
+        impl_->model_for(level, size, request.organization, request.node_nm);
     EvalResponse r;
-    r.organization = impl_->model(level, size).organization().describe();
+    r.organization = model.organization().describe();
     r.access_time_ps = units::seconds_to_ps(metrics->access_time_s);
     r.leakage_mw = units::watts_to_mw(metrics->leakage_w);
     r.leakage_sub_mw = units::watts_to_mw(metrics->leakage_sub_w);
     r.leakage_gate_mw = units::watts_to_mw(metrics->leakage_gate_w);
     r.dynamic_pj = units::joules_to_pj(metrics->dynamic_energy_j);
     r.area_um2 = metrics->area_um2;
-    for (const auto kind : cachemodel::kAllComponents) {
+    for (std::size_t i = 0; i < model.num_components(); ++i) {
+      const auto kind = cachemodel::kExtendedComponents[i];
       const auto& cm = metrics->per_component[static_cast<std::size_t>(kind)];
       ComponentEval c;
       c.component = std::string(cachemodel::component_name(kind));
@@ -433,16 +585,28 @@ Outcome<EvalResponse> Service::evaluate(const EvalRequest& request) const {
 Outcome<OptimizeResponse> Service::optimize(const OptimizeRequest& request) const {
   return guarded([&] {
     NC_REQUIRE(request.delay.target_ps > 0.0, "delay.target_ps must be positive");
+    validate_organization(request.organization);
+    validate_node(request.node_nm);
+    validate_power_gating(request.power_gating);
     const auto outcome = impl_->optimize_memo(
         request.target.level,
         impl_->resolve_size(request.target.level, request.target.size_bytes),
-        request.scheme, units::ps_to_seconds(request.delay.target_ps));
-    return OptimizeResponse{to_optimized(*outcome)};
+        request.scheme, units::ps_to_seconds(request.delay.target_ps),
+        request.organization, request.power_gating, request.node_nm);
+    const std::size_t num_components = request.organization.is_default()
+                                           ? cachemodel::kNumComponents
+                                           : cachemodel::kMaxComponents;
+    return OptimizeResponse{to_optimized(*outcome, num_components)};
   });
 }
 
 Outcome<SweepResponse> Service::sweep(const SweepRequest& request) const {
   return guarded([&] {
+    validate_node(request.node_nm);
+    const auto& explorer = impl_->explorer_for(request.node_nm);
+    // Defaulted org/gating: sweeps run over the node's fixed organization.
+    const OrganizationSpec org{};
+    const PowerGatingSpec gating{};
     SweepResponse r;
     r.kind = request.kind;
     if (request.kind == SweepKind::kSchemes) {
@@ -457,7 +621,7 @@ Outcome<SweepResponse> Service::sweep(const SweepRequest& request) const {
           targets_s.push_back(units::ps_to_seconds(ps));
         }
       } else {
-        targets_s = impl_->explorer->delay_ladder(size, request.ladder_steps);
+        targets_s = explorer.delay_ladder(size, request.ladder_steps);
       }
       // Computed here (not via Explorer::scheme_comparison) so the cells
       // share "opt|" memo entries with single optimize requests.
@@ -466,11 +630,14 @@ Outcome<SweepResponse> Service::sweep(const SweepRequest& request) const {
         SchemesRow row;
         row.delay_target_ps = units::seconds_to_ps(targets_s[i]);
         row.scheme1 = to_optimized(
-            *impl_->optimize_memo(Level::kL1, size, SchemeId::kI, targets_s[i]));
+            *impl_->optimize_memo(Level::kL1, size, SchemeId::kI, targets_s[i],
+                                  org, gating, request.node_nm));
         row.scheme2 = to_optimized(
-            *impl_->optimize_memo(Level::kL1, size, SchemeId::kII, targets_s[i]));
-        row.scheme3 = to_optimized(*impl_->optimize_memo(
-            Level::kL1, size, SchemeId::kIII, targets_s[i]));
+            *impl_->optimize_memo(Level::kL1, size, SchemeId::kII, targets_s[i],
+                                  org, gating, request.node_nm));
+        row.scheme3 = to_optimized(
+            *impl_->optimize_memo(Level::kL1, size, SchemeId::kIII,
+                                  targets_s[i], org, gating, request.node_nm));
         return row;
       });
       return r;
@@ -482,11 +649,11 @@ Outcome<SweepResponse> Service::sweep(const SweepRequest& request) const {
         request.delay.target_ps > 0.0
             ? units::ps_to_seconds(request.delay.target_ps)
             : (request.kind == SweepKind::kL1Sizes
-                   ? impl_->explorer->l2_squeeze_target_s(1.25)
-                   : impl_->explorer->l2_squeeze_target_s());
+                   ? explorer.l2_squeeze_target_s(1.25)
+                   : explorer.l2_squeeze_target_s());
     r.amat_target_ps = units::seconds_to_ps(amat_s);
-    const auto rows =
-        impl_->size_sweep_memo(request.kind, request.l2_scheme, amat_s);
+    const auto rows = impl_->size_sweep_memo(request.kind, request.l2_scheme,
+                                             amat_s, request.node_nm);
     r.sizes.reserve(rows->size());
     for (const auto& row : *rows) r.sizes.push_back(to_size_row(row));
     return r;

@@ -12,7 +12,7 @@ ArrayModel::ArrayModel(const CacheOrganization& org,
                        const tech::DeviceModel& dev)
     : org_(org), dev_(dev) {
   org_.validate();
-  cell_count_ = org_.total_bits();
+  cell_count_ = org_.array_bits();
   // One sense amp per kColumnMuxDegree columns in every subarray.
   senseamp_count_ =
       org_.cols_per_subarray() / kColumnMuxDegree * org_.num_subarrays();

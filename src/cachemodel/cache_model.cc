@@ -1,5 +1,8 @@
 #include "cachemodel/cache_model.h"
 
+#include <bit>
+#include <cmath>
+
 #include "util/error.h"
 #include "util/numeric_guard.h"
 
@@ -12,15 +15,30 @@ namespace {
 double receiver_cap_f(const tech::DeviceModel& dev, double width_um) {
   return dev.gate_cap_f(width_um, dev.params().tox_nominal_a);
 }
+
+/// Driver width of one bank-select line (nominal geometry, um).
+constexpr double kBankSelectDriverWidthUm = 8.0;
 }  // namespace
 
 CacheModel::CacheModel(CacheOrganization org, tech::DeviceModel dev)
     : org_(org), dev_(std::move(dev)), array_(org_, dev_), decoder_(org_, dev_) {
   org_.validate();
+  if (org_.split_tag) {
+    tag_ = std::make_unique<TagArrayModel>(org_, dev_);
+    cmp_ = std::make_unique<WayComparatorModel>(org_, dev_);
+  }
 }
 
 double CacheModel::nominal_bus_length_um() const {
   return bus_length_from_area_um(array_.area_um2(dev_.params().tox_nominal_a));
+}
+
+double CacheModel::effective_bus_length_um(double bus_length_um) const {
+  // Banks spread across the floorplan; the shared buses grow with the
+  // linear dimension of the bank grid.  Exactly the input when banks == 1
+  // so the fixed organization's arithmetic is untouched.
+  if (org_.banks <= 1) return bus_length_um;
+  return bus_length_um * std::sqrt(static_cast<double>(org_.banks));
 }
 
 BusDriverModel CacheModel::make_address_drivers(double bus_length_um) const {
@@ -38,23 +56,79 @@ BusDriverModel CacheModel::make_data_drivers(double bus_length_um) const {
                         /*activity=*/0.5);
 }
 
+ComponentMetrics CacheModel::banked(ComponentKind kind, ComponentMetrics m,
+                                    const tech::DeviceKnobs& knobs) const {
+  if (org_.banks <= 1) return m;
+  const double b = static_cast<double>(org_.banks);
+  switch (kind) {
+    case ComponentKind::kDecoder: {
+      // One decoder per bank; all of them leak, all of them occupy area.
+      m.leakage_sub_w *= b;
+      m.leakage_gate_w *= b;
+      m.leakage_w = m.leakage_sub_w + m.leakage_gate_w;
+      m.area_um2 *= b;
+      break;
+    }
+    case ComponentKind::kAddressDrivers: {
+      // Bank-select lines ride the address bus: log2(banks) extra wires
+      // switched every access, with their own always-on drivers.
+      const auto& p = dev_.params();
+      const double select_lines =
+          static_cast<double>(std::bit_width(org_.banks) - 1);
+      const double bus_length =
+          effective_bus_length_um(nominal_bus_length_um());
+      const double e_select = select_lines * bus_length * p.cwire_f_per_um *
+                              p.vdd_v * p.vdd_v;
+      m.dynamic_energy_j += e_select;
+      m.dynamic_write_energy_j += e_select;
+      const auto sel =
+          dev_.off_power_split_w(kBankSelectDriverWidthUm * 0.5, knobs);
+      m.leakage_sub_w += select_lines * sel.subthreshold_w;
+      m.leakage_gate_w += select_lines * sel.gate_w;
+      m.leakage_w = m.leakage_sub_w + m.leakage_gate_w;
+      break;
+    }
+    default:
+      break;
+  }
+  return m;
+}
+
+ComponentMetrics CacheModel::component_at(ComponentKind kind,
+                                          const tech::DeviceKnobs& knobs,
+                                          double bus_length_um) const {
+  switch (kind) {
+    case ComponentKind::kCellArray:
+      return array_.evaluate(knobs);
+    case ComponentKind::kDecoder:
+      return banked(kind, decoder_.evaluate(knobs), knobs);
+    case ComponentKind::kAddressDrivers:
+      return banked(kind,
+                    make_address_drivers(effective_bus_length_um(bus_length_um))
+                        .evaluate(knobs),
+                    knobs);
+    case ComponentKind::kDataDrivers:
+      return make_data_drivers(effective_bus_length_um(bus_length_um))
+          .evaluate(knobs);
+    case ComponentKind::kTagArray:
+      NC_REQUIRE(tag_ != nullptr,
+                 "tag array component requires a split-tag organization");
+      return tag_->evaluate(knobs);
+    case ComponentKind::kWayComparators:
+      NC_REQUIRE(cmp_ != nullptr,
+                 "way comparator component requires a split-tag organization");
+      return cmp_->evaluate(knobs);
+  }
+  throw Error("unknown component kind");
+}
+
 ComponentMetrics CacheModel::component(ComponentKind kind,
                                        const tech::DeviceKnobs& knobs) const {
   // NaN knobs would otherwise trip range checks deeper in the device model
   // and masquerade as configuration errors.
   num::ensure_finite(knobs.vth_v, "component knob Vth");
   num::ensure_finite(knobs.tox_a, "component knob Tox");
-  switch (kind) {
-    case ComponentKind::kCellArray:
-      return array_.evaluate(knobs);
-    case ComponentKind::kDecoder:
-      return decoder_.evaluate(knobs);
-    case ComponentKind::kAddressDrivers:
-      return make_address_drivers(nominal_bus_length_um()).evaluate(knobs);
-    case ComponentKind::kDataDrivers:
-      return make_data_drivers(nominal_bus_length_um()).evaluate(knobs);
-  }
-  throw Error("unknown component kind");
+  return component_at(kind, knobs, nominal_bus_length_um());
 }
 
 CacheMetrics CacheModel::evaluate(const ComponentAssignment& assignment,
@@ -66,25 +140,13 @@ CacheMetrics CacheModel::evaluate(const ComponentAssignment& assignment,
   }
 
   CacheMetrics total;
-  for (ComponentKind kind : kAllComponents) {
+  const std::size_t n = num_components();
+  for (std::size_t i = 0; i < n; ++i) {
+    const ComponentKind kind = kExtendedComponents[i];
     const auto& knobs = assignment.get(kind);
     num::ensure_finite(knobs.vth_v, "assignment knob Vth");
     num::ensure_finite(knobs.tox_a, "assignment knob Tox");
-    ComponentMetrics m;
-    switch (kind) {
-      case ComponentKind::kCellArray:
-        m = array_.evaluate(knobs);
-        break;
-      case ComponentKind::kDecoder:
-        m = decoder_.evaluate(knobs);
-        break;
-      case ComponentKind::kAddressDrivers:
-        m = make_address_drivers(bus_length).evaluate(knobs);
-        break;
-      case ComponentKind::kDataDrivers:
-        m = make_data_drivers(bus_length).evaluate(knobs);
-        break;
-    }
+    const ComponentMetrics m = component_at(kind, knobs, bus_length);
     total.per_component[static_cast<std::size_t>(kind)] = m;
     total.access_time_s += m.delay_s;
     total.leakage_w += m.leakage_w;

@@ -2,13 +2,21 @@
 // delay/leakage/energy (Section 3's independence assumption), with an
 // optional exact mode that couples bus lengths to the cell array's
 // Tox-dependent area (Section 2).
+//
+// Split-tag organizations (extended_organization) add the tag array and way
+// comparators as fifth/sixth components, and multi-bank organizations scale
+// the decode path and bus geometry with the bank count.  The paper's fixed
+// organization takes none of these paths, so its numbers are untouched.
 #pragma once
+
+#include <memory>
 
 #include "cachemodel/array.h"
 #include "cachemodel/component.h"
 #include "cachemodel/decoder.h"
 #include "cachemodel/drivers.h"
 #include "cachemodel/organization.h"
+#include "cachemodel/tagpath.h"
 
 namespace nanocache::cachemodel {
 
@@ -33,8 +41,15 @@ class CacheModel {
   const CacheOrganization& organization() const { return org_; }
   const tech::DeviceModel& device() const { return dev_; }
 
+  /// Components this organization is made of: the paper's four, or all six
+  /// when the tag path is split out.
+  std::size_t num_components() const {
+    return org_.split_tag ? kMaxComponents : kNumComponents;
+  }
+
   /// Metrics of one component at the given knobs, with nominal-Tox bus
-  /// geometry (independent-component view used by the optimizers).
+  /// geometry (independent-component view used by the optimizers).  The tag
+  /// components require a split-tag organization.
   ComponentMetrics component(ComponentKind kind,
                              const tech::DeviceKnobs& knobs) const;
 
@@ -53,11 +68,23 @@ class CacheModel {
   BusDriverModel make_address_drivers(double bus_length_um) const;
   BusDriverModel make_data_drivers(double bus_length_um) const;
   double nominal_bus_length_um() const;
+  /// Effective bus length including the multi-bank fan-out factor.
+  double effective_bus_length_um(double bus_length_um) const;
+  /// Multi-bank adjustments for one component's metrics: decoder
+  /// replication and the bank-select term on the address bus.  Identity
+  /// when banks == 1.
+  ComponentMetrics banked(ComponentKind kind, ComponentMetrics m,
+                          const tech::DeviceKnobs& knobs) const;
+  ComponentMetrics component_at(ComponentKind kind,
+                                const tech::DeviceKnobs& knobs,
+                                double bus_length_um) const;
 
   CacheOrganization org_;
   tech::DeviceModel dev_;
   ArrayModel array_;
   DecoderModel decoder_;
+  std::unique_ptr<TagArrayModel> tag_;        ///< set iff org_.split_tag
+  std::unique_ptr<WayComparatorModel> cmp_;   ///< set iff org_.split_tag
 };
 
 }  // namespace nanocache::cachemodel

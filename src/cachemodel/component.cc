@@ -12,6 +12,10 @@ std::string_view component_name(ComponentKind kind) {
       return "address-bus-drivers";
     case ComponentKind::kDataDrivers:
       return "data-bus-drivers";
+    case ComponentKind::kTagArray:
+      return "tag-array";
+    case ComponentKind::kWayComparators:
+      return "way-comparators";
   }
   return "unknown";
 }

@@ -12,18 +12,36 @@ namespace nanocache::cachemodel {
 
 /// "Internally, the cache consists of four components: memory cell array and
 /// sense amplifier, decoder, address bus drivers, and data bus drivers."
+///
+/// Organizations with an explicit tag path (set-associative designs built by
+/// extended_organization with split_tag) add two more components: the tag
+/// array and the way comparators + select mux.  The paper's four components
+/// keep indices 0-3 so all fixed-organization code is untouched.
 enum class ComponentKind : std::size_t {
   kCellArray = 0,       ///< cells + wordline drive + bitlines + sense amps
   kDecoder = 1,         ///< predecoders and row-select gates
   kAddressDrivers = 2,  ///< chains driving the address distribution bus
   kDataDrivers = 3,     ///< chains driving the data read-out bus
+  kTagArray = 4,        ///< tag cells + tag wordline/bitline + tag sense amps
+  kWayComparators = 5,  ///< tag match gates + way-select output mux
 };
 
 inline constexpr std::size_t kNumComponents = 4;
 
+/// Capacity of per-component containers when the tag path is modeled.
+inline constexpr std::size_t kMaxComponents = 6;
+
 inline constexpr std::array<ComponentKind, kNumComponents> kAllComponents = {
     ComponentKind::kCellArray, ComponentKind::kDecoder,
     ComponentKind::kAddressDrivers, ComponentKind::kDataDrivers};
+
+/// All six components in critical-path order for split-tag organizations.
+inline constexpr std::array<ComponentKind, kMaxComponents>
+    kExtendedComponents = {ComponentKind::kCellArray, ComponentKind::kDecoder,
+                           ComponentKind::kAddressDrivers,
+                           ComponentKind::kDataDrivers,
+                           ComponentKind::kTagArray,
+                           ComponentKind::kWayComparators};
 
 std::string_view component_name(ComponentKind kind);
 
@@ -53,7 +71,8 @@ class ComponentAssignment {
   }
 
   /// Array/periphery split (the paper's Scheme II): one pair for the cell
-  /// array, one shared by decoder and both driver groups.
+  /// array (and tag array, which shares its cell design), one shared by the
+  /// logic-style components (decoder, both driver groups, comparators).
   static ComponentAssignment split(const tech::DeviceKnobs& array,
                                    const tech::DeviceKnobs& periphery) {
     ComponentAssignment a;
@@ -61,6 +80,8 @@ class ComponentAssignment {
     a.set(ComponentKind::kDecoder, periphery);
     a.set(ComponentKind::kAddressDrivers, periphery);
     a.set(ComponentKind::kDataDrivers, periphery);
+    a.set(ComponentKind::kTagArray, array);
+    a.set(ComponentKind::kWayComparators, periphery);
     return a;
   }
 
@@ -71,6 +92,15 @@ class ComponentAssignment {
     knobs_[static_cast<std::size_t>(kind)] = knobs;
   }
 
+  /// Power-gating state: a gated component spends its idle time in a
+  /// sleep state that retains only a fraction of its leakage.
+  bool gated(ComponentKind kind) const {
+    return gated_[static_cast<std::size_t>(kind)];
+  }
+  void set_gated(ComponentKind kind, bool gated) {
+    gated_[static_cast<std::size_t>(kind)] = gated;
+  }
+
   const tech::DeviceKnobs& array() const {
     return get(ComponentKind::kCellArray);
   }
@@ -79,7 +109,8 @@ class ComponentAssignment {
                          const ComponentAssignment&) = default;
 
  private:
-  std::array<tech::DeviceKnobs, kNumComponents> knobs_{};
+  std::array<tech::DeviceKnobs, kMaxComponents> knobs_{};
+  std::array<bool, kMaxComponents> gated_{};
 };
 
 /// Whole-cache metrics for a full assignment.
@@ -91,7 +122,7 @@ struct CacheMetrics {
   double dynamic_energy_j = 0.0;        ///< per-read switching energy
   double dynamic_write_energy_j = 0.0;  ///< per-write switching energy
   double area_um2 = 0.0;
-  std::array<ComponentMetrics, kNumComponents> per_component{};
+  std::array<ComponentMetrics, kMaxComponents> per_component{};
 };
 
 }  // namespace nanocache::cachemodel

@@ -26,7 +26,9 @@ std::uint64_t CacheOrganization::data_bits() const { return size_bytes * 8; }
 
 std::uint32_t CacheOrganization::tag_bits_per_block() const {
   const std::uint32_t offset = log2u(block_bytes);
-  const std::uint32_t index = log2u(num_sets());
+  // A fully-associative cache has no index field: every address bit above
+  // the offset participates in the tag match.
+  const std::uint32_t index = fully_associative ? 0 : log2u(num_sets());
   NC_REQUIRE(address_bits > offset + index, "address too narrow for cache");
   return address_bits - offset - index + 2;  // +valid +dirty
 }
@@ -34,6 +36,16 @@ std::uint32_t CacheOrganization::tag_bits_per_block() const {
 std::uint64_t CacheOrganization::total_bits() const {
   return data_bits() +
          num_sets() * associativity * tag_bits_per_block();
+}
+
+std::uint64_t CacheOrganization::array_bits() const {
+  return split_tag ? data_bits() : total_bits();
+}
+
+std::uint64_t CacheOrganization::ways() const {
+  return fully_associative
+             ? size_bytes / block_bytes
+             : static_cast<std::uint64_t>(associativity);
 }
 
 std::uint64_t CacheOrganization::rows_per_subarray() const {
@@ -70,14 +82,26 @@ void CacheOrganization::validate() const {
              "address width out of range");
   NC_REQUIRE(data_bus_bits >= 8 && is_pow2(data_bus_bits),
              "data bus width must be a power of two >= 8");
+  NC_REQUIRE(is_pow2(banks) && banks <= 8,
+             "bank count must be a power of two <= 8");
+  NC_REQUIRE(!fully_associative || associativity == 1,
+             "fully-associative layout stores associativity == 1");
 }
 
 std::string CacheOrganization::describe() const {
   std::ostringstream os;
-  os << fmt_bytes(size_bytes) << " " << associativity << "-way "
-     << block_bytes << "B-block (Ndwl=" << ndwl << " Ndbl=" << ndbl
+  os << fmt_bytes(size_bytes) << " ";
+  if (fully_associative) {
+    os << "fully-assoc ";
+  } else {
+    os << associativity << "-way ";
+  }
+  os << block_bytes << "B-block (Ndwl=" << ndwl << " Ndbl=" << ndbl
      << " Nspd=" << nspd << ", " << num_subarrays() << "x"
      << rows_per_subarray() << "r*" << cols_per_subarray() << "c)";
+  if (banks > 1) {
+    os << " x" << banks << "banks";
+  }
   return os.str();
 }
 
@@ -140,6 +164,31 @@ CacheOrganization l2_organization(std::uint64_t size_bytes,
   org.block_bytes = 64;
   org.associativity = 8;
   org.data_bus_bits = 128;
+  return optimal_partition(org, dev);
+}
+
+CacheOrganization extended_organization(std::uint64_t size_bytes, bool is_l2,
+                                        int associativity, std::uint32_t banks,
+                                        const tech::DeviceModel& dev) {
+  NC_REQUIRE(associativity == -1 || associativity == 1 || associativity == 2 ||
+                 associativity == 4 || associativity == 8,
+             "associativity must be 1, 2, 4, 8, or -1 (fully associative)");
+  NC_REQUIRE(is_pow2(banks) && banks <= 8,
+             "bank count must be a power of two <= 8");
+  CacheOrganization org;
+  org.size_bytes = size_bytes;
+  org.block_bytes = is_l2 ? 64 : 32;
+  org.data_bus_bits = is_l2 ? 128 : 64;
+  if (associativity == -1) {
+    // Physical layout of one block per row slot; the flag widens the tag
+    // match to every block.
+    org.associativity = 1;
+    org.fully_associative = true;
+  } else {
+    org.associativity = static_cast<std::uint32_t>(associativity);
+  }
+  org.banks = banks;
+  org.split_tag = true;
   return optimal_partition(org, dev);
 }
 

@@ -23,6 +23,19 @@ struct CacheOrganization {
   std::uint32_t address_bits = 32;
   std::uint32_t data_bus_bits = 64;  ///< width of the read-out bus
 
+  /// Identical banks the cache is replicated into (power of two, <= 8).
+  /// Each bank holds size_bytes/banks and has its own decoder; the address
+  /// bus fans out to every bank and a bank-select term picks one.
+  std::uint32_t banks = 1;
+  /// Fully-associative layout: a single set spanning all blocks.  Stored
+  /// with associativity == 1 so the physical array layout (one block per
+  /// row slot) stays valid; the flag only changes how tags are counted.
+  bool fully_associative = false;
+  /// Model the tag path explicitly: tags live in their own array (component
+  /// kTagArray) with way comparators (kWayComparators) instead of being
+  /// folded into the data array's bit count.
+  bool split_tag = false;
+
   // --- derived quantities -------------------------------------------------
 
   std::uint64_t num_sets() const;
@@ -32,6 +45,12 @@ struct CacheOrganization {
   std::uint32_t tag_bits_per_block() const;
   /// Total bits including tags; this is what leaks.
   std::uint64_t total_bits() const;
+  /// Bits in the main data array: excludes tags when they are split out
+  /// into their own component, otherwise equals total_bits().
+  std::uint64_t array_bits() const;
+  /// Blocks per set as seen by the tag match: associativity, or the whole
+  /// block count when fully associative.
+  std::uint64_t ways() const;
 
   std::uint64_t rows_per_subarray() const;
   std::uint64_t cols_per_subarray() const;
@@ -60,5 +79,14 @@ CacheOrganization l1_organization(std::uint64_t size_bytes,
                                   const tech::DeviceModel& dev);
 CacheOrganization l2_organization(std::uint64_t size_bytes,
                                   const tech::DeviceModel& dev);
+
+/// Parameterized factory for the design-space API: associativity 1/2/4/8
+/// (or -1 for fully associative), 1-8 banks (power of two).  The result has
+/// split_tag set, so the tag array and way comparators are modeled as their
+/// own components.  Throws nanocache::Error(kConfig) for any other
+/// associativity or bank count.
+CacheOrganization extended_organization(std::uint64_t size_bytes, bool is_l2,
+                                        int associativity, std::uint32_t banks,
+                                        const tech::DeviceModel& dev);
 
 }  // namespace nanocache::cachemodel

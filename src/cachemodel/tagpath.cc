@@ -1,0 +1,187 @@
+#include "cachemodel/tagpath.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cachemodel/array.h"
+#include "tech/delay.h"
+#include "util/error.h"
+
+namespace nanocache::cachemodel {
+
+TagArrayModel::TagArrayModel(const CacheOrganization& org,
+                             const tech::DeviceModel& dev)
+    : org_(org), dev_(dev) {
+  org_.validate();
+  NC_REQUIRE(org_.split_tag, "tag array model requires a split-tag layout");
+  rows_ = org_.fully_associative ? 1 : org_.num_sets();
+  cols_ = org_.ways() * org_.tag_bits_per_block();
+  cell_count_ = rows_ * cols_;
+  senseamp_count_ = std::max<std::uint64_t>(1, cols_ / kColumnMuxDegree);
+  wl_driver_width_um_ = 2.0 + 0.05 * static_cast<double>(cols_);
+}
+
+double TagArrayModel::wordline_delay_s(const tech::DeviceKnobs& knobs) const {
+  const auto& p = dev_.params();
+  const double s = dev_.geometry_scale(knobs.tox_a);
+  const double cols = static_cast<double>(cols_);
+  const double wl_length = cols * dev_.cell_width_um(knobs.tox_a);
+  const double c_wire = wl_length * p.cwire_f_per_um;
+  const double r_wire = wl_length * p.rwire_ohm_per_um;
+  const double c_cells =
+      cols * 2.0 * dev_.gate_cap_f(p.wcell_pass_um * s, knobs.tox_a);
+  const double r_drv =
+      dev_.effective_resistance_ohm(wl_driver_width_um_, knobs);
+  return tech::distributed_rc_delay(r_drv, r_wire, c_wire, c_cells);
+}
+
+double TagArrayModel::bitline_delay_s(const tech::DeviceKnobs& knobs) const {
+  const auto& p = dev_.params();
+  const double s = dev_.geometry_scale(knobs.tox_a);
+  const double rows = static_cast<double>(rows_);
+  const double bl_length = rows * dev_.cell_height_um(knobs.tox_a);
+  const double c_bitline = rows * dev_.drain_cap_f(p.wcell_pass_um * s) +
+                           bl_length * p.cwire_f_per_um;
+  const double i_cell = dev_.cell_read_current_a(knobs);
+  NC_REQUIRE(i_cell > 0.0, "cell read current must be positive");
+  return c_bitline * p.bitline_swing_v / i_cell;
+}
+
+double TagArrayModel::senseamp_delay_s(const tech::DeviceKnobs& knobs) const {
+  const double r_amp = dev_.effective_resistance_ohm(2.0, knobs);
+  return kSenseMargin * 0.69 * r_amp * kSenseAmpCapF;
+}
+
+ComponentMetrics TagArrayModel::evaluate(
+    const tech::DeviceKnobs& knobs) const {
+  const auto& p = dev_.params();
+  ComponentMetrics m;
+  m.delay_s = (wordline_delay_s(knobs) + bitline_delay_s(knobs) +
+               senseamp_delay_s(knobs)) *
+              p.delay_calibration;
+
+  // --- leakage: every tag cell, sense amps, idle wordline drivers ---
+  const auto cell = dev_.cell_leakage_split_w(knobs);
+  const auto sa = dev_.off_power_split_w(kSenseAmpLeakWidthUm, knobs);
+  const auto wl = dev_.off_power_split_w(wl_driver_width_um_ * 0.5, knobs);
+  const double cells = static_cast<double>(cell_count_);
+  const double sas = static_cast<double>(senseamp_count_);
+  const double n_wl = static_cast<double>(rows_);
+  m.leakage_sub_w = cells * cell.subthreshold_w + sas * sa.subthreshold_w +
+                    n_wl * wl.subthreshold_w;
+  m.leakage_gate_w =
+      cells * cell.gate_w + sas * sa.gate_w + n_wl * wl.gate_w;
+  m.leakage_w = m.leakage_sub_w + m.leakage_gate_w;
+
+  // --- dynamic energy per access: every way's tag is read ---
+  const double s = dev_.geometry_scale(knobs.tox_a);
+  const double cols = static_cast<double>(cols_);
+  const double rows = static_cast<double>(rows_);
+  const double wl_length = cols * dev_.cell_width_um(knobs.tox_a);
+  const double c_wl = wl_length * p.cwire_f_per_um +
+                      cols * 2.0 * dev_.gate_cap_f(p.wcell_pass_um * s,
+                                                   knobs.tox_a);
+  const double e_wordline = c_wl * p.vdd_v * p.vdd_v;
+  const double c_bl = rows * dev_.drain_cap_f(p.wcell_pass_um * s) +
+                      rows * dev_.cell_height_um(knobs.tox_a) *
+                          p.cwire_f_per_um;
+  const double e_bitlines = cols * c_bl * p.vdd_v * p.bitline_swing_v;
+  const double e_sense =
+      static_cast<double>(senseamp_count_) * kSenseAmpCapF * p.vdd_v * p.vdd_v;
+  m.dynamic_energy_j = e_wordline + e_bitlines + e_sense;
+  // Tag writes happen only on fills/evictions, off the read critical path;
+  // charge them like reads so per-access accounting stays conservative.
+  m.dynamic_write_energy_j = m.dynamic_energy_j;
+
+  const double cell_area = dev_.cell_area_um2(knobs.tox_a);
+  const double sub_w = cols * dev_.cell_width_um(knobs.tox_a);
+  const double sub_h = rows * dev_.cell_height_um(knobs.tox_a);
+  m.area_um2 = cells * cell_area * kArrayAreaOverhead +
+               sub_w * kSenseStripHeightUm + sub_h * kDecodeStripWidthUm;
+  return m;
+}
+
+WayComparatorModel::WayComparatorModel(const CacheOrganization& org,
+                                       const tech::DeviceModel& dev)
+    : org_(org), dev_(dev) {
+  org_.validate();
+  NC_REQUIRE(org_.split_tag,
+             "way comparator model requires a split-tag layout");
+  ways_ = org_.ways();
+  tag_bits_ = org_.tag_bits_per_block();
+}
+
+ComponentMetrics WayComparatorModel::evaluate(
+    const tech::DeviceKnobs& knobs) const {
+  const auto& p = dev_.params();
+  ComponentMetrics m;
+
+  const double ways = static_cast<double>(ways_);
+  const double bits = static_cast<double>(tag_bits_);
+
+  // Stage 1: XOR bit-slice drives the wide match-combine gate.  Series
+  // stack in the XOR costs ~2x the unit resistance.
+  const double r_xor =
+      dev_.effective_resistance_ohm(kComparatorGateWidthUm, knobs) * 2.0;
+  const double c_combine_in =
+      dev_.gate_cap_f(kMatchCombineWidthUm, knobs.tox_a);
+  const auto st1 = tech::gate_stage(
+      r_xor, c_combine_in + dev_.drain_cap_f(kComparatorGateWidthUm), 0.0);
+
+  // Stage 2: match-combine (fan-in grows with tag width) raises the way
+  // select, loaded by this way's mux pass gates across the data bus.
+  const double fanin_penalty = std::max(1.0, bits / 8.0);
+  const double r_combine =
+      dev_.effective_resistance_ohm(kMatchCombineWidthUm, knobs) *
+      fanin_penalty;
+  const double c_mux_gates =
+      static_cast<double>(org_.data_bus_bits) *
+      dev_.gate_cap_f(kWayMuxGateWidthUm, knobs.tox_a);
+  const auto st2 = tech::gate_stage(
+      r_combine, c_mux_gates + dev_.drain_cap_f(kMatchCombineWidthUm),
+      st1.out_ramp_s);
+
+  // Stage 3: the selected mux pass gate steers its way's data onto the bus.
+  const double r_mux =
+      dev_.effective_resistance_ohm(kWayMuxGateWidthUm, knobs);
+  const double c_bus_in = ways * dev_.drain_cap_f(kWayMuxGateWidthUm);
+  const auto st3 = tech::gate_stage(r_mux, c_bus_in, st2.out_ramp_s);
+
+  m.delay_s =
+      (st1.delay_s + st2.delay_s + st3.delay_s) * p.delay_calibration;
+
+  // --- leakage: all bit-slices, combine gates, and mux pass gates ---
+  const double n_xor = ways * bits;
+  const double n_mux = ways * static_cast<double>(org_.data_bus_bits);
+  const auto xor_leak =
+      dev_.off_power_split_w(kComparatorGateWidthUm * 0.5, knobs);
+  const auto combine_leak =
+      dev_.off_power_split_w(kMatchCombineWidthUm * 0.5, knobs);
+  const auto mux_leak =
+      dev_.off_power_split_w(kWayMuxGateWidthUm * 0.5, knobs);
+  m.leakage_sub_w = n_xor * xor_leak.subthreshold_w +
+                    ways * combine_leak.subthreshold_w +
+                    n_mux * mux_leak.subthreshold_w;
+  m.leakage_gate_w = n_xor * xor_leak.gate_w + ways * combine_leak.gate_w +
+                     n_mux * mux_leak.gate_w;
+  m.leakage_w = m.leakage_sub_w + m.leakage_gate_w;
+
+  // --- dynamic energy: about half the comparator inputs toggle per access,
+  // one way select rises and one falls, one mux column switches ---
+  const double c_xor_in =
+      dev_.gate_cap_f(kComparatorGateWidthUm, knobs.tox_a);
+  const double e_compare = 0.5 * n_xor * c_xor_in * p.vdd_v * p.vdd_v;
+  const double e_select =
+      2.0 * (c_combine_in + c_mux_gates / ways) * p.vdd_v * p.vdd_v;
+  const double e_mux = c_bus_in * p.vdd_v * p.vdd_v;
+  m.dynamic_energy_j = e_compare + e_select + e_mux;
+  m.dynamic_write_energy_j = m.dynamic_energy_j;
+
+  const double total_width =
+      n_xor * kComparatorGateWidthUm + ways * kMatchCombineWidthUm +
+      n_mux * kWayMuxGateWidthUm;
+  m.area_um2 = total_width * dev_.leff_um(knobs.tox_a) * 8.0;
+  return m;
+}
+
+}  // namespace nanocache::cachemodel

@@ -1,0 +1,73 @@
+// Tag-path component models for split-tag organizations: the tag array
+// (component kTagArray) and the way comparators + select mux
+// (kWayComparators).
+//
+// In the paper's fixed organization the tag bits are folded into the data
+// array's bit count and the tag path never appears on the critical path.
+// The design-space API exposes associativity as a knob, which makes the
+// tag path a first-class power/delay contributor: every way's tag is read
+// and compared on each access, the matching way drives the output mux, and
+// all tag cells plus all comparator gates leak whether or not they match.
+//
+// Critical path through the tag array mirrors the data array: wordline
+// driver -> wordline RC across all ways' tag columns -> bitline discharge
+// -> sense amp.  A fully-associative organization degenerates to a single
+// logical row spanning every block's tag — the CAM-style broadcast that
+// makes large FA caches slow and hot.
+#pragma once
+
+#include "cachemodel/component.h"
+#include "cachemodel/organization.h"
+
+namespace nanocache::cachemodel {
+
+class TagArrayModel {
+ public:
+  TagArrayModel(const CacheOrganization& org, const tech::DeviceModel& dev);
+
+  ComponentMetrics evaluate(const tech::DeviceKnobs& knobs) const;
+
+  // Exposed stages for tests and diagnostics.
+  double wordline_delay_s(const tech::DeviceKnobs& knobs) const;
+  double bitline_delay_s(const tech::DeviceKnobs& knobs) const;
+  double senseamp_delay_s(const tech::DeviceKnobs& knobs) const;
+
+  std::uint64_t cell_count() const { return cell_count_; }
+  std::uint64_t senseamp_count() const { return senseamp_count_; }
+
+ private:
+  CacheOrganization org_;
+  const tech::DeviceModel& dev_;
+  std::uint64_t rows_ = 0;        ///< tag rows (1 when fully associative)
+  std::uint64_t cols_ = 0;        ///< ways * tag bits per block
+  std::uint64_t cell_count_ = 0;  ///< total tag bits
+  std::uint64_t senseamp_count_ = 0;
+  double wl_driver_width_um_ = 0.0;
+};
+
+/// Tag match gates plus the way-select output mux.  One comparator per way
+/// XORs the stored tag against the address tag; the match lines combine
+/// into way-select signals that steer the data array's read-out onto the
+/// data bus.
+class WayComparatorModel {
+ public:
+  WayComparatorModel(const CacheOrganization& org,
+                     const tech::DeviceModel& dev);
+
+  ComponentMetrics evaluate(const tech::DeviceKnobs& knobs) const;
+
+ private:
+  CacheOrganization org_;
+  const tech::DeviceModel& dev_;
+  std::uint64_t ways_ = 0;
+  std::uint32_t tag_bits_ = 0;
+};
+
+/// Width of one tag comparator (XOR/XNOR) bit-slice gate, um.
+inline constexpr double kComparatorGateWidthUm = 1.5;
+/// Width of the per-way match-combine (wide NOR) gate, um.
+inline constexpr double kMatchCombineWidthUm = 3.0;
+/// Width of one way-select mux pass gate on the data bus, um.
+inline constexpr double kWayMuxGateWidthUm = 2.0;
+
+}  // namespace nanocache::cachemodel

@@ -13,6 +13,7 @@
 namespace nanocache::core {
 
 using cachemodel::CacheModel;
+using cachemodel::extended_organization;
 using cachemodel::l1_organization;
 using cachemodel::l2_organization;
 using opt::Scheme;
@@ -56,6 +57,24 @@ const CacheModel& Explorer::model(std::uint64_t size_bytes, bool is_l2) const {
     auto org = is_l2 ? l2_organization(size_bytes, dev)
                      : l1_organization(size_bytes, dev);
     it = models_
+             .emplace(key, std::make_unique<CacheModel>(
+                               org, tech::DeviceModel(dev.params())))
+             .first;
+  }
+  return *it->second;
+}
+
+const CacheModel& Explorer::variant_model(std::uint64_t size_bytes, bool is_l2,
+                                          int associativity,
+                                          std::uint32_t banks) const {
+  const auto key = std::make_tuple(is_l2, size_bytes, associativity, banks);
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  auto it = variant_models_.find(key);
+  if (it == variant_models_.end()) {
+    tech::DeviceModel dev(config_.technology);
+    auto org =
+        extended_organization(size_bytes, is_l2, associativity, banks, dev);
+    it = variant_models_
              .emplace(key, std::make_unique<CacheModel>(
                                org, tech::DeviceModel(dev.params())))
              .first;

@@ -11,6 +11,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -145,6 +146,14 @@ class Explorer {
   const cachemodel::CacheModel& l1_model(std::uint64_t size_bytes) const;
   const cachemodel::CacheModel& l2_model(std::uint64_t size_bytes) const;
 
+  /// Design-space variant: a split-tag organization with explicit
+  /// associativity (1/2/4/8, or -1 for fully associative) and bank count.
+  /// Variant models always use the structural evaluator — the fitted
+  /// closed forms are calibrated on the paper's fixed organization only.
+  const cachemodel::CacheModel& variant_model(std::uint64_t size_bytes,
+                                              bool is_l2, int associativity,
+                                              std::uint32_t banks) const;
+
   /// The component evaluator the experiments optimize over: structural by
   /// default, or the cached per-cache fitted closed forms when
   /// `config().use_fitted_models` is set.
@@ -209,6 +218,11 @@ class Explorer {
   mutable std::map<std::pair<bool, std::uint64_t>,
                    std::unique_ptr<cachemodel::CacheModel>>
       models_;
+  /// Design-space variants keyed by (is_l2, size, associativity, banks);
+  /// same node-based-map reference stability as models_.
+  mutable std::map<std::tuple<bool, std::uint64_t, int, std::uint32_t>,
+                   std::unique_ptr<cachemodel::CacheModel>>
+      variant_models_;
   /// Fitted closed forms per cache model (only populated when
   /// use_fitted_models is set).
   mutable std::map<const cachemodel::CacheModel*,

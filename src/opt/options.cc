@@ -97,6 +97,121 @@ std::vector<ComponentOption> periphery_options(
       option_threads(pairs.size()));
 }
 
+std::vector<ComponentOption> block_options(
+    const ComponentEvaluator& eval,
+    const std::vector<ComponentKind>& kinds,
+    const std::vector<tech::DeviceKnobs>& pairs) {
+  NC_REQUIRE(!kinds.empty(), "component block needs at least one member");
+  NC_REQUIRE(!pairs.empty(), "option table needs at least one pair");
+  count_grid_points(pairs.size());
+  return par::parallel_map(
+      pairs.size(),
+      [&](std::size_t i) {
+        const auto& k = pairs[i];
+        ComponentOption opt;
+        opt.knobs = k;
+        for (ComponentKind kind : kinds) {
+          const auto m = eval(kind, k);
+          opt.delay_s += num::ensure_finite(m.delay_s, "block option delay");
+          opt.leakage_w +=
+              num::ensure_finite(m.leakage_w, "block option leakage");
+          opt.dynamic_j += num::ensure_finite(m.dynamic_energy_j,
+                                              "block option dynamic energy");
+        }
+        return opt;
+      },
+      option_threads(pairs.size()));
+}
+
+OptSpace OptSpace::base() {
+  OptSpace s;
+  s.components = {ComponentKind::kCellArray, ComponentKind::kDecoder,
+                  ComponentKind::kAddressDrivers,
+                  ComponentKind::kDataDrivers};
+  s.array_count = 1;
+  return s;
+}
+
+OptSpace OptSpace::extended() {
+  OptSpace s;
+  s.components = {ComponentKind::kCellArray,
+                  ComponentKind::kTagArray,
+                  ComponentKind::kDecoder,
+                  ComponentKind::kAddressDrivers,
+                  ComponentKind::kDataDrivers,
+                  ComponentKind::kWayComparators};
+  s.array_count = 2;
+  return s;
+}
+
+bool OptSpace::is_base() const {
+  return array_count == 1 && components.size() == cachemodel::kNumComponents &&
+         components[0] == ComponentKind::kCellArray &&
+         components[1] == ComponentKind::kDecoder &&
+         components[2] == ComponentKind::kAddressDrivers &&
+         components[3] == ComponentKind::kDataDrivers;
+}
+
+std::vector<ComponentOption> with_gating(std::vector<ComponentOption> options,
+                                         const GatingSpec& gating) {
+  if (!gating.enabled) return options;
+  NC_REQUIRE(gating.sleep_leakage_factor > 0.0 &&
+                 gating.sleep_leakage_factor <= 1.0,
+             "sleep leakage factor must be in (0, 1]");
+  NC_REQUIRE(gating.wake_delay_factor >= 0.0,
+             "wake delay factor must be non-negative");
+  std::vector<ComponentOption> out;
+  out.reserve(options.size() * 2);
+  for (const auto& o : options) {
+    out.push_back(o);
+    ComponentOption g = o;
+    g.gated = true;
+    g.leakage_w *= gating.sleep_leakage_factor;
+    g.delay_s *= 1.0 + gating.wake_delay_factor;
+    out.push_back(g);
+  }
+  return out;
+}
+
+std::vector<std::vector<ComponentOption>> space_component_tables(
+    const ComponentEvaluator& eval, const OptSpace& space,
+    const std::vector<tech::DeviceKnobs>& pairs) {
+  NC_REQUIRE(!space.components.empty(), "optimization space has no components");
+  std::vector<std::vector<ComponentOption>> tables;
+  tables.reserve(space.components.size());
+  for (ComponentKind kind : space.components) {
+    tables.push_back(
+        with_gating(component_options(eval, kind, pairs), space.gating));
+  }
+  return tables;
+}
+
+std::vector<ComponentOption> space_block_options(
+    const ComponentEvaluator& eval, const OptSpace& space, bool array_block,
+    const std::vector<tech::DeviceKnobs>& pairs) {
+  NC_REQUIRE(space.array_count >= 1 &&
+                 space.array_count < space.components.size(),
+             "space must split into non-empty array and periphery blocks");
+  std::vector<ComponentKind> kinds;
+  if (array_block) {
+    kinds.assign(space.components.begin(),
+                 space.components.begin() +
+                     static_cast<std::ptrdiff_t>(space.array_count));
+  } else {
+    kinds.assign(space.components.begin() +
+                     static_cast<std::ptrdiff_t>(space.array_count),
+                 space.components.end());
+  }
+  return with_gating(block_options(eval, kinds, pairs), space.gating);
+}
+
+std::vector<ComponentOption> space_uniform_options(
+    const ComponentEvaluator& eval, const OptSpace& space,
+    const std::vector<tech::DeviceKnobs>& pairs) {
+  return with_gating(block_options(eval, space.components, pairs),
+                     space.gating);
+}
+
 std::vector<ComponentOption> uniform_options(
     const ComponentEvaluator& eval,
     const std::vector<tech::DeviceKnobs>& pairs) {

@@ -32,11 +32,80 @@ struct ComponentOption {
   double delay_s = 0.0;
   double leakage_w = 0.0;
   double dynamic_j = 0.0;
+  /// Sleep-state variant: this option spends idle time power-gated,
+  /// retaining a fraction of its leakage at a wake-up delay penalty.
+  bool gated = false;
 };
+
+/// Per-domain power gating: a gated component keeps
+/// `sleep_leakage_factor` of its leakage (sleep-transistor retention
+/// supply) and pays `wake_delay_factor` extra access delay for wake-up.
+/// The optimizer decides per domain whether the leakage savings are worth
+/// the delay inside the performance-loss budget.
+struct GatingSpec {
+  bool enabled = false;
+  double sleep_leakage_factor = 0.05;
+  double wake_delay_factor = 0.10;
+};
+
+/// The component structure one optimization runs over: the paper's four
+/// components (base) or the six of a split-tag organization (extended),
+/// plus the power-gating axis.  The first `array_count` entries form the
+/// SRAM-array block that shares Scheme II's first knob pair; the rest are
+/// the periphery block.
+struct OptSpace {
+  std::vector<cachemodel::ComponentKind> components;
+  std::size_t array_count = 1;
+  GatingSpec gating;
+
+  /// The paper's fixed four-component space.  Optimizations over this
+  /// space (without gating) take the original code paths untouched.
+  static OptSpace base();
+  /// All six components of a split-tag organization: cell + tag arrays in
+  /// the array block; decoder, drivers, and comparators in the periphery.
+  static OptSpace extended();
+
+  bool is_base() const;
+};
+
+/// Option tables for every component of a space, in space order, with
+/// sleep-state variants interleaved when gating is enabled.  Both search
+/// engines build their tables through this one function so every
+/// floating-point value they compare is formed identically.
+std::vector<std::vector<ComponentOption>> space_component_tables(
+    const ComponentEvaluator& eval, const OptSpace& space,
+    const std::vector<tech::DeviceKnobs>& pairs);
+
+/// Scheme II block table over a space: the array block (first array_count
+/// components) or the periphery block (the rest), gating variants
+/// included.
+std::vector<ComponentOption> space_block_options(
+    const ComponentEvaluator& eval, const OptSpace& space, bool array_block,
+    const std::vector<tech::DeviceKnobs>& pairs);
+
+/// Scheme III uniform table over all of a space's components, gating
+/// variants included.
+std::vector<ComponentOption> space_uniform_options(
+    const ComponentEvaluator& eval, const OptSpace& space,
+    const std::vector<tech::DeviceKnobs>& pairs);
+
+/// Interleave sleep-state variants into an option table: for each option,
+/// the awake original followed by its gated twin (leakage scaled by the
+/// sleep factor, delay by 1 + wake penalty, dynamic energy unchanged).
+/// Identity when gating is disabled.
+std::vector<ComponentOption> with_gating(std::vector<ComponentOption> options,
+                                         const GatingSpec& gating);
 
 /// Evaluate every pair for one component.
 std::vector<ComponentOption> component_options(
     const ComponentEvaluator& eval, cachemodel::ComponentKind kind,
+    const std::vector<tech::DeviceKnobs>& pairs);
+
+/// Options for a block of components sharing one pair: the per-pair sums
+/// of their delay/leakage/dynamic energy.
+std::vector<ComponentOption> block_options(
+    const ComponentEvaluator& eval,
+    const std::vector<cachemodel::ComponentKind>& kinds,
     const std::vector<tech::DeviceKnobs>& pairs);
 
 /// Options for a "merged periphery" pseudo-component: decoder + address

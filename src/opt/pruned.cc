@@ -364,12 +364,288 @@ OptOutcome<SchemeResult> scheme3_pruned(
   return r;
 }
 
+// ---------------------------------------------------------------------------
+// Generalized design-space engine: the same three layers over any component
+// list (plus the power-gating axis).  Tables come from the same opt::space_*
+// builders the generalized exhaustive engine uses, fold order is the same
+// left-to-right DP order, and all tie-breaks are reproduced, so §10's
+// byte-identity argument extends unchanged to the enlarged axes (§11).
+// ---------------------------------------------------------------------------
+
+using cachemodel::kMaxComponents;
+
+struct VecCombo {
+  double delay_s = 0.0;
+  double leakage_w = 0.0;
+  double dynamic_j = 0.0;
+  std::array<std::uint16_t, kMaxComponents> choice{};
+};
+
+std::vector<VecCombo> merge_frontier_vec(
+    const std::vector<VecCombo>& partial,
+    const std::vector<ComponentOption>& options,
+    std::size_t component_index) {
+  std::vector<VecCombo> next;
+  next.reserve(partial.size() * options.size());
+  for (const auto& p : partial) {
+    for (std::size_t oi = 0; oi < options.size(); ++oi) {
+      VecCombo c = p;
+      c.delay_s += options[oi].delay_s;
+      c.leakage_w += options[oi].leakage_w;
+      c.dynamic_j += options[oi].dynamic_j;
+      c.choice[component_index] = static_cast<std::uint16_t>(oi);
+      next.push_back(c);
+    }
+  }
+  detail::count_combos_evaluated(next.size());
+  return pareto_min2(
+      std::move(next), [](const VecCombo& c) { return c.delay_s; },
+      [](const VecCombo& c) { return c.leakage_w; });
+}
+
+double completion_delay_vec(
+    double delay_s, const std::vector<std::vector<ComponentOption>>& pruned,
+    std::size_t next_component) {
+  for (std::size_t j = next_component; j < pruned.size(); ++j) {
+    delay_s += pruned[j][0].delay_s;
+  }
+  return delay_s;
+}
+
+double completion_leakage_vec(
+    double leakage_w, const std::vector<std::vector<ComponentOption>>& pruned,
+    std::size_t next_component) {
+  for (std::size_t j = next_component; j < pruned.size(); ++j) {
+    leakage_w += pruned[j].back().leakage_w;
+  }
+  return leakage_w;
+}
+
+void apply_option(ComponentAssignment& asg, ComponentKind kind,
+                  const ComponentOption& opt) {
+  asg.set(kind, opt.knobs);
+  asg.set_gated(kind, opt.gated);
+}
+
+OptOutcome<SchemeResult> scheme1_pruned_space(
+    const ComponentEvaluator& eval,
+    const std::vector<tech::DeviceKnobs>& pairs, double delay_constraint_s,
+    const OptSpace& space) {
+  const auto full = space_component_tables(eval, space, pairs);
+  const std::size_t n = full.size();
+  std::vector<std::vector<ComponentOption>> pruned(n);
+  std::vector<std::size_t> full_n(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    full_n[i] = full[i].size();
+    pruned[i] = option_frontier(full[i]);
+  }
+
+  const double fastest = completion_delay_vec(0.0, pruned, 0);
+  if (fastest > delay_constraint_s) {
+    return infeasible_delay(delay_constraint_s, fastest,
+                            Scheme::kPerComponent);
+  }
+
+  double incumbent_leak = std::numeric_limits<double>::infinity();
+  double chain_delay = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    chain_delay += pruned[j].back().delay_s;
+  }
+  if (chain_delay <= delay_constraint_s) {
+    incumbent_leak = completion_leakage_vec(0.0, pruned, 0);
+  }
+
+  std::vector<VecCombo> combos{VecCombo{}};
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    detail::count_combos_skipped(combos.size() *
+                                 (full_n[i] - pruned[i].size()));
+    combos = merge_frontier_vec(combos, pruned[i], i);
+    std::size_t keep = combos.size();
+    while (keep > 0 && completion_delay_vec(combos[keep - 1].delay_s, pruned,
+                                            i + 1) > delay_constraint_s) {
+      --keep;
+    }
+    std::size_t drop = 0;
+    while (drop < keep &&
+           completion_leakage_vec(combos[drop].leakage_w, pruned, i + 1) >
+               incumbent_leak) {
+      ++drop;
+    }
+    detail::count_combos_skipped((combos.size() - (keep - drop)) *
+                                 full_n[i + 1]);
+    combos.erase(combos.begin() + static_cast<std::ptrdiff_t>(keep),
+                 combos.end());
+    combos.erase(combos.begin(),
+                 combos.begin() + static_cast<std::ptrdiff_t>(drop));
+  }
+
+  const std::size_t last = n - 1;
+  const auto& tail = pruned[last];
+  const double tail_min_leak = tail.back().leakage_w;
+
+  struct Best {
+    bool has = false;
+    double leakage_w = 0.0;
+    double delay_s = 0.0;
+    double dynamic_j = 0.0;
+    std::size_t front_rank = 0;
+    std::size_t option_rank = 0;
+  };
+  Best best;
+  std::size_t evaluated = 0;
+  for (std::size_t fi = combos.size(); fi-- > 0;) {
+    const VecCombo& f = combos[fi];
+    if (best.has && f.leakage_w + tail_min_leak > best.leakage_w) break;
+    for (std::size_t oi = 0; oi < tail.size(); ++oi) {
+      const double delay = f.delay_s + tail[oi].delay_s;
+      ++evaluated;
+      if (delay > delay_constraint_s) break;
+      const double leak = f.leakage_w + tail[oi].leakage_w;
+      if (!best.has || leak < best.leakage_w ||
+          (leak == best.leakage_w &&
+           (delay < best.delay_s ||
+            (delay == best.delay_s &&
+             (fi < best.front_rank ||
+              (fi == best.front_rank && oi < best.option_rank)))))) {
+        best = Best{true, leak, delay, f.dynamic_j + tail[oi].dynamic_j, fi,
+                    oi};
+      }
+    }
+  }
+  detail::count_combos_evaluated(evaluated);
+  detail::count_combos_skipped(combos.size() * full_n[last] - evaluated);
+
+  if (!best.has) {
+    return infeasible_delay(delay_constraint_s, fastest,
+                            Scheme::kPerComponent);
+  }
+  SchemeResult r;
+  r.leakage_w = best.leakage_w;
+  r.access_time_s = best.delay_s;
+  r.dynamic_energy_j = best.dynamic_j;
+  const VecCombo& f = combos[best.front_rank];
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    apply_option(r.assignment, space.components[i], pruned[i][f.choice[i]]);
+  }
+  apply_option(r.assignment, space.components[last], tail[best.option_rank]);
+  return r;
+}
+
+OptOutcome<SchemeResult> scheme2_pruned_space(
+    const ComponentEvaluator& eval,
+    const std::vector<tech::DeviceKnobs>& pairs, double delay_constraint_s,
+    const OptSpace& space) {
+  const auto array_opts = space_block_options(eval, space, true, pairs);
+  const auto periph_opts = space_block_options(eval, space, false, pairs);
+  const std::size_t np = periph_opts.size();
+  const auto af = indexed_frontier(array_opts);
+  const auto pf = indexed_frontier(periph_opts);
+
+  const double fastest = af.front().opt.delay_s + pf.front().opt.delay_s;
+  if (fastest > delay_constraint_s) {
+    return infeasible_delay(delay_constraint_s, fastest,
+                            Scheme::kArrayPeriphery);
+  }
+  const double periph_min_leak = pf.back().opt.leakage_w;
+
+  struct Best {
+    bool has = false;
+    double leakage_w = 0.0;
+    double delay_s = 0.0;
+    double dynamic_j = 0.0;
+    std::size_t flat = 0;
+    std::size_t ai = 0;
+    std::size_t pi = 0;
+  };
+  Best best;
+  std::size_t evaluated = 0;
+  for (const auto& a : af) {
+    if (a.opt.delay_s + pf.front().opt.delay_s > delay_constraint_s) break;
+    if (best.has && a.opt.leakage_w + periph_min_leak > best.leakage_w) {
+      continue;
+    }
+    for (const auto& p : pf) {
+      const double delay = a.opt.delay_s + p.opt.delay_s;
+      ++evaluated;
+      if (delay > delay_constraint_s) break;
+      const double leak = a.opt.leakage_w + p.opt.leakage_w;
+      const std::size_t flat = a.orig * np + p.orig;
+      if (!best.has || leak < best.leakage_w ||
+          (leak == best.leakage_w &&
+           (delay < best.delay_s ||
+            (delay == best.delay_s && flat < best.flat)))) {
+        best = Best{true, leak, delay, a.opt.dynamic_j + p.opt.dynamic_j,
+                    flat, a.orig, p.orig};
+      }
+    }
+  }
+  detail::count_combos_evaluated(evaluated);
+  detail::count_combos_skipped(array_opts.size() * np - evaluated);
+
+  if (!best.has) {
+    return infeasible_delay(delay_constraint_s, fastest,
+                            Scheme::kArrayPeriphery);
+  }
+  SchemeResult r;
+  for (std::size_t i = 0; i < space.components.size(); ++i) {
+    apply_option(r.assignment, space.components[i],
+                 i < space.array_count ? array_opts[best.ai]
+                                       : periph_opts[best.pi]);
+  }
+  r.leakage_w = best.leakage_w;
+  r.access_time_s = best.delay_s;
+  r.dynamic_energy_j = best.dynamic_j;
+  return r;
+}
+
+OptOutcome<SchemeResult> scheme3_pruned_space(
+    const ComponentEvaluator& eval,
+    const std::vector<tech::DeviceKnobs>& pairs, double delay_constraint_s,
+    const OptSpace& space) {
+  const auto opts = space_uniform_options(eval, space, pairs);
+  const auto uf = indexed_frontier(opts);
+
+  const double fastest = uf.front().opt.delay_s;
+  if (fastest > delay_constraint_s) {
+    return infeasible_delay(delay_constraint_s, fastest, Scheme::kUniform);
+  }
+  std::size_t winner = 0;
+  std::size_t evaluated = 0;
+  for (std::size_t i = 0; i < uf.size(); ++i) {
+    ++evaluated;
+    if (uf[i].opt.delay_s > delay_constraint_s) break;
+    winner = i;
+  }
+  detail::count_combos_evaluated(evaluated);
+  detail::count_combos_skipped(opts.size() - evaluated);
+
+  SchemeResult r;
+  for (std::size_t i = 0; i < space.components.size(); ++i) {
+    apply_option(r.assignment, space.components[i], opts[uf[winner].orig]);
+  }
+  r.leakage_w = uf[winner].opt.leakage_w;
+  r.access_time_s = uf[winner].opt.delay_s;
+  r.dynamic_energy_j = uf[winner].opt.dynamic_j;
+  return r;
+}
+
 }  // namespace
 
 OptOutcome<SchemeResult> optimize_single_cache_pruned(
     const ComponentEvaluator& eval, const KnobGrid& grid, Scheme scheme,
-    double delay_constraint_s) {
+    double delay_constraint_s, const OptSpace& space) {
   const auto pairs = grid.pairs();
+  if (!(space.is_base() && !space.gating.enabled)) {
+    switch (scheme) {
+      case Scheme::kPerComponent:
+        return scheme1_pruned_space(eval, pairs, delay_constraint_s, space);
+      case Scheme::kArrayPeriphery:
+        return scheme2_pruned_space(eval, pairs, delay_constraint_s, space);
+      case Scheme::kUniform:
+        return scheme3_pruned_space(eval, pairs, delay_constraint_s, space);
+    }
+    throw Error("unknown scheme");
+  }
   switch (scheme) {
     case Scheme::kPerComponent:
       return scheme1_pruned(eval, pairs, delay_constraint_s);

@@ -31,10 +31,12 @@ namespace nanocache::opt {
 
 /// Pruned counterpart of the exhaustive search in schemes.cc.  Same
 /// contract: minimize leakage subject to access_time <= delay_constraint_s,
-/// infeasible outcomes carry the fastest achievable time.
+/// infeasible outcomes carry the fastest achievable time.  The byte-identity
+/// guarantee holds for any `space`: both engines build their option tables
+/// through the same opt::space_* builders and keep the same tie-breaks.
 OptOutcome<SchemeResult> optimize_single_cache_pruned(
     const ComponentEvaluator& eval, const KnobGrid& grid, Scheme scheme,
-    double delay_constraint_s);
+    double delay_constraint_s, const OptSpace& space = OptSpace::base());
 
 namespace detail {
 

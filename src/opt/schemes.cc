@@ -184,20 +184,197 @@ void count_combos(std::size_t n) {
   combos.add(n);
 }
 
+// ---------------------------------------------------------------------------
+// Generalized design-space engine: any component list plus the power-gating
+// axis.  Mirrors the fixed four-component code above step for step (same
+// fold order, same tie-breaks) so the pruned engine's byte-identity argument
+// carries over; the fixed space never routes through here.
+// ---------------------------------------------------------------------------
+
+using cachemodel::kMaxComponents;
+
+/// Partial DP state over a space's component prefix.  choice[i] indexes
+/// component i's (gating-expanded) option table.
+struct VecCombo {
+  double delay_s = 0.0;
+  double leakage_w = 0.0;
+  double dynamic_j = 0.0;
+  std::array<std::uint16_t, kMaxComponents> choice{};
+};
+
+bool better_vec_combo(const VecCombo& a, const VecCombo& b) {
+  if (a.leakage_w != b.leakage_w) return a.leakage_w < b.leakage_w;
+  if (a.delay_s != b.delay_s) return a.delay_s < b.delay_s;
+  return a.choice < b.choice;
+}
+
+std::vector<VecCombo> combine_vec(const std::vector<VecCombo>& partial,
+                                  const std::vector<ComponentOption>& options,
+                                  std::size_t component_index) {
+  std::vector<VecCombo> next;
+  next.reserve(partial.size() * options.size());
+  for (const auto& p : partial) {
+    for (std::size_t oi = 0; oi < options.size(); ++oi) {
+      VecCombo c = p;
+      c.delay_s += options[oi].delay_s;
+      c.leakage_w += options[oi].leakage_w;
+      c.dynamic_j += options[oi].dynamic_j;
+      c.choice[component_index] = static_cast<std::uint16_t>(oi);
+      next.push_back(c);
+    }
+  }
+  detail::count_combos_evaluated(next.size());
+  return pareto_min2(
+      std::move(next), [](const VecCombo& c) { return c.delay_s; },
+      [](const VecCombo& c) { return c.leakage_w; });
+}
+
+void apply_option(ComponentAssignment& asg, ComponentKind kind,
+                  const ComponentOption& opt) {
+  asg.set(kind, opt.knobs);
+  asg.set_gated(kind, opt.gated);
+}
+
+OptOutcome<SchemeResult> optimize_space_exhaustive(
+    const ComponentEvaluator& eval,
+    const std::vector<tech::DeviceKnobs>& pairs, Scheme scheme,
+    double delay_constraint_s, const OptSpace& space) {
+  switch (scheme) {
+    case Scheme::kPerComponent: {
+      const auto tables = space_component_tables(eval, space, pairs);
+      std::vector<VecCombo> combos{VecCombo{}};
+      for (std::size_t i = 0; i < tables.size(); ++i) {
+        combos = combine_vec(combos, tables[i], i);
+      }
+      count_combos(combos.size());
+
+      struct Acc {
+        const VecCombo* best = nullptr;
+        double fastest = std::numeric_limits<double>::infinity();
+      };
+      const Acc acc = par::parallel_reduce(
+          combos.size(), Acc{},
+          [&](Acc& a, std::size_t i) {
+            const VecCombo& c = combos[i];
+            a.fastest = std::min(a.fastest, c.delay_s);
+            if (c.delay_s > delay_constraint_s) return;
+            if (a.best == nullptr || better_vec_combo(c, *a.best)) a.best = &c;
+          },
+          [](Acc& into, Acc&& from) {
+            into.fastest = std::min(into.fastest, from.fastest);
+            if (from.best != nullptr &&
+                (into.best == nullptr ||
+                 better_vec_combo(*from.best, *into.best))) {
+              into.best = from.best;
+            }
+          });
+      if (acc.best == nullptr) {
+        return infeasible_delay(delay_constraint_s, acc.fastest, scheme);
+      }
+      SchemeResult r;
+      r.leakage_w = acc.best->leakage_w;
+      r.access_time_s = acc.best->delay_s;
+      r.dynamic_energy_j = acc.best->dynamic_j;
+      for (std::size_t i = 0; i < space.components.size(); ++i) {
+        apply_option(r.assignment, space.components[i],
+                     tables[i][acc.best->choice[i]]);
+      }
+      return r;
+    }
+
+    case Scheme::kArrayPeriphery: {
+      const auto array_opts = space_block_options(eval, space, true, pairs);
+      const auto periph_opts = space_block_options(eval, space, false, pairs);
+      const std::size_t np = periph_opts.size();
+      count_combos(array_opts.size() * np);
+      detail::count_combos_evaluated(array_opts.size() * np);
+      const FlatBest best = par::parallel_reduce(
+          array_opts.size() * np, FlatBest{},
+          [&](FlatBest& acc, std::size_t i) {
+            const auto& a = array_opts[i / np];
+            const auto& p = periph_opts[i % np];
+            const double delay = a.delay_s + p.delay_s;
+            acc.fastest = std::min(acc.fastest, delay);
+            if (delay > delay_constraint_s) return;
+            const double leak = a.leakage_w + p.leakage_w;
+            if (acc.candidate_better(leak, delay, i)) {
+              acc.has = true;
+              acc.leakage_w = leak;
+              acc.delay_s = delay;
+              acc.dynamic_j = a.dynamic_j + p.dynamic_j;
+              acc.index = i;
+            }
+          },
+          [](FlatBest& into, FlatBest&& from) { into.merge(from); });
+      if (!best.has) {
+        return infeasible_delay(delay_constraint_s, best.fastest, scheme);
+      }
+      SchemeResult r;
+      const auto& a = array_opts[best.index / np];
+      const auto& p = periph_opts[best.index % np];
+      for (std::size_t i = 0; i < space.components.size(); ++i) {
+        apply_option(r.assignment, space.components[i],
+                     i < space.array_count ? a : p);
+      }
+      r.leakage_w = best.leakage_w;
+      r.access_time_s = best.delay_s;
+      r.dynamic_energy_j = best.dynamic_j;
+      return r;
+    }
+
+    case Scheme::kUniform: {
+      const auto opts = space_uniform_options(eval, space, pairs);
+      count_combos(opts.size());
+      detail::count_combos_evaluated(opts.size());
+      const FlatBest best = par::parallel_reduce(
+          opts.size(), FlatBest{},
+          [&](FlatBest& acc, std::size_t i) {
+            const auto& o = opts[i];
+            acc.fastest = std::min(acc.fastest, o.delay_s);
+            if (o.delay_s > delay_constraint_s) return;
+            if (acc.candidate_better(o.leakage_w, o.delay_s, i)) {
+              acc.has = true;
+              acc.leakage_w = o.leakage_w;
+              acc.delay_s = o.delay_s;
+              acc.dynamic_j = o.dynamic_j;
+              acc.index = i;
+            }
+          },
+          [](FlatBest& into, FlatBest&& from) { into.merge(from); });
+      if (!best.has) {
+        return infeasible_delay(delay_constraint_s, best.fastest, scheme);
+      }
+      SchemeResult r;
+      for (std::size_t i = 0; i < space.components.size(); ++i) {
+        apply_option(r.assignment, space.components[i], opts[best.index]);
+      }
+      r.leakage_w = best.leakage_w;
+      r.access_time_s = best.delay_s;
+      r.dynamic_energy_j = best.dynamic_j;
+      return r;
+    }
+  }
+  throw Error("unknown scheme");
+}
+
 }  // namespace
 
 OptOutcome<SchemeResult> optimize_single_cache(
     const ComponentEvaluator& eval, const KnobGrid& grid, Scheme scheme,
-    double delay_constraint_s, SearchMode mode) {
+    double delay_constraint_s, SearchMode mode, const OptSpace& space) {
   static auto& optimize_calls =
       metrics::Registry::instance().counter("opt.optimize_calls");
   optimize_calls.add(1);
   NC_REQUIRE(delay_constraint_s > 0.0, "delay constraint must be positive");
   if (mode == SearchMode::kPruned) {
     return optimize_single_cache_pruned(eval, grid, scheme,
-                                        delay_constraint_s);
+                                        delay_constraint_s, space);
   }
   const auto pairs = grid.pairs();
+  if (!(space.is_base() && !space.gating.enabled)) {
+    return optimize_space_exhaustive(eval, pairs, scheme, delay_constraint_s,
+                                     space);
+  }
 
   switch (scheme) {
     case Scheme::kPerComponent: {
@@ -278,9 +455,42 @@ OptOutcome<SchemeResult> optimize_single_cache(
 }
 
 double min_access_time(const ComponentEvaluator& eval, const KnobGrid& grid,
-                       Scheme scheme) {
+                       Scheme scheme, const OptSpace& space) {
   const auto pairs = grid.pairs();
   double best = std::numeric_limits<double>::infinity();
+  if (!(space.is_base() && !space.gating.enabled)) {
+    switch (scheme) {
+      case Scheme::kPerComponent: {
+        double total = 0.0;
+        for (const auto& table : space_component_tables(eval, space, pairs)) {
+          double comp_best = std::numeric_limits<double>::infinity();
+          for (const auto& o : table) {
+            comp_best = std::min(comp_best, o.delay_s);
+          }
+          total += comp_best;
+        }
+        return total;
+      }
+      case Scheme::kArrayPeriphery: {
+        double a_best = std::numeric_limits<double>::infinity();
+        for (const auto& o : space_block_options(eval, space, true, pairs)) {
+          a_best = std::min(a_best, o.delay_s);
+        }
+        double p_best = std::numeric_limits<double>::infinity();
+        for (const auto& o : space_block_options(eval, space, false, pairs)) {
+          p_best = std::min(p_best, o.delay_s);
+        }
+        return a_best + p_best;
+      }
+      case Scheme::kUniform: {
+        for (const auto& o : space_uniform_options(eval, space, pairs)) {
+          best = std::min(best, o.delay_s);
+        }
+        return best;
+      }
+    }
+    throw Error("unknown scheme");
+  }
   switch (scheme) {
     case Scheme::kPerComponent: {
       // Independent per-component minima sum to the overall minimum.
@@ -317,10 +527,71 @@ double min_access_time(const ComponentEvaluator& eval, const KnobGrid& grid,
 }
 
 std::vector<SchemeResult> scheme_frontier(const ComponentEvaluator& eval,
-                                          const KnobGrid& grid,
-                                          Scheme scheme) {
+                                          const KnobGrid& grid, Scheme scheme,
+                                          const OptSpace& space) {
   const auto pairs = grid.pairs();
   std::vector<SchemeResult> all;
+
+  if (!(space.is_base() && !space.gating.enabled)) {
+    switch (scheme) {
+      case Scheme::kPerComponent: {
+        const auto tables = space_component_tables(eval, space, pairs);
+        std::vector<VecCombo> combos{VecCombo{}};
+        for (std::size_t i = 0; i < tables.size(); ++i) {
+          combos = combine_vec(combos, tables[i], i);
+        }
+        for (const auto& c : combos) {
+          SchemeResult r;
+          r.leakage_w = c.leakage_w;
+          r.access_time_s = c.delay_s;
+          r.dynamic_energy_j = c.dynamic_j;
+          for (std::size_t i = 0; i < space.components.size(); ++i) {
+            apply_option(r.assignment, space.components[i],
+                         tables[i][c.choice[i]]);
+          }
+          all.push_back(std::move(r));
+        }
+        break;
+      }
+      case Scheme::kArrayPeriphery: {
+        const auto array_opts = space_block_options(eval, space, true, pairs);
+        const auto periph_opts =
+            space_block_options(eval, space, false, pairs);
+        all.reserve(array_opts.size() * periph_opts.size());
+        for (const auto& a : array_opts) {
+          for (const auto& p : periph_opts) {
+            SchemeResult r;
+            for (std::size_t i = 0; i < space.components.size(); ++i) {
+              apply_option(r.assignment, space.components[i],
+                           i < space.array_count ? a : p);
+            }
+            r.leakage_w = a.leakage_w + p.leakage_w;
+            r.access_time_s = a.delay_s + p.delay_s;
+            r.dynamic_energy_j = a.dynamic_j + p.dynamic_j;
+            all.push_back(std::move(r));
+          }
+        }
+        break;
+      }
+      case Scheme::kUniform: {
+        for (const auto& o : space_uniform_options(eval, space, pairs)) {
+          SchemeResult r;
+          for (std::size_t i = 0; i < space.components.size(); ++i) {
+            apply_option(r.assignment, space.components[i], o);
+          }
+          r.leakage_w = o.leakage_w;
+          r.access_time_s = o.delay_s;
+          r.dynamic_energy_j = o.dynamic_j;
+          all.push_back(std::move(r));
+        }
+        break;
+      }
+    }
+    return pareto_min2(
+        std::move(all),
+        [](const SchemeResult& r) { return r.access_time_s; },
+        [](const SchemeResult& r) { return r.leakage_w; });
+  }
 
   switch (scheme) {
     case Scheme::kPerComponent: {
@@ -375,13 +646,14 @@ std::vector<SchemeResult> scheme_frontier(const ComponentEvaluator& eval,
 
 std::vector<TradeoffPoint> leakage_delay_curve(
     const ComponentEvaluator& eval, const KnobGrid& grid, Scheme scheme,
-    const std::vector<double>& delay_targets_s, SearchMode mode) {
+    const std::vector<double>& delay_targets_s, SearchMode mode,
+    const OptSpace& space) {
   // One optimization per target, fanned out over the pool; infeasible
   // targets are dropped after the sweep so output order is target order.
   const auto per_target = par::parallel_map(
       delay_targets_s.size(), [&](std::size_t i) {
         auto r = optimize_single_cache(eval, grid, scheme,
-                                       delay_targets_s[i], mode);
+                                       delay_targets_s[i], mode, space);
         std::optional<TradeoffPoint> point;
         if (r) point = TradeoffPoint{delay_targets_s[i], *r};
         return point;

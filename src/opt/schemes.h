@@ -34,13 +34,18 @@ struct SchemeResult {
 /// and carries the violated constraint plus the fastest achievable time.
 /// Both search modes return byte-identical results (opt/pruned.h); the
 /// exhaustive mode is the differential-testing oracle.
+///
+/// `space` selects the component structure (and the power-gating axis);
+/// the default is the paper's fixed four-component space, which runs the
+/// original code paths untouched.
 OptOutcome<SchemeResult> optimize_single_cache(
     const ComponentEvaluator& eval, const KnobGrid& grid, Scheme scheme,
-    double delay_constraint_s, SearchMode mode = SearchMode::kPruned);
+    double delay_constraint_s, SearchMode mode = SearchMode::kPruned,
+    const OptSpace& space = OptSpace::base());
 
 /// Fastest achievable access time under a scheme (the feasibility bound).
 double min_access_time(const ComponentEvaluator& eval, const KnobGrid& grid,
-                       Scheme scheme);
+                       Scheme scheme, const OptSpace& space = OptSpace::base());
 
 /// Leakage-vs-delay trade-off curve: optimal leakage at each constraint in
 /// `delay_targets_s` (infeasible targets are skipped).
@@ -51,14 +56,15 @@ struct TradeoffPoint {
 std::vector<TradeoffPoint> leakage_delay_curve(
     const ComponentEvaluator& eval, const KnobGrid& grid, Scheme scheme,
     const std::vector<double>& delay_targets_s,
-    SearchMode mode = SearchMode::kPruned);
+    SearchMode mode = SearchMode::kPruned,
+    const OptSpace& space = OptSpace::base());
 
 /// The full (access time, leakage) Pareto front of a cache under a scheme:
 /// every non-dominated assignment on the grid, sorted by access time
 /// ascending / leakage descending.  This is the per-level primitive joint
 /// multi-level studies combine.
-std::vector<SchemeResult> scheme_frontier(const ComponentEvaluator& eval,
-                                          const KnobGrid& grid,
-                                          Scheme scheme);
+std::vector<SchemeResult> scheme_frontier(
+    const ComponentEvaluator& eval, const KnobGrid& grid, Scheme scheme,
+    const OptSpace& space = OptSpace::base());
 
 }  // namespace nanocache::opt

@@ -87,4 +87,74 @@ TechnologyParams node45() {
   return p;
 }
 
+TechnologyParams node32() {
+  TechnologyParams p = bptm65();
+  p.vdd_v = 0.85;
+  p.lgate_nominal_um = 0.018;
+  // 32 nm planar oxides: 6.5-9 A, tunnelling up again from 45 nm at the
+  // same ~2.9x-per-Angstrom slope.
+  p.knobs.tox_min_a = 6.5;
+  p.knobs.tox_max_a = 9.0;
+  p.tox_nominal_a = 7.5;
+  p.jg_ref_tox_a = 6.5;
+  p.jg_ref_a_per_um2 = 900e-6;
+  p.isub0_a_per_um = 60e-6;      // DIBL worsens with the shorter channel
+  p.idsat_ref_a_per_um = 680e-6;
+  p.cell_width_um = 0.58;
+  p.cell_height_um = 0.26;
+  p.validate();
+  return p;
+}
+
+TechnologyParams node22() {
+  TechnologyParams p = bptm65();
+  p.vdd_v = 0.8;
+  p.lgate_nominal_um = 0.013;
+  // 22 nm planar projection: 5.5-7.5 A oxides; gate tunnelling dominates
+  // the total across essentially the whole window.
+  p.knobs.tox_min_a = 5.5;
+  p.knobs.tox_max_a = 7.5;
+  p.tox_nominal_a = 6.5;
+  p.jg_ref_tox_a = 5.5;
+  p.jg_ref_a_per_um2 = 3.5e-3;
+  p.isub0_a_per_um = 80e-6;
+  p.idsat_ref_a_per_um = 740e-6;
+  p.cell_width_um = 0.42;
+  p.cell_height_um = 0.19;
+  p.validate();
+  return p;
+}
+
+const std::vector<int>& supported_nodes() {
+  static const std::vector<int> nodes = {90, 65, 45, 32, 22};
+  return nodes;
+}
+
+TechnologyParams node_params(int node_nm) {
+  switch (node_nm) {
+    case 90: return node90();
+    case 65: return bptm65();
+    case 45: return node45();
+    case 32: return node32();
+    case 22: return node22();
+    default: break;
+  }
+  throw Error(ErrorCategory::kConfig,
+              "unsupported technology node " + std::to_string(node_nm) +
+                  " nm (supported: 90, 65, 45, 32, 22)");
+}
+
+std::vector<double> node_tox_grid(const TechnologyParams& params) {
+  // Five evenly spaced Tox values across the node's oxide window — the
+  // abl_node_scaling rule promoted into the library.
+  std::vector<double> tox;
+  tox.reserve(5);
+  for (int i = 0; i < 5; ++i) {
+    tox.push_back(params.knobs.tox_min_a +
+                  (params.knobs.tox_max_a - params.knobs.tox_min_a) *
+                      static_cast<double>(i) / 4.0);
+  }
+  return tox;
+}
+
 }  // namespace nanocache::tech

@@ -9,6 +9,8 @@
 // so alternative nodes are a parameter pack away.
 #pragma once
 
+#include <vector>
+
 namespace nanocache::tech {
 
 /// Knob bounds studied by the paper (Section 2).
@@ -98,5 +100,29 @@ TechnologyParams node90();
 /// window with gate tunnelling up another order of magnitude — the
 /// "future processor generations" of the paper's introduction.
 TechnologyParams node45();
+
+/// Continued projection (32 nm-flavoured): the trends of 90->65->45 carried
+/// one step further — lower Vdd, shorter channel, thinner oxide window with
+/// gate tunnelling dominating, smaller cell.
+TechnologyParams node32();
+
+/// End of the planar-oxide projection (22 nm-flavoured): the regime where
+/// the paper's total-leakage framework predicts gate tunnelling overwhelms
+/// subthreshold across the whole knob window.
+TechnologyParams node22();
+
+/// Selectable node menu: the five nodes the design-space API exposes.
+/// Returns {90, 65, 45, 32, 22}, sorted descending (coarse to fine).
+const std::vector<int>& supported_nodes();
+
+/// Technology parameters for one of the supported nodes (90/65/45/32/22).
+/// Throws nanocache::Error(kConfig) for any other value.
+TechnologyParams node_params(int node_nm);
+
+/// The per-node knob grid the design-space optimizers search: the paper's
+/// Vth ladder (0.20..0.50 V step 0.05) crossed with five Tox values evenly
+/// spaced across the node's oxide window — the same rule the
+/// abl_node_scaling bench uses.
+std::vector<double> node_tox_grid(const TechnologyParams& params);
 
 }  // namespace nanocache::tech

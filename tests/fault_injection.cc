@@ -189,6 +189,14 @@ std::vector<FaultCase> build_standard_faults() {
     org.ndwl = 3;
     org.validate();
   });
+  add(cases, "org-invalid-bank-count", EC::kConfig, [] {
+    tech::DeviceModel dev(tech::bptm65());
+    cachemodel::extended_organization(16 * 1024, false, 2, 3, dev);
+  });
+  add(cases, "org-extended-bad-associativity", EC::kConfig, [] {
+    tech::DeviceModel dev(tech::bptm65());
+    cachemodel::extended_organization(16 * 1024, false, 16, 1, dev);
+  });
 
   // --- technology parameters --------------------------------------------
   add(cases, "tech-negative-vdd", EC::kConfig, [] {
@@ -207,6 +215,8 @@ std::vector<FaultCase> build_standard_faults() {
     p.temperature_k = 1000.0;
     p.validate();
   });
+  add(cases, "tech-unknown-node", EC::kConfig,
+      [] { tech::node_params(17); });
 
   // --- memory-system model ----------------------------------------------
   add(cases, "system-nan-miss-rate", EC::kNumericDomain, [] {

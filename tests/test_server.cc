@@ -162,7 +162,17 @@ TEST(Serve, ResponsesAreByteIdenticalToBatch) {
       "{\"schema_version\":2,\"id\":\"o1\",\"kind\":\"optimize\","
       "\"scheme\":\"II\",\"delay\":{\"target_ps\":1400}}\n"
       "{\"schema_version\":1,\"id\":\"e2\",\"kind\":\"eval\"}\n"
-      "{\"schema_version\":2,\"id\":\"cap\",\"kind\":\"capabilities\"}\n";
+      "{\"schema_version\":2,\"id\":\"cap\",\"kind\":\"capabilities\"}\n"
+      // v3 requests exercising each design-space knob.
+      "{\"schema_version\":3,\"id\":\"v3org\",\"kind\":\"eval\","
+      "\"organization\":{\"associativity\":4,\"banks\":2}}\n"
+      "{\"schema_version\":3,\"id\":\"v3node\",\"kind\":\"eval\","
+      "\"node_nm\":45}\n"
+      "{\"schema_version\":3,\"id\":\"v3gate\",\"kind\":\"optimize\","
+      "\"scheme\":\"III\",\"delay\":{\"target_ps\":1400},"
+      "\"power_gating\":{\"enabled\":true,\"perf_loss_budget\":0.1}}\n"
+      "{\"schema_version\":3,\"id\":\"v3full\",\"kind\":\"eval\","
+      "\"organization\":{\"associativity\":\"full\"}}\n";
   const std::string expected = batch_output(*service, input);
 
   Server server(service, {unix_spec(unique_sock("ident")), 1u << 20, 16, 4});

@@ -6,6 +6,7 @@
 
 #include "cachemodel/cache_model.h"
 #include "tech/params.h"
+#include "util/error.h"
 
 namespace nanocache::tech {
 namespace {
@@ -14,11 +15,43 @@ TEST(Nodes, AllValidate) {
   EXPECT_NO_THROW(node90().validate());
   EXPECT_NO_THROW(bptm65().validate());
   EXPECT_NO_THROW(node45().validate());
+  EXPECT_NO_THROW(node32().validate());
+  EXPECT_NO_THROW(node22().validate());
+}
+
+TEST(Nodes, MenuListsFiveNodesCoarseToFine) {
+  EXPECT_EQ(supported_nodes(), (std::vector<int>{90, 65, 45, 32, 22}));
+}
+
+TEST(Nodes, NodeParamsMatchesTheNamedPacks) {
+  EXPECT_EQ(node_params(90).vdd_v, node90().vdd_v);
+  EXPECT_EQ(node_params(65).vdd_v, bptm65().vdd_v);
+  EXPECT_EQ(node_params(45).vdd_v, node45().vdd_v);
+  EXPECT_EQ(node_params(32).vdd_v, node32().vdd_v);
+  EXPECT_EQ(node_params(22).vdd_v, node22().vdd_v);
+  EXPECT_EQ(node_params(22).lgate_nominal_um, node22().lgate_nominal_um);
+  EXPECT_THROW(node_params(17), Error);
+  EXPECT_THROW(node_params(0), Error);
+}
+
+TEST(Nodes, ToxGridSpansEachNodesOwnWindow) {
+  for (int nm : supported_nodes()) {
+    const auto p = node_params(nm);
+    const auto grid = node_tox_grid(p);
+    ASSERT_EQ(grid.size(), 5u) << nm;
+    EXPECT_DOUBLE_EQ(grid.front(), p.knobs.tox_min_a) << nm;
+    EXPECT_DOUBLE_EQ(grid.back(), p.knobs.tox_max_a) << nm;
+    for (std::size_t i = 1; i < grid.size(); ++i) {
+      EXPECT_GT(grid[i], grid[i - 1]) << nm;
+    }
+  }
 }
 
 TEST(Nodes, GeometryShrinksWithScaling) {
   EXPECT_GT(node90().lgate_nominal_um, bptm65().lgate_nominal_um);
   EXPECT_GT(bptm65().lgate_nominal_um, node45().lgate_nominal_um);
+  EXPECT_GT(node45().lgate_nominal_um, node32().lgate_nominal_um);
+  EXPECT_GT(node32().lgate_nominal_um, node22().lgate_nominal_um);
   EXPECT_GT(node90().cell_width_um * node90().cell_height_um,
             bptm65().cell_width_um * bptm65().cell_height_um);
   EXPECT_GT(bptm65().cell_width_um * bptm65().cell_height_um,
@@ -28,8 +61,10 @@ TEST(Nodes, GeometryShrinksWithScaling) {
 TEST(Nodes, OxideWindowsThinWithScaling) {
   EXPECT_GT(node90().knobs.tox_min_a, bptm65().knobs.tox_min_a);
   EXPECT_GT(bptm65().knobs.tox_min_a, node45().knobs.tox_min_a);
+  EXPECT_GT(node45().knobs.tox_min_a, node32().knobs.tox_min_a);
+  EXPECT_GT(node32().knobs.tox_min_a, node22().knobs.tox_min_a);
   // Each node's nominal sits inside its own window.
-  for (const auto& p : {node90(), bptm65(), node45()}) {
+  for (const auto& p : {node90(), bptm65(), node45(), node32(), node22()}) {
     EXPECT_GE(p.tox_nominal_a, p.knobs.tox_min_a);
     EXPECT_LE(p.tox_nominal_a, p.knobs.tox_max_a);
   }
@@ -38,6 +73,8 @@ TEST(Nodes, OxideWindowsThinWithScaling) {
 TEST(Nodes, SupplyDropsWithScaling) {
   EXPECT_GT(node90().vdd_v, bptm65().vdd_v);
   EXPECT_GT(bptm65().vdd_v, node45().vdd_v);
+  EXPECT_GT(node45().vdd_v, node32().vdd_v);
+  EXPECT_GT(node32().vdd_v, node22().vdd_v);
 }
 
 TEST(Nodes, GateTunnellingGrowsAtThinEnd) {
@@ -53,7 +90,7 @@ TEST(Nodes, GateTunnellingGrowsAtThinEnd) {
 }
 
 TEST(Nodes, CacheModelsBuildAtEveryNode) {
-  for (const auto& p : {node90(), bptm65(), node45()}) {
+  for (const auto& p : {node90(), bptm65(), node45(), node32(), node22()}) {
     DeviceModel dev(p);
     const auto org = cachemodel::l1_organization(16 * 1024, dev);
     cachemodel::CacheModel model(org, DeviceModel(p));

@@ -48,12 +48,15 @@ int usage() {
       "usage:\n"
       "  nanocache_cli list\n"
       "  nanocache_cli cache --size <bytes> [--l2] [--vth V] [--tox A]\n"
+      "               [--assoc 1|2|4|8|full] [--banks N] [--node nm]\n"
       "  nanocache_cli optimize --size <bytes> --scheme I|II|III "
       "--delay-ps <ps>\n"
+      "               [--assoc 1|2|4|8|full] [--banks N] [--node nm]\n"
+      "               [--power-gating] [--perf-loss-budget F]\n"
       "  nanocache_cli run fig1|schemes|l2|l2split|l1|fig2 "
       "[--fitted] [--strict]\n"
       "  nanocache_cli run schemes [--size <bytes>] [--steps N]\n"
-      "  nanocache_cli run l2|l2split|l1 [--amat-ps <ps>]\n"
+      "  nanocache_cli run l2|l2split|l1 [--amat-ps <ps>] [--node nm]\n"
       "  nanocache_cli batch <requests.jsonl | -> \n"
       "  nanocache_cli serve --listen <unix:/path/sock | tcp:host:port>\n"
       "               [--max-line-bytes N] [--queue-capacity N]\n"
@@ -67,6 +70,16 @@ int usage() {
       "flags:\n"
       "  --fitted     drive experiments from the paper's fitted closed forms\n"
       "  --strict     treat fitted-model degradation as a hard error\n"
+      "  --assoc 1|2|4|8|full  explicit set-associativity: engages the\n"
+      "               split-tag model (tag array + way comparators as fifth\n"
+      "               and sixth optimizable components)\n"
+      "  --banks N    multi-bank organization (power of two <= 8)\n"
+      "  --node nm    technology node: 90|65|45|32|22 (default: the 65 nm\n"
+      "               node the paper calibrates)\n"
+      "  --power-gating          let the optimizer park idle components in\n"
+      "               sleep states (leakage cut to a fraction)\n"
+      "  --perf-loss-budget F    relax the delay constraint by the fraction\n"
+      "               F in [0,1] to pay for sleep-state wake latency\n"
       "  --cache-dir <dir>  persist results across runs (also the\n"
       "               NANOCACHE_CACHE_DIR environment variable; the flag\n"
       "               wins).  Segments are fingerprinted by configuration,\n"
@@ -173,11 +186,21 @@ int cmd_optimize(const api::Service& service, const api::Request& request) {
   std::cout << "scheme " << api::scheme_id_name(request.optimize.scheme)
             << " optimum under "
             << fmt_fixed(request.optimize.delay.target_ps, 0) << " pS:\n";
+  bool any_gated = false;
+  for (const auto& c : r.assignment) any_gated |= c.gated;
   TextTable t;
-  t.set_header({"component", "Vth [V]", "Tox [A]"});
-  for (const auto& c : r.assignment) {
-    t.add_row({c.component, fmt_fixed(c.knobs.vth_v, 2),
-               fmt_fixed(c.knobs.tox_a, 0)});
+  if (any_gated) {
+    t.set_header({"component", "Vth [V]", "Tox [A]", "sleep"});
+    for (const auto& c : r.assignment) {
+      t.add_row({c.component, fmt_fixed(c.knobs.vth_v, 2),
+                 fmt_fixed(c.knobs.tox_a, 0), c.gated ? "gated" : ""});
+    }
+  } else {
+    t.set_header({"component", "Vth [V]", "Tox [A]"});
+    for (const auto& c : r.assignment) {
+      t.add_row({c.component, fmt_fixed(c.knobs.vth_v, 2),
+                 fmt_fixed(c.knobs.tox_a, 0)});
+    }
   }
   std::cout << t << "leakage " << fmt_fixed(r.leakage_mw, 4) << " mW at "
             << fmt_fixed(r.access_time_ps, 1) << " pS\n";
