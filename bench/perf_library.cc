@@ -299,6 +299,12 @@ int emit_parallel_sweep_json(const std::string& path) {
   render_schemes();
   render_tuples();
 
+  // Rows with more workers than the host has hardware threads cannot show
+  // real parallel speedup (the extra workers just time-slice); they are
+  // still run — oversubscription must not change bytes or crash — but
+  // marked "unmeasured" so downstream tooling (and the CI perf gate) never
+  // treats their wall time as a scaling measurement.
+  const int hw = par::hardware_threads();
   struct Row {
     std::string name;
     int threads;
@@ -361,10 +367,34 @@ int emit_parallel_sweep_json(const std::string& path) {
     std::cerr << "cannot write " << path << "\n";
     return 1;
   }
+  // Throughput gate: on a multicore host, the best measured multi-thread
+  // batch run must reach at least 0.9x single-thread throughput — the
+  // regression this harness exists to catch is parallel mode being SLOWER
+  // than serial.  Single-core hosts (and oversubscribed rows) can't
+  // measure scaling, so the gate passes vacuously there.
+  double single_wall = 0.0;
+  double best_multi_wall = std::numeric_limits<double>::infinity();
+  for (const auto& r : batch_runs) {
+    if (r.threads == 1) single_wall = r.wall_s;
+    if (r.threads > 1 && r.threads <= hw) {
+      best_multi_wall = std::min(best_multi_wall, r.wall_s);
+    }
+  }
+  const bool gate_applicable =
+      hw > 1 && single_wall > 0.0 &&
+      best_multi_wall < std::numeric_limits<double>::infinity();
+  const double multi_speedup =
+      gate_applicable ? single_wall / best_multi_wall : 0.0;
+  const bool perf_ok = !gate_applicable || multi_speedup >= 0.9;
+
   out << "{\n"
-      << "  \"hardware_threads\": " << par::hardware_threads() << ",\n"
+      << "  \"hardware_threads\": " << hw << ",\n"
       << "  \"deterministic_across_thread_counts\": "
       << (deterministic ? "true" : "false") << ",\n"
+      << "  \"multi_thread_speedup\": " << multi_speedup << ",\n"
+      << "  \"perf_gate_applicable\": "
+      << (gate_applicable ? "true" : "false") << ",\n"
+      << "  \"perf_gate_ok\": " << (perf_ok ? "true" : "false") << ",\n"
       << "  \"sweeps\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const auto& r = rows[i];
@@ -373,8 +403,10 @@ int emit_parallel_sweep_json(const std::string& path) {
       if (b.name == r.name && b.threads == 1) base = b.sample.wall_s;
     }
     out << "    {\"name\": \"" << r.name << "\", \"threads\": " << r.threads
+        << ", \"hardware_threads\": " << hw
         << ", \"wall_s\": " << r.sample.wall_s << ", \"speedup\": "
-        << (r.sample.wall_s > 0.0 ? base / r.sample.wall_s : 0.0) << "}"
+        << (r.sample.wall_s > 0.0 ? base / r.sample.wall_s : 0.0)
+        << (r.threads > hw ? ", \"unmeasured\": true" : "") << "}"
         << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   out << "  ],\n"
@@ -388,11 +420,14 @@ int emit_parallel_sweep_json(const std::string& path) {
       << "    \"runs\": [\n";
   for (std::size_t i = 0; i < batch_runs.size(); ++i) {
     const auto& r = batch_runs[i];
-    out << "      {\"threads\": " << r.threads << ", \"wall_s\": " << r.wall_s
+    out << "      {\"threads\": " << r.threads
+        << ", \"hardware_threads\": " << hw
+        << ", \"wall_s\": " << r.wall_s
         << ", \"requests_per_s\": "
         << (r.wall_s > 0.0
                 ? static_cast<double>(batch_stats.requests) / r.wall_s
                 : 0.0)
+        << (r.threads > hw ? ", \"unmeasured\": true" : "")
         << "}" << (i + 1 < batch_runs.size() ? "," : "") << "\n";
   }
   out << "    ]\n  },\n"
@@ -401,8 +436,10 @@ int emit_parallel_sweep_json(const std::string& path) {
   const bool memoized = batch_stats.memo_hits > 0 && batch_stats.hit_rate() > 0;
   std::cout << "wrote " << path << " (deterministic="
             << (deterministic ? "true" : "false")
-            << ", memo_hit_rate=" << batch_stats.hit_rate() << ")\n";
-  return deterministic && memoized ? 0 : 1;
+            << ", memo_hit_rate=" << batch_stats.hit_rate()
+            << ", multi_thread_speedup=" << multi_speedup
+            << ", perf_gate=" << (perf_ok ? "ok" : "FAIL") << ")\n";
+  return deterministic && memoized && perf_ok ? 0 : 1;
 }
 
 /// Pruned-search + persistent-cache accounting, written next to the

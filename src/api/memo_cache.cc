@@ -1,42 +1,60 @@
 #include "api/memo_cache.h"
 
+#include "util/error.h"
 #include "util/metrics.h"
 
 namespace nanocache::api {
 
+MemoCache::MemoCache(std::size_t shards) {
+  if (shards == 0) shards = kDefaultShards;
+  NC_REQUIRE(shards <= 4096 && (shards & (shards - 1)) == 0,
+             "memo cache shard count must be a power of two in [1, 4096], "
+             "got " +
+                 std::to_string(shards));
+  shards_ = std::vector<Shard>(shards);
+}
+
 MemoCache::Stats MemoCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return Stats{hits_, misses_, entries_.size()};
+  Stats s;
+  for (auto& shard : shards_) {
+    s.hits += shard.hits.load(std::memory_order_relaxed);
+    s.misses += shard.misses.load(std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    s.entries += shard.entries.size();
+  }
+  return s;
 }
 
 std::shared_ptr<const void> MemoCache::lookup(const std::string& key) {
   // Process-wide observability counters aggregate across every MemoCache
-  // instance; the per-instance counters below stay the source of MemoStats.
+  // instance; the per-shard counters stay the source of MemoStats.
   static auto& memo_hits =
       metrics::Registry::instance().counter("api.memo.hits");
   static auto& memo_misses =
       metrics::Registry::instance().counter("api.memo.misses");
+  Shard& shard = shard_for(key);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    const auto it = entries_.find(key);
-    if (it != entries_.end()) {
-      ++hits_;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.entries.find(key);
+    if (it != shard.entries.end()) {
+      shard.hits.fetch_add(1, std::memory_order_relaxed);
       memo_hits.add(1);
       return it->second;
     }
-    // The miss increment shares the hit path's critical section so a
-    // stats() snapshot never observes a lookup split across the two
-    // counters.
-    ++misses_;
   }
+  // Counters are relaxed atomics, so the miss increment no longer needs
+  // the entry-map critical section: stats() reads never contend with the
+  // lookup path.
+  shard.misses.fetch_add(1, std::memory_order_relaxed);
   memo_misses.add(1);
   return nullptr;
 }
 
 std::shared_ptr<const void> MemoCache::publish(
     const std::string& key, std::shared_ptr<const void> value) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto [it, inserted] = entries_.emplace(key, std::move(value));
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto [it, inserted] = shard.entries.emplace(key, std::move(value));
   return it->second;
 }
 

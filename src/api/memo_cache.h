@@ -7,16 +7,20 @@
 // object the miss path stored, which makes the "hit is bitwise-equal to
 // miss" guarantee trivial.
 //
-// Concurrency: lookups/inserts take a mutex; the compute callback runs
-// OUTSIDE the lock so slow model evaluations don't serialize the pool.  Two
+// Concurrency: the entry map is lock-striped into a power-of-two number of
+// shards selected by the canonical-key hash, so concurrent lookups on
+// distinct keys almost never contend.  The compute callback runs OUTSIDE
+// any lock so slow model evaluations don't serialize the pool.  Two
 // threads racing on the same key may both compute; the first insert wins
 // and both receive the winning (deterministic, bitwise-identical) value.
-// Hit/miss counters are therefore timing-dependent — they feed reporting,
-// never results.  The counters live under the same mutex as the entry map,
-// so a stats() snapshot is internally consistent (hits + misses covers
-// exactly the lookups that completed before the snapshot).
+// Hit/miss counters are relaxed per-shard atomics folded into one Stats
+// snapshot — they are timing-dependent and feed reporting, never results.
+// A snapshot taken concurrently with lookups is approximately consistent
+// (each shard's pair is read without stopping traffic); every completed
+// lookup is counted exactly once.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <functional>
 #include <memory>
@@ -24,19 +28,24 @@
 #include <string>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 namespace nanocache::api {
 
 class MemoCache {
  public:
-  /// One consistent snapshot of the cache's counters, taken under a single
-  /// lock acquisition — the metrics path must never see a hits/misses pair
-  /// straddling a concurrent lookup.
+  /// Snapshot of the cache's counters summed across shards.
   struct Stats {
     std::size_t hits = 0;
     std::size_t misses = 0;
     std::size_t entries = 0;
   };
+
+  static constexpr std::size_t kDefaultShards = 16;
+
+  /// `shards` must be a power of two in [1, 4096] (throws Error(kConfig)
+  /// otherwise); 0 selects the default.
+  explicit MemoCache(std::size_t shards = 0);
 
   /// Return the cached value for `key`, or run `compute`, publish its
   /// result, and return it.  `T` must match the type stored under `key`;
@@ -58,8 +67,23 @@ class MemoCache {
   std::size_t hits() const { return stats().hits; }
   std::size_t misses() const { return stats().misses; }
   std::size_t entries() const { return stats().entries; }
+  std::size_t shard_count() const { return shards_.size(); }
 
  private:
+  /// One lock stripe.  Cache-line aligned so one shard's mutex traffic
+  /// never invalidates a neighbour's counters.
+  struct alignas(64) Shard {
+    std::mutex mutex;
+    std::unordered_map<std::string, std::shared_ptr<const void>> entries;
+    std::atomic<std::size_t> hits{0};
+    std::atomic<std::size_t> misses{0};
+  };
+
+  Shard& shard_for(const std::string& key) const {
+    // shards_.size() is a power of two, so the hash masks cleanly.
+    return shards_[std::hash<std::string>{}(key) & (shards_.size() - 1)];
+  }
+
   /// nullptr on miss (miss counter bumped); the stored value on hit.
   std::shared_ptr<const void> lookup(const std::string& key);
 
@@ -68,10 +92,9 @@ class MemoCache {
   std::shared_ptr<const void> publish(const std::string& key,
                                       std::shared_ptr<const void> value);
 
-  mutable std::mutex mutex_;
-  std::unordered_map<std::string, std::shared_ptr<const void>> entries_;
-  std::size_t hits_ = 0;    // guarded by mutex_
-  std::size_t misses_ = 0;  // guarded by mutex_
+  // Shards never move after construction (vector sized once), so
+  // references handed out by shard_for stay valid for the cache lifetime.
+  mutable std::vector<Shard> shards_;
 };
 
 }  // namespace nanocache::api

@@ -1,5 +1,6 @@
 #include "nanocache/service.h"
 
+#include <algorithm>
 #include <bit>
 #include <chrono>
 #include <cstdint>
@@ -236,9 +237,22 @@ int resolve_associativity(Level level, const OrganizationSpec& org) {
   return level == Level::kL2 ? 8 : 2;
 }
 
+/// Fork-join cost hints for run_batch's two request classes.  Order of
+/// magnitude only — they feed the par::kSerialFallbackNs comparison, so
+/// all that matters is that a handful of evals stays serial while a
+/// handful of optimizer runs forks.
+constexpr std::uint64_t kCheapRequestCostHintNs = 20'000;    // memoized eval
+constexpr std::uint64_t kHeavyRequestCostHintNs = 1'000'000; // optimizer run
+
+/// One scheme-comparison row solves three scheme optimizations; even a
+/// two-row sweep is worth forking.
+constexpr std::uint64_t kSchemesRowCostHintNs = 3'000'000;
+
 }  // namespace
 
 struct Service::Impl {
+  explicit Impl(std::size_t memo_shards) : memo(memo_shards) {}
+
   ServiceConfig api_config;
   core::ExperimentConfig config;
   std::unique_ptr<core::Explorer> explorer;
@@ -482,7 +496,9 @@ Outcome<std::shared_ptr<Service>> Service::create(ServiceConfig config) {
                                  : opt::SearchMode::kPruned;
 
     auto service = std::shared_ptr<Service>(new Service());
-    service->impl_ = std::make_unique<Impl>();
+    // The MemoCache constructor validates the shard count (power of two in
+    // [1, 4096]) and throws the typed kConfig error guarded() folds.
+    service->impl_ = std::make_unique<Impl>(config.memo_shards);
     service->impl_->api_config = std::move(config);
     service->impl_->config = std::move(experiment);
     service->impl_->explorer =
@@ -626,20 +642,23 @@ Outcome<SweepResponse> Service::sweep(const SweepRequest& request) const {
       // Computed here (not via Explorer::scheme_comparison) so the cells
       // share "opt|" memo entries with single optimize requests.
       metrics::TraceSpan span("api.sweep.schemes");
-      r.schemes = par::parallel_map(targets_s.size(), [&](std::size_t i) {
-        SchemesRow row;
-        row.delay_target_ps = units::seconds_to_ps(targets_s[i]);
-        row.scheme1 = to_optimized(
-            *impl_->optimize_memo(Level::kL1, size, SchemeId::kI, targets_s[i],
-                                  org, gating, request.node_nm));
-        row.scheme2 = to_optimized(
-            *impl_->optimize_memo(Level::kL1, size, SchemeId::kII, targets_s[i],
-                                  org, gating, request.node_nm));
-        row.scheme3 = to_optimized(
-            *impl_->optimize_memo(Level::kL1, size, SchemeId::kIII,
-                                  targets_s[i], org, gating, request.node_nm));
-        return row;
-      });
+      r.schemes = par::parallel_map(
+          targets_s.size(),
+          [&](std::size_t i) {
+            SchemesRow row;
+            row.delay_target_ps = units::seconds_to_ps(targets_s[i]);
+            row.scheme1 = to_optimized(*impl_->optimize_memo(
+                Level::kL1, size, SchemeId::kI, targets_s[i], org, gating,
+                request.node_nm));
+            row.scheme2 = to_optimized(*impl_->optimize_memo(
+                Level::kL1, size, SchemeId::kII, targets_s[i], org, gating,
+                request.node_nm));
+            row.scheme3 = to_optimized(*impl_->optimize_memo(
+                Level::kL1, size, SchemeId::kIII, targets_s[i], org, gating,
+                request.node_nm));
+            return row;
+          },
+          /*threads=*/0, /*chunk_size=*/1, kSchemesRowCostHintNs);
       return r;
     }
 
@@ -876,13 +895,13 @@ BatchResult Service::run_batch(const std::vector<Request>& requests) const {
   batch.stats.unique_requests = first_occurrence.size();
   batch.stats.request_hits = requests.size() - first_occurrence.size();
 
+  auto& registry = metrics::Registry::instance();
+  static auto& queue_depth = registry.gauge("api.batch.queue_depth");
   {
-    auto& registry = metrics::Registry::instance();
     static auto& batch_requests = registry.counter("api.batch.requests");
     static auto& unique_requests =
         registry.counter("api.batch.unique_requests");
     static auto& request_hits = registry.counter("api.batch.request_hits");
-    static auto& queue_depth = registry.gauge("api.batch.queue_depth");
     static auto& peak_queue = registry.gauge("api.batch.peak_queue_depth");
     batch_requests.add(batch.stats.requests);
     unique_requests.add(batch.stats.unique_requests);
@@ -891,10 +910,46 @@ BatchResult Service::run_batch(const std::vector<Request>& requests) const {
     peak_queue.record_max(static_cast<std::int64_t>(first_occurrence.size()));
   }
 
-  const auto unique_responses =
-      par::parallel_map(first_occurrence.size(), [&](std::size_t u) {
-        return serve(requests[first_occurrence[u]]);
-      });
+  // Partition unique requests by expected cost.  Heavy requests (optimizer
+  // and sweep runs, milliseconds each) are dealt one at a time so a slow
+  // straggler never pins a whole chunk behind it; cheap ones (evals,
+  // capabilities, tens of microseconds) keep the default contiguous
+  // chunking, which hands each worker a run of requests per pool ticket —
+  // and the cost hint collapses a batch of only-cheap requests to a serial
+  // loop that skips pool wake-up entirely.  Both regions write unique slot
+  // u, so response assembly is independent of the partition.
+  std::vector<std::size_t> cheap;
+  std::vector<std::size_t> heavy;
+  for (std::size_t u = 0; u < first_occurrence.size(); ++u) {
+    const auto kind = requests[first_occurrence[u]].kind;
+    const bool is_cheap = kind == RequestKind::kEval ||
+                          kind == RequestKind::kCapabilities;
+    (is_cheap ? cheap : heavy).push_back(u);
+  }
+
+  // More workers than cores just adds contention on the memo shards and
+  // the metrics registry; requests themselves fan out no further (nested
+  // parallel regions run inline).  Capped here at the service layer so
+  // explicit oversubscribed thread counts still exercise the pool
+  // machinery in unit tests that call par::parallel_for directly.
+  const int batch_threads =
+      std::min(par::default_threads(), par::hardware_threads());
+
+  std::vector<Response> unique_responses(first_occurrence.size());
+  par::parallel_for(
+      heavy.size(),
+      [&](std::size_t i) {
+        const std::size_t u = heavy[i];
+        unique_responses[u] = serve(requests[first_occurrence[u]]);
+      },
+      batch_threads, /*chunk_size=*/1, kHeavyRequestCostHintNs);
+  par::parallel_for(
+      cheap.size(),
+      [&](std::size_t i) {
+        const std::size_t u = cheap[i];
+        unique_responses[u] = serve(requests[first_occurrence[u]]);
+      },
+      batch_threads, /*chunk_size=*/0, kCheapRequestCostHintNs);
 
   batch.responses.resize(requests.size());
   for (std::size_t i = 0; i < requests.size(); ++i) {
@@ -910,7 +965,7 @@ BatchResult Service::run_batch(const std::vector<Request>& requests) const {
     batch.stats.disk_hits = impl_->disk->hits() - disk_hits_before;
     batch.stats.disk_misses = impl_->disk->misses() - disk_misses_before;
   }
-  metrics::Registry::instance().gauge("api.batch.queue_depth").set(0);
+  queue_depth.set(0);
   return batch;
 }
 

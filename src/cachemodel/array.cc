@@ -22,71 +22,92 @@ ArrayModel::ArrayModel(const CacheOrganization& org,
       2.0 + 0.05 * static_cast<double>(org_.cols_per_subarray());
 }
 
-double ArrayModel::wordline_delay_s(const tech::DeviceKnobs& knobs) const {
-  const auto& p = dev_.params();
-  const double s = dev_.geometry_scale(knobs.tox_a);
+template <typename Dev>
+double ArrayModel::wordline_delay_impl(const Dev& dev) const {
+  const auto& p = dev.params();
+  const double s = dev.geometry_scale();
   const double cols = static_cast<double>(org_.cols_per_subarray());
-  const double wl_length = cols * dev_.cell_width_um(knobs.tox_a);
+  const double wl_length = cols * dev.cell_width_um();
   const double c_wire = wl_length * p.cwire_f_per_um;
   const double r_wire = wl_length * p.rwire_ohm_per_um;
   // Two pass-gate gates hang off the wordline per cell (per column).
-  const double c_cells =
-      cols * 2.0 * dev_.gate_cap_f(p.wcell_pass_um * s, knobs.tox_a);
-  const double r_drv =
-      dev_.effective_resistance_ohm(wl_driver_width_um_, knobs);
+  const double c_cells = cols * 2.0 * dev.gate_cap_f(p.wcell_pass_um * s);
+  const double r_drv = dev.effective_resistance_ohm(wl_driver_width_um_);
   return tech::distributed_rc_delay(r_drv, r_wire, c_wire, c_cells);
 }
 
-double ArrayModel::bitline_delay_s(const tech::DeviceKnobs& knobs) const {
-  const auto& p = dev_.params();
-  const double s = dev_.geometry_scale(knobs.tox_a);
+template <typename Dev>
+double ArrayModel::bitline_delay_impl(const Dev& dev) const {
+  const auto& p = dev.params();
+  const double s = dev.geometry_scale();
   const double rows = static_cast<double>(org_.rows_per_subarray());
-  const double bl_length = rows * dev_.cell_height_um(knobs.tox_a);
-  const double c_bitline = rows * dev_.drain_cap_f(p.wcell_pass_um * s) +
+  const double bl_length = rows * dev.cell_height_um();
+  const double c_bitline = rows * dev.drain_cap_f(p.wcell_pass_um * s) +
                            bl_length * p.cwire_f_per_um;
-  const double i_cell = dev_.cell_read_current_a(knobs);
+  const double i_cell = dev.cell_read_current_a();
   NC_REQUIRE(i_cell > 0.0, "cell read current must be positive");
   return c_bitline * p.bitline_swing_v / i_cell;
 }
 
-double ArrayModel::senseamp_delay_s(const tech::DeviceKnobs& knobs) const {
+template <typename Dev>
+double ArrayModel::senseamp_delay_impl(const Dev& dev) const {
   // Regenerative latch resolving a bitline_swing input to full rail;
   // modelled as a margin-multiplied RC of the amp's internal node.
-  const double r_amp = dev_.effective_resistance_ohm(2.0, knobs);
+  const double r_amp = dev.effective_resistance_ohm(2.0);
   return kSenseMargin * 0.69 * r_amp * kSenseAmpCapF;
 }
 
-double ArrayModel::area_um2(double tox_a) const {
-  const double cell_area = dev_.cell_area_um2(tox_a);
+template <typename Dev>
+double ArrayModel::area_impl(const Dev& dev) const {
+  const double cell_area = dev.cell_area_um2();
   const double cells =
       static_cast<double>(cell_count_) * cell_area * kArrayAreaOverhead;
   // Per-subarray periphery strips (sense amps/precharge along the width,
   // local decode along the height): this is what makes over-partitioning
   // expensive and drives the Ndwl/Ndbl search to realistic tiles.
   const double sub_w = static_cast<double>(org_.cols_per_subarray()) *
-                       dev_.cell_width_um(tox_a);
+                       dev.cell_width_um();
   const double sub_h = static_cast<double>(org_.rows_per_subarray()) *
-                       dev_.cell_height_um(tox_a);
+                       dev.cell_height_um();
   const double strips =
       org_.num_subarrays() * (sub_w * kSenseStripHeightUm +
                               sub_h * kDecodeStripWidthUm);
   return cells + strips;
 }
 
-ComponentMetrics ArrayModel::evaluate(const tech::DeviceKnobs& knobs) const {
-  const auto& p = dev_.params();
+double ArrayModel::wordline_delay_s(const tech::DeviceKnobs& knobs) const {
+  return wordline_delay_impl(tech::DeviceView(dev_, knobs));
+}
+
+double ArrayModel::bitline_delay_s(const tech::DeviceKnobs& knobs) const {
+  return bitline_delay_impl(tech::DeviceView(dev_, knobs));
+}
+
+double ArrayModel::senseamp_delay_s(const tech::DeviceKnobs& knobs) const {
+  return senseamp_delay_impl(tech::DeviceView(dev_, knobs));
+}
+
+double ArrayModel::area_um2(double tox_a) const {
+  tech::DeviceKnobs knobs;  // only the Tox component enters the geometry
+  knobs.tox_a = tox_a;
+  return area_impl(tech::DeviceView(dev_, knobs));
+}
+
+template <typename Dev>
+ComponentMetrics ArrayModel::evaluate_impl(const Dev& dev) const {
+  const auto& p = dev.params();
   ComponentMetrics m;
-  m.delay_s = (wordline_delay_s(knobs) + bitline_delay_s(knobs) +
-               senseamp_delay_s(knobs)) *
+  m.delay_s = (wordline_delay_impl(dev) + bitline_delay_impl(dev) +
+               senseamp_delay_impl(dev)) *
               p.delay_calibration;
 
   // --- leakage (kept split by mechanism for the breakdown analyses) ---
-  const auto cell = dev_.cell_leakage_split_w(knobs);
-  const auto sa = dev_.off_power_split_w(kSenseAmpLeakWidthUm, knobs);
+  const auto cell = dev.cell_leakage_split_w();
+  const auto sa = dev.off_power_split_w(kSenseAmpLeakWidthUm);
   // One wordline driver per row per subarray; all but the selected one idle.
   const double n_wl_drivers = static_cast<double>(org_.rows_per_subarray()) *
                               org_.num_subarrays();
-  const auto wl = dev_.off_power_split_w(wl_driver_width_um_ * 0.5, knobs);
+  const auto wl = dev.off_power_split_w(wl_driver_width_um_ * 0.5);
   const double cells = static_cast<double>(cell_count_);
   const double sas = static_cast<double>(senseamp_count_);
   m.leakage_sub_w = cells * cell.subthreshold_w + sas * sa.subthreshold_w +
@@ -96,17 +117,15 @@ ComponentMetrics ArrayModel::evaluate(const tech::DeviceKnobs& knobs) const {
   m.leakage_w = m.leakage_sub_w + m.leakage_gate_w;
 
   // --- dynamic energy per read ---
-  const double s = dev_.geometry_scale(knobs.tox_a);
+  const double s = dev.geometry_scale();
   const double cols = static_cast<double>(org_.cols_per_subarray());
   const double rows = static_cast<double>(org_.rows_per_subarray());
-  const double wl_length = cols * dev_.cell_width_um(knobs.tox_a);
+  const double wl_length = cols * dev.cell_width_um();
   const double c_wl = wl_length * p.cwire_f_per_um +
-                      cols * 2.0 * dev_.gate_cap_f(p.wcell_pass_um * s,
-                                                   knobs.tox_a);
+                      cols * 2.0 * dev.gate_cap_f(p.wcell_pass_um * s);
   const double e_wordline = c_wl * p.vdd_v * p.vdd_v;
-  const double c_bl = rows * dev_.drain_cap_f(p.wcell_pass_um * s) +
-                      rows * dev_.cell_height_um(knobs.tox_a) *
-                          p.cwire_f_per_um;
+  const double c_bl = rows * dev.drain_cap_f(p.wcell_pass_um * s) +
+                      rows * dev.cell_height_um() * p.cwire_f_per_um;
   // Every column of the selected subarray swings by the sense margin.
   const double e_bitlines = cols * c_bl * p.vdd_v * p.bitline_swing_v;
   const double sa_per_subarray = cols / kColumnMuxDegree;
@@ -124,8 +143,16 @@ ComponentMetrics ArrayModel::evaluate(const tech::DeviceKnobs& knobs) const {
   m.dynamic_write_energy_j =
       e_wordline + e_bitlines + e_sense_unwritten + e_write_cols;
 
-  m.area_um2 = area_um2(knobs.tox_a);
+  m.area_um2 = area_impl(dev);
   return m;
+}
+
+ComponentMetrics ArrayModel::evaluate(const tech::DeviceKnobs& knobs) const {
+  return evaluate_impl(tech::DeviceView(dev_, knobs));
+}
+
+ComponentMetrics ArrayModel::evaluate(const tech::BoundDevice& bdev) const {
+  return evaluate_impl(bdev);
 }
 
 }  // namespace nanocache::cachemodel

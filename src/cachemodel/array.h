@@ -17,6 +17,9 @@ class ArrayModel {
   ArrayModel(const CacheOrganization& org, const tech::DeviceModel& dev);
 
   ComponentMetrics evaluate(const tech::DeviceKnobs& knobs) const;
+  /// Batched-kernel entry point: same body as evaluate(knobs), served from
+  /// a knob-bound device (see the view contract in tech/device.h).
+  ComponentMetrics evaluate(const tech::BoundDevice& bdev) const;
 
   // Exposed stages for tests and diagnostics.
   double wordline_delay_s(const tech::DeviceKnobs& knobs) const;
@@ -31,6 +34,17 @@ class ArrayModel {
   double area_um2(double tox_a) const;
 
  private:
+  template <typename Dev>
+  ComponentMetrics evaluate_impl(const Dev& dev) const;
+  template <typename Dev>
+  double wordline_delay_impl(const Dev& dev) const;
+  template <typename Dev>
+  double bitline_delay_impl(const Dev& dev) const;
+  template <typename Dev>
+  double senseamp_delay_impl(const Dev& dev) const;
+  template <typename Dev>
+  double area_impl(const Dev& dev) const;
+
   CacheOrganization org_;
   const tech::DeviceModel& dev_;
   std::uint64_t cell_count_ = 0;

@@ -56,8 +56,10 @@ BusDriverModel CacheModel::make_data_drivers(double bus_length_um) const {
                         /*activity=*/0.5);
 }
 
-ComponentMetrics CacheModel::banked(ComponentKind kind, ComponentMetrics m,
-                                    const tech::DeviceKnobs& knobs) const {
+template <typename Dev>
+ComponentMetrics CacheModel::banked_impl(ComponentKind kind,
+                                         ComponentMetrics m,
+                                         const Dev& dev) const {
   if (org_.banks <= 1) return m;
   const double b = static_cast<double>(org_.banks);
   switch (kind) {
@@ -72,7 +74,7 @@ ComponentMetrics CacheModel::banked(ComponentKind kind, ComponentMetrics m,
     case ComponentKind::kAddressDrivers: {
       // Bank-select lines ride the address bus: log2(banks) extra wires
       // switched every access, with their own always-on drivers.
-      const auto& p = dev_.params();
+      const auto& p = dev.params();
       const double select_lines =
           static_cast<double>(std::bit_width(org_.banks) - 1);
       const double bus_length =
@@ -81,8 +83,7 @@ ComponentMetrics CacheModel::banked(ComponentKind kind, ComponentMetrics m,
                               p.vdd_v * p.vdd_v;
       m.dynamic_energy_j += e_select;
       m.dynamic_write_energy_j += e_select;
-      const auto sel =
-          dev_.off_power_split_w(kBankSelectDriverWidthUm * 0.5, knobs);
+      const auto sel = dev.off_power_split_w(kBankSelectDriverWidthUm * 0.5);
       m.leakage_sub_w += select_lines * sel.subthreshold_w;
       m.leakage_gate_w += select_lines * sel.gate_w;
       m.leakage_w = m.leakage_sub_w + m.leakage_gate_w;
@@ -92,6 +93,16 @@ ComponentMetrics CacheModel::banked(ComponentKind kind, ComponentMetrics m,
       break;
   }
   return m;
+}
+
+ComponentMetrics CacheModel::banked(ComponentKind kind, ComponentMetrics m,
+                                    const tech::DeviceKnobs& knobs) const {
+  return banked_impl(kind, m, tech::DeviceView(dev_, knobs));
+}
+
+ComponentMetrics CacheModel::banked(ComponentKind kind, ComponentMetrics m,
+                                    const tech::BoundDevice& bdev) const {
+  return banked_impl(kind, m, bdev);
 }
 
 ComponentMetrics CacheModel::component_at(ComponentKind kind,
@@ -122,6 +133,34 @@ ComponentMetrics CacheModel::component_at(ComponentKind kind,
   throw Error("unknown component kind");
 }
 
+ComponentMetrics CacheModel::component_at(ComponentKind kind,
+                                          const tech::BoundDevice& bdev,
+                                          double bus_length_um) const {
+  switch (kind) {
+    case ComponentKind::kCellArray:
+      return array_.evaluate(bdev);
+    case ComponentKind::kDecoder:
+      return banked(kind, decoder_.evaluate(bdev), bdev);
+    case ComponentKind::kAddressDrivers:
+      return banked(kind,
+                    make_address_drivers(effective_bus_length_um(bus_length_um))
+                        .evaluate(bdev),
+                    bdev);
+    case ComponentKind::kDataDrivers:
+      return make_data_drivers(effective_bus_length_um(bus_length_um))
+          .evaluate(bdev);
+    case ComponentKind::kTagArray:
+      NC_REQUIRE(tag_ != nullptr,
+                 "tag array component requires a split-tag organization");
+      return tag_->evaluate(bdev);
+    case ComponentKind::kWayComparators:
+      NC_REQUIRE(cmp_ != nullptr,
+                 "way comparator component requires a split-tag organization");
+      return cmp_->evaluate(bdev);
+  }
+  throw Error("unknown component kind");
+}
+
 ComponentMetrics CacheModel::component(ComponentKind kind,
                                        const tech::DeviceKnobs& knobs) const {
   // NaN knobs would otherwise trip range checks deeper in the device model
@@ -129,6 +168,26 @@ ComponentMetrics CacheModel::component(ComponentKind kind,
   num::ensure_finite(knobs.vth_v, "component knob Vth");
   num::ensure_finite(knobs.tox_a, "component knob Tox");
   return component_at(kind, knobs, nominal_bus_length_um());
+}
+
+std::vector<std::vector<ComponentMetrics>> CacheModel::components_batch(
+    const std::vector<ComponentKind>& kinds,
+    const std::vector<tech::DeviceKnobs>& pairs) const {
+  const double bus_length = nominal_bus_length_um();
+  std::vector<std::vector<ComponentMetrics>> out(kinds.size());
+  for (auto& table : out) table.resize(pairs.size());
+  for (std::size_t r = 0; r < pairs.size(); ++r) {
+    const auto& knobs = pairs[r];
+    // Same guard (and message) as component(): the batch kernel must fail
+    // exactly where the scalar path would.
+    num::ensure_finite(knobs.vth_v, "component knob Vth");
+    num::ensure_finite(knobs.tox_a, "component knob Tox");
+    const tech::BoundDevice bdev(dev_, knobs);
+    for (std::size_t k = 0; k < kinds.size(); ++k) {
+      out[k][r] = component_at(kinds[k], bdev, bus_length);
+    }
+  }
+  return out;
 }
 
 CacheMetrics CacheModel::evaluate(const ComponentAssignment& assignment,

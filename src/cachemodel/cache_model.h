@@ -10,6 +10,7 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "cachemodel/array.h"
 #include "cachemodel/component.h"
@@ -53,6 +54,16 @@ class CacheModel {
   ComponentMetrics component(ComponentKind kind,
                              const tech::DeviceKnobs& knobs) const;
 
+  /// Batched kernel behind opt::ComponentEvaluator: evaluate every kind in
+  /// `kinds` at every knob pair in `pairs`, binding each pair's device op
+  /// point (the subthreshold/gate-leakage exp() chain and the alpha-power
+  /// term) once and reusing it across the kinds.  out[k][r] is bitwise
+  /// equal to component(kinds[k], pairs[r]) — the contract the option-table
+  /// builders and the argmin-invariance proof rely on (docs/MODELING.md).
+  std::vector<std::vector<ComponentMetrics>> components_batch(
+      const std::vector<ComponentKind>& kinds,
+      const std::vector<tech::DeviceKnobs>& pairs) const;
+
   /// Full-cache metrics for a per-component assignment.
   CacheMetrics evaluate(const ComponentAssignment& assignment,
                         AreaCoupling coupling = AreaCoupling::kNominal) const;
@@ -73,10 +84,18 @@ class CacheModel {
   /// Multi-bank adjustments for one component's metrics: decoder
   /// replication and the bank-select term on the address bus.  Identity
   /// when banks == 1.
+  template <typename Dev>
+  ComponentMetrics banked_impl(ComponentKind kind, ComponentMetrics m,
+                               const Dev& dev) const;
   ComponentMetrics banked(ComponentKind kind, ComponentMetrics m,
                           const tech::DeviceKnobs& knobs) const;
+  ComponentMetrics banked(ComponentKind kind, ComponentMetrics m,
+                          const tech::BoundDevice& bdev) const;
   ComponentMetrics component_at(ComponentKind kind,
                                 const tech::DeviceKnobs& knobs,
+                                double bus_length_um) const;
+  ComponentMetrics component_at(ComponentKind kind,
+                                const tech::BoundDevice& bdev,
                                 double bus_length_um) const;
 
   CacheOrganization org_;

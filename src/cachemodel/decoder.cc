@@ -17,31 +17,29 @@ DecoderModel::DecoderModel(const CacheOrganization& org,
   row_gates_ = org_.rows_per_subarray() * org_.num_subarrays();
 }
 
-ComponentMetrics DecoderModel::evaluate(const tech::DeviceKnobs& knobs) const {
-  const auto& p = dev_.params();
+template <typename Dev>
+ComponentMetrics DecoderModel::evaluate_impl(const Dev& dev) const {
+  const auto& p = dev.params();
   ComponentMetrics m;
 
   const double rows = static_cast<double>(org_.rows_per_subarray());
 
   // Stage 1: NAND3 predecode gate driving its buffer.
   const double r_nand =
-      dev_.effective_resistance_ohm(kPredecodeNandWidthUm, knobs) * 1.5;
-  const double c_buf_in =
-      dev_.gate_cap_f(kPredecodeBufferWidthUm, knobs.tox_a);
+      dev.effective_resistance_ohm(kPredecodeNandWidthUm) * 1.5;
+  const double c_buf_in = dev.gate_cap_f(kPredecodeBufferWidthUm);
   const auto st1 = tech::gate_stage(
-      r_nand, c_buf_in + dev_.drain_cap_f(kPredecodeNandWidthUm), 0.0);
+      r_nand, c_buf_in + dev.drain_cap_f(kPredecodeNandWidthUm), 0.0);
 
   // Stage 2: predecode buffer drives a predecode line loaded by one input
   // of every row gate that listens to this group (rows/8 listeners per
   // subarray, across the subarrays in one bitline-segment column).
   const double listeners = std::max(1.0, rows / 8.0) * org_.ndwl;
-  const double line_length = rows * dev_.cell_height_um(knobs.tox_a);
-  const double c_line = listeners * dev_.gate_cap_f(kRowGateWidthUm,
-                                                    knobs.tox_a) +
+  const double line_length = rows * dev.cell_height_um();
+  const double c_line = listeners * dev.gate_cap_f(kRowGateWidthUm) +
                         line_length * p.cwire_f_per_um;
   const double r_line = line_length * p.rwire_ohm_per_um;
-  const double r_buf =
-      dev_.effective_resistance_ohm(kPredecodeBufferWidthUm, knobs);
+  const double r_buf = dev.effective_resistance_ohm(kPredecodeBufferWidthUm);
   const double d2 =
       tech::distributed_rc_delay(r_buf, r_line, line_length * p.cwire_f_per_um,
                                  c_line - line_length * p.cwire_f_per_um);
@@ -51,11 +49,10 @@ ComponentMetrics DecoderModel::evaluate(const tech::DeviceKnobs& knobs) const {
   const double wl_in_width =
       0.5 * (2.0 + 0.05 * static_cast<double>(org_.cols_per_subarray()));
   const double r_row =
-      dev_.effective_resistance_ohm(kRowGateWidthUm, knobs) * groups_;
+      dev.effective_resistance_ohm(kRowGateWidthUm) * groups_;
   const auto st3 = tech::gate_stage(
       r_row,
-      dev_.gate_cap_f(wl_in_width, knobs.tox_a) +
-          dev_.drain_cap_f(kRowGateWidthUm),
+      dev.gate_cap_f(wl_in_width) + dev.drain_cap_f(kRowGateWidthUm),
       2.2 * r_buf * c_line);
 
   m.delay_s = (st1.delay_s + d2 + st3.delay_s) * p.delay_calibration;
@@ -64,8 +61,8 @@ ComponentMetrics DecoderModel::evaluate(const tech::DeviceKnobs& knobs) const {
   const double n_pre = static_cast<double>(groups_) * 8.0 *
                        org_.num_subarrays();
   const double pre_width = kPredecodeNandWidthUm + kPredecodeBufferWidthUm;
-  const auto pre = dev_.off_power_split_w(pre_width * 0.5, knobs);
-  const auto row = dev_.off_power_split_w(kRowGateWidthUm * 0.5, knobs);
+  const auto pre = dev.off_power_split_w(pre_width * 0.5);
+  const auto row = dev.off_power_split_w(kRowGateWidthUm * 0.5);
   const double n_rows = static_cast<double>(row_gates_);
   m.leakage_sub_w = n_pre * pre.subthreshold_w + n_rows * row.subthreshold_w;
   m.leakage_gate_w = n_pre * pre.gate_w + n_rows * row.gate_w;
@@ -73,7 +70,7 @@ ComponentMetrics DecoderModel::evaluate(const tech::DeviceKnobs& knobs) const {
 
   // --- dynamic energy: switched predecode lines + selected row gates ---
   const double e_lines = 2.0 * groups_ * c_line * p.vdd_v * p.vdd_v;
-  const double e_row = dev_.gate_cap_f(wl_in_width, knobs.tox_a) * p.vdd_v *
+  const double e_row = dev.gate_cap_f(wl_in_width) * p.vdd_v *
                        p.vdd_v * org_.ndwl;
   m.dynamic_energy_j = e_lines + e_row;
   m.dynamic_write_energy_j = m.dynamic_energy_j;
@@ -81,9 +78,17 @@ ComponentMetrics DecoderModel::evaluate(const tech::DeviceKnobs& knobs) const {
   // --- area: small next to the array; count gate footprints ---
   const double gate_area =
       (n_pre * pre_width + static_cast<double>(row_gates_) * kRowGateWidthUm) *
-      dev_.leff_um(knobs.tox_a) * 8.0;  // layout overhead factor
+      dev.leff_um() * 8.0;  // layout overhead factor
   m.area_um2 = gate_area;
   return m;
+}
+
+ComponentMetrics DecoderModel::evaluate(const tech::DeviceKnobs& knobs) const {
+  return evaluate_impl(tech::DeviceView(dev_, knobs));
+}
+
+ComponentMetrics DecoderModel::evaluate(const tech::BoundDevice& bdev) const {
+  return evaluate_impl(bdev);
 }
 
 }  // namespace nanocache::cachemodel

@@ -13,11 +13,16 @@ class DecoderModel {
   DecoderModel(const CacheOrganization& org, const tech::DeviceModel& dev);
 
   ComponentMetrics evaluate(const tech::DeviceKnobs& knobs) const;
+  /// Batched-kernel entry point (see the view contract in tech/device.h).
+  ComponentMetrics evaluate(const tech::BoundDevice& bdev) const;
 
   std::uint32_t predecode_groups() const { return groups_; }
   std::uint64_t row_gate_count() const { return row_gates_; }
 
  private:
+  template <typename Dev>
+  ComponentMetrics evaluate_impl(const Dev& dev) const;
+
   CacheOrganization org_;
   const tech::DeviceModel& dev_;
   std::uint32_t decode_bits_ = 0;

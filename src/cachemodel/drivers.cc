@@ -27,28 +27,25 @@ BusDriverModel::BusDriverModel(const tech::DeviceModel& dev,
              "activity must be in (0, 1]");
 }
 
-ComponentMetrics BusDriverModel::evaluate(
-    const tech::DeviceKnobs& knobs) const {
-  const auto& p = dev_.params();
+template <typename Dev>
+ComponentMetrics BusDriverModel::evaluate_impl(const Dev& dev) const {
+  const auto& p = dev.params();
 
   double delay = 0.0;
   double total_width = 0.0;
   if (bus_length_um_ > tech::kRepeaterSegmentUm) {
     // Long bus: a short launch chain into a repeater-segmented wire.
-    const double c_rep_in =
-        dev_.gate_cap_f(tech::kRepeaterWidthUm, knobs.tox_a);
-    const auto chain = tech::driver_chain(dev_, knobs, kDriverFirstStageUm,
-                                          c_rep_in);
-    const auto wire = tech::repeated_wire(dev_, knobs, bus_length_um_,
+    const double c_rep_in = dev.gate_cap_f(tech::kRepeaterWidthUm);
+    const auto chain = tech::driver_chain(dev, kDriverFirstStageUm, c_rep_in);
+    const auto wire = tech::repeated_wire(dev, bus_length_um_,
                                           receiver_cap_f_, chain.out_ramp_s);
     delay = chain.delay_s + wire.delay_s;
     total_width = chain.total_width_um + wire.total_width_um;
   } else {
     const double c_wire = bus_length_um_ * p.cwire_f_per_um;
     const double r_wire = bus_length_um_ * p.rwire_ohm_per_um;
-    const auto chain =
-        tech::driver_chain(dev_, knobs, kDriverFirstStageUm, receiver_cap_f_,
-                           r_wire, c_wire);
+    const auto chain = tech::driver_chain(dev, kDriverFirstStageUm,
+                                          receiver_cap_f_, r_wire, c_wire);
     delay = chain.delay_s;
     total_width = chain.total_width_um;
   }
@@ -56,19 +53,28 @@ ComponentMetrics BusDriverModel::evaluate(
   ComponentMetrics m;
   // All bits switch in parallel; the critical path is one chain.
   m.delay_s = delay * p.delay_calibration;
-  const auto leak = dev_.off_power_split_w(total_width * 0.5, knobs);
+  const auto leak = dev.off_power_split_w(total_width * 0.5);
   m.leakage_sub_w = static_cast<double>(bits_) * leak.subthreshold_w;
   m.leakage_gate_w = static_cast<double>(bits_) * leak.gate_w;
   m.leakage_w = m.leakage_sub_w + m.leakage_gate_w;
   const double c_per_bit = bus_length_um_ * p.cwire_f_per_um +
                            receiver_cap_f_ +
-                           dev_.drain_cap_f(total_width * 0.4);
+                           dev.drain_cap_f(total_width * 0.4);
   m.dynamic_energy_j = static_cast<double>(bits_) * activity_ * c_per_bit *
                        p.vdd_v * p.vdd_v;
   m.dynamic_write_energy_j = m.dynamic_energy_j;
   m.area_um2 = static_cast<double>(bits_) * total_width *
-               dev_.leff_um(knobs.tox_a) * 8.0;
+               dev.leff_um() * 8.0;
   return m;
+}
+
+ComponentMetrics BusDriverModel::evaluate(
+    const tech::DeviceKnobs& knobs) const {
+  return evaluate_impl(tech::DeviceView(dev_, knobs));
+}
+
+ComponentMetrics BusDriverModel::evaluate(const tech::BoundDevice& bdev) const {
+  return evaluate_impl(bdev);
 }
 
 }  // namespace nanocache::cachemodel

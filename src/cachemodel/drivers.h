@@ -20,11 +20,16 @@ class BusDriverModel {
                  double activity);
 
   ComponentMetrics evaluate(const tech::DeviceKnobs& knobs) const;
+  /// Batched-kernel entry point (see the view contract in tech/device.h).
+  ComponentMetrics evaluate(const tech::BoundDevice& bdev) const;
 
   double bus_length_um() const { return bus_length_um_; }
   std::uint32_t bits() const { return bits_; }
 
  private:
+  template <typename Dev>
+  ComponentMetrics evaluate_impl(const Dev& dev) const;
+
   const tech::DeviceModel& dev_;
   std::uint32_t bits_;
   double bus_length_um_;

@@ -21,49 +21,62 @@ TagArrayModel::TagArrayModel(const CacheOrganization& org,
   wl_driver_width_um_ = 2.0 + 0.05 * static_cast<double>(cols_);
 }
 
-double TagArrayModel::wordline_delay_s(const tech::DeviceKnobs& knobs) const {
-  const auto& p = dev_.params();
-  const double s = dev_.geometry_scale(knobs.tox_a);
+template <typename Dev>
+double TagArrayModel::wordline_delay_impl(const Dev& dev) const {
+  const auto& p = dev.params();
+  const double s = dev.geometry_scale();
   const double cols = static_cast<double>(cols_);
-  const double wl_length = cols * dev_.cell_width_um(knobs.tox_a);
+  const double wl_length = cols * dev.cell_width_um();
   const double c_wire = wl_length * p.cwire_f_per_um;
   const double r_wire = wl_length * p.rwire_ohm_per_um;
-  const double c_cells =
-      cols * 2.0 * dev_.gate_cap_f(p.wcell_pass_um * s, knobs.tox_a);
-  const double r_drv =
-      dev_.effective_resistance_ohm(wl_driver_width_um_, knobs);
+  const double c_cells = cols * 2.0 * dev.gate_cap_f(p.wcell_pass_um * s);
+  const double r_drv = dev.effective_resistance_ohm(wl_driver_width_um_);
   return tech::distributed_rc_delay(r_drv, r_wire, c_wire, c_cells);
 }
 
-double TagArrayModel::bitline_delay_s(const tech::DeviceKnobs& knobs) const {
-  const auto& p = dev_.params();
-  const double s = dev_.geometry_scale(knobs.tox_a);
+template <typename Dev>
+double TagArrayModel::bitline_delay_impl(const Dev& dev) const {
+  const auto& p = dev.params();
+  const double s = dev.geometry_scale();
   const double rows = static_cast<double>(rows_);
-  const double bl_length = rows * dev_.cell_height_um(knobs.tox_a);
-  const double c_bitline = rows * dev_.drain_cap_f(p.wcell_pass_um * s) +
+  const double bl_length = rows * dev.cell_height_um();
+  const double c_bitline = rows * dev.drain_cap_f(p.wcell_pass_um * s) +
                            bl_length * p.cwire_f_per_um;
-  const double i_cell = dev_.cell_read_current_a(knobs);
+  const double i_cell = dev.cell_read_current_a();
   NC_REQUIRE(i_cell > 0.0, "cell read current must be positive");
   return c_bitline * p.bitline_swing_v / i_cell;
 }
 
-double TagArrayModel::senseamp_delay_s(const tech::DeviceKnobs& knobs) const {
-  const double r_amp = dev_.effective_resistance_ohm(2.0, knobs);
+template <typename Dev>
+double TagArrayModel::senseamp_delay_impl(const Dev& dev) const {
+  const double r_amp = dev.effective_resistance_ohm(2.0);
   return kSenseMargin * 0.69 * r_amp * kSenseAmpCapF;
 }
 
-ComponentMetrics TagArrayModel::evaluate(
-    const tech::DeviceKnobs& knobs) const {
-  const auto& p = dev_.params();
+double TagArrayModel::wordline_delay_s(const tech::DeviceKnobs& knobs) const {
+  return wordline_delay_impl(tech::DeviceView(dev_, knobs));
+}
+
+double TagArrayModel::bitline_delay_s(const tech::DeviceKnobs& knobs) const {
+  return bitline_delay_impl(tech::DeviceView(dev_, knobs));
+}
+
+double TagArrayModel::senseamp_delay_s(const tech::DeviceKnobs& knobs) const {
+  return senseamp_delay_impl(tech::DeviceView(dev_, knobs));
+}
+
+template <typename Dev>
+ComponentMetrics TagArrayModel::evaluate_impl(const Dev& dev) const {
+  const auto& p = dev.params();
   ComponentMetrics m;
-  m.delay_s = (wordline_delay_s(knobs) + bitline_delay_s(knobs) +
-               senseamp_delay_s(knobs)) *
+  m.delay_s = (wordline_delay_impl(dev) + bitline_delay_impl(dev) +
+               senseamp_delay_impl(dev)) *
               p.delay_calibration;
 
   // --- leakage: every tag cell, sense amps, idle wordline drivers ---
-  const auto cell = dev_.cell_leakage_split_w(knobs);
-  const auto sa = dev_.off_power_split_w(kSenseAmpLeakWidthUm, knobs);
-  const auto wl = dev_.off_power_split_w(wl_driver_width_um_ * 0.5, knobs);
+  const auto cell = dev.cell_leakage_split_w();
+  const auto sa = dev.off_power_split_w(kSenseAmpLeakWidthUm);
+  const auto wl = dev.off_power_split_w(wl_driver_width_um_ * 0.5);
   const double cells = static_cast<double>(cell_count_);
   const double sas = static_cast<double>(senseamp_count_);
   const double n_wl = static_cast<double>(rows_);
@@ -74,17 +87,15 @@ ComponentMetrics TagArrayModel::evaluate(
   m.leakage_w = m.leakage_sub_w + m.leakage_gate_w;
 
   // --- dynamic energy per access: every way's tag is read ---
-  const double s = dev_.geometry_scale(knobs.tox_a);
+  const double s = dev.geometry_scale();
   const double cols = static_cast<double>(cols_);
   const double rows = static_cast<double>(rows_);
-  const double wl_length = cols * dev_.cell_width_um(knobs.tox_a);
+  const double wl_length = cols * dev.cell_width_um();
   const double c_wl = wl_length * p.cwire_f_per_um +
-                      cols * 2.0 * dev_.gate_cap_f(p.wcell_pass_um * s,
-                                                   knobs.tox_a);
+                      cols * 2.0 * dev.gate_cap_f(p.wcell_pass_um * s);
   const double e_wordline = c_wl * p.vdd_v * p.vdd_v;
-  const double c_bl = rows * dev_.drain_cap_f(p.wcell_pass_um * s) +
-                      rows * dev_.cell_height_um(knobs.tox_a) *
-                          p.cwire_f_per_um;
+  const double c_bl = rows * dev.drain_cap_f(p.wcell_pass_um * s) +
+                      rows * dev.cell_height_um() * p.cwire_f_per_um;
   const double e_bitlines = cols * c_bl * p.vdd_v * p.bitline_swing_v;
   const double e_sense =
       static_cast<double>(senseamp_count_) * kSenseAmpCapF * p.vdd_v * p.vdd_v;
@@ -93,12 +104,21 @@ ComponentMetrics TagArrayModel::evaluate(
   // charge them like reads so per-access accounting stays conservative.
   m.dynamic_write_energy_j = m.dynamic_energy_j;
 
-  const double cell_area = dev_.cell_area_um2(knobs.tox_a);
-  const double sub_w = cols * dev_.cell_width_um(knobs.tox_a);
-  const double sub_h = rows * dev_.cell_height_um(knobs.tox_a);
+  const double cell_area = dev.cell_area_um2();
+  const double sub_w = cols * dev.cell_width_um();
+  const double sub_h = rows * dev.cell_height_um();
   m.area_um2 = cells * cell_area * kArrayAreaOverhead +
                sub_w * kSenseStripHeightUm + sub_h * kDecodeStripWidthUm;
   return m;
+}
+
+ComponentMetrics TagArrayModel::evaluate(
+    const tech::DeviceKnobs& knobs) const {
+  return evaluate_impl(tech::DeviceView(dev_, knobs));
+}
+
+ComponentMetrics TagArrayModel::evaluate(const tech::BoundDevice& bdev) const {
+  return evaluate_impl(bdev);
 }
 
 WayComparatorModel::WayComparatorModel(const CacheOrganization& org,
@@ -111,9 +131,9 @@ WayComparatorModel::WayComparatorModel(const CacheOrganization& org,
   tag_bits_ = org_.tag_bits_per_block();
 }
 
-ComponentMetrics WayComparatorModel::evaluate(
-    const tech::DeviceKnobs& knobs) const {
-  const auto& p = dev_.params();
+template <typename Dev>
+ComponentMetrics WayComparatorModel::evaluate_impl(const Dev& dev) const {
+  const auto& p = dev.params();
   ComponentMetrics m;
 
   const double ways = static_cast<double>(ways_);
@@ -122,29 +142,26 @@ ComponentMetrics WayComparatorModel::evaluate(
   // Stage 1: XOR bit-slice drives the wide match-combine gate.  Series
   // stack in the XOR costs ~2x the unit resistance.
   const double r_xor =
-      dev_.effective_resistance_ohm(kComparatorGateWidthUm, knobs) * 2.0;
-  const double c_combine_in =
-      dev_.gate_cap_f(kMatchCombineWidthUm, knobs.tox_a);
+      dev.effective_resistance_ohm(kComparatorGateWidthUm) * 2.0;
+  const double c_combine_in = dev.gate_cap_f(kMatchCombineWidthUm);
   const auto st1 = tech::gate_stage(
-      r_xor, c_combine_in + dev_.drain_cap_f(kComparatorGateWidthUm), 0.0);
+      r_xor, c_combine_in + dev.drain_cap_f(kComparatorGateWidthUm), 0.0);
 
   // Stage 2: match-combine (fan-in grows with tag width) raises the way
   // select, loaded by this way's mux pass gates across the data bus.
   const double fanin_penalty = std::max(1.0, bits / 8.0);
   const double r_combine =
-      dev_.effective_resistance_ohm(kMatchCombineWidthUm, knobs) *
-      fanin_penalty;
+      dev.effective_resistance_ohm(kMatchCombineWidthUm) * fanin_penalty;
   const double c_mux_gates =
       static_cast<double>(org_.data_bus_bits) *
-      dev_.gate_cap_f(kWayMuxGateWidthUm, knobs.tox_a);
+      dev.gate_cap_f(kWayMuxGateWidthUm);
   const auto st2 = tech::gate_stage(
-      r_combine, c_mux_gates + dev_.drain_cap_f(kMatchCombineWidthUm),
+      r_combine, c_mux_gates + dev.drain_cap_f(kMatchCombineWidthUm),
       st1.out_ramp_s);
 
   // Stage 3: the selected mux pass gate steers its way's data onto the bus.
-  const double r_mux =
-      dev_.effective_resistance_ohm(kWayMuxGateWidthUm, knobs);
-  const double c_bus_in = ways * dev_.drain_cap_f(kWayMuxGateWidthUm);
+  const double r_mux = dev.effective_resistance_ohm(kWayMuxGateWidthUm);
+  const double c_bus_in = ways * dev.drain_cap_f(kWayMuxGateWidthUm);
   const auto st3 = tech::gate_stage(r_mux, c_bus_in, st2.out_ramp_s);
 
   m.delay_s =
@@ -153,12 +170,9 @@ ComponentMetrics WayComparatorModel::evaluate(
   // --- leakage: all bit-slices, combine gates, and mux pass gates ---
   const double n_xor = ways * bits;
   const double n_mux = ways * static_cast<double>(org_.data_bus_bits);
-  const auto xor_leak =
-      dev_.off_power_split_w(kComparatorGateWidthUm * 0.5, knobs);
-  const auto combine_leak =
-      dev_.off_power_split_w(kMatchCombineWidthUm * 0.5, knobs);
-  const auto mux_leak =
-      dev_.off_power_split_w(kWayMuxGateWidthUm * 0.5, knobs);
+  const auto xor_leak = dev.off_power_split_w(kComparatorGateWidthUm * 0.5);
+  const auto combine_leak = dev.off_power_split_w(kMatchCombineWidthUm * 0.5);
+  const auto mux_leak = dev.off_power_split_w(kWayMuxGateWidthUm * 0.5);
   m.leakage_sub_w = n_xor * xor_leak.subthreshold_w +
                     ways * combine_leak.subthreshold_w +
                     n_mux * mux_leak.subthreshold_w;
@@ -168,8 +182,7 @@ ComponentMetrics WayComparatorModel::evaluate(
 
   // --- dynamic energy: about half the comparator inputs toggle per access,
   // one way select rises and one falls, one mux column switches ---
-  const double c_xor_in =
-      dev_.gate_cap_f(kComparatorGateWidthUm, knobs.tox_a);
+  const double c_xor_in = dev.gate_cap_f(kComparatorGateWidthUm);
   const double e_compare = 0.5 * n_xor * c_xor_in * p.vdd_v * p.vdd_v;
   const double e_select =
       2.0 * (c_combine_in + c_mux_gates / ways) * p.vdd_v * p.vdd_v;
@@ -180,8 +193,18 @@ ComponentMetrics WayComparatorModel::evaluate(
   const double total_width =
       n_xor * kComparatorGateWidthUm + ways * kMatchCombineWidthUm +
       n_mux * kWayMuxGateWidthUm;
-  m.area_um2 = total_width * dev_.leff_um(knobs.tox_a) * 8.0;
+  m.area_um2 = total_width * dev.leff_um() * 8.0;
   return m;
+}
+
+ComponentMetrics WayComparatorModel::evaluate(
+    const tech::DeviceKnobs& knobs) const {
+  return evaluate_impl(tech::DeviceView(dev_, knobs));
+}
+
+ComponentMetrics WayComparatorModel::evaluate(
+    const tech::BoundDevice& bdev) const {
+  return evaluate_impl(bdev);
 }
 
 }  // namespace nanocache::cachemodel

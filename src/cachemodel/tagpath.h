@@ -26,6 +26,8 @@ class TagArrayModel {
   TagArrayModel(const CacheOrganization& org, const tech::DeviceModel& dev);
 
   ComponentMetrics evaluate(const tech::DeviceKnobs& knobs) const;
+  /// Batched-kernel entry point (see the view contract in tech/device.h).
+  ComponentMetrics evaluate(const tech::BoundDevice& bdev) const;
 
   // Exposed stages for tests and diagnostics.
   double wordline_delay_s(const tech::DeviceKnobs& knobs) const;
@@ -36,6 +38,15 @@ class TagArrayModel {
   std::uint64_t senseamp_count() const { return senseamp_count_; }
 
  private:
+  template <typename Dev>
+  ComponentMetrics evaluate_impl(const Dev& dev) const;
+  template <typename Dev>
+  double wordline_delay_impl(const Dev& dev) const;
+  template <typename Dev>
+  double bitline_delay_impl(const Dev& dev) const;
+  template <typename Dev>
+  double senseamp_delay_impl(const Dev& dev) const;
+
   CacheOrganization org_;
   const tech::DeviceModel& dev_;
   std::uint64_t rows_ = 0;        ///< tag rows (1 when fully associative)
@@ -55,8 +66,13 @@ class WayComparatorModel {
                      const tech::DeviceModel& dev);
 
   ComponentMetrics evaluate(const tech::DeviceKnobs& knobs) const;
+  /// Batched-kernel entry point (see the view contract in tech/device.h).
+  ComponentMetrics evaluate(const tech::BoundDevice& bdev) const;
 
  private:
+  template <typename Dev>
+  ComponentMetrics evaluate_impl(const Dev& dev) const;
+
   CacheOrganization org_;
   const tech::DeviceModel& dev_;
   std::uint64_t ways_ = 0;

@@ -1,5 +1,7 @@
 #include "opt/options.h"
 
+#include <algorithm>
+
 #include "util/error.h"
 #include "util/metrics.h"
 #include "util/numeric_guard.h"
@@ -30,12 +32,76 @@ void count_grid_points(std::size_t n) {
   grid_points.add(n);
 }
 
+/// Rows handed to one batched-kernel call.  Small enough that grids past
+/// kMinParallelPairs split into several chunks for the pool, large enough
+/// to amortize the per-call table allocation.
+constexpr std::size_t kBatchChunkPairs = 32;
+
+/// Per-component eval cost, used as the parallel_for serial-fallback hint.
+constexpr std::uint64_t kEvalCostHintNs = 20'000;
+
+/// Evaluate `kinds` at every pair through the batched kernel.  Chunked so
+/// the pool can spread rows across workers; each chunk is an independent
+/// batch() call and the assembly order is fixed, so the result is bitwise
+/// identical at any thread count (and to the scalar path, per the batch
+/// contract).  Returned as out[k][r] like CacheModel::components_batch.
+std::vector<std::vector<ComponentMetrics>> batch_eval(
+    const ComponentEvaluator::Batch& batch,
+    const std::vector<ComponentKind>& kinds,
+    const std::vector<tech::DeviceKnobs>& pairs) {
+  const std::size_t n = pairs.size();
+  const std::size_t num_chunks = (n + kBatchChunkPairs - 1) / kBatchChunkPairs;
+  std::vector<std::vector<std::vector<ComponentMetrics>>> chunks(num_chunks);
+  par::parallel_for(
+      num_chunks,
+      [&](std::size_t c) {
+        const std::size_t lo = c * kBatchChunkPairs;
+        const std::size_t hi = std::min(lo + kBatchChunkPairs, n);
+        const std::vector<tech::DeviceKnobs> sub(pairs.begin() + lo,
+                                                 pairs.begin() + hi);
+        chunks[c] = batch(kinds, sub);
+      },
+      option_threads(n), /*chunk_size=*/1,
+      /*cost_hint_ns=*/kEvalCostHintNs * kinds.size() * kBatchChunkPairs);
+  std::vector<std::vector<ComponentMetrics>> out(kinds.size());
+  for (auto& table : out) table.reserve(n);
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    for (std::size_t k = 0; k < kinds.size(); ++k) {
+      auto& src = chunks[c][k];
+      out[k].insert(out[k].end(), src.begin(), src.end());
+    }
+  }
+  return out;
+}
+
+/// Fold one row of batched metrics into a summed option, in `kinds` order —
+/// the same left fold the scalar loops perform, term for term.
+ComponentOption fold_option_row(
+    const std::vector<std::vector<ComponentMetrics>>& metrics, std::size_t r,
+    const tech::DeviceKnobs& knobs, const char* delay_msg,
+    const char* leakage_msg, const char* dynamic_msg) {
+  ComponentOption opt;
+  opt.knobs = knobs;
+  for (const auto& table : metrics) {
+    const auto& m = table[r];
+    opt.delay_s += num::ensure_finite(m.delay_s, delay_msg);
+    opt.leakage_w += num::ensure_finite(m.leakage_w, leakage_msg);
+    opt.dynamic_j += num::ensure_finite(m.dynamic_energy_j, dynamic_msg);
+  }
+  return opt;
+}
+
 }  // namespace
 
 ComponentEvaluator structural_evaluator(const cachemodel::CacheModel& model) {
-  return [&model](ComponentKind kind, const tech::DeviceKnobs& knobs) {
-    return model.component(kind, knobs);
-  };
+  return ComponentEvaluator(
+      [&model](ComponentKind kind, const tech::DeviceKnobs& knobs) {
+        return model.component(kind, knobs);
+      },
+      [&model](const std::vector<ComponentKind>& kinds,
+               const std::vector<tech::DeviceKnobs>& pairs) {
+        return model.components_batch(kinds, pairs);
+      });
 }
 
 ComponentEvaluator fitted_evaluator(
@@ -56,6 +122,20 @@ std::vector<ComponentOption> component_options(
     const std::vector<tech::DeviceKnobs>& pairs) {
   NC_REQUIRE(!pairs.empty(), "option table needs at least one pair");
   count_grid_points(pairs.size());
+  if (const auto& batch = eval.batch()) {
+    const auto metrics = batch_eval(batch, {kind}, pairs);
+    std::vector<ComponentOption> out;
+    out.reserve(pairs.size());
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      const auto& m = metrics[0][i];
+      out.push_back(ComponentOption{
+          pairs[i], num::ensure_finite(m.delay_s, "component option delay"),
+          num::ensure_finite(m.leakage_w, "component option leakage"),
+          num::ensure_finite(m.dynamic_energy_j,
+                             "component option dynamic energy")});
+    }
+    return out;
+  }
   return par::parallel_map(
       pairs.size(),
       [&](std::size_t i) {
@@ -67,7 +147,8 @@ std::vector<ComponentOption> component_options(
             num::ensure_finite(m.dynamic_energy_j,
                                "component option dynamic energy")};
       },
-      option_threads(pairs.size()));
+      option_threads(pairs.size()), /*chunk_size=*/0,
+      /*cost_hint_ns=*/kEvalCostHintNs);
 }
 
 std::vector<ComponentOption> periphery_options(
@@ -75,15 +156,28 @@ std::vector<ComponentOption> periphery_options(
     const std::vector<tech::DeviceKnobs>& pairs) {
   NC_REQUIRE(!pairs.empty(), "option table needs at least one pair");
   count_grid_points(pairs.size());
+  static const std::vector<ComponentKind> kPeriphery{
+      ComponentKind::kDecoder, ComponentKind::kAddressDrivers,
+      ComponentKind::kDataDrivers};
+  if (const auto& batch = eval.batch()) {
+    const auto metrics = batch_eval(batch, kPeriphery, pairs);
+    std::vector<ComponentOption> out;
+    out.reserve(pairs.size());
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      out.push_back(fold_option_row(metrics, i, pairs[i],
+                                    "periphery option delay",
+                                    "periphery option leakage",
+                                    "periphery option dynamic energy"));
+    }
+    return out;
+  }
   return par::parallel_map(
       pairs.size(),
       [&](std::size_t i) {
         const auto& k = pairs[i];
         ComponentOption opt;
         opt.knobs = k;
-        for (ComponentKind kind :
-             {ComponentKind::kDecoder, ComponentKind::kAddressDrivers,
-              ComponentKind::kDataDrivers}) {
+        for (ComponentKind kind : kPeriphery) {
           const auto m = eval(kind, k);
           opt.delay_s +=
               num::ensure_finite(m.delay_s, "periphery option delay");
@@ -94,7 +188,8 @@ std::vector<ComponentOption> periphery_options(
         }
         return opt;
       },
-      option_threads(pairs.size()));
+      option_threads(pairs.size()), /*chunk_size=*/0,
+      /*cost_hint_ns=*/kEvalCostHintNs * kPeriphery.size());
 }
 
 std::vector<ComponentOption> block_options(
@@ -104,6 +199,18 @@ std::vector<ComponentOption> block_options(
   NC_REQUIRE(!kinds.empty(), "component block needs at least one member");
   NC_REQUIRE(!pairs.empty(), "option table needs at least one pair");
   count_grid_points(pairs.size());
+  if (const auto& batch = eval.batch()) {
+    const auto metrics = batch_eval(batch, kinds, pairs);
+    std::vector<ComponentOption> out;
+    out.reserve(pairs.size());
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      out.push_back(fold_option_row(metrics, i, pairs[i],
+                                    "block option delay",
+                                    "block option leakage",
+                                    "block option dynamic energy"));
+    }
+    return out;
+  }
   return par::parallel_map(
       pairs.size(),
       [&](std::size_t i) {
@@ -120,7 +227,8 @@ std::vector<ComponentOption> block_options(
         }
         return opt;
       },
-      option_threads(pairs.size()));
+      option_threads(pairs.size()), /*chunk_size=*/0,
+      /*cost_hint_ns=*/kEvalCostHintNs * kinds.size());
 }
 
 OptSpace OptSpace::base() {
@@ -217,6 +325,20 @@ std::vector<ComponentOption> uniform_options(
     const std::vector<tech::DeviceKnobs>& pairs) {
   NC_REQUIRE(!pairs.empty(), "option table needs at least one pair");
   count_grid_points(pairs.size());
+  static const std::vector<ComponentKind> kUniform(kAllComponents.begin(),
+                                                   kAllComponents.end());
+  if (const auto& batch = eval.batch()) {
+    const auto metrics = batch_eval(batch, kUniform, pairs);
+    std::vector<ComponentOption> out;
+    out.reserve(pairs.size());
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      out.push_back(fold_option_row(metrics, i, pairs[i],
+                                    "uniform option delay",
+                                    "uniform option leakage",
+                                    "uniform option dynamic energy"));
+    }
+    return out;
+  }
   return par::parallel_map(
       pairs.size(),
       [&](std::size_t i) {
@@ -234,7 +356,8 @@ std::vector<ComponentOption> uniform_options(
         }
         return opt;
       },
-      option_threads(pairs.size()));
+      option_threads(pairs.size()), /*chunk_size=*/0,
+      /*cost_hint_ns=*/kEvalCostHintNs * kAllComponents.size());
 }
 
 }  // namespace nanocache::opt

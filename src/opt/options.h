@@ -5,6 +5,8 @@
 #pragma once
 
 #include <functional>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "cachemodel/cache_model.h"
@@ -13,9 +15,49 @@
 
 namespace nanocache::opt {
 
-/// Evaluator signature shared by all optimizers.
-using ComponentEvaluator = std::function<cachemodel::ComponentMetrics(
-    cachemodel::ComponentKind, const tech::DeviceKnobs&)>;
+/// Evaluator shared by all optimizers: a scalar (kind, knobs) -> metrics
+/// callable, optionally paired with a batched kernel that evaluates many
+/// kinds at many knob pairs in one call (CacheModel::components_batch).
+/// The batch hook must return values bitwise equal to the scalar path —
+/// the option-table builders use it when present and fall back to the
+/// scalar callable otherwise, so the two must be interchangeable.
+class ComponentEvaluator {
+ public:
+  using Scalar = std::function<cachemodel::ComponentMetrics(
+      cachemodel::ComponentKind, const tech::DeviceKnobs&)>;
+  using Batch =
+      std::function<std::vector<std::vector<cachemodel::ComponentMetrics>>(
+          const std::vector<cachemodel::ComponentKind>&,
+          const std::vector<tech::DeviceKnobs>&)>;
+
+  ComponentEvaluator() = default;
+
+  /// Implicit from any scalar callable, so existing lambdas (including the
+  /// explorer's degradation wrappers) keep working unchanged.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, ComponentEvaluator> &&
+                std::is_constructible_v<Scalar, F&&>>>
+  ComponentEvaluator(F&& scalar)  // NOLINT(google-explicit-constructor)
+      : scalar_(std::forward<F>(scalar)) {}
+
+  ComponentEvaluator(Scalar scalar, Batch batch)
+      : scalar_(std::move(scalar)), batch_(std::move(batch)) {}
+
+  cachemodel::ComponentMetrics operator()(
+      cachemodel::ComponentKind kind, const tech::DeviceKnobs& knobs) const {
+    return scalar_(kind, knobs);
+  }
+
+  /// Empty when this evaluator has no batched kernel.
+  const Batch& batch() const { return batch_; }
+
+  explicit operator bool() const { return static_cast<bool>(scalar_); }
+
+ private:
+  Scalar scalar_;
+  Batch batch_;
+};
 
 /// Evaluator backed by the structural (CACTI-style) model.
 ComponentEvaluator structural_evaluator(const cachemodel::CacheModel& model);

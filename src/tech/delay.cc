@@ -44,15 +44,20 @@ double distributed_rc_delay(double r_drive_ohm, double r_wire_ohm,
                  r_wire_ohm * (0.5 * c_wire_f + c_end_f));
 }
 
-DriverChain driver_chain(const DeviceModel& dev, const DeviceKnobs& knobs,
-                         double w_first_um, double c_load_f,
-                         double r_wire_ohm, double c_wire_f,
-                         double input_ramp_s) {
+namespace {
+
+// One implementation per primitive, templated over the bound-device view
+// (DeviceView forwards to the scalar model verbatim; BoundDevice serves
+// hoisted factors).  See the view contract in tech/device.h.
+template <typename Dev>
+DriverChain driver_chain_impl(const Dev& dev, double w_first_um,
+                              double c_load_f, double r_wire_ohm,
+                              double c_wire_f, double input_ramp_s) {
   NC_REQUIRE(w_first_um > 0.0, "first stage width must be positive");
   NC_REQUIRE(c_load_f >= 0.0, "load must be non-negative");
 
   constexpr double kStageEffort = 4.0;
-  const double c_first = dev.gate_cap_f(w_first_um, knobs.tox_a);
+  const double c_first = dev.gate_cap_f(w_first_um);
   const double c_total = c_load_f + c_wire_f;
   const double effort = std::max(1.0, c_total / std::max(c_first, 1e-21));
   const int stages = std::max(
@@ -66,13 +71,13 @@ DriverChain driver_chain(const DeviceModel& dev, const DeviceKnobs& knobs,
   double width = w_first_um;
   for (int i = 0; i < stages; ++i) {
     chain.total_width_um += width;
-    const double r_drive = dev.effective_resistance_ohm(width, knobs);
+    const double r_drive = dev.effective_resistance_ohm(width);
     const bool last = (i + 1 == stages);
     double c_next;
     if (last) {
       c_next = c_load_f + c_wire_f;
     } else {
-      c_next = dev.gate_cap_f(width * per_stage, knobs.tox_a);
+      c_next = dev.gate_cap_f(width * per_stage);
     }
     const double c_self = dev.drain_cap_f(width);
     if (last && (r_wire_ohm > 0.0 || c_wire_f > 0.0)) {
@@ -93,9 +98,9 @@ DriverChain driver_chain(const DeviceModel& dev, const DeviceKnobs& knobs,
   return chain;
 }
 
-RepeatedWire repeated_wire(const DeviceModel& dev, const DeviceKnobs& knobs,
-                           double length_um, double c_end_f,
-                           double input_ramp_s) {
+template <typename Dev>
+RepeatedWire repeated_wire_impl(const Dev& dev, double length_um,
+                                double c_end_f, double input_ramp_s) {
   NC_REQUIRE(length_um > 0.0, "wire length must be positive");
   NC_REQUIRE(c_end_f >= 0.0, "end load must be non-negative");
   const auto& p = dev.params();
@@ -104,9 +109,9 @@ RepeatedWire repeated_wire(const DeviceModel& dev, const DeviceKnobs& knobs,
   const double seg_len = length_um / segments;
   const double r_seg = seg_len * p.rwire_ohm_per_um;
   const double c_seg = seg_len * p.cwire_f_per_um;
-  const double r_drv = dev.effective_resistance_ohm(kRepeaterWidthUm, knobs);
+  const double r_drv = dev.effective_resistance_ohm(kRepeaterWidthUm);
   const double c_self = dev.drain_cap_f(kRepeaterWidthUm);
-  const double c_gate = dev.gate_cap_f(kRepeaterWidthUm, knobs.tox_a);
+  const double c_gate = dev.gate_cap_f(kRepeaterWidthUm);
 
   RepeatedWire out;
   out.segments = segments;
@@ -120,6 +125,47 @@ RepeatedWire repeated_wire(const DeviceModel& dev, const DeviceKnobs& knobs,
     ramp = 2.2 * tf;
   }
   return out;
+}
+
+}  // namespace
+
+DriverChain driver_chain(const DeviceModel& dev, const DeviceKnobs& knobs,
+                         double w_first_um, double c_load_f,
+                         double r_wire_ohm, double c_wire_f,
+                         double input_ramp_s) {
+  return driver_chain_impl(DeviceView(dev, knobs), w_first_um, c_load_f,
+                           r_wire_ohm, c_wire_f, input_ramp_s);
+}
+
+DriverChain driver_chain(const DeviceView& dev, double w_first_um,
+                         double c_load_f, double r_wire_ohm, double c_wire_f,
+                         double input_ramp_s) {
+  return driver_chain_impl(dev, w_first_um, c_load_f, r_wire_ohm, c_wire_f,
+                           input_ramp_s);
+}
+
+DriverChain driver_chain(const BoundDevice& dev, double w_first_um,
+                         double c_load_f, double r_wire_ohm, double c_wire_f,
+                         double input_ramp_s) {
+  return driver_chain_impl(dev, w_first_um, c_load_f, r_wire_ohm, c_wire_f,
+                           input_ramp_s);
+}
+
+RepeatedWire repeated_wire(const DeviceModel& dev, const DeviceKnobs& knobs,
+                           double length_um, double c_end_f,
+                           double input_ramp_s) {
+  return repeated_wire_impl(DeviceView(dev, knobs), length_um, c_end_f,
+                            input_ramp_s);
+}
+
+RepeatedWire repeated_wire(const DeviceView& dev, double length_um,
+                           double c_end_f, double input_ramp_s) {
+  return repeated_wire_impl(dev, length_um, c_end_f, input_ramp_s);
+}
+
+RepeatedWire repeated_wire(const BoundDevice& dev, double length_um,
+                           double c_end_f, double input_ramp_s) {
+  return repeated_wire_impl(dev, length_um, c_end_f, input_ramp_s);
 }
 
 }  // namespace nanocache::tech

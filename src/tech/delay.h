@@ -51,6 +51,15 @@ DriverChain driver_chain(const DeviceModel& dev, const DeviceKnobs& knobs,
                          double r_wire_ohm = 0.0, double c_wire_f = 0.0,
                          double input_ramp_s = 0.0);
 
+/// Knob-bound overloads sharing one implementation with the scalar entry
+/// point above (see the view contract in tech/device.h).
+DriverChain driver_chain(const DeviceView& dev, double w_first_um,
+                         double c_load_f, double r_wire_ohm = 0.0,
+                         double c_wire_f = 0.0, double input_ramp_s = 0.0);
+DriverChain driver_chain(const BoundDevice& dev, double w_first_um,
+                         double c_load_f, double r_wire_ohm = 0.0,
+                         double c_wire_f = 0.0, double input_ramp_s = 0.0);
+
 /// Repeater-segmented long wire: the wire is cut into ~kRepeaterSegmentUm
 /// pieces, each driven by a fixed-width repeater, making delay linear in
 /// length (instead of quadratic for an unrepeated RC line).
@@ -66,5 +75,10 @@ inline constexpr double kRepeaterWidthUm = 32.0;
 RepeatedWire repeated_wire(const DeviceModel& dev, const DeviceKnobs& knobs,
                            double length_um, double c_end_f,
                            double input_ramp_s = 0.0);
+
+RepeatedWire repeated_wire(const DeviceView& dev, double length_um,
+                           double c_end_f, double input_ramp_s = 0.0);
+RepeatedWire repeated_wire(const BoundDevice& dev, double length_um,
+                           double c_end_f, double input_ramp_s = 0.0);
 
 }  // namespace nanocache::tech

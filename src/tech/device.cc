@@ -21,10 +21,8 @@ double DeviceModel::leff_um(double tox_a) const {
   return params_.lgate_nominal_um * geometry_scale(tox_a);
 }
 
-double DeviceModel::subthreshold_current_a(double width_um,
-                                           const DeviceKnobs& knobs,
-                                           double vds_v) const {
-  NC_REQUIRE(width_um >= 0.0, "width must be non-negative");
+double DeviceModel::subthreshold_current_per_um(const DeviceKnobs& knobs,
+                                                double vds_v) const {
   NC_REQUIRE(vds_v >= 0.0 && vds_v <= params_.vdd_v, "Vds out of range");
   const double vt = params_.thermal_voltage_v();
   const double n_vt = params_.subthreshold_ideality_n * vt;
@@ -33,9 +31,15 @@ double DeviceModel::subthreshold_current_a(double width_um,
   const double dibl = params_.dibl_mv_per_v * 1e-3;
   const double vth_eff = knobs.vth_v + dibl * (params_.vdd_v - vds_v);
   // Longer channels (thick Tox) leak slightly less per um: 1/s factor.
-  const double i_per_um = params_.isub0_a_per_um / geometry_scale(knobs.tox_a) *
-                          std::exp(-vth_eff / n_vt) *
-                          (1.0 - std::exp(-vds_v / vt));
+  return params_.isub0_a_per_um / geometry_scale(knobs.tox_a) *
+         std::exp(-vth_eff / n_vt) * (1.0 - std::exp(-vds_v / vt));
+}
+
+double DeviceModel::subthreshold_current_a(double width_um,
+                                           const DeviceKnobs& knobs,
+                                           double vds_v) const {
+  NC_REQUIRE(width_um >= 0.0, "width must be non-negative");
+  const double i_per_um = subthreshold_current_per_um(knobs, vds_v);
   return i_per_um * width_um;
 }
 
@@ -44,13 +48,18 @@ double DeviceModel::subthreshold_current_a(double width_um,
   return subthreshold_current_a(width_um, knobs, params_.vdd_v);
 }
 
+double DeviceModel::gate_leakage_density_a_per_um2(
+    const DeviceKnobs& knobs) const {
+  return params_.jg_ref_a_per_um2 *
+         std::exp(-params_.jg_tox_slope_per_a *
+                  (knobs.tox_a - params_.jg_ref_tox_a));
+}
+
 double DeviceModel::gate_leakage_current_a(double width_um,
                                            const DeviceKnobs& knobs) const {
   NC_REQUIRE(width_um >= 0.0, "width must be non-negative");
   const double area_um2 = width_um * leff_um(knobs.tox_a);
-  const double density =
-      params_.jg_ref_a_per_um2 *
-      std::exp(-params_.jg_tox_slope_per_a * (knobs.tox_a - params_.jg_ref_tox_a));
+  const double density = gate_leakage_density_a_per_um2(knobs);
   return density * area_um2;
 }
 
@@ -144,6 +153,90 @@ double DeviceModel::cell_read_current_a(const DeviceKnobs& knobs) const {
   // Series pass-gate + pull-down; dominated by the narrower pass device.
   const double w_eff = params_.wcell_pass_um * s * 0.8;
   return on_current_a(w_eff, knobs) / s;  // long channel also slows the cell
+}
+
+// ---------------------------------------------------------------------------
+// BoundDevice
+//
+// Every hoisted factor is produced by the same DeviceModel helper the
+// scalar path consumes, and every width-dependent expression below repeats
+// the scalar method's association order term for term, so the two views
+// are bitwise-equal by construction.
+// ---------------------------------------------------------------------------
+
+BoundDevice::BoundDevice(const DeviceModel& dev, const DeviceKnobs& knobs)
+    : dev_(&dev), knobs_(knobs) {
+  const TechnologyParams& p = dev.params();
+  s_ = dev.geometry_scale(knobs.tox_a);
+  leff_um_ = dev.leff_um(knobs.tox_a);
+  cox_per_um2_ = units::cox_per_um2(knobs.tox_a);
+  cell_width_um_ = dev.cell_width_um(knobs.tox_a);
+  cell_height_um_ = dev.cell_height_um(knobs.tox_a);
+  isub_full_per_um_ = dev.subthreshold_current_per_um(knobs, p.vdd_v);
+  isub_half_per_um_ = dev.subthreshold_current_per_um(knobs, 0.5 * p.vdd_v);
+  ig_density_ = dev.gate_leakage_density_a_per_um2(knobs);
+  const double overdrive = p.vdd_v - knobs.vth_v;
+  NC_REQUIRE(overdrive > 0.0, "Vth must stay below Vdd");
+  const double ref_overdrive = p.vdd_v - p.knobs.vth_min_v;
+  cox_ratio_ = p.jg_ref_tox_a / knobs.tox_a;  // Cox ~ 1/Tox
+  overdrive_pow_ = std::pow(overdrive / ref_overdrive, p.alpha_power);
+}
+
+double BoundDevice::gate_cap_f(double width_um) const {
+  NC_REQUIRE(width_um >= 0.0, "width must be non-negative");
+  const double channel = width_um * leff_um_ * cox_per_um2_;
+  const double overlap = params().cov_f_per_um * width_um;
+  return channel + overlap;
+}
+
+double BoundDevice::drain_cap_f(double width_um) const {
+  NC_REQUIRE(width_um >= 0.0, "width must be non-negative");
+  return params().cj_f_per_um * width_um;
+}
+
+double BoundDevice::on_current_a(double width_um) const {
+  NC_REQUIRE(width_um >= 0.0, "width must be non-negative");
+  // Same association order as DeviceModel::on_current_a:
+  // ((Idsat * W) * cox_ratio) * pow(overdrive / ref, alpha).
+  return params().idsat_ref_a_per_um * width_um * cox_ratio_ * overdrive_pow_;
+}
+
+double BoundDevice::effective_resistance_ohm(double width_um) const {
+  NC_REQUIRE(width_um > 0.0, "driver width must be positive");
+  return params().vdd_v / on_current_a(width_um);
+}
+
+DeviceModel::LeakageSplit BoundDevice::off_power_split_w(
+    double width_um) const {
+  NC_REQUIRE(width_um >= 0.0, "width must be non-negative");
+  DeviceModel::LeakageSplit s;
+  s.subthreshold_w = params().vdd_v * (isub_full_per_um_ * width_um);
+  const double area_um2 = width_um * leff_um_;
+  s.gate_w = params().vdd_v * (ig_density_ * area_um2);
+  return s;
+}
+
+DeviceModel::LeakageSplit BoundDevice::cell_leakage_split_w() const {
+  const TechnologyParams& p = params();
+  const double w_pd = p.wcell_pulldown_um * s_;
+  const double w_pu = p.wcell_pullup_um * s_;
+  const double w_pass = p.wcell_pass_um * s_;
+
+  const double isub = (isub_full_per_um_ * w_pd) +
+                      (isub_full_per_um_ * w_pu) +
+                      2.0 * (isub_half_per_um_ * w_pass);
+  const double ig = (ig_density_ * (w_pd * leff_um_)) +
+                    (ig_density_ * (w_pu * leff_um_)) +
+                    (ig_density_ * (w_pass * leff_um_));
+  DeviceModel::LeakageSplit split;
+  split.subthreshold_w = p.vdd_v * isub;
+  split.gate_w = p.vdd_v * ig;
+  return split;
+}
+
+double BoundDevice::cell_read_current_a() const {
+  const double w_eff = params().wcell_pass_um * s_ * 0.8;
+  return on_current_a(w_eff) / s_;
 }
 
 }  // namespace nanocache::tech

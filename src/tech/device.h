@@ -37,6 +37,17 @@ class DeviceModel {
   double subthreshold_current_a(double width_um, const DeviceKnobs& knobs,
                                 double vds_v) const;
 
+  /// The width-independent factor of subthreshold_current_a (amperes per um
+  /// of device width).  Exposed so BoundDevice can hoist the exp() chain
+  /// once per knob pair; the scalar path multiplies this same value by the
+  /// width, so both paths are bitwise-identical by construction.
+  double subthreshold_current_per_um(const DeviceKnobs& knobs,
+                                     double vds_v) const;
+
+  /// The area-independent factor of gate_leakage_current_a (amperes per
+  /// um^2 of gate area) — the hoistable Tox exponential.
+  double gate_leakage_density_a_per_um2(const DeviceKnobs& knobs) const;
+
   /// Convenience: OFF current at full rail Vds = Vdd.
   double subthreshold_current_a(double width_um,
                                 const DeviceKnobs& knobs) const;
@@ -96,6 +107,106 @@ class DeviceModel {
 
  private:
   TechnologyParams params_;
+};
+
+// ---------------------------------------------------------------------------
+// Knob-bound device views.
+//
+// The cache component models (src/cachemodel) evaluate one (Vth, Tox) pair
+// against many widths and geometries.  Their evaluation bodies are written
+// once as templates over a "bound device" vocabulary — the DeviceModel
+// surface with the knobs already applied — and instantiated against two
+// views:
+//
+//  * DeviceView forwards every call verbatim to the scalar DeviceModel.
+//    It cannot change results: the scalar evaluate(knobs) entry points go
+//    through it, performing the identical call sequence they always did.
+//  * BoundDevice hoists the knob-only transcendental factors (the two
+//    subthreshold exponentials, the gate-tunnelling exponential, and the
+//    alpha-power overdrive term) at construction, so a whole option-table
+//    row reuses them.  Each hoisted value is produced by the SAME
+//    DeviceModel helper the scalar path multiplies through, and every
+//    width-dependent expression keeps the scalar path's association order,
+//    so the batched path is bitwise-equal to the scalar one (pinned by the
+//    differential test in tests/test_cachemodel_batch.cc).
+// ---------------------------------------------------------------------------
+
+/// Thin forwarding view: DeviceModel + knobs with no precomputation.
+class DeviceView {
+ public:
+  DeviceView(const DeviceModel& dev, const DeviceKnobs& knobs)
+      : dev_(dev), knobs_(knobs) {}
+
+  const TechnologyParams& params() const { return dev_.params(); }
+  const DeviceKnobs& knobs() const { return knobs_; }
+  double geometry_scale() const { return dev_.geometry_scale(knobs_.tox_a); }
+  double leff_um() const { return dev_.leff_um(knobs_.tox_a); }
+  double cell_width_um() const { return dev_.cell_width_um(knobs_.tox_a); }
+  double cell_height_um() const { return dev_.cell_height_um(knobs_.tox_a); }
+  double cell_area_um2() const { return dev_.cell_area_um2(knobs_.tox_a); }
+  double gate_cap_f(double width_um) const {
+    return dev_.gate_cap_f(width_um, knobs_.tox_a);
+  }
+  double drain_cap_f(double width_um) const {
+    return dev_.drain_cap_f(width_um);
+  }
+  double on_current_a(double width_um) const {
+    return dev_.on_current_a(width_um, knobs_);
+  }
+  double effective_resistance_ohm(double width_um) const {
+    return dev_.effective_resistance_ohm(width_um, knobs_);
+  }
+  DeviceModel::LeakageSplit off_power_split_w(double width_um) const {
+    return dev_.off_power_split_w(width_um, knobs_);
+  }
+  DeviceModel::LeakageSplit cell_leakage_split_w() const {
+    return dev_.cell_leakage_split_w(knobs_);
+  }
+  double cell_read_current_a() const {
+    return dev_.cell_read_current_a(knobs_);
+  }
+
+ private:
+  const DeviceModel& dev_;
+  DeviceKnobs knobs_;
+};
+
+/// Hoisted view: binds the knobs once, paying the exp()/pow() chain a
+/// single time, then serves every width-dependent query with multiplies
+/// and adds only.  Same vocabulary as DeviceView.
+class BoundDevice {
+ public:
+  BoundDevice(const DeviceModel& dev, const DeviceKnobs& knobs);
+
+  const TechnologyParams& params() const { return dev_->params(); }
+  const DeviceKnobs& knobs() const { return knobs_; }
+  double geometry_scale() const { return s_; }
+  double leff_um() const { return leff_um_; }
+  double cell_width_um() const { return cell_width_um_; }
+  double cell_height_um() const { return cell_height_um_; }
+  double cell_area_um2() const { return cell_width_um_ * cell_height_um_; }
+
+  double gate_cap_f(double width_um) const;
+  double drain_cap_f(double width_um) const;
+  double on_current_a(double width_um) const;
+  double effective_resistance_ohm(double width_um) const;
+  DeviceModel::LeakageSplit off_power_split_w(double width_um) const;
+  DeviceModel::LeakageSplit cell_leakage_split_w() const;
+  double cell_read_current_a() const;
+
+ private:
+  const DeviceModel* dev_;
+  DeviceKnobs knobs_;
+  double s_ = 1.0;                 // geometry scale at this Tox
+  double leff_um_ = 0.0;           // effective channel length
+  double cox_per_um2_ = 0.0;       // oxide capacitance density
+  double cell_width_um_ = 0.0;
+  double cell_height_um_ = 0.0;
+  double isub_full_per_um_ = 0.0;  // subthreshold A/um at Vds = Vdd
+  double isub_half_per_um_ = 0.0;  // subthreshold A/um at Vds = Vdd/2
+  double ig_density_ = 0.0;        // gate tunnelling A/um^2
+  double cox_ratio_ = 0.0;         // Cox(Tox)/Cox(ref) drive factor
+  double overdrive_pow_ = 0.0;     // alpha-power overdrive term
 };
 
 }  // namespace nanocache::tech

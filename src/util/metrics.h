@@ -26,8 +26,9 @@
 
 namespace nanocache::metrics {
 
-/// Monotonic event count.
-class Counter {
+/// Monotonic event count.  Padded to a cache line so adjacent metrics in
+/// the registry's node storage never false-share under parallel sweeps.
+class alignas(64) Counter {
  public:
   void add(std::uint64_t n = 1) {
     value_.fetch_add(n, std::memory_order_relaxed);
@@ -43,7 +44,7 @@ class Counter {
 
 /// Last-set level (queue depths, fan-outs).  `record_max` keeps the high
 /// watermark instead of the latest value.
-class Gauge {
+class alignas(64) Gauge {
  public:
   void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
   void add(std::int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
@@ -65,7 +66,7 @@ class Gauge {
 /// two: bucket b counts observations v with v <= 2^b, the last bucket is
 /// the overflow — so snapshots from different runs and different metrics
 /// are structurally comparable.
-class Histogram {
+class alignas(64) Histogram {
  public:
   static constexpr std::size_t kBuckets = 28;  // le 1, 2, 4, ... 2^26, +inf
 

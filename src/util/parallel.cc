@@ -62,7 +62,8 @@ struct Region {
   std::size_t n = 0;
   std::size_t chunk = 1;
   std::size_t num_chunks = 0;
-  const std::function<void(std::size_t)>* body = nullptr;
+  detail::RawBody invoke = nullptr;
+  void* ctx = nullptr;
 
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> error_bound{
@@ -99,7 +100,7 @@ struct Region {
       for (std::size_t i = lo; i < hi; ++i) {
         if (i >= error_bound.load(std::memory_order_relaxed)) break;
         try {
-          (*body)(i);
+          invoke(ctx, i);
         } catch (...) {
           record_failure(i);
           // Every unclaimed chunk starts above i; nothing left to do.
@@ -228,23 +229,27 @@ bool in_parallel_region() { return tl_region_depth > 0; }
 SerialRegionGuard::SerialRegionGuard() { ++tl_region_depth; }
 SerialRegionGuard::~SerialRegionGuard() { --tl_region_depth; }
 
-void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
-                  int threads, std::size_t chunk_size) {
-  if (n == 0) return;
+namespace detail {
+
+bool use_serial(std::size_t n, int& threads, std::uint64_t cost_hint_ns) {
   if (threads == 0) threads = default_threads();
   NC_REQUIRE(threads >= 1, "parallel_for thread count must be >= 1");
   if (threads > kMaxThreads) threads = kMaxThreads;
+  // Serial paths: single thread requested, a degenerate range, a nested
+  // call from inside a worker (rejected from parallelism, run inline), or
+  // an estimated total cost too small to amortize a pool round trip.
+  if (threads == 1 || n == 1 || tl_region_depth > 0) return true;
+  return cost_hint_ns > 0 && n <= kSerialFallbackNs / cost_hint_ns;
+}
 
-  // Serial paths: single thread requested, a degenerate range, or a nested
-  // call from inside a worker (rejected from parallelism, run inline).
-  if (threads == 1 || n == 1 || tl_region_depth > 0) {
-    static auto& serial_regions =
-        metrics::Registry::instance().counter("parallel.serial_regions");
-    serial_regions.add(1);
-    for (std::size_t i = 0; i < n; ++i) body(i);
-    return;
-  }
+void count_serial_region() {
+  static auto& serial_regions =
+      metrics::Registry::instance().counter("parallel.serial_regions");
+  serial_regions.add(1);
+}
 
+void run_region(std::size_t n, RawBody invoke, void* ctx, int threads,
+                std::size_t chunk_size) {
   Region region;
   region.n = n;
   if (chunk_size == 0) {
@@ -254,13 +259,12 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
   }
   region.chunk = chunk_size;
   region.num_chunks = (n + chunk_size - 1) / chunk_size;
-  region.body = &body;
+  region.invoke = invoke;
+  region.ctx = ctx;
 
   if (region.num_chunks < 2) {
-    static auto& serial_regions =
-        metrics::Registry::instance().counter("parallel.serial_regions");
-    serial_regions.add(1);
-    for (std::size_t i = 0; i < n; ++i) body(i);
+    count_serial_region();
+    for (std::size_t i = 0; i < n; ++i) invoke(ctx, i);
     return;
   }
 
@@ -280,5 +284,7 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
   Pool::instance().run(region, workers);
   if (region.error) std::rethrow_exception(region.error);
 }
+
+}  // namespace detail
 
 }  // namespace nanocache::par

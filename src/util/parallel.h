@@ -32,7 +32,9 @@
 #pragma once
 
 #include <cstddef>
-#include <functional>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
 #include <vector>
 
 namespace nanocache::par {
@@ -70,26 +72,34 @@ class SerialRegionGuard {
   SerialRegionGuard& operator=(const SerialRegionGuard&) = delete;
 };
 
-/// Run `body(i)` for every i in [0, n), distributing contiguous chunks
-/// over `threads` threads (0 = default_threads()).  `chunk_size == 0`
-/// picks a balanced chunk automatically.  Runs serially when n < 2,
-/// threads == 1, or the caller is already inside a parallel region.
-void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
-                  int threads = 0, std::size_t chunk_size = 0);
-
-/// Map [0, n) through `fn`, returning results in index order.  The result
-/// type must be default-constructible.
-template <typename Fn>
-auto parallel_map(std::size_t n, Fn&& fn, int threads = 0,
-                  std::size_t chunk_size = 0)
-    -> std::vector<decltype(fn(std::size_t{}))> {
-  std::vector<decltype(fn(std::size_t{}))> out(n);
-  parallel_for(
-      n, [&](std::size_t i) { out[i] = fn(i); }, threads, chunk_size);
-  return out;
-}
+/// Estimated total serial cost (ns) below which forking a region costs
+/// more than it saves: regions with a non-zero cost hint whose estimated
+/// total falls under this threshold run serially.  ~3 ms comfortably
+/// covers pool wake/drain latency plus cross-core cache traffic.
+inline constexpr std::uint64_t kSerialFallbackNs = 3'000'000;
 
 namespace detail {
+
+/// Type-erased region body: `invoke(ctx, i)` runs index i.  A raw function
+/// pointer + context pointer instead of std::function keeps the per-index
+/// dispatch to one indirect call with no allocation or virtual-table hop.
+using RawBody = void (*)(void*, std::size_t);
+
+/// Resolves `threads` in place (0 -> default_threads(), clamped to the
+/// pool cap) and decides whether the region must run serially: single
+/// thread, degenerate range, nested call, or an estimated total cost
+/// (n * cost_hint_ns) under kSerialFallbackNs.
+bool use_serial(std::size_t n, int& threads, std::uint64_t cost_hint_ns);
+
+/// Bumps the parallel.serial_regions counter (cached reference inside).
+void count_serial_region();
+
+/// Parallel path: chunk [0, n) and run it on the pool.  Rethrows the
+/// lowest-index failure.  May still fall back to a serial loop when the
+/// chunking degenerates to a single chunk.
+void run_region(std::size_t n, RawBody invoke, void* ctx, int threads,
+                std::size_t chunk_size);
+
 /// Chunk size for parallel_reduce: a function of the range size only, so
 /// partial-result boundaries (and therefore merged results) are identical
 /// at every thread count.
@@ -97,7 +107,48 @@ inline std::size_t reduce_chunk(std::size_t n) {
   const std::size_t chunk = (n + 255) / 256;  // at most 256 chunks
   return chunk == 0 ? 1 : chunk;
 }
+
 }  // namespace detail
+
+/// Run `body(i)` for every i in [0, n), distributing contiguous chunks
+/// over `threads` threads (0 = default_threads()).  `chunk_size == 0`
+/// picks a balanced chunk automatically.  Runs serially when n < 2,
+/// threads == 1, the caller is already inside a parallel region, or
+/// `cost_hint_ns` (estimated serial cost per index, 0 = unknown) says the
+/// whole region is cheaper than a pool round trip — the serial fallback
+/// never changes results, only scheduling (see the determinism contract
+/// above).  `body` is invoked through a per-region function pointer, not a
+/// std::function, so lambdas run with zero per-index type-erasure cost.
+template <typename Body>
+void parallel_for(std::size_t n, Body&& body, int threads = 0,
+                  std::size_t chunk_size = 0, std::uint64_t cost_hint_ns = 0) {
+  if (n == 0) return;
+  if (detail::use_serial(n, threads, cost_hint_ns)) {
+    detail::count_serial_region();
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  using B = std::remove_reference_t<Body>;
+  detail::run_region(
+      n,
+      [](void* ctx, std::size_t i) { (*static_cast<B*>(ctx))(i); },
+      const_cast<void*>(
+          static_cast<const void*>(std::addressof(body))),
+      threads, chunk_size);
+}
+
+/// Map [0, n) through `fn`, returning results in index order.  The result
+/// type must be default-constructible.
+template <typename Fn>
+auto parallel_map(std::size_t n, Fn&& fn, int threads = 0,
+                  std::size_t chunk_size = 0, std::uint64_t cost_hint_ns = 0)
+    -> std::vector<decltype(fn(std::size_t{}))> {
+  std::vector<decltype(fn(std::size_t{}))> out(n);
+  parallel_for(
+      n, [&](std::size_t i) { out[i] = fn(i); }, threads, chunk_size,
+      cost_hint_ns);
+  return out;
+}
 
 /// Deterministic reduction: accumulate indices into per-chunk copies of
 /// `identity` via `accumulate(acc, i)`, then fold the per-chunk partials
@@ -106,7 +157,8 @@ inline std::size_t reduce_chunk(std::size_t n) {
 /// for non-associative merges.
 template <typename T, typename Accumulate, typename Merge>
 T parallel_reduce(std::size_t n, T identity, Accumulate&& accumulate,
-                  Merge&& merge, int threads = 0) {
+                  Merge&& merge, int threads = 0,
+                  std::uint64_t cost_hint_ns = 0) {
   if (n == 0) return identity;
   const std::size_t chunk = detail::reduce_chunk(n);
   const std::size_t num_chunks = (n + chunk - 1) / chunk;
@@ -119,7 +171,10 @@ T parallel_reduce(std::size_t n, T identity, Accumulate&& accumulate,
         T& acc = partials[c];
         for (std::size_t i = lo; i < hi; ++i) accumulate(acc, i);
       },
-      threads, /*chunk_size=*/1);
+      threads, /*chunk_size=*/1,
+      // A chunk task costs `chunk` per-index units; the fallback compares
+      // num_chunks * (chunk * hint) ~= n * hint, as intended.
+      cost_hint_ns == 0 ? 0 : cost_hint_ns * chunk);
   T result = std::move(partials[0]);
   for (std::size_t c = 1; c < num_chunks; ++c) {
     merge(result, std::move(partials[c]));

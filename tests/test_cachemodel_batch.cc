@@ -1,0 +1,150 @@
+// Bitwise differential tests of the SoA evaluation kernel: every cell of
+// CacheModel::components_batch must reproduce the scalar component() path
+// bit for bit, over the paper's 7x5 knob grid and on both the four-component
+// and the split-tag/banked organizations.  This is the contract the
+// option-table builders (src/opt/options.cc) and the argmin-invariance
+// argument in docs/MODELING.md rely on.
+#include "cachemodel/cache_model.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cachemodel/component.h"
+#include "cachemodel/organization.h"
+#include "tech/device.h"
+#include "tech/params.h"
+#include "util/error.h"
+
+namespace nanocache::cachemodel {
+namespace {
+
+std::uint64_t bits(double x) { return std::bit_cast<std::uint64_t>(x); }
+
+/// EXPECT bit equality field by field so a mismatch names the field and the
+/// grid cell instead of printing two opaque structs.
+void expect_bitwise_equal(const ComponentMetrics& got,
+                          const ComponentMetrics& want,
+                          const std::string& where) {
+  EXPECT_EQ(bits(got.delay_s), bits(want.delay_s)) << where << " delay_s";
+  EXPECT_EQ(bits(got.leakage_w), bits(want.leakage_w))
+      << where << " leakage_w";
+  EXPECT_EQ(bits(got.leakage_sub_w), bits(want.leakage_sub_w))
+      << where << " leakage_sub_w";
+  EXPECT_EQ(bits(got.leakage_gate_w), bits(want.leakage_gate_w))
+      << where << " leakage_gate_w";
+  EXPECT_EQ(bits(got.dynamic_energy_j), bits(want.dynamic_energy_j))
+      << where << " dynamic_energy_j";
+  EXPECT_EQ(bits(got.dynamic_write_energy_j),
+            bits(want.dynamic_write_energy_j))
+      << where << " dynamic_write_energy_j";
+  EXPECT_EQ(bits(got.area_um2), bits(want.area_um2)) << where << " area_um2";
+}
+
+/// The paper's option grid: 7 Vth steps x 5 Tox steps spanning the full
+/// BPTM-65nm knob range.  Built from integer loop indices so the doubles
+/// are reproduced exactly across the scalar and batch calls.
+std::vector<tech::DeviceKnobs> paper_grid() {
+  std::vector<tech::DeviceKnobs> pairs;
+  pairs.reserve(7 * 5);
+  for (int i = 0; i < 7; ++i) {
+    for (int j = 0; j < 5; ++j) {
+      pairs.push_back({0.20 + 0.05 * i, 10.0 + 1.0 * j});
+    }
+  }
+  return pairs;
+}
+
+void expect_batch_matches_scalar(const CacheModel& model,
+                                 const std::vector<ComponentKind>& kinds) {
+  const auto pairs = paper_grid();
+  const auto batch = model.components_batch(kinds, pairs);
+  ASSERT_EQ(batch.size(), kinds.size());
+  for (std::size_t k = 0; k < kinds.size(); ++k) {
+    ASSERT_EQ(batch[k].size(), pairs.size());
+    for (std::size_t r = 0; r < pairs.size(); ++r) {
+      const auto scalar = model.component(kinds[k], pairs[r]);
+      expect_bitwise_equal(
+          batch[k][r], scalar,
+          std::string(component_name(kinds[k])) + " @ pair " +
+              std::to_string(r));
+    }
+  }
+}
+
+TEST(ComponentsBatch, MatchesScalarOnL1Organization) {
+  const tech::DeviceModel dev{tech::bptm65()};
+  const CacheModel model(l1_organization(16 * 1024, dev), dev);
+  expect_batch_matches_scalar(
+      model, {kAllComponents.begin(), kAllComponents.end()});
+}
+
+TEST(ComponentsBatch, MatchesScalarOnSplitTagBankedOrganization) {
+  const tech::DeviceModel dev{tech::bptm65()};
+  // 4-way, 4-bank, split tag: exercises the tag array and way comparators
+  // plus the banked geometry, the paths the L1 default never touches.
+  const CacheModel model(
+      extended_organization(32 * 1024, /*is_l2=*/false, /*associativity=*/4,
+                            /*banks=*/4, dev),
+      dev);
+  expect_batch_matches_scalar(
+      model, {kExtendedComponents.begin(), kExtendedComponents.end()});
+}
+
+TEST(ComponentsBatch, HonorsKindsSubsetAndOrder) {
+  const tech::DeviceModel dev{tech::bptm65()};
+  const CacheModel model(l1_organization(16 * 1024, dev), dev);
+  // Out-of-enum-order subset: out[k] must follow the caller's order, not
+  // the ComponentKind numbering.
+  const std::vector<ComponentKind> kinds = {ComponentKind::kDataDrivers,
+                                            ComponentKind::kCellArray};
+  const auto pairs = paper_grid();
+  const auto batch = model.components_batch(kinds, pairs);
+  ASSERT_EQ(batch.size(), 2u);
+  for (std::size_t r = 0; r < pairs.size(); ++r) {
+    expect_bitwise_equal(batch[0][r],
+                         model.component(ComponentKind::kDataDrivers, pairs[r]),
+                         "data drivers @ pair " + std::to_string(r));
+    expect_bitwise_equal(batch[1][r],
+                         model.component(ComponentKind::kCellArray, pairs[r]),
+                         "cell array @ pair " + std::to_string(r));
+  }
+}
+
+TEST(ComponentsBatch, NanKnobFailsExactlyLikeScalar) {
+  const tech::DeviceModel dev{tech::bptm65()};
+  const CacheModel model(l1_organization(16 * 1024, dev), dev);
+  const tech::DeviceKnobs bad{std::nan(""), 12.0};
+
+  std::string scalar_message;
+  try {
+    model.component(ComponentKind::kCellArray, bad);
+    FAIL() << "scalar path accepted a NaN knob";
+  } catch (const Error& e) {
+    scalar_message = e.what();
+  }
+
+  try {
+    model.components_batch({ComponentKind::kCellArray}, {{0.30, 12.0}, bad});
+    FAIL() << "batch path accepted a NaN knob";
+  } catch (const Error& e) {
+    EXPECT_EQ(std::string(e.what()), scalar_message);
+  }
+}
+
+TEST(ComponentsBatch, EmptyInputsYieldEmptyTables) {
+  const tech::DeviceModel dev{tech::bptm65()};
+  const CacheModel model(l1_organization(16 * 1024, dev), dev);
+  EXPECT_TRUE(model.components_batch({}, paper_grid()).empty());
+  const auto no_pairs =
+      model.components_batch({ComponentKind::kDecoder}, {});
+  ASSERT_EQ(no_pairs.size(), 1u);
+  EXPECT_TRUE(no_pairs[0].empty());
+}
+
+}  // namespace
+}  // namespace nanocache::cachemodel

@@ -6,7 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <cstdlib>
 #include <numeric>
 #include <optional>
@@ -15,6 +17,7 @@
 #include <vector>
 
 #include "util/error.h"
+#include "util/metrics.h"
 
 namespace nanocache {
 namespace {
@@ -227,6 +230,67 @@ TEST(ParallelFor, PropagatedErrorIsThreadCountInvariant) {
       }
     }
   }
+}
+
+// --- Cost-hinted serial fallback (tiny regions skip the pool) -------------
+
+std::uint64_t serial_regions() {
+  return metrics::Registry::instance()
+      .counter("parallel.serial_regions")
+      .value();
+}
+
+TEST(CostHint, TinyRegionsRunSerially) {
+  const auto before = serial_regions();
+  std::vector<int> hits(64, 0);  // plain ints: only race-free if serial
+  par::parallel_for(
+      hits.size(), [&](std::size_t i) { hits[i] += 1; },
+      /*threads=*/4, /*chunk_size=*/0, /*cost_hint_ns=*/100);
+  // 64 x 100 ns estimated is far under the 3 ms pool round-trip threshold.
+  EXPECT_EQ(serial_regions(), before + 1);
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(CostHint, ExpensiveRegionsStayParallel) {
+  const auto before = serial_regions();
+  std::vector<std::atomic<int>> hits(64);
+  par::parallel_for(
+      hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); },
+      /*threads=*/4, /*chunk_size=*/0, /*cost_hint_ns=*/1'000'000);
+  EXPECT_EQ(serial_regions(), before);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(CostHint, ZeroHintMeansUnknownAndStaysParallel) {
+  const auto before = serial_regions();
+  std::vector<std::atomic<int>> hits(64);
+  par::parallel_for(
+      hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); },
+      /*threads=*/4);
+  EXPECT_EQ(serial_regions(), before);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(CostHint, FallbackDoesNotChangeResults) {
+  // A non-associative floating-point fold: any reordering would show up in
+  // the low bits.  The serial fallback walks the same chunk boundaries in
+  // the same order, so the result must be bit-identical at every hint.
+  const auto run = [](std::uint64_t hint) {
+    return par::parallel_reduce(
+        10'000, 0.0,
+        [](double& acc, std::size_t i) {
+          acc += std::sin(static_cast<double>(i)) * 1e-3;
+        },
+        [](double& into, double from) { into += from; },
+        /*threads=*/4, hint);
+  };
+  const double baseline = run(0);               // unknown cost: pool
+  const double serial = run(1);                 // tiny: serial fallback
+  const double parallel = run(100'000'000);     // huge: pool
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(serial),
+            std::bit_cast<std::uint64_t>(baseline));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(parallel),
+            std::bit_cast<std::uint64_t>(baseline));
 }
 
 /// setenv/unsetenv wrapper restoring NANOCACHE_THREADS afterwards.

@@ -87,6 +87,11 @@ int usage() {
       "  --search pruned|exhaustive  assignment search engine (default\n"
       "               pruned; both return byte-identical results, the\n"
       "               exhaustive oracle is for differential testing)\n"
+      "  --memo-shards N  lock-stripe shards of the in-process memo cache\n"
+      "               (power of two <= 4096; default 16; also the\n"
+      "               NANOCACHE_MEMO_SHARDS environment variable, the flag\n"
+      "               wins).  Purely a concurrency knob: results are\n"
+      "               byte-identical at any shard count.\n"
       "  --threads N  worker threads for sweeps (default: hardware "
       "concurrency;\n"
       "               results are identical at any thread count).  The\n"
