@@ -16,11 +16,15 @@
 // served stream being byte-identical to batch-mode output, and
 // BENCH_design_space.json: the v3 design space (associativity x banks x
 // node x power gating) swept pruned-vs-exhaustive with per-point combo
-// accounting, gated on byte-identity at every point.
+// accounting, gated on byte-identity at every point, and
+// BENCH_surrogate.json: the surrogate serving tier (precompute +
+// table-covered mix served surrogate-warm vs exact), gated on a >= 10x
+// throughput ratio and every answer staying within its certified bound.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -33,6 +37,7 @@
 
 #include "api/batch_io.h"
 #include "api/metrics_json.h"
+#include "api/surrogate_precompute.h"
 #include "server/client.h"
 #include "server/server.h"
 #include "util/metrics.h"
@@ -742,6 +747,167 @@ int emit_serve_json(const std::string& path) {
   return identical ? 0 : 1;
 }
 
+/// The surrogate serving tier: precompute tables for the default
+/// configuration, then serve a table-covered mix (distinct off-lattice
+/// evals + distinct optimize targets, so the exact baseline cannot
+/// memo-hit across requests) through a surrogate-backed service and
+/// through the exact engine.  Exit 0 requires the warm surrogate pass to
+/// be >= 10x the exact throughput, every surrogate answer's measured
+/// error to stay within its certified bound, and the api.surrogate.*
+/// metrics to be live.
+int emit_surrogate_json(const std::string& path) {
+  const auto table_dir =
+      std::filesystem::temp_directory_path() / "nanocache_bench_surrogate";
+  std::filesystem::remove_all(table_dir);
+  api::PrecomputeOptions options;
+  options.stamp = "bench";
+  const auto precompute_start = std::chrono::steady_clock::now();
+  const auto summary = [&] {
+    const auto service = fresh_service();
+    return api::precompute_surrogate(*service, table_dir.string(), options);
+  }();
+  const double precompute_s = std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() -
+                                  precompute_start)
+                                  .count();
+
+  // 100 off-lattice evals (L1 and L2) + 100 distinct optimize targets
+  // inside the tabulated ladder.  Deterministic irrational-stride offsets
+  // keep every request structurally unique.
+  std::vector<api::Request> workload;
+  for (int i = 0; i < 100; ++i) {
+    api::Request r;
+    r.kind = api::RequestKind::kEval;
+    if (i % 2 == 1) {
+      // The wire default size stays 16KB whatever the level, so the 1MB L2
+      // the tables cover has to be spelled out.
+      r.eval.target.level = api::Level::kL2;
+      r.eval.target.size_bytes = 1 << 20;
+    }
+    const double fv = std::fmod(0.6180339887 * (i + 1), 1.0);
+    const double ft = std::fmod(0.7548776662 * (i + 1), 1.0);
+    r.eval.knobs.vth_v = 0.2 + 0.3 * (0.02 + 0.96 * fv);
+    r.eval.knobs.tox_a = 10.0 + 4.0 * (0.02 + 0.96 * ft);
+    r.id = "e" + std::to_string(i);
+    workload.push_back(std::move(r));
+  }
+  for (int i = 0; i < 100; ++i) {
+    api::Request r;
+    r.kind = api::RequestKind::kOptimize;
+    r.optimize.scheme =
+        i % 3 == 0 ? api::SchemeId::kI
+                   : (i % 3 == 1 ? api::SchemeId::kII : api::SchemeId::kIII);
+    r.optimize.delay.target_ps = 1360.0 + 2.6 * i;
+    r.id = "o" + std::to_string(i);
+    workload.push_back(std::move(r));
+  }
+
+  const auto timed_batch = [&](const std::shared_ptr<api::Service>& service,
+                               double* wall_s) {
+    const auto start = std::chrono::steady_clock::now();
+    auto batch = service->run_batch(workload);
+    *wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    return batch;
+  };
+
+  double exact_s = 0.0, cold_s = 0.0, warm_s = 0.0;
+  const auto exact = timed_batch(fresh_service(), &exact_s);
+  api::ServiceConfig sur_config;
+  sur_config.surrogate_dir = table_dir.string();
+  auto sur_service = api::Service::create(sur_config);
+  if (!sur_service) {
+    std::cerr << "service: " << sur_service.error().message << "\n";
+    return 1;
+  }
+  (void)timed_batch(sur_service.value(), &cold_s);
+  const auto warm = timed_batch(sur_service.value(), &warm_s);
+
+  // Differential gate: every surrogate answer within its certified bound
+  // of the exact engine's answer for the same request.
+  std::size_t surrogate_served = 0;
+  bool bounds_ok = true;
+  double worst_leakage_err = 0.0, worst_leakage_bound = 0.0;
+  for (std::size_t i = 0; i < workload.size(); ++i) {
+    const auto& s = warm.responses[i];
+    const auto& x = exact.responses[i];
+    if (!s.ok || !x.ok) {
+      bounds_ok = false;
+      continue;
+    }
+    if (s.served_by != api::ServedBy::kSurrogate) continue;
+    ++surrogate_served;
+    double err = 0.0;
+    if (workload[i].kind == api::RequestKind::kEval) {
+      err = std::abs(s.eval.leakage_mw - x.eval.leakage_mw);
+      bounds_ok = bounds_ok && err <= s.max_error.leakage_mw &&
+                  std::abs(s.eval.access_time_ps - x.eval.access_time_ps) <=
+                      s.max_error.access_time_ps &&
+                  std::abs(s.eval.dynamic_pj - x.eval.dynamic_pj) <=
+                      s.max_error.dynamic_pj;
+    } else {
+      err = s.optimize.result.leakage_mw - x.optimize.result.leakage_mw;
+      bounds_ok = bounds_ok && err >= -1e-12 &&
+                  err <= s.max_error.leakage_mw + 1e-12 &&
+                  s.optimize.result.access_time_ps <=
+                      workload[i].optimize.delay.target_ps;
+      err = std::abs(err);
+    }
+    if (err > worst_leakage_err) {
+      worst_leakage_err = err;
+      worst_leakage_bound = s.max_error.leakage_mw;
+    }
+  }
+
+  auto& registry = metrics::Registry::instance();
+  const std::uint64_t hits = registry.counter("api.surrogate.hits").value();
+  const std::uint64_t tables =
+      registry.counter("api.surrogate.tables").value();
+  const bool metrics_ok = hits >= surrogate_served && tables > 0;
+
+  const double speedup = warm_s > 0.0 ? exact_s / warm_s : 0.0;
+  const double covered = static_cast<double>(surrogate_served) /
+                         static_cast<double>(workload.size());
+  const bool ok =
+      speedup >= 10.0 && bounds_ok && metrics_ok && covered >= 0.9;
+
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write " << path << "\n";
+    return 1;
+  }
+  const auto rps = [&](double wall_s) {
+    return wall_s > 0.0 ? static_cast<double>(workload.size()) / wall_s : 0.0;
+  };
+  out << "{\n  \"surrogate\": {\n"
+      << "    \"eval_tables\": " << summary.eval_tables << ",\n"
+      << "    \"optimize_tables\": " << summary.optimize_tables << ",\n"
+      << "    \"precompute_s\": " << precompute_s << ",\n"
+      << "    \"precompute_exact_evals\": " << summary.exact_evals << ",\n"
+      << "    \"precompute_exact_optimizes\": " << summary.exact_optimizes
+      << ",\n"
+      << "    \"requests\": " << workload.size() << ",\n"
+      << "    \"served_by_surrogate\": " << surrogate_served << ",\n"
+      << "    \"coverage\": " << covered << ",\n"
+      << "    \"exact_wall_s\": " << exact_s << ",\n"
+      << "    \"exact_requests_per_s\": " << rps(exact_s) << ",\n"
+      << "    \"surrogate_cold_wall_s\": " << cold_s << ",\n"
+      << "    \"surrogate_warm_wall_s\": " << warm_s << ",\n"
+      << "    \"surrogate_warm_requests_per_s\": " << rps(warm_s) << ",\n"
+      << "    \"speedup_vs_exact\": " << speedup << ",\n"
+      << "    \"worst_leakage_err_mw\": " << worst_leakage_err << ",\n"
+      << "    \"worst_leakage_bound_mw\": " << worst_leakage_bound << ",\n"
+      << "    \"errors_within_bounds\": " << (bounds_ok ? "true" : "false")
+      << ",\n"
+      << "    \"surrogate_metrics_live\": " << (metrics_ok ? "true" : "false")
+      << "\n  }\n}\n";
+  std::cout << "wrote " << path << " (speedup=" << speedup
+            << ", coverage=" << covered
+            << ", bounds_ok=" << (bounds_ok ? "true" : "false") << ")\n";
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -755,9 +921,11 @@ int main(int argc, char** argv) {
       const int serve_rc = emit_serve_json("BENCH_serve.json");
       const int space_rc =
           emit_design_space_json("BENCH_design_space.json");
+      const int surrogate_rc = emit_surrogate_json("BENCH_surrogate.json");
       if (sweep_rc != 0) return sweep_rc;
       if (pruned_rc != 0) return pruned_rc;
-      return serve_rc != 0 ? serve_rc : space_rc;
+      if (serve_rc != 0) return serve_rc;
+      return space_rc != 0 ? space_rc : surrogate_rc;
     }
   }
   benchmark::Initialize(&argc, argv);

@@ -1,4 +1,4 @@
-// Versioned plain-struct requests of the nanocache public API (schema v3).
+// Versioned plain-struct requests of the nanocache public API (schema v4).
 //
 // One Request wraps exactly one of the operation payloads, selected by
 // `kind`.  All numeric fields use the paper's reporting units (pS, mW, pJ,
@@ -11,8 +11,11 @@
 // design-space axes: OrganizationSpec (associativity + banks),
 // PowerGatingSpec (sleep states under a performance-loss budget) and a
 // `node_nm` technology-node selector — all defaulting to the paper's fixed
-// 65 nm organization, so v1/v2 requests normalize losslessly.  The JSONL
-// wire encoding — including the v1/v2 compatibility parse — is documented
+// 65 nm organization, so v1/v2 requests normalize losslessly.  Schema v4
+// adds the `exactness` routing selector on eval/optimize: whether the
+// answer must come from the exact engine, must come from the precomputed
+// surrogate tables, or (the default) may come from either.  The JSONL
+// wire encoding — including the v1–v3 compatibility parse — is documented
 // in docs/API.md and implemented by src/api/batch_io.{h,cc}.
 #pragma once
 
@@ -90,6 +93,30 @@ struct PowerGatingSpec {
   double perf_loss_budget = 0.0;
 };
 
+/// v4: how an eval/optimize answer may be produced.
+enum class Exactness {
+  /// Serve from the surrogate tables when they cover the request, fall back
+  /// to the exact engine otherwise.  The wire default; v1–v3 requests
+  /// normalize to it.
+  kAuto,
+  /// Always run the exact engine, even when a surrogate table covers the
+  /// request.  Pinning is part of the request's structural identity, so
+  /// exact answers never share a cache entry with surrogate answers.
+  kExact,
+  /// Require a surrogate answer; a request no table covers fails with a
+  /// typed kConfig error instead of silently costing an exact evaluation.
+  kSurrogate,
+};
+
+inline const char* exactness_name(Exactness e) {
+  switch (e) {
+    case Exactness::kAuto: return "auto";
+    case Exactness::kExact: return "exact";
+    case Exactness::kSurrogate: return "surrogate";
+  }
+  return "auto";
+}
+
 /// Evaluate one cache model at a uniform (Vth, Tox) assignment and report
 /// per-component and total delay/leakage/dynamic-energy.
 struct EvalRequest {
@@ -100,6 +127,8 @@ struct EvalRequest {
   /// v3: technology node in nm (0 = the configured default technology;
   /// explicit 90/65/45/32/22 select the named node menu).
   int node_nm = 0;
+  /// v4: surrogate-vs-exact routing (auto = either, preferring surrogate).
+  Exactness exactness = Exactness::kAuto;
 };
 
 /// Minimize a single cache's leakage under an access-time constraint with
@@ -115,6 +144,8 @@ struct OptimizeRequest {
   PowerGatingSpec power_gating{};
   /// v3: technology node in nm (0 = the configured default technology).
   int node_nm = 0;
+  /// v4: surrogate-vs-exact routing (auto = either, preferring surrogate).
+  Exactness exactness = Exactness::kAuto;
 };
 
 /// Which sweep a SweepRequest runs.

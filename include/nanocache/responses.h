@@ -151,6 +151,49 @@ struct CapabilitiesResponse {
 
   /// v3 technology menu: selectable `node_nm` values.
   std::vector<int> nodes_nm;
+
+  /// v4 surrogate serving tier: what the loaded table set covers.  All
+  /// fields stay at their defaults when no surrogate directory is
+  /// configured or no usable tables were found.
+  bool surrogate_loaded = false;
+  int surrogate_eval_tables = 0;
+  int surrogate_optimize_tables = 0;
+  /// Library fingerprint the tables were precomputed against (16 hex).
+  std::string surrogate_fingerprint;
+  /// Caller-supplied precompute stamp (passed to `precompute --stamp`, not
+  /// wall-clock, so capabilities stay deterministic).
+  std::string surrogate_stamp;
+  std::vector<std::uint64_t> surrogate_sizes_bytes;  ///< covered sizes
+  std::vector<int> surrogate_nodes_nm;               ///< covered nodes
+  std::vector<std::string> surrogate_schemes;        ///< covered schemes
+  /// Worst certified per-answer error bound across all loaded tables.
+  double surrogate_max_error_leakage_mw = 0.0;
+  double surrogate_max_error_access_time_ps = 0.0;
+  double surrogate_max_error_dynamic_pj = 0.0;
+};
+
+/// v4: which engine produced an eval/optimize answer.
+enum class ServedBy {
+  kExact,      ///< the structural/fitted model (wire default; omitted)
+  kSurrogate,  ///< precomputed table + interpolation, `max_error` certified
+};
+
+inline const char* served_by_name(ServedBy s) {
+  switch (s) {
+    case ServedBy::kExact: return "exact";
+    case ServedBy::kSurrogate: return "surrogate";
+  }
+  return "exact";
+}
+
+/// v4: certified absolute error bounds of a surrogate answer, in the
+/// paper's reporting units.  The exact engine's answer for the same request
+/// is guaranteed to lie within these bounds of the served values
+/// (docs/MODELING.md §13 describes the certification).
+struct SurrogateErrorBounds {
+  double leakage_mw = 0.0;
+  double access_time_ps = 0.0;
+  double dynamic_pj = 0.0;
 };
 
 /// One versioned response.  `ok` distinguishes a served request (payload
@@ -161,6 +204,12 @@ struct Response {
   RequestKind kind = RequestKind::kEval;
   bool ok = false;
   ErrorInfo error{};
+
+  /// v4: which engine served this answer.  kExact serializes as an omitted
+  /// field so pre-v4 response bytes are unchanged; kSurrogate adds
+  /// `"served_by":"surrogate"` plus the `max_error` bounds.
+  ServedBy served_by = ServedBy::kExact;
+  SurrogateErrorBounds max_error{};
 
   EvalResponse eval{};
   OptimizeResponse optimize{};

@@ -64,6 +64,16 @@ struct ServiceConfig {
   /// a typed kIo error from Service::create.
   std::string cache_dir;
 
+  /// Directory holding precomputed surrogate answer tables (the CLI's
+  /// --surrogate-dir / NANOCACHE_SURROGATE_DIR, written by `nanocache_cli
+  /// precompute --out`).  Empty disables the surrogate tier.  Tables are
+  /// bound to the same configuration fingerprint as disk-cache segments, so
+  /// a model/schema/search-mode change invalidates them; a missing
+  /// directory or missing/corrupt table file degrades to exact serving
+  /// (never a wrong answer), while a path that exists but is not a
+  /// directory is a typed kIo error from Service::create.
+  std::string surrogate_dir;
+
   /// Use the exhaustive reference search instead of the dominance-pruned
   /// engine (the CLI's --search exhaustive).  Results are byte-identical
   /// either way; the exhaustive path exists as the differential-testing
@@ -96,6 +106,13 @@ class Service {
   Service& operator=(const Service&) = delete;
 
   const ServiceConfig& config() const;
+
+  /// The library fingerprint (16 hex digits) this configuration answers
+  /// under — a hash over everything that can change an answer (model
+  /// configuration, grid bit patterns, schema + API version, search mode).
+  /// Disk-cache segments and surrogate table files are both addressed by
+  /// it; `precompute` stamps it into the tables it writes.
+  const std::string& configuration_fingerprint() const;
 
   // --- single-request entry points ---------------------------------------
   Outcome<EvalResponse> evaluate(const EvalRequest& request) const;

@@ -20,11 +20,15 @@ namespace nanocache::api {
 /// cache/constraint fields into the shared GridSpec and DelayConstraint
 /// structs; v3 added the design-space axes (nested `organization`
 /// associativity/banks, `power_gating` with a performance-loss budget, and
-/// `node_nm` technology selection).  v1/v2 requests are still accepted and
-/// normalized to v3 on parse — every new field defaults to the fixed
-/// 65 nm organization the paper studies, so old clients get byte-identical
-/// responses (see docs/API.md for the field mapping).
-inline constexpr int kSchemaVersion = 3;
+/// `node_nm` technology selection); v4 added the `exactness` routing field
+/// on eval/optimize requests (exact | surrogate | auto) together with the
+/// `served_by` / `max_error` response annotations of the surrogate serving
+/// tier.  v1–v3 requests are still accepted and normalized to v4 on parse —
+/// every new field defaults to the fixed 65 nm organization the paper
+/// studies and to `exactness: auto`, so old clients get byte-identical
+/// responses modulo the echoed schema_version (see docs/API.md for the
+/// field mapping).
+inline constexpr int kSchemaVersion = 4;
 
 /// Oldest wire-schema version the parser still accepts (normalizing to
 /// kSchemaVersion).

@@ -8,8 +8,8 @@
 #include <utility>
 #include <vector>
 
-#include "api/json.h"
 #include "util/error.h"
+#include "util/json.h"
 #include "util/metrics.h"
 
 namespace nanocache::api {
@@ -40,6 +40,13 @@ RequestKind parse_kind(const std::string& s) {
   if (s == "tuple_menu") return RequestKind::kTupleMenu;
   if (s == "capabilities") return RequestKind::kCapabilities;
   throw Error(ErrorCategory::kConfig, "unknown request kind '" + s + "'");
+}
+
+Exactness parse_exactness(const std::string& s) {
+  if (s == "auto") return Exactness::kAuto;
+  if (s == "exact") return Exactness::kExact;
+  if (s == "surrogate") return Exactness::kSurrogate;
+  throw Error(ErrorCategory::kConfig, "unknown exactness '" + s + "'");
 }
 
 ErrorCode parse_error_code(const std::string& s) {
@@ -147,12 +154,13 @@ Request request_from_value(const ValuePtr& root) {
              "unsupported schema_version " + std::to_string(v) +
                  " (this build speaks " + std::to_string(kMinSchemaVersion) +
                  ".." + std::to_string(kSchemaVersion) + ")");
-  // v1 flat fields normalize into the v2 structs below, and v3 design-space
-  // fields are read only from v3 requests (absent fields keep their
-  // paper-default values); the request carries the current schema version
-  // from here on.
+  // v1 flat fields normalize into the v2 structs below, v3 design-space
+  // fields are read only from v3+ requests, and the v4 exactness selector
+  // only from v4 requests (absent fields keep their paper-default values);
+  // the request carries the current schema version from here on.
   const bool v1 = v == 1;
   const bool v3 = v >= 3;
+  const bool v4 = v >= 4;
   r.schema_version = kSchemaVersion;
   if (const auto id = root->get("id")) r.id = id->as_string();
   const auto kind = root->get("kind");
@@ -180,6 +188,11 @@ Request request_from_value(const ValuePtr& root) {
         parse_organization(root, e.organization);
         e.node_nm = get_int(root, "node_nm", e.node_nm);
       }
+      if (v4) {
+        if (const auto exactness = root->get("exactness")) {
+          e.exactness = parse_exactness(exactness->as_string());
+        }
+      }
       break;
     }
     case RequestKind::kOptimize: {
@@ -204,6 +217,11 @@ Request request_from_value(const ValuePtr& root) {
         parse_organization(root, o.organization);
         parse_power_gating(root, o.power_gating);
         o.node_nm = get_int(root, "node_nm", o.node_nm);
+      }
+      if (v4) {
+        if (const auto exactness = root->get("exactness")) {
+          o.exactness = parse_exactness(exactness->as_string());
+        }
       }
       break;
     }
@@ -468,6 +486,25 @@ CapabilitiesResponse parse_capabilities_response(const ValuePtr& v) {
   for (const auto& item : req_array(v, "nodes_nm")) {
     c.nodes_nm.push_back(static_cast<int>(item->as_int()));
   }
+  const auto surrogate = req_field(v, "surrogate");
+  c.surrogate_loaded = req_bool(surrogate, "loaded");
+  c.surrogate_eval_tables = req_int(surrogate, "eval_tables");
+  c.surrogate_optimize_tables = req_int(surrogate, "optimize_tables");
+  c.surrogate_fingerprint = req_string(surrogate, "fingerprint");
+  c.surrogate_stamp = req_string(surrogate, "stamp");
+  for (const auto& item : req_array(surrogate, "sizes_bytes")) {
+    c.surrogate_sizes_bytes.push_back(item->as_uint());
+  }
+  for (const auto& item : req_array(surrogate, "nodes_nm")) {
+    c.surrogate_nodes_nm.push_back(static_cast<int>(item->as_int()));
+  }
+  for (const auto& item : req_array(surrogate, "schemes")) {
+    c.surrogate_schemes.push_back(item->as_string());
+  }
+  const auto bounds = req_field(surrogate, "max_error");
+  c.surrogate_max_error_leakage_mw = req_double(bounds, "leakage_mw");
+  c.surrogate_max_error_access_time_ps = req_double(bounds, "access_time_ps");
+  c.surrogate_max_error_dynamic_pj = req_double(bounds, "dynamic_pj");
   return c;
 }
 
@@ -490,6 +527,18 @@ Response response_from_value(const ValuePtr& root) {
     return r;
   }
   r.kind = parse_kind(req_string(root, "kind"));
+  // The writer emits served_by (plus max_error) only for surrogate
+  // answers, so an absent field maps back to the kExact default and exact
+  // responses re-serialize without it.
+  if (const auto served_by = root->get("served_by")) {
+    const std::string& name = served_by->as_string();
+    NC_REQUIRE(name == "surrogate", "unknown served_by '" + name + "'");
+    r.served_by = ServedBy::kSurrogate;
+    const auto bounds = req_field(root, "max_error");
+    r.max_error.leakage_mw = req_double(bounds, "leakage_mw");
+    r.max_error.access_time_ps = req_double(bounds, "access_time_ps");
+    r.max_error.dynamic_pj = req_double(bounds, "dynamic_pj");
+  }
   const auto result = root->get("result");
   NC_REQUIRE(result != nullptr, "response is missing 'result'");
   switch (r.kind) {
@@ -551,6 +600,15 @@ std::string double_array_json(const std::vector<double>& values) {
 }
 
 std::string int_array_json(const std::vector<int>& values) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(values[i]);
+  }
+  return out + "]";
+}
+
+std::string uint_array_json(const std::vector<std::uint64_t>& values) {
   std::string out = "[";
   for (std::size_t i = 0; i < values.size(); ++i) {
     if (i > 0) out += ',';
@@ -785,6 +843,22 @@ std::string capabilities_json(const CapabilitiesResponse& c) {
   gating.double_field("max_perf_loss_budget", c.power_gating_max_budget);
   w.field("power_gating", gating.str());
   w.field("nodes_nm", int_array_json(c.nodes_nm));
+  // v4 surrogate-tier discovery (also lockstep with the parser above).
+  ObjectWriter surrogate;
+  surrogate.bool_field("loaded", c.surrogate_loaded);
+  surrogate.int_field("eval_tables", c.surrogate_eval_tables);
+  surrogate.int_field("optimize_tables", c.surrogate_optimize_tables);
+  surrogate.string_field("fingerprint", c.surrogate_fingerprint);
+  surrogate.string_field("stamp", c.surrogate_stamp);
+  surrogate.field("sizes_bytes", uint_array_json(c.surrogate_sizes_bytes));
+  surrogate.field("nodes_nm", int_array_json(c.surrogate_nodes_nm));
+  surrogate.field("schemes", string_array_json(c.surrogate_schemes));
+  ObjectWriter bounds;
+  bounds.double_field("leakage_mw", c.surrogate_max_error_leakage_mw);
+  bounds.double_field("access_time_ps", c.surrogate_max_error_access_time_ps);
+  bounds.double_field("dynamic_pj", c.surrogate_max_error_dynamic_pj);
+  surrogate.field("max_error", bounds.str());
+  w.field("surrogate", surrogate.str());
   return w.str();
 }
 
@@ -839,10 +913,11 @@ Outcome<Response> parse_response_json(const std::string& line) {
 
 std::string request_to_json(const Request& request) {
   ObjectWriter w;
-  // Serialization always speaks the current schema: v1/v2 requests were
-  // normalized into the v3 structs at parse time.  The v3 design-space
-  // fields are omitted when default, so normalized old requests serialize
-  // exactly as they did under v2 (modulo schema_version).
+  // Serialization always speaks the current schema: v1-v3 requests were
+  // normalized into the current structs at parse time.  The v3 design-space
+  // fields and the v4 exactness selector are omitted when default, so
+  // normalized old requests serialize exactly as they did under v2 (modulo
+  // schema_version).
   w.int_field("schema_version", kSchemaVersion);
   if (!request.id.empty()) w.string_field("id", request.id);
   w.string_field("kind", request_kind_name(request.kind));
@@ -855,6 +930,9 @@ std::string request_to_json(const Request& request) {
         w.field("organization", organization_json(e.organization));
       }
       if (e.node_nm != 0) w.int_field("node_nm", e.node_nm);
+      if (e.exactness != Exactness::kAuto) {
+        w.string_field("exactness", exactness_name(e.exactness));
+      }
       break;
     }
     case RequestKind::kOptimize: {
@@ -869,6 +947,9 @@ std::string request_to_json(const Request& request) {
         w.field("power_gating", power_gating_json(o.power_gating));
       }
       if (o.node_nm != 0) w.int_field("node_nm", o.node_nm);
+      if (o.exactness != Exactness::kAuto) {
+        w.string_field("exactness", exactness_name(o.exactness));
+      }
       break;
     }
     case RequestKind::kSweep: {
@@ -910,6 +991,17 @@ std::string response_to_json(const Response& response) {
   }
   w.string_field("kind", request_kind_name(response.kind));
   w.bool_field("ok", true);
+  // served_by (and the certified bounds) only appear on surrogate answers:
+  // exact answers keep their pre-v4 bytes, and parse_response_json maps the
+  // omission back to kExact.
+  if (response.served_by == ServedBy::kSurrogate) {
+    w.string_field("served_by", served_by_name(response.served_by));
+    ObjectWriter bounds;
+    bounds.double_field("leakage_mw", response.max_error.leakage_mw);
+    bounds.double_field("access_time_ps", response.max_error.access_time_ps);
+    bounds.double_field("dynamic_pj", response.max_error.dynamic_pj);
+    w.field("max_error", bounds.str());
+  }
   switch (response.kind) {
     case RequestKind::kEval:
       w.field("result", eval_json(response.eval));
@@ -963,6 +1055,12 @@ std::string request_canonical_key(const Request& request) {
       key += std::to_string(e.organization.banks);
       key += "|n";
       key += std::to_string(e.node_nm);
+      // v4 exactness, also unconditional: `auto` (the normalized form of an
+      // absent field) keys as x0, so pre-v4 spellings share keys — but a
+      // pinned request gets its own key, keeping exact and surrogate
+      // answers out of each other's cache entries.
+      key += "|x";
+      key += std::to_string(static_cast<int>(e.exactness));
       break;
     }
     case RequestKind::kOptimize: {
@@ -984,6 +1082,8 @@ std::string request_canonical_key(const Request& request) {
       key += key_double(o.power_gating.perf_loss_budget);
       key += "|n";
       key += std::to_string(o.node_nm);
+      key += "|x";
+      key += std::to_string(static_cast<int>(o.exactness));
       break;
     }
     case RequestKind::kSweep: {

@@ -8,8 +8,8 @@
 #include <fstream>
 #include <utility>
 
-#include "api/json.h"
 #include "util/error.h"
+#include "util/json.h"
 #include "util/metrics.h"
 
 namespace nanocache::api {
@@ -53,21 +53,6 @@ std::string entry_line(const std::string& key, const std::string& response) {
 }
 
 }  // namespace
-
-std::string fnv1a64_hex(std::string_view s) {
-  std::uint64_t h = 14695981039346656037ull;
-  for (const char c : s) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 1099511628211ull;
-  }
-  char buf[17];
-  static const char* hex = "0123456789abcdef";
-  for (int i = 15; i >= 0; --i) {
-    buf[15 - i] = hex[(h >> (i * 4)) & 0xF];
-  }
-  buf[16] = '\0';
-  return std::string(buf);
-}
 
 std::unique_ptr<DiskCache> DiskCache::open(const std::string& dir,
                                            const std::string& fingerprint) {

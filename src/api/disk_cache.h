@@ -38,11 +38,14 @@
 #include <string_view>
 #include <unordered_map>
 
+#include "util/hash.h"
+
 namespace nanocache::api {
 
-/// FNV-1a 64-bit hash, fixed-width lower-case hex.  Shared by the segment
-/// checksums and the Service's library fingerprint.
-std::string fnv1a64_hex(std::string_view s);
+/// FNV-1a 64-bit hash, fixed-width lower-case hex (now in util so the
+/// surrogate store can share it).  Re-exported here for the existing
+/// segment-checksum and fingerprint call sites.
+using ::nanocache::fnv1a64_hex;
 
 class DiskCache {
  public:

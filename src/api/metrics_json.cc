@@ -3,7 +3,7 @@
 #include <cstdint>
 #include <string>
 
-#include "api/json.h"
+#include "util/json.h"
 
 namespace nanocache::api {
 

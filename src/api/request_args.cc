@@ -43,6 +43,18 @@ int node_flag(const CliArgs& args) {
   return static_cast<int>(flag_uint(args, "node", 0));
 }
 
+/// v4 --exactness exact|surrogate|auto (absent = auto, the wire default).
+Exactness exactness_flag(const CliArgs& args) {
+  const auto it = args.flags.find("exactness");
+  if (it == args.flags.end()) return Exactness::kAuto;
+  if (it->second == "auto") return Exactness::kAuto;
+  if (it->second == "exact") return Exactness::kExact;
+  if (it->second == "surrogate") return Exactness::kSurrogate;
+  throw Error(ErrorCategory::kConfig,
+              "--exactness expects 'exact', 'surrogate' or 'auto', got '" +
+                  it->second + "'");
+}
+
 }  // namespace
 
 CliArgs parse_cli_args(int argc, const char* const* argv) {
@@ -110,6 +122,17 @@ ServiceConfig service_config_from_args(const CliArgs& args) {
     config.cache_dir = env;
   }
 
+  // Surrogate answer tables: --surrogate-dir wins, then
+  // NANOCACHE_SURROGATE_DIR; neither means exact-only serving.
+  const auto surrogate = args.flags.find("surrogate-dir");
+  if (surrogate != args.flags.end()) {
+    NC_REQUIRE(surrogate->second != "true",
+               "--surrogate-dir expects a directory path");
+    config.surrogate_dir = surrogate->second;
+  } else if (const char* env = std::getenv("NANOCACHE_SURROGATE_DIR")) {
+    config.surrogate_dir = env;
+  }
+
   const auto search = args.flags.find("search");
   if (search != args.flags.end()) {
     if (search->second == "exhaustive") {
@@ -170,6 +193,7 @@ Outcome<Request> request_from_args(const CliArgs& args) {
       r.eval.knobs.tox_a = flag_double(args, "tox", r.eval.knobs.tox_a);
       apply_organization_flags(args, r.eval.organization);
       r.eval.node_nm = node_flag(args);
+      r.eval.exactness = exactness_flag(args);
       return r;
     }
     if (args.command == "optimize") {
@@ -189,6 +213,7 @@ Outcome<Request> request_from_args(const CliArgs& args) {
       }
       r.optimize.power_gating.perf_loss_budget = flag_double(
           args, "perf-loss-budget", r.optimize.power_gating.perf_loss_budget);
+      r.optimize.exactness = exactness_flag(args);
       return r;
     }
     if (args.command == "run") {

@@ -20,6 +20,7 @@
 #include "opt/options.h"
 #include "opt/schemes.h"
 #include "opt/tuple_menu.h"
+#include "surrogate/store.h"
 #include "tech/params.h"
 #include "util/error.h"
 #include "util/metrics.h"
@@ -113,6 +114,26 @@ std::string service_fingerprint(const core::ExperimentConfig& config) {
     s += ',';
   }
   return fnv1a64_hex(s);
+}
+
+/// Routing counters of the surrogate serving tier.  Registered eagerly on
+/// the first served request (whether or not a store is loaded) so metrics
+/// snapshots always expose the full `api.surrogate.*` key set.
+struct SurrogateCounters {
+  metrics::Counter& hits;
+  metrics::Counter& fallbacks;
+  metrics::Counter& exact_pins;
+  metrics::Counter& rejects;
+};
+
+SurrogateCounters& surrogate_counters() {
+  static auto& registry = metrics::Registry::instance();
+  static SurrogateCounters counters{
+      registry.counter("api.surrogate.hits"),
+      registry.counter("api.surrogate.fallbacks"),
+      registry.counter("api.surrogate.exact_pins"),
+      registry.counter("api.surrogate.rejects")};
+  return counters;
 }
 
 /// Wire form of a per-component assignment.  `num_components` is 4 for the
@@ -255,7 +276,13 @@ struct Service::Impl {
 
   ServiceConfig api_config;
   core::ExperimentConfig config;
+  /// The library fingerprint of this configuration (names disk-cache and
+  /// surrogate-table segments; see service_fingerprint above).
+  std::string fingerprint;
   std::unique_ptr<core::Explorer> explorer;
+  /// Precomputed answer tables (null when surrogate_dir is empty; empty —
+  /// loaded() false — when the directory holds no matching segment).
+  std::unique_ptr<surrogate::SurrogateStore> surrogate_store;
   /// Sub-evaluation memo.  Per-service, and a Service's model/grid/mode
   /// configuration is immutable, so keys only carry the per-request fields.
   mutable MemoCache memo;
@@ -503,16 +530,34 @@ Outcome<std::shared_ptr<Service>> Service::create(ServiceConfig config) {
     service->impl_->config = std::move(experiment);
     service->impl_->explorer =
         std::make_unique<core::Explorer>(service->impl_->config);
+    service->impl_->fingerprint = service_fingerprint(service->impl_->config);
+    if (!service->impl_->api_config.surrogate_dir.empty()) {
+      service->impl_->surrogate_store = surrogate::SurrogateStore::open(
+          service->impl_->api_config.surrogate_dir,
+          service->impl_->fingerprint);
+    }
     if (!service->impl_->api_config.cache_dir.empty()) {
-      service->impl_->disk =
-          DiskCache::open(service->impl_->api_config.cache_dir,
-                          service_fingerprint(service->impl_->config));
+      // With tables loaded, `auto` requests may persist surrogate answers;
+      // fold the table content hash into the segment name so those entries
+      // can never replay into an exact-only (or differently-tabled) run.
+      std::string disk_fingerprint = service->impl_->fingerprint;
+      const auto* store = service->impl_->surrogate_store.get();
+      if (store != nullptr && store->loaded()) {
+        disk_fingerprint = fnv1a64_hex(disk_fingerprint + "|surrogate=" +
+                                       store->content_checksum());
+      }
+      service->impl_->disk = DiskCache::open(
+          service->impl_->api_config.cache_dir, disk_fingerprint);
     }
     return service;
   });
 }
 
 const ServiceConfig& Service::config() const { return impl_->api_config; }
+
+const std::string& Service::configuration_fingerprint() const {
+  return impl_->fingerprint;
+}
 
 const core::Explorer& Service::explorer() const { return *impl_->explorer; }
 
@@ -559,6 +604,22 @@ Outcome<CapabilitiesResponse> Service::capabilities(
     c.power_gating_wake_factor = gating.wake_delay_factor;
     c.power_gating_max_budget = 1.0;
     c.nodes_nm = tech::supported_nodes();
+    const auto* store = impl_->surrogate_store.get();
+    c.surrogate_loaded = store != nullptr && store->loaded();
+    if (c.surrogate_loaded) {
+      c.surrogate_eval_tables = static_cast<int>(store->eval_tables());
+      c.surrogate_optimize_tables =
+          static_cast<int>(store->optimize_tables());
+      c.surrogate_fingerprint = store->fingerprint();
+      c.surrogate_stamp = store->stamp();
+      c.surrogate_sizes_bytes = store->covered_sizes();
+      c.surrogate_nodes_nm = store->covered_nodes();
+      c.surrogate_schemes = store->covered_schemes();
+      const auto worst = store->worst_bounds();
+      c.surrogate_max_error_leakage_mw = worst.leakage_mw;
+      c.surrogate_max_error_access_time_ps = worst.access_time_ps;
+      c.surrogate_max_error_dynamic_pj = worst.dynamic_pj;
+    }
     return c;
   });
 }
@@ -818,7 +879,37 @@ Response Service::serve_impl(const Request& request) const {
   }
   switch (request.kind) {
     case RequestKind::kEval: {
-      auto out = evaluate(request.eval);
+      const EvalRequest& e = request.eval;
+      auto& counters = surrogate_counters();
+      const auto* store = impl_->surrogate_store.get();
+      const bool store_loaded = store != nullptr && store->loaded();
+      if (e.exactness == Exactness::kExact) {
+        if (store_loaded) counters.exact_pins.add(1);
+      } else if (store_loaded && e.organization.is_default()) {
+        const Level level = e.target.level;
+        const std::uint64_t size =
+            impl_->resolve_size(level, e.target.size_bytes);
+        if (auto hit = store->lookup_eval(level, size, e.node_nm, e.knobs)) {
+          counters.hits.add(1);
+          response.ok = true;
+          response.served_by = ServedBy::kSurrogate;
+          response.max_error = hit->bounds;
+          response.eval = std::move(hit->response);
+          break;
+        }
+      }
+      if (e.exactness == Exactness::kSurrogate) {
+        counters.rejects.add(1);
+        response.error = ErrorInfo{
+            ErrorCode::kConfig,
+            "exactness 'surrogate' requested but no loaded table covers "
+            "this eval request"};
+        break;
+      }
+      if (store_loaded && e.exactness != Exactness::kExact) {
+        counters.fallbacks.add(1);
+      }
+      auto out = evaluate(e);
       if (out) {
         response.ok = true;
         response.eval = std::move(out.value());
@@ -828,7 +919,39 @@ Response Service::serve_impl(const Request& request) const {
       break;
     }
     case RequestKind::kOptimize: {
-      auto out = optimize(request.optimize);
+      const OptimizeRequest& o = request.optimize;
+      auto& counters = surrogate_counters();
+      const auto* store = impl_->surrogate_store.get();
+      const bool store_loaded = store != nullptr && store->loaded();
+      if (o.exactness == Exactness::kExact) {
+        if (store_loaded) counters.exact_pins.add(1);
+      } else if (store_loaded && o.organization.is_default() &&
+                 !o.power_gating.enabled && o.delay.target_ps > 0.0) {
+        const Level level = o.target.level;
+        const std::uint64_t size =
+            impl_->resolve_size(level, o.target.size_bytes);
+        if (auto hit = store->lookup_optimize(level, size, o.node_nm,
+                                              o.scheme, o.delay.target_ps)) {
+          counters.hits.add(1);
+          response.ok = true;
+          response.served_by = ServedBy::kSurrogate;
+          response.max_error = hit->bounds;
+          response.optimize = std::move(hit->response);
+          break;
+        }
+      }
+      if (o.exactness == Exactness::kSurrogate) {
+        counters.rejects.add(1);
+        response.error = ErrorInfo{
+            ErrorCode::kConfig,
+            "exactness 'surrogate' requested but no loaded table covers "
+            "this optimize request"};
+        break;
+      }
+      if (store_loaded && o.exactness != Exactness::kExact) {
+        counters.fallbacks.add(1);
+      }
+      auto out = optimize(o);
       if (out) {
         response.ok = true;
         response.optimize = std::move(out.value());

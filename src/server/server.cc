@@ -9,10 +9,10 @@
 #include <cstring>
 
 #include "api/batch_io.h"
-#include "api/json.h"
 #include "api/metrics_json.h"
 #include "server/line_reader.h"
 #include "util/error.h"
+#include "util/json.h"
 #include "util/metrics.h"
 #include "util/parallel.h"
 
@@ -334,7 +334,7 @@ std::string Server::respond(const Task& task) {
   // it.  Malformed JSON falls through to parse_request_json, which reports
   // it exactly as the batch reader would.
   try {
-    const auto root = api::json::parse(task.line);
+    const auto root = json::parse(task.line);
     const auto kind = root->get("kind");
     if (kind && kind->is_string() && kind->as_string() == "metrics") {
       control_requests_.fetch_add(1, std::memory_order_relaxed);

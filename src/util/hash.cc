@@ -1,0 +1,22 @@
+#include "util/hash.h"
+
+#include <cstdint>
+
+namespace nanocache {
+
+std::string fnv1a64_hex(std::string_view s) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  char buf[17];
+  static const char* hex = "0123456789abcdef";
+  for (int i = 15; i >= 0; --i) {
+    buf[15 - i] = hex[(h >> (i * 4)) & 0xF];
+  }
+  buf[16] = '\0';
+  return std::string(buf);
+}
+
+}  // namespace nanocache

@@ -27,4 +27,69 @@ double LinearInterpolator::operator()(double x) const {
   return lerp(y_[lo], y_[hi], t);
 }
 
+namespace {
+
+void require_axis(const std::vector<double>& axis, const char* name) {
+  NC_REQUIRE(axis.size() >= 2, std::string("bilinear grid axis '") + name +
+                                   "' needs >= 2 points");
+  for (std::size_t i = 1; i < axis.size(); ++i) {
+    NC_REQUIRE(axis[i] > axis[i - 1],
+               std::string("bilinear grid axis '") + name +
+                   "' must be strictly increasing");
+  }
+}
+
+/// Lower cell index and in-cell fraction along one axis.  The upper
+/// boundary maps to (last cell, fraction 1) so on-lattice queries stay
+/// bitwise-exact through interpolate().
+void locate_axis(const std::vector<double>& axis, double v, std::size_t* idx,
+                 double* t) {
+  if (v >= axis.back()) {
+    *idx = axis.size() - 2;
+    *t = 1.0;
+    return;
+  }
+  const auto it = std::upper_bound(axis.begin(), axis.end(), v);
+  const std::size_t hi =
+      it == axis.begin() ? 1 : static_cast<std::size_t>(it - axis.begin());
+  *idx = hi - 1;
+  *t = (v - axis[*idx]) / (axis[hi] - axis[*idx]);
+}
+
+/// lerp() that returns the endpoints untouched at t == 0 / t == 1 (the
+/// a + t*(b-a) form only guarantees that for t == 0).
+double lerp_exact(double a, double b, double t) {
+  if (t == 0.0) return a;
+  if (t == 1.0) return b;
+  return lerp(a, b, t);
+}
+
+}  // namespace
+
+BilinearGrid::BilinearGrid(std::vector<double> x, std::vector<double> y)
+    : x_(std::move(x)), y_(std::move(y)) {
+  require_axis(x_, "x");
+  require_axis(y_, "y");
+}
+
+bool BilinearGrid::contains(double x, double y) const {
+  return x >= x_.front() && x <= x_.back() && y >= y_.front() &&
+         y <= y_.back();
+}
+
+BilinearGrid::Cell BilinearGrid::locate(double x, double y) const {
+  NC_REQUIRE(contains(x, y), "bilinear grid query out of range");
+  Cell cell;
+  locate_axis(x_, x, &cell.ix, &cell.tx);
+  locate_axis(y_, y, &cell.iy, &cell.ty);
+  return cell;
+}
+
+double BilinearGrid::interpolate(const Cell& cell, double v00, double v10,
+                                 double v01, double v11) const {
+  const double lo = lerp_exact(v00, v10, cell.tx);
+  const double hi = lerp_exact(v01, v11, cell.tx);
+  return lerp_exact(lo, hi, cell.ty);
+}
+
 }  // namespace nanocache::math

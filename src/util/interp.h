@@ -1,7 +1,9 @@
-// 1-D piecewise-linear interpolation over a strictly increasing abscissa
-// table.  Used for miss-rate-vs-size curves and calibration tables.
+// Piecewise-linear interpolation over strictly increasing abscissa tables:
+// 1-D (miss-rate-vs-size curves, calibration tables) and the 2-D tensor-
+// product cell arithmetic the surrogate serving tier builds on.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 namespace nanocache::math {
@@ -18,6 +20,49 @@ class LinearInterpolator {
   double min_x() const { return x_.front(); }
   double max_x() const { return x_.back(); }
   std::size_t size() const { return x_.size(); }
+
+ private:
+  std::vector<double> x_;
+  std::vector<double> y_;
+};
+
+/// Cell arithmetic of a rectilinear 2-D grid: locate the cell containing a
+/// query point and bilinearly combine its four corner values.  The grid
+/// stores only the axes; value storage stays with the caller (the surrogate
+/// tables keep many metrics per lattice point), which is why interpolate()
+/// takes the corner values explicitly.
+class BilinearGrid {
+ public:
+  /// Both axes must be strictly increasing with at least two entries.
+  /// Throws nanocache::Error otherwise.
+  BilinearGrid(std::vector<double> x, std::vector<double> y);
+
+  /// A located query point: lower-corner cell indices plus the fractional
+  /// position inside the cell (in [0, 1] per axis).
+  struct Cell {
+    std::size_t ix = 0;
+    std::size_t iy = 0;
+    double tx = 0.0;
+    double ty = 0.0;
+  };
+
+  /// True when (x, y) lies inside the grid's bounding box (inclusive).
+  bool contains(double x, double y) const;
+
+  /// Locate the cell containing (x, y).  Requires contains(x, y); points on
+  /// the upper boundary land in the last cell with fraction exactly 1 so
+  /// lattice points reproduce their stored values bit-for-bit.
+  Cell locate(double x, double y) const;
+
+  /// Bilinear combination of the four corner values of `cell`, ordered
+  /// v(ix,iy), v(ix+1,iy), v(ix,iy+1), v(ix+1,iy+1).  Fractions of exactly
+  /// 0 or 1 return corner values without arithmetic (bitwise-exact on the
+  /// lattice).
+  double interpolate(const Cell& cell, double v00, double v10, double v01,
+                     double v11) const;
+
+  const std::vector<double>& x() const { return x_; }
+  const std::vector<double>& y() const { return y_; }
 
  private:
   std::vector<double> x_;

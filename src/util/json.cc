@@ -1,4 +1,4 @@
-#include "api/json.h"
+#include "util/json.h"
 
 #include <cctype>
 #include <charconv>
@@ -8,7 +8,7 @@
 
 #include "util/error.h"
 
-namespace nanocache::api::json {
+namespace nanocache::json {
 
 namespace {
 
@@ -373,4 +373,4 @@ std::string quote(const std::string& s) {
   return out;
 }
 
-}  // namespace nanocache::api::json
+}  // namespace nanocache::json

@@ -1,4 +1,5 @@
-// Minimal JSON support for the batch API: a strict recursive-descent parser
+// Minimal JSON support shared by the batch API, server, and surrogate
+// table I/O: a strict recursive-descent parser
 // into a small value tree, plus deterministic number formatting for the
 // writer side.  In-repo on purpose — the batch wire format must not pull in
 // an external dependency (ISSUE 3 / container constraint), and the subset
@@ -15,7 +16,7 @@
 #include <string>
 #include <vector>
 
-namespace nanocache::api::json {
+namespace nanocache::json {
 
 class Value;
 using ValuePtr = std::shared_ptr<const Value>;
@@ -78,4 +79,4 @@ std::string format_double(double d);
 /// JSON string literal (quotes + escapes) for `s`.
 std::string quote(const std::string& s);
 
-}  // namespace nanocache::api::json
+}  // namespace nanocache::json

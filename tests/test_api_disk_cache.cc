@@ -313,7 +313,7 @@ TEST(ApiV1Compat, UnsupportedVersionsQuoteTheSupportedRange) {
   const auto parsed =
       parse_request_json("{\"schema_version\":99,\"kind\":\"eval\"}");
   ASSERT_FALSE(parsed.ok());
-  EXPECT_NE(parsed.error().message.find("1..3"), std::string::npos)
+  EXPECT_NE(parsed.error().message.find("1..4"), std::string::npos)
       << parsed.error().message;
 }
 
@@ -322,7 +322,7 @@ TEST(ApiCapabilities, ReportsVersionsBoundsAndConfiguration) {
   const auto outcome = service->capabilities({});
   ASSERT_TRUE(outcome.ok()) << outcome.error().message;
   const auto& c = outcome.value();
-  EXPECT_EQ(c.schema_versions, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(c.schema_versions, (std::vector<int>{1, 2, 3, 4}));
   EXPECT_DOUBLE_EQ(c.vth_min_v, 0.2);
   EXPECT_DOUBLE_EQ(c.vth_max_v, 0.5);
   EXPECT_DOUBLE_EQ(c.tox_min_a, 10.0);

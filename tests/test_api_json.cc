@@ -3,7 +3,7 @@
 // doubles) is replaced by an in-band error line preserving id and order,
 // never an abort.  Companions to test_api_batch.cc, which covers the
 // happy-path JSONL round trips.
-#include "api/json.h"
+#include "util/json.h"
 
 #include <gtest/gtest.h>
 

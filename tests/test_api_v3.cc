@@ -47,8 +47,8 @@ TEST(ApiV3, CapabilitiesGoldenJson) {
   par::set_default_threads(before);
   EXPECT_EQ(
       got,
-      "{\"schema_version\":3,\"id\":\"cap\",\"kind\":\"capabilities\","
-      "\"ok\":true,\"result\":{\"schema_versions\":[1,2,3],"
+      "{\"schema_version\":4,\"id\":\"cap\",\"kind\":\"capabilities\","
+      "\"ok\":true,\"result\":{\"schema_versions\":[1,2,3,4],"
       "\"api_version_major\":1,\"api_version_minor\":0,"
       "\"vth_min_v\":0.2,\"vth_max_v\":0.5,\"tox_min_a\":10,\"tox_max_a\":14,"
       "\"grid_vth_v\":[0.2,0.25,0.3,0.35,0.4,0.45,0.5],"
@@ -62,7 +62,12 @@ TEST(ApiV3, CapabilitiesGoldenJson) {
       "\"fully_associative\":true,\"max_banks\":8},"
       "\"power_gating\":{\"supported\":true,\"sleep_leakage_factor\":0.05,"
       "\"wake_delay_factor\":0.1,\"max_perf_loss_budget\":1},"
-      "\"nodes_nm\":[90,65,45,32,22]}}\n");
+      "\"nodes_nm\":[90,65,45,32,22],"
+      "\"surrogate\":{\"loaded\":false,\"eval_tables\":0,"
+      "\"optimize_tables\":0,\"fingerprint\":\"\",\"stamp\":\"\","
+      "\"sizes_bytes\":[],\"nodes_nm\":[],\"schemes\":[],"
+      "\"max_error\":{\"leakage_mw\":0,\"access_time_ps\":0,"
+      "\"dynamic_pj\":0}}}}\n");
 }
 
 TEST(ApiV3, NormalizedV3SharesTheCanonicalKeyOfItsV2Spelling) {

@@ -11,13 +11,13 @@
 #include <vector>
 
 #include "api/batch_io.h"
-#include "api/json.h"
 #include "nanocache/service.h"
 #include "server/client.h"
 #include "server/line_reader.h"
 #include "server/listener.h"
 #include "server/server.h"
 #include "util/error.h"
+#include "util/json.h"
 
 namespace nanocache::server {
 namespace {
@@ -238,14 +238,14 @@ TEST(Serve, OversizedLineRejectedInBandAndConnectionSurvives) {
   ASSERT_TRUE(std::getline(lines, second));
   EXPECT_FALSE(std::getline(lines, extra));
 
-  const auto err = api::json::parse(first);
+  const auto err = json::parse(first);
   EXPECT_FALSE(err->get("ok")->as_bool());
   EXPECT_EQ(err->get("error")->get("code")->as_string(), "config");
   EXPECT_NE(err->get("error")->get("message")->as_string().find(
                 "line 1: request line exceeds the maximum length of 256"),
             std::string::npos);
   // The next line on the same connection is served normally.
-  const auto ok = api::json::parse(second);
+  const auto ok = json::parse(second);
   EXPECT_TRUE(ok->get("ok")->as_bool());
   EXPECT_EQ(ok->get("id")->as_string(), "after");
 
@@ -283,7 +283,7 @@ TEST(Serve, MetricsControlRequestReturnsLiveSnapshot) {
   ASSERT_TRUE(std::getline(lines, eval_line));
   ASSERT_TRUE(std::getline(lines, metrics_line));
 
-  const auto root = api::json::parse(metrics_line);
+  const auto root = json::parse(metrics_line);
   EXPECT_EQ(root->get("id")->as_string(), "m");
   EXPECT_EQ(root->get("kind")->as_string(), "metrics");
   EXPECT_TRUE(root->get("ok")->as_bool());

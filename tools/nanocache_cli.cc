@@ -18,11 +18,14 @@
 #include <iostream>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "api/batch_io.h"
 #include "api/metrics_json.h"
 #include "api/request_args.h"
+#include "api/surrogate_precompute.h"
 #include "server/server.h"
 #include "cachemodel/variation.h"
 #include "core/explorer.h"
@@ -61,6 +64,10 @@ int usage() {
       "  nanocache_cli serve --listen <unix:/path/sock | tcp:host:port>\n"
       "               [--max-line-bytes N] [--queue-capacity N]\n"
       "  nanocache_cli capabilities\n"
+      "  nanocache_cli precompute --out <dir> [--l1-sizes a,b] "
+      "[--l2-sizes a,b]\n"
+      "               [--nodes 0,90,...] [--vth-steps N] [--tox-steps N]\n"
+      "               [--target-steps N] [--stamp TEXT]\n"
       "  nanocache_cli frontier --size <bytes> [--l2] --scheme I|II|III\n"
       "  nanocache_cli sensitivity --size <bytes> [--l2] [--vth V] "
       "[--tox A]\n"
@@ -84,6 +91,15 @@ int usage() {
       "               NANOCACHE_CACHE_DIR environment variable; the flag\n"
       "               wins).  Segments are fingerprinted by configuration,\n"
       "               so differently configured runs never share entries.\n"
+      "  --surrogate-dir <dir>  load precomputed answer tables and serve\n"
+      "               covered eval/optimize requests by interpolation (also\n"
+      "               the NANOCACHE_SURROGATE_DIR environment variable; the\n"
+      "               flag wins).  Uncovered requests fall back to the exact\n"
+      "               engine; see --exactness.\n"
+      "  --exactness exact|surrogate|auto  v4 routing for cache/optimize:\n"
+      "               'exact' always runs the exact engine, 'surrogate'\n"
+      "               errors unless a table covers the request, 'auto'\n"
+      "               (default) prefers tables and falls back\n"
       "  --search pruned|exhaustive  assignment search engine (default\n"
       "               pruned; both return byte-identical results, the\n"
       "               exhaustive oracle is for differential testing)\n"
@@ -107,6 +123,11 @@ int usage() {
       "  request, in input order.  Per-request failures stay in-band as\n"
       "  error responses; the process exits 0 unless the stream itself is\n"
       "  unreadable.  Dedup/memoization stats go to stderr.\n"
+      "precompute: drive the exact engine over a refined knob lattice and a\n"
+      "  delay-target ladder and write surrogate answer tables (with\n"
+      "  certified per-answer error bounds) under --out, keyed by the\n"
+      "  service configuration's fingerprint.  A later run pointed at the\n"
+      "  same directory via --surrogate-dir picks them up automatically.\n"
       "serve: speak the batch JSONL protocol over a socket, multiplexing\n"
       "  concurrent clients onto one warm service (docs/API.md).  Responses\n"
       "  per connection are byte-identical to batch output for the same\n"
@@ -347,6 +368,58 @@ int cmd_serve(std::shared_ptr<api::Service> service, const CliArgs& args) {
   return 0;
 }
 
+/// Comma-separated unsigned list flag ("16384,32768"); empty when absent.
+std::vector<std::uint64_t> flag_uint_list(const CliArgs& args,
+                                          const std::string& key) {
+  std::vector<std::uint64_t> values;
+  const auto it = args.flags.find(key);
+  if (it == args.flags.end()) return values;
+  std::string item;
+  std::istringstream stream(it->second);
+  while (std::getline(stream, item, ',')) {
+    try {
+      values.push_back(std::stoull(item));
+    } catch (const std::exception&) {
+      throw Error(ErrorCategory::kConfig,
+                  "--" + key + " expects comma-separated non-negative "
+                  "integers, got '" + it->second + "'");
+    }
+  }
+  return values;
+}
+
+int cmd_precompute(const api::Service& service, const CliArgs& args) {
+  const auto out_it = args.flags.find("out");
+  NC_REQUIRE(out_it != args.flags.end() && out_it->second != "true",
+             "precompute requires --out <dir>");
+  api::PrecomputeOptions options;
+  options.l1_sizes = flag_uint_list(args, "l1-sizes");
+  options.l2_sizes = flag_uint_list(args, "l2-sizes");
+  if (const auto nodes = flag_uint_list(args, "nodes"); !nodes.empty()) {
+    options.nodes.assign(nodes.begin(), nodes.end());
+  }
+  options.vth_steps = static_cast<int>(
+      api::flag_uint(args, "vth-steps", options.vth_steps));
+  options.tox_steps = static_cast<int>(
+      api::flag_uint(args, "tox-steps", options.tox_steps));
+  options.target_steps = static_cast<int>(
+      api::flag_uint(args, "target-steps", options.target_steps));
+  const auto stamp = args.flags.find("stamp");
+  if (stamp != args.flags.end() && stamp->second != "true") {
+    options.stamp = stamp->second;
+  }
+  const auto summary =
+      api::precompute_surrogate(service, out_it->second, options);
+  std::cout << "wrote " << summary.eval_tables << " eval table(s) and "
+            << summary.optimize_tables << " optimize table(s) to "
+            << summary.path << "\n"
+            << "fingerprint " << summary.fingerprint << "; spent "
+            << summary.exact_evals << " exact eval(s), "
+            << summary.exact_optimizes << " exact optimize(s)\n";
+  print_degradations(service);
+  return 0;
+}
+
 int cmd_capabilities(const api::Service& service) {
   api::Request request;
   request.kind = api::RequestKind::kCapabilities;
@@ -461,6 +534,9 @@ int dispatch(const CliArgs& args) {
   if (args.command == "serve") return cmd_serve(make_service(args), args);
   if (args.command == "capabilities") {
     return cmd_capabilities(*make_service(args));
+  }
+  if (args.command == "precompute") {
+    return cmd_precompute(*make_service(args), args);
   }
   if (args.command == "frontier") return cmd_frontier(*make_service(args), args);
   if (args.command == "sensitivity") {
